@@ -1,0 +1,52 @@
+//! Table 2–5 machinery: cell verification and LP-based gate synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qac_bench::workloads;
+use qac_gatesynth::{synthesize, CellLibrary, SynthOptions, TruthTable};
+
+fn bench_cells(c: &mut Criterion) {
+    let library = CellLibrary::table5();
+
+    c.bench_function("table5_library_build", |b| {
+        b.iter(|| std::hint::black_box(CellLibrary::table5()))
+    });
+
+    c.bench_function("verify_all_cells", |b| {
+        b.iter(|| {
+            for (name, cell) in library.iter() {
+                let truth = library.truth(name).unwrap();
+                std::hint::black_box(cell.verify(truth));
+            }
+        })
+    });
+
+    let and_truth = TruthTable::from_gate(2, |i| i[0] && i[1]);
+    c.bench_function("synthesize_and_gate", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                synthesize("AND", &["Y", "A", "B"], &and_truth, 0, &SynthOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+
+    let xor_truth = TruthTable::from_gate(2, |i| i[0] ^ i[1]);
+    c.bench_function("synthesize_xor_one_ancilla", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                synthesize("XOR", &["Y", "A", "B"], &xor_truth, 1, &SynthOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Keep the workloads linked in (shared fixture sanity).
+    let _ = workloads::FIGURE2;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cells
+}
+criterion_main!(benches);

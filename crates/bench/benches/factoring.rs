@@ -1,0 +1,30 @@
+//! §5.3: time to factor a semiprime by running the multiplier backward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qac_bench::{compile_workload, MULT};
+use qac_core::{RunOptions, SolverChoice};
+
+fn bench_factoring(c: &mut Criterion) {
+    let compiled = compile_workload(MULT, "mult");
+    for target in [15u64, 143, 221] {
+        c.bench_function(&format!("factor_{target}_tabu_20reads"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let run = RunOptions::new()
+                    .pin(&format!("C[7:0] := {target}"))
+                    .solver(SolverChoice::Tabu)
+                    .num_reads(20)
+                    .seed(seed);
+                std::hint::black_box(compiled.run(&run).expect("run succeeds"))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_factoring
+}
+criterion_main!(benches);

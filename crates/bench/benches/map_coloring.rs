@@ -1,0 +1,38 @@
+//! §6.2: per-solution cost — annealer sampling vs the classical CSP
+//! solver on the identical Australia model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qac_bench::{compile_workload, AUSTRALIA};
+use qac_core::{RunOptions, SolverChoice};
+
+fn bench_map_coloring(c: &mut Criterion) {
+    let compiled = compile_workload(AUSTRALIA, "australia");
+
+    c.bench_function("annealer_100_reads", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let run = RunOptions::new()
+                .pin("valid := true")
+                .solver(SolverChoice::Sa { sweeps: 384 })
+                .num_reads(100)
+                .seed(seed);
+            std::hint::black_box(compiled.run(&run).expect("run succeeds"))
+        })
+    });
+
+    let model = qac_csp::mapcolor::australia(4);
+    c.bench_function("csp_solve_once", |b| {
+        b.iter(|| std::hint::black_box(model.solve().expect("four-colorable")))
+    });
+    c.bench_function("csp_count_1000_solutions", |b| {
+        b.iter(|| std::hint::black_box(model.count_solutions(1000)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_map_coloring
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Compile-time cost of every pipeline stage for the paper's workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qac_bench::{AUSTRALIA, CIRCSAT, COUNTER, FIGURE2, MULT};
+use qac_core::{compile, CompileOptions};
+use qac_verilog::parse;
+
+fn bench_pipeline(c: &mut Criterion) {
+    for (name, source, top) in [
+        ("figure2", FIGURE2, "circuit"),
+        ("circsat", CIRCSAT, "circsat"),
+        ("mult", MULT, "mult"),
+        ("australia", AUSTRALIA, "australia"),
+    ] {
+        c.bench_function(&format!("parse_{name}"), |b| {
+            b.iter(|| std::hint::black_box(parse(source).unwrap()))
+        });
+        c.bench_function(&format!("compile_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(compile(source, top, &CompileOptions::default()).unwrap())
+            })
+        });
+    }
+    c.bench_function("compile_counter_unrolled_4", |b| {
+        let options = CompileOptions { unroll_steps: Some(4), ..Default::default() };
+        b.iter(|| std::hint::black_box(compile(COUNTER, "count", &options).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

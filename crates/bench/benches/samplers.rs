@@ -1,0 +1,44 @@
+//! Sampler throughput on a fixed frustrated model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qac_pbf::Ising;
+use qac_solvers::{Sampler, SimulatedAnnealing, Sqa, TabuSearch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fixture(n: usize) -> Ising {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut m = Ising::new(n);
+    for i in 0..n {
+        m.add_h(i, rng.gen_range(-1.0..1.0));
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < 0.1 {
+                m.add_j(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    m
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let model = fixture(96);
+    c.bench_function("sa_96vars_50reads", |b| {
+        let sampler = SimulatedAnnealing::new(1).with_sweeps(128);
+        b.iter(|| std::hint::black_box(sampler.sample(&model, 50)))
+    });
+    c.bench_function("tabu_96vars_10reads", |b| {
+        let sampler = TabuSearch::new(1);
+        b.iter(|| std::hint::black_box(sampler.sample(&model, 10)))
+    });
+    c.bench_function("sqa_96vars_5reads", |b| {
+        let sampler = Sqa::new(1).with_sweeps(64).with_slices(8);
+        b.iter(|| std::hint::black_box(sampler.sample(&model, 5)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_samplers
+}
+criterion_main!(benches);

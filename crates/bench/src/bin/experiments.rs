@@ -1,0 +1,44 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p qac-bench --bin experiments            # run all
+//! cargo run --release -p qac-bench --bin experiments -- sec6_1  # run one
+//! cargo run --release -p qac-bench --bin experiments -- list
+//! ```
+
+use qac_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "list") {
+        println!("available experiments:");
+        for (name, _) in experiments::ALL {
+            println!("  {name}");
+        }
+        return;
+    }
+    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+        experiments::ALL.iter().collect()
+    } else {
+        args.iter()
+            .map(|arg| {
+                experiments::ALL
+                    .iter()
+                    .find(|(name, _)| name == arg)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment `{arg}` (try `list`)");
+                        std::process::exit(1);
+                    })
+            })
+            .collect()
+    };
+    let total = selected.len();
+    for (i, (name, run)) in selected.into_iter().enumerate() {
+        println!("\n──────────────────────────────────────────────────────────────");
+        println!("[{}/{}] {name}", i + 1, total);
+        println!("──────────────────────────────────────────────────────────────");
+        let start = std::time::Instant::now();
+        run();
+        println!("\n[{name} done in {:.1?}]", start.elapsed());
+    }
+}

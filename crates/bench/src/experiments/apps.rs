@@ -1,0 +1,215 @@
+//! §5 examples as experiments: circuit satisfiability, factoring, map
+//! coloring, and the sequential counter.
+
+use std::collections::BTreeSet;
+
+use qac_core::{compile, CompileOptions, RunOptions, SolverChoice};
+use qac_netlist::CombSim;
+
+use crate::{compile_workload, AUSTRALIA, CIRCSAT, COUNTER, FIGURE2, MULT};
+
+/// §5.2: solve the CLRS circuit backward, verify forward.
+pub fn run_circsat() {
+    println!("== §5.2: circuit satisfiability (Figure 4 / Listing 5) ==\n");
+    let compiled = compile_workload(CIRCSAT, "circsat");
+    println!(
+        "compiled: {} gates, {} logical variables",
+        compiled.stats.netlist.cells, compiled.stats.logical_variables
+    );
+    let outcome = compiled
+        .run(
+            &RunOptions::new()
+                .pin("y := true")
+                .solver(SolverChoice::Sa { sweeps: 256 })
+                .num_reads(500),
+        )
+        .expect("run succeeds");
+    println!("valid fraction over 500 anneals: {:.3}", outcome.valid_fraction());
+    let assignments: BTreeSet<(u64, u64, u64)> = outcome
+        .valid_solutions()
+        .map(|s| (s.get("a").unwrap(), s.get("b").unwrap(), s.get("c").unwrap()))
+        .collect();
+    println!("satisfying assignments found: {assignments:?} (paper: a=1, b=1, c=0)");
+    assert_eq!(assignments, BTreeSet::from([(1, 1, 0)]));
+
+    // Forward verification (the NP check).
+    let sim = CombSim::new(&compiled.netlist).unwrap();
+    let out = sim.eval_words(&[("a", 1), ("b", 1), ("c", 0)]).unwrap();
+    println!("forward check: y = {} ✓", out["y"]);
+    assert_eq!(out["y"], 1);
+}
+
+/// §5.3: factoring / multiplying / dividing with one compiled multiplier.
+pub fn run_factor() {
+    println!("== §5.3: factoring integers (Listing 6) ==\n");
+    let compiled = compile_workload(MULT, "mult");
+    println!(
+        "compiled: {} gates, {} logical variables",
+        compiled.stats.netlist.cells, compiled.stats.logical_variables
+    );
+
+    // The paper's example: C := 10001111 (143) yields {11,13} and {13,11}.
+    let outcome = compiled
+        .run(
+            &RunOptions::new()
+                .pin("C[7:0] := 10001111")
+                .solver(SolverChoice::Tabu)
+                .num_reads(120),
+        )
+        .expect("run succeeds");
+    let factorizations: BTreeSet<(u64, u64)> = outcome
+        .valid_solutions()
+        .map(|s| (s.get("A").unwrap(), s.get("B").unwrap()))
+        .collect();
+    println!("factoring 143: unique solutions {factorizations:?} (paper: {{A=11,B=13}}, {{A=13,B=11}})");
+    assert!(factorizations.contains(&(11, 13)) && factorizations.contains(&(13, 11)));
+
+    // Sweep of products: success rate per target. Targets whose factors
+    // exceed 4 bits (e.g. 221 = 13 × 17) are UNSAT for this multiplier —
+    // the annealer returns only invalid samples, exactly the §5.2
+    // behaviour for unsatisfiable instances.
+    println!("\nproduct sweep (tabu, 60 reads each):");
+    println!("{:>8} {:>10} {:>14} {:>16}", "C", "expect", "valid fraction", "factorizations");
+    for (target, satisfiable) in
+        [(15u64, true), (21, true), (35, true), (77, true), (143, true), (209, false), (221, false)]
+    {
+        let outcome = compiled
+            .run(
+                &RunOptions::new()
+                    .pin(&format!("C[7:0] := {target}"))
+                    .solver(SolverChoice::Tabu)
+                    .num_reads(60),
+            )
+            .expect("run succeeds");
+        let found: BTreeSet<(u64, u64)> = outcome
+            .valid_solutions()
+            .map(|s| (s.get("A").unwrap(), s.get("B").unwrap()))
+            .collect();
+        for &(a, b) in &found {
+            assert_eq!(a * b, target);
+        }
+        assert_eq!(!found.is_empty(), satisfiable, "target {target}");
+        println!(
+            "{:>8} {:>10} {:>14.2} {:>16}",
+            target,
+            if satisfiable { "SAT" } else { "UNSAT" },
+            outcome.valid_fraction(),
+            found.len()
+        );
+    }
+
+    // Multiplication and division modes.
+    let product = compiled
+        .run(
+            &RunOptions::new()
+                .pin("A[3:0] := 1101")
+                .pin("B[3:0] := 1011")
+                .solver(SolverChoice::Tabu)
+                .num_reads(30),
+        )
+        .expect("run succeeds")
+        .valid_solutions()
+        .next()
+        .expect("multiplication works")
+        .get("C")
+        .unwrap();
+    println!("\nmultiply 13 × 11 = {product} ✓");
+    assert_eq!(product, 143);
+    let quotient = compiled
+        .run(
+            &RunOptions::new()
+                .pin("C[7:0] := 10001111")
+                .pin("A[3:0] := 1101")
+                .solver(SolverChoice::Tabu)
+                .num_reads(30),
+        )
+        .expect("run succeeds")
+        .valid_solutions()
+        .next()
+        .expect("division works")
+        .get("B")
+        .unwrap();
+    println!("divide 143 / 13 = {quotient} ✓");
+    assert_eq!(quotient, 11);
+}
+
+/// §5.4: sample four-colorings of Australia and verify them.
+pub fn run_map_color() {
+    println!("== §5.4: map coloring (Figure 5 / Listing 7) ==\n");
+    let compiled = compile_workload(AUSTRALIA, "australia");
+    let outcome = compiled
+        .run(
+            &RunOptions::new()
+                .pin("valid := true")
+                .solver(SolverChoice::Sa { sweeps: 384 })
+                .num_reads(1000),
+        )
+        .expect("run succeeds");
+    println!("valid fraction over 1000 anneals: {:.3}", outcome.valid_fraction());
+
+    let regions = qac_csp::mapcolor::AUSTRALIA_REGIONS;
+    let mut distinct: BTreeSet<Vec<u64>> = BTreeSet::new();
+    for solution in outcome.valid_solutions() {
+        for (a, b) in qac_csp::mapcolor::AUSTRALIA_ADJACENCY {
+            assert_ne!(solution.get(a).unwrap(), solution.get(b).unwrap());
+        }
+        distinct.insert(regions.iter().map(|r| solution.get(r).unwrap()).collect());
+    }
+    println!("distinct valid colorings sampled: {} (sampling behaviour, §6.2)", distinct.len());
+    assert!(!distinct.is_empty());
+    let first = outcome.valid_solutions().next().unwrap();
+    let rendered: Vec<String> =
+        regions.iter().map(|r| format!("{r} = {}", first.get(r).unwrap())).collect();
+    println!("example coloring: {{{}}}", rendered.join(", "));
+
+    // CSP cross-check: every sampled coloring satisfies the Listing 8 model.
+    let model = qac_csp::mapcolor::australia(4);
+    for coloring in distinct.iter().take(20) {
+        let assignment: Vec<i64> = coloring.iter().map(|&c| c as i64 + 1).collect();
+        assert!(model.check(&assignment), "CSP model rejects an annealer coloring");
+    }
+    println!("CSP model confirms sampled colorings ✓");
+}
+
+/// §4.3.3: the sequential counter's qubit toll under time unrolling.
+pub fn run_counter() {
+    println!("== §4.3.3: sequential logic (Listing 3), time unrolled ==\n");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "steps", "gate cells", "logical vars", "logical terms"
+    );
+    let mut prev_vars = 0usize;
+    for steps in 1..=6usize {
+        let options = CompileOptions { unroll_steps: Some(steps), ..Default::default() };
+        let compiled = compile(COUNTER, "count", &options).expect("counter compiles");
+        println!(
+            "{:>6} {:>12} {:>14} {:>14}",
+            steps,
+            compiled.stats.netlist.cells,
+            compiled.stats.logical_variables,
+            compiled.stats.logical_terms
+        );
+        assert!(
+            compiled.stats.logical_variables > prev_vars,
+            "unrolling must grow the model"
+        );
+        prev_vars = compiled.stats.logical_variables;
+    }
+    println!("\n\"Doing so exacts a heavy toll in qubit count\" — linear growth per step. ✓");
+
+    // And a correctness spot-check at 3 steps (forward execution).
+    let options = CompileOptions { unroll_steps: Some(3), ..Default::default() };
+    let compiled = compile(COUNTER, "count", &options).unwrap();
+    let mut run = RunOptions::new().solver(SolverChoice::Tabu).num_reads(40);
+    for t in 0..3 {
+        run = run
+            .pin(&format!("inc@{t} := 1"))
+            .pin(&format!("reset@{t} := 0"))
+            .pin(&format!("clk@{t} := 0"));
+    }
+    let outcome = compiled.run(&run).expect("run succeeds");
+    let best = outcome.valid_solutions().next().expect("forward run solves");
+    assert_eq!(best.get("ff_final"), Some(3));
+    println!("forward run over 3 steps counts to {} ✓", best.get("ff_final").unwrap());
+    let _ = compile_workload(FIGURE2, "circuit");
+}

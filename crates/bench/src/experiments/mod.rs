@@ -1,0 +1,32 @@
+//! One module per paper artifact; see DESIGN.md §4 for the index.
+
+mod ablations;
+mod apps;
+mod figure2;
+mod sec6;
+mod tables;
+
+pub use ablations::{run_ablation_chain, run_ablation_gap, run_ablation_opt, run_ablation_roof};
+pub use apps::{run_circsat, run_counter, run_factor, run_map_color};
+pub use figure2::run_figure2_3;
+pub use sec6::{run_sec6_1, run_sec6_2};
+pub use tables::{run_table1, run_table2, run_table3_4, run_table5};
+
+/// Every experiment id, in paper order.
+pub const ALL: &[(&str, fn())] = &[
+    ("table1", run_table1 as fn()),
+    ("table2", run_table2),
+    ("table3_4", run_table3_4),
+    ("table5", run_table5),
+    ("figure2_3", run_figure2_3),
+    ("circsat", run_circsat),
+    ("factor", run_factor),
+    ("map_color", run_map_color),
+    ("counter", run_counter),
+    ("sec6_1", run_sec6_1),
+    ("sec6_2", run_sec6_2),
+    ("ablation_chain", run_ablation_chain),
+    ("ablation_gap", run_ablation_gap),
+    ("ablation_roof", run_ablation_roof),
+    ("ablation_opt", run_ablation_opt),
+];

@@ -1,0 +1,164 @@
+//! The paper's Verilog programs (Listings 3, 5, 6, 7 and Figure 2) plus
+//! shared helpers used by experiments and benches.
+
+use qac_core::{compile, Compiled, CompileOptions};
+use qac_pbf::{Ising, Qubo};
+
+/// Paper Figure 2(a): mux-selected add/subtract.
+pub const FIGURE2: &str = r#"
+    module circuit (s, a, b, c);
+      input s, a, b;
+      output [1:0] c;
+      assign c = s ? a+b : a-b;
+    endmodule
+"#;
+
+/// Paper Listing 3: 6-bit resettable counter.
+pub const COUNTER: &str = r#"
+    module count (clk, inc, reset, out);
+      input clk;
+      input inc;
+      input reset;
+      output [5:0] out;
+      reg [5:0] var;
+      always @(posedge clk)
+        if (reset)
+          var <= 0;
+        else
+          if (inc)
+            var <= var + 1;
+      assign out = var;
+    endmodule
+"#;
+
+/// Paper Listing 5: the CLRS circuit-satisfiability verifier.
+pub const CIRCSAT: &str = r#"
+    module circsat (a, b, c, y);
+      input a, b, c;
+      output y;
+      wire [1:10] x;
+      assign x[1] = a;
+      assign x[2] = b;
+      assign x[3] = c;
+      assign x[4] = ~x[3];
+      assign x[5] = x[1] | x[2];
+      assign x[6] = ~x[4];
+      assign x[7] = x[1] & x[2] & x[4];
+      assign x[8] = x[5] | x[6];
+      assign x[9] = x[6] | x[7];
+      assign x[10] = x[8] & x[9] & x[7];
+      assign y = x[10];
+    endmodule
+"#;
+
+/// Paper Listing 6: the 4×4 multiplier run backward to factor.
+pub const MULT: &str = r#"
+    module mult (A, B, C);
+      input [3:0] A;
+      input [3:0] B;
+      output[7:0] C;
+      assign C = A * B;
+    endmodule
+"#;
+
+/// Paper Listing 7: the Australia four-coloring verifier.
+pub const AUSTRALIA: &str = r#"
+    module australia (NSW, QLD, SA, VIC, WA, NT, ACT, valid);
+      input [1:0] NSW, QLD, SA, VIC, WA, NT, ACT;
+      output valid;
+      assign valid = WA != NT && WA != SA && NT != SA && NT != QLD
+                  && SA != QLD && SA != NSW && SA != VIC && QLD != NSW
+                  && NSW != VIC && NSW != ACT;
+    endmodule
+"#;
+
+/// Compiles one of the paper workloads with default options.
+///
+/// # Panics
+/// Panics if compilation fails (the workloads are fixed and known-good).
+pub fn compile_workload(source: &str, top: &str) -> Compiled {
+    compile(source, top, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("workload `{top}` failed to compile: {e}"))
+}
+
+/// The hand-coded unary ("one variable per region per color") map-coloring
+/// Hamiltonian of §6.1, following Dahl / Lucas / Rieffel et al.:
+/// 4 colors × 7 regions = 28 logical variables.
+///
+/// Energy terms (QUBO): a one-hot penalty `(Σ_c x_{r,c} − 1)²` per region
+/// and a conflict penalty `x_{r,c}·x_{s,c}` per adjacency and color.
+pub fn handcoded_australia_unary() -> Ising {
+    let regions = qac_csp::mapcolor::AUSTRALIA_REGIONS;
+    let adjacency = qac_csp::mapcolor::AUSTRALIA_ADJACENCY;
+    let colors = 4usize;
+    let var = |region: usize, color: usize| region * colors + color;
+    let mut q = Qubo::new(regions.len() * colors);
+    // One-hot: (Σx − 1)² = Σx² − 2Σx + 2Σ_{c<c'} x x' + 1
+    //        = −Σx + 2Σ_{c<c'} x x' + 1   (x² = x)
+    for r in 0..regions.len() {
+        for c in 0..colors {
+            q.add_linear(var(r, c), -1.0);
+            for c2 in (c + 1)..colors {
+                q.add_quadratic(var(r, c), var(r, c2), 2.0);
+            }
+        }
+        q.add_offset(1.0);
+    }
+    // Adjacent regions must not share a color.
+    let index_of = |name: &str| regions.iter().position(|&r| r == name).unwrap();
+    for (a, b) in adjacency {
+        let (ra, rb) = (index_of(a), index_of(b));
+        for c in 0..colors {
+            q.add_quadratic(var(ra, c), var(rb, c), 1.0);
+        }
+    }
+    q.to_ising()
+}
+
+/// Decodes a unary-encoded solution into per-region colors; `None` if any
+/// region's one-hot constraint is broken.
+pub fn decode_unary_coloring(spins: &[qac_pbf::Spin]) -> Option<Vec<usize>> {
+    let colors = 4;
+    let regions = spins.len() / colors;
+    let mut out = Vec::with_capacity(regions);
+    for r in 0..regions {
+        let on: Vec<usize> = (0..colors)
+            .filter(|&c| spins[r * colors + c] == qac_pbf::Spin::Up)
+            .collect();
+        if on.len() != 1 {
+            return None;
+        }
+        out.push(on[0]);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qac_solvers::{Sampler, TabuSearch};
+
+    #[test]
+    fn workloads_compile() {
+        assert!(compile_workload(FIGURE2, "circuit").stats.logical_variables > 0);
+        assert!(compile_workload(CIRCSAT, "circsat").stats.logical_variables > 0);
+        assert!(compile_workload(AUSTRALIA, "australia").stats.logical_variables > 0);
+    }
+
+    #[test]
+    fn handcoded_unary_has_28_variables_and_valid_grounds() {
+        let model = handcoded_australia_unary();
+        assert_eq!(model.num_vars(), 28, "4 colors × 7 regions (paper §6.1)");
+        // Its ground states are proper colorings: one-hot everywhere, no
+        // adjacent conflicts. Ground energy = −#regions (each one-hot
+        // contributes −1 … offset +1 cancels: check via solver).
+        let best = TabuSearch::new(3).sample(&model, 20);
+        let sample = best.best().unwrap();
+        let coloring = decode_unary_coloring(&sample.spins).expect("one-hot holds at minimum");
+        let regions = qac_csp::mapcolor::AUSTRALIA_REGIONS;
+        let index_of = |name: &str| regions.iter().position(|&r| r == name).unwrap();
+        for (a, b) in qac_csp::mapcolor::AUSTRALIA_ADJACENCY {
+            assert_ne!(coloring[index_of(a)], coloring[index_of(b)]);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Applying a minor embedding to an Ising model, and decoding physical
+//! samples back to logical variables.
+//!
+//! This is the paper's §4.4 transformation: logical `H_log` becomes
+//! physical `H_phys` by splitting each variable across its chain,
+//! distributing linear coefficients over chain members, placing each
+//! logical coupling on the physical couplers that connect the two chains,
+//! and adding strong ferromagnetic intra-chain couplings so the chain
+//! acts as one variable.
+
+use qac_pbf::{Ising, Spin};
+
+use crate::{Embedding, HardwareGraph};
+
+/// A physical (embedded) Ising model together with its provenance.
+#[derive(Debug, Clone)]
+pub struct EmbeddedIsing {
+    /// The physical Hamiltonian over hardware qubit indices.
+    pub physical: Ising,
+    /// The embedding used.
+    pub embedding: Embedding,
+    /// The chain coupling strength that was applied.
+    pub chain_strength: f64,
+    /// Number of logical variables.
+    pub num_logical: usize,
+}
+
+/// Chain-break statistics for one decoded sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainBreakStats {
+    /// Chains whose qubits disagreed (resolved by majority vote).
+    pub broken: usize,
+    /// Total chains.
+    pub total: usize,
+}
+
+impl ChainBreakStats {
+    /// Fraction of chains broken (0 for an empty embedding).
+    pub fn break_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.broken as f64 / self.total as f64
+        }
+    }
+}
+
+/// Embeds `logical` through `embedding` onto `hardware`.
+///
+/// * Each `hᵥ` is split evenly over the chain of `v`.
+/// * Each `J_{u,v}` is split evenly over all physical couplers joining the
+///   two chains.
+/// * Every intra-chain coupler receives `−chain_strength`.
+///
+/// # Panics
+/// Panics if the embedding does not cover all model variables or a
+/// logical coupling has no physical coupler between its chains (i.e. the
+/// embedding is invalid for this model).
+pub fn embed_ising(
+    logical: &Ising,
+    embedding: &Embedding,
+    hardware: &HardwareGraph,
+    chain_strength: f64,
+) -> EmbeddedIsing {
+    assert!(
+        embedding.num_vars() >= logical.num_vars(),
+        "embedding covers {} of {} variables",
+        embedding.num_vars(),
+        logical.num_vars()
+    );
+    let mut physical = Ising::new(hardware.num_nodes());
+    physical.add_offset(logical.offset());
+
+    // Linear terms: split over the chain.
+    for (v, h) in logical.h_iter() {
+        if h == 0.0 {
+            continue;
+        }
+        let chain = embedding.chain(v);
+        assert!(!chain.is_empty(), "variable {v} has an empty chain");
+        let share = h / chain.len() as f64;
+        for &q in chain {
+            physical.add_h(q, share);
+        }
+    }
+
+    // Quadratic terms: split over the connecting couplers.
+    for t in logical.j_iter() {
+        if t.value == 0.0 {
+            continue;
+        }
+        let chain_a = embedding.chain(t.i);
+        let chain_b = embedding.chain(t.j);
+        let mut couplers = Vec::new();
+        for &a in chain_a {
+            for &b in chain_b {
+                if hardware.has_edge(a, b) {
+                    couplers.push((a, b));
+                }
+            }
+        }
+        assert!(
+            !couplers.is_empty(),
+            "no physical coupler between chains of {} and {}",
+            t.i,
+            t.j
+        );
+        let share = t.value / couplers.len() as f64;
+        for (a, b) in couplers {
+            physical.add_j(a, b, share);
+        }
+    }
+
+    // Intra-chain ferromagnetic couplings on every available coupler.
+    for chain in embedding.chains() {
+        for (idx, &a) in chain.iter().enumerate() {
+            for &b in &chain[idx + 1..] {
+                if hardware.has_edge(a, b) {
+                    physical.add_j(a, b, -chain_strength);
+                }
+            }
+        }
+    }
+
+    EmbeddedIsing {
+        physical,
+        embedding: embedding.clone(),
+        chain_strength,
+        num_logical: logical.num_vars(),
+    }
+}
+
+impl EmbeddedIsing {
+    /// Decodes a physical sample to logical spins by majority vote over
+    /// each chain (ties resolve down).
+    pub fn unembed(&self, physical_spins: &[Spin]) -> (Vec<Spin>, ChainBreakStats) {
+        unembed_with(&self.embedding, self.num_logical, physical_spins)
+    }
+}
+
+/// Majority-vote decoding of a physical sample through `embedding`,
+/// producing `num_logical` logical spins.
+///
+/// # Panics
+/// Panics if a chain references a qubit outside `physical_spins`.
+pub fn unembed(
+    embedding: &Embedding,
+    num_logical: usize,
+    physical_spins: &[Spin],
+) -> (Vec<Spin>, ChainBreakStats) {
+    unembed_with(embedding, num_logical, physical_spins)
+}
+
+fn unembed_with(
+    embedding: &Embedding,
+    num_logical: usize,
+    physical_spins: &[Spin],
+) -> (Vec<Spin>, ChainBreakStats) {
+    let mut logical = Vec::with_capacity(num_logical);
+    let mut stats = ChainBreakStats { broken: 0, total: num_logical };
+    for v in 0..num_logical {
+        let chain = embedding.chain(v);
+        let ups = chain.iter().filter(|&&q| physical_spins[q] == Spin::Up).count();
+        let downs = chain.len() - ups;
+        if ups > 0 && downs > 0 {
+            stats.broken += 1;
+        }
+        logical.push(if ups > downs { Spin::Up } else { Spin::Down });
+    }
+    (logical, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_embedding, Chimera, EmbedOptions};
+    use qac_pbf::bits_to_spins;
+
+    /// Exhaustively minimizes a (small) Ising model.
+    fn ground_states(model: &Ising, over: &[usize]) -> (f64, Vec<Vec<Spin>>) {
+        // `over` lists the variable indices that actually matter; others
+        // are fixed Down.
+        let mut best = f64::INFINITY;
+        let mut minima = Vec::new();
+        let k = over.len();
+        for idx in 0..(1u64 << k) {
+            let bits = bits_to_spins(idx, k);
+            let mut spins = vec![Spin::Down; model.num_vars()];
+            for (pos, &var) in over.iter().enumerate() {
+                spins[var] = bits[pos];
+            }
+            let e = model.energy(&spins);
+            if e < best - 1e-9 {
+                best = e;
+                minima = vec![spins];
+            } else if (e - best).abs() <= 1e-9 {
+                minima.push(spins);
+            }
+        }
+        (best, minima)
+    }
+
+    #[test]
+    fn embedded_triangle_preserves_ground_states() {
+        // Frustration-free triangle: h biases everything up.
+        let mut logical = Ising::new(3);
+        logical.add_h(0, -1.0);
+        logical.add_j(0, 1, -1.0);
+        logical.add_j(1, 2, -1.0);
+        logical.add_j(0, 2, -1.0);
+        let hw = Chimera::new(2).graph();
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let embedding =
+            find_embedding(&edges, 3, &hw, &EmbedOptions::default()).unwrap();
+        let embedded = embed_ising(&logical, &embedding, &hw, 4.0);
+
+        // Enumerate over used qubits only.
+        let used: Vec<usize> =
+            embedding.chains().iter().flatten().copied().collect();
+        let (_, minima) = ground_states(&embedded.physical, &used);
+        assert!(!minima.is_empty());
+        for phys in &minima {
+            let (logical_spins, stats) = embedded.unembed(phys);
+            assert_eq!(stats.broken, 0, "ground states should have intact chains");
+            assert_eq!(logical_spins, vec![Spin::Up; 3]);
+        }
+    }
+
+    #[test]
+    fn chain_break_detection() {
+        let hw = Chimera::new(1).graph();
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let embedding =
+            find_embedding(&edges, 3, &hw, &EmbedOptions::default()).unwrap();
+        // Find a chained variable and flip half its qubits.
+        let chained = (0..3).find(|&v| embedding.chain(v).len() >= 2).unwrap();
+        let mut phys = vec![Spin::Down; hw.num_nodes()];
+        phys[embedding.chain(chained)[0]] = Spin::Up;
+        let (_, stats) = unembed(&embedding, 3, &phys);
+        assert_eq!(stats.broken, 1);
+        assert!(stats.break_fraction() > 0.0);
+    }
+
+    #[test]
+    fn h_distribution_preserves_total() {
+        let mut logical = Ising::new(2);
+        logical.add_h(0, 1.5);
+        logical.add_j(0, 1, -0.5);
+        let hw = Chimera::new(2).graph();
+        let embedding =
+            find_embedding(&[(0, 1)], 2, &hw, &EmbedOptions::default()).unwrap();
+        let embedded = embed_ising(&logical, &embedding, &hw, 2.0);
+        let total_h: f64 = embedded.physical.h_iter().map(|(_, h)| h).sum();
+        assert!((total_h - 1.5).abs() < 1e-12);
+        // Total inter-chain J preserved.
+        let chain0 = embedding.chain(0);
+        let inter: f64 = embedded
+            .physical
+            .j_iter()
+            .filter(|t| chain0.contains(&t.i) != chain0.contains(&t.j))
+            .map(|t| t.value)
+            .sum();
+        assert!((inter - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_carried_through() {
+        let mut logical = Ising::new(1);
+        logical.add_h(0, 1.0);
+        logical.add_offset(2.5);
+        let hw = Chimera::new(1).graph();
+        let embedding = find_embedding(&[], 1, &hw, &EmbedOptions::default()).unwrap();
+        let embedded = embed_ising(&logical, &embedding, &hw, 1.0);
+        assert_eq!(embedded.physical.offset(), 2.5);
+    }
+}

@@ -1,0 +1,221 @@
+//! The Chimera graph family (paper §2, Figure 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::HardwareGraph;
+
+/// A `C_m` Chimera topology: an m×m mesh of unit cells, each a K₄,₄
+/// bipartite graph of 8 qubits. A D-Wave 2000Q is a C16 (2048 qubits).
+///
+/// Qubit indexing: `((row · m) + col) · 8 + partition · 4 + k` with
+/// `partition 0` the "horizontal" shore (coupled east–west) and
+/// `partition 1` the "vertical" shore (coupled north–south).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chimera {
+    m: usize,
+}
+
+/// Qubits per unit-cell shore.
+const SHORE: usize = 4;
+
+impl Chimera {
+    /// A `C_m` topology.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Chimera {
+        assert!(m > 0, "Chimera size must be positive");
+        Chimera { m }
+    }
+
+    /// The D-Wave 2000Q: C16, nominally 2048 qubits.
+    pub fn dwave_2000q() -> Chimera {
+        Chimera::new(16)
+    }
+
+    /// Mesh size m.
+    pub fn size(&self) -> usize {
+        self.m
+    }
+
+    /// Total qubits, 8m².
+    pub fn num_qubits(&self) -> usize {
+        8 * self.m * self.m
+    }
+
+    /// The linear index of a qubit.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn qubit(&self, row: usize, col: usize, partition: usize, k: usize) -> usize {
+        assert!(row < self.m && col < self.m && partition < 2 && k < SHORE);
+        ((row * self.m) + col) * 2 * SHORE + partition * SHORE + k
+    }
+
+    /// The `(row, col, partition, k)` coordinates of a linear index.
+    pub fn coordinates(&self, qubit: usize) -> (usize, usize, usize, usize) {
+        let cell = qubit / (2 * SHORE);
+        let within = qubit % (2 * SHORE);
+        (cell / self.m, cell % self.m, within / SHORE, within % SHORE)
+    }
+
+    /// Builds the full hardware graph.
+    pub fn graph(&self) -> HardwareGraph {
+        let mut g = HardwareGraph::new(self.num_qubits());
+        for row in 0..self.m {
+            for col in 0..self.m {
+                // Intra-cell bipartite couplers.
+                for i in 0..SHORE {
+                    for j in 0..SHORE {
+                        g.add_edge(self.qubit(row, col, 0, i), self.qubit(row, col, 1, j));
+                    }
+                }
+                // Horizontal shore couples east.
+                if col + 1 < self.m {
+                    for k in 0..SHORE {
+                        g.add_edge(self.qubit(row, col, 0, k), self.qubit(row, col + 1, 0, k));
+                    }
+                }
+                // Vertical shore couples south.
+                if row + 1 < self.m {
+                    for k in 0..SHORE {
+                        g.add_edge(self.qubit(row, col, 1, k), self.qubit(row + 1, col, 1, k));
+                    }
+                }
+            }
+        }
+        g
+    }
+
+
+    /// The deterministic "triangle" clique embedding: chains for a
+    /// complete graph K_n, n ≤ 4m, each an L of one vertical and one
+    /// horizontal wire meeting on the diagonal. This is the template
+    /// D-Wave tooling uses when the randomized heuristic struggles on
+    /// dense graphs.
+    ///
+    /// Returns `None` when `n > 4m`.
+    pub fn clique_embedding(&self, n: usize) -> Option<crate::Embedding> {
+        if n > 4 * self.m {
+            return None;
+        }
+        let blocks = n.div_ceil(4).max(1);
+        let mut chains = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = i / 4;
+            let r = i % 4;
+            let mut chain = Vec::with_capacity(2 * blocks);
+            for j in 0..blocks {
+                chain.push(self.qubit(j, a, 1, r)); // vertical wire in column a
+            }
+            for j in 0..blocks {
+                chain.push(self.qubit(a, j, 0, r)); // horizontal wire in row a
+            }
+            chains.push(chain);
+        }
+        Some(crate::Embedding::from_chains(chains))
+    }
+
+    /// Builds the hardware graph with a random `fraction` of qubits
+    /// deactivated (deterministic under `seed`), modeling fabrication
+    /// drop-out.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not within `[0, 1)`.
+    pub fn graph_with_dropout(&self, fraction: f64, seed: u64) -> HardwareGraph {
+        assert!((0.0..1.0).contains(&fraction), "fraction in [0,1)");
+        let mut g = self.graph();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for q in 0..self.num_qubits() {
+            if rng.gen::<f64>() < fraction {
+                g.deactivate(q);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c16_is_a_dwave_2000q() {
+        let c = Chimera::dwave_2000q();
+        assert_eq!(c.num_qubits(), 2048);
+        let g = c.graph();
+        // Edge count: 16 intra-cell per cell ×256 cells + inter-cell:
+        // horizontal 16 rows × 15 transitions × 4 + same vertical.
+        let intra = 256 * 16;
+        let inter = 2 * 16 * 15 * 4;
+        assert_eq!(g.num_edges(), intra + inter);
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let c = Chimera::new(3);
+        for q in 0..c.num_qubits() {
+            let (r, col, p, k) = c.coordinates(q);
+            assert_eq!(c.qubit(r, col, p, k), q);
+        }
+    }
+
+    #[test]
+    fn figure1_adjacency() {
+        // Within a cell every horizontal qubit touches every vertical one
+        // and nothing in its own shore.
+        let c = Chimera::new(2);
+        let g = c.graph();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(g.has_edge(c.qubit(0, 0, 0, i), c.qubit(0, 0, 1, j)));
+                if i != j {
+                    assert!(!g.has_edge(c.qubit(0, 0, 0, i), c.qubit(0, 0, 0, j)));
+                }
+            }
+        }
+        // Inter-cell: horizontal shore east, vertical shore south.
+        assert!(g.has_edge(c.qubit(0, 0, 0, 2), c.qubit(0, 1, 0, 2)));
+        assert!(!g.has_edge(c.qubit(0, 0, 0, 2), c.qubit(0, 1, 0, 3)));
+        assert!(g.has_edge(c.qubit(0, 0, 1, 1), c.qubit(1, 0, 1, 1)));
+        assert!(!g.has_edge(c.qubit(0, 0, 1, 1), c.qubit(1, 0, 0, 1)));
+    }
+
+    #[test]
+    fn no_odd_cycles() {
+        // The paper notes a Chimera graph contains no odd-length cycles
+        // (it is bipartite). Check 2-colorability of C3 by BFS.
+        let c = Chimera::new(3);
+        let g = c.graph();
+        let n = c.num_qubits();
+        let mut color = vec![-1i8; n];
+        for start in 0..n {
+            if color[start] >= 0 {
+                continue;
+            }
+            color[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                for &u in g.neighbors(v) {
+                    if color[u] < 0 {
+                        color[u] = 1 - color[v];
+                        queue.push_back(u);
+                    } else {
+                        assert_ne!(color[u], color[v], "odd cycle through {u}-{v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_is_deterministic() {
+        let c = Chimera::new(4);
+        let g1 = c.graph_with_dropout(0.05, 42);
+        let g2 = c.graph_with_dropout(0.05, 42);
+        assert_eq!(g1, g2);
+        assert!(g1.num_active() < c.num_qubits());
+        assert!(g1.num_active() > c.num_qubits() / 2);
+    }
+}

@@ -1,0 +1,713 @@
+//! Randomized minor-embedding heuristic in the style of Cai, Macready,
+//! and Roy ("A practical heuristic for finding graph minors", 2014) — the
+//! algorithm D-Wave's SAPI library uses, which the paper invokes for its
+//! place-and-route step (§4.4).
+//!
+//! Each logical variable is mapped to a *chain* of physical qubits. The
+//! heuristic grows chains along cheapest paths under an exponential
+//! penalty for qubit reuse, then iteratively rips up and re-routes chains
+//! until no qubit is claimed twice.
+
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::HardwareGraph;
+
+/// Options for [`find_embedding`].
+#[derive(Debug, Clone)]
+pub struct EmbedOptions {
+    /// RNG seed (the heuristic is randomized; the paper reports qubit
+    /// counts "over 25 compilations" for this reason, §6.1).
+    pub seed: u64,
+    /// Independent restarts before giving up.
+    pub tries: usize,
+    /// Rip-up-and-reroute improvement rounds per try.
+    pub rounds: usize,
+    /// Base of the exponential reuse penalty.
+    pub penalty_base: f64,
+}
+
+impl Default for EmbedOptions {
+    fn default() -> EmbedOptions {
+        EmbedOptions { seed: 0xe4bed, tries: 16, rounds: 40, penalty_base: 8.0 }
+    }
+}
+
+/// Why embedding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// No valid embedding was found within the configured tries.
+    NoEmbeddingFound {
+        /// How many restarts were attempted.
+        tries: usize,
+    },
+    /// The hardware graph has no active qubits.
+    EmptyHardware,
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::NoEmbeddingFound { tries } => {
+                write!(f, "no minor embedding found after {tries} tries")
+            }
+            EmbedError::EmptyHardware => write!(f, "hardware graph has no active qubits"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// A minor embedding: one chain of physical qubits per logical variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    chains: Vec<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Wraps pre-computed chains as an embedding (used by template
+    /// constructions; validity is the caller's responsibility until
+    /// [`Embedding::validate`] is run).
+    pub fn from_chains(chains: Vec<Vec<usize>>) -> Embedding {
+        Embedding { chains }
+    }
+
+    /// The chain for logical variable `v`.
+    pub fn chain(&self, v: usize) -> &[usize] {
+        &self.chains[v]
+    }
+
+    /// All chains, indexed by logical variable.
+    pub fn chains(&self) -> &[Vec<usize>] {
+        &self.chains
+    }
+
+    /// Number of logical variables.
+    pub fn num_vars(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total physical qubits used (the §6.1 metric).
+    pub fn num_physical_qubits(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// Length of the longest chain.
+    pub fn max_chain_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Checks that the embedding is a valid minor embedding of the given
+    /// logical edges: chains are non-empty, disjoint, connected, and every
+    /// logical edge is backed by at least one physical coupler.
+    pub fn validate(&self, edges: &[(usize, usize)], hardware: &HardwareGraph) -> bool {
+        let mut owner = vec![usize::MAX; hardware.num_nodes()];
+        for (v, chain) in self.chains.iter().enumerate() {
+            if chain.is_empty() {
+                return false;
+            }
+            for &q in chain {
+                if !hardware.is_active(q) || owner[q] != usize::MAX {
+                    return false;
+                }
+                owner[q] = v;
+            }
+            if !hardware.is_connected_subset(chain) {
+                return false;
+            }
+        }
+        edges.iter().all(|&(u, v)| {
+            self.chains[u].iter().any(|&a| {
+                hardware.neighbors(a).iter().any(|&b| owner.get(b) == Some(&v))
+            })
+        })
+    }
+}
+
+/// Finds a minor embedding of the logical graph given by `edges` over
+/// `num_vars` variables into `hardware`.
+///
+/// Isolated logical variables (no incident edge) still receive a
+/// single-qubit chain.
+///
+/// # Errors
+/// [`EmbedError::NoEmbeddingFound`] after the configured restarts, or
+/// [`EmbedError::EmptyHardware`].
+pub fn find_embedding(
+    edges: &[(usize, usize)],
+    num_vars: usize,
+    hardware: &HardwareGraph,
+    options: &EmbedOptions,
+) -> Result<Embedding, EmbedError> {
+    if hardware.num_active() == 0 {
+        return Err(EmbedError::EmptyHardware);
+    }
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    // Logical adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_vars];
+    for &(u, v) in edges {
+        assert!(u < num_vars && v < num_vars, "edge endpoint out of range");
+        if u != v && !adj[u].contains(&v) {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+    }
+
+    for _try in 0..options.tries {
+        if let Some(mut embedding) = attempt(&adj, hardware, options, &mut rng) {
+            trim_chains(&mut embedding, &adj, hardware);
+            debug_assert!(embedding.validate(edges, hardware));
+            return Ok(embedding);
+        }
+    }
+    Err(EmbedError::NoEmbeddingFound { tries: options.tries })
+}
+
+
+/// Finds an embedding with the randomized heuristic, falling back to the
+/// deterministic clique template of `chimera` when the heuristic fails
+/// (dense logical graphs). The fallback requires all template qubits to be
+/// active.
+///
+/// # Errors
+/// [`EmbedError`] when both strategies fail.
+pub fn find_embedding_or_clique(
+    edges: &[(usize, usize)],
+    num_vars: usize,
+    chimera: &crate::Chimera,
+    hardware: &HardwareGraph,
+    options: &EmbedOptions,
+) -> Result<Embedding, EmbedError> {
+    match find_embedding(edges, num_vars, hardware, options) {
+        Ok(e) => Ok(e),
+        Err(err) => {
+            if let Some(embedding) = chimera.clique_embedding(num_vars) {
+                if embedding.validate(edges, hardware) {
+                    return Ok(embedding);
+                }
+            }
+            Err(err)
+        }
+    }
+}
+
+/// One randomized embedding attempt.
+fn attempt(
+    adj: &[Vec<usize>],
+    hardware: &HardwareGraph,
+    options: &EmbedOptions,
+    rng: &mut StdRng,
+) -> Option<Embedding> {
+    let n = adj.len();
+    let hw_n = hardware.num_nodes();
+    let mut chains: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut usage: Vec<u32> = vec![0; hw_n];
+
+    // Randomized BFS order over the logical graph: each variable is
+    // placed while its already-placed neighbors sit close together, which
+    // keeps the initial placement compact (long chains mostly come from
+    // scattered placement).
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut seen = vec![false; n];
+        let mut starts: Vec<usize> = (0..n).collect();
+        starts.sort_by_key(|&v| std::cmp::Reverse(adj[v].len()));
+        for &start in &starts {
+            if seen[start] {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                let mut next: Vec<usize> =
+                    adj[v].iter().copied().filter(|&u| !seen[u]).collect();
+                next.shuffle(rng);
+                for u in next {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+
+    /// Extra improvement rounds after the first valid embedding.
+    const POLISH_ROUNDS: usize = 8;
+    let mut best: Option<(usize, Vec<Vec<usize>>)> = None;
+    let mut first_success: Option<usize> = None;
+
+    for round in 0..options.rounds {
+        let mut overfull = false;
+        // Conflict-directed rip-up: a pair of chains sharing a qubit can
+        // oscillate forever if rerouted one at a time (each re-choosing
+        // the overlap as its cheapest option). Tearing out every
+        // conflicted chain simultaneously breaks the deadlock.
+        let mut conflicted: Vec<usize> = (0..n)
+            .filter(|&v| chains[v].iter().any(|&q| usage[q] > 1))
+            .collect();
+        for &v in &conflicted {
+            for &q in &chains[v] {
+                usage[q] -= 1;
+            }
+            chains[v].clear();
+        }
+        conflicted.shuffle(rng);
+        let sequence: Vec<usize> = conflicted
+            .iter()
+            .copied()
+            .chain(order.iter().copied().filter(|v| !conflicted.contains(v)))
+            .collect();
+        for &v in &sequence {
+            // Rip up v.
+            for &q in &chains[v] {
+                usage[q] -= 1;
+            }
+            chains[v].clear();
+            // Re-route v (paths may donate qubits to neighbor chains).
+            let (chain, donations) =
+                route_one(v, adj, &chains, hardware, &usage, options, round, rng)?;
+            for &q in &chain {
+                usage[q] += 1;
+            }
+            chains[v] = chain;
+            for (u, donated) in donations {
+                for q in donated {
+                    if !chains[u].contains(&q) {
+                        usage[q] += 1;
+                        chains[u].push(q);
+                    }
+                }
+            }
+        }
+        for &u in usage.iter() {
+            if u > 1 {
+                overfull = true;
+                break;
+            }
+        }
+        if !overfull && chains.iter().all(|c| !c.is_empty()) {
+            let total: usize = chains.iter().map(Vec::len).sum();
+            let improved = best.as_ref().map_or(true, |(bt, _)| total < *bt);
+            if improved {
+                best = Some((total, chains.clone()));
+            }
+            if first_success.is_none() {
+                first_success = Some(round);
+            }
+            // Polish budget: keep rerouting a while to shrink chains,
+            // then stop (CMR's improvement phase).
+            if round >= first_success.unwrap() + POLISH_ROUNDS {
+                break;
+            }
+        }
+        if std::env::var_os("QAC_EMBED_DEBUG").is_some() {
+            let maxu = usage.iter().max().copied().unwrap_or(0);
+            let total: usize = chains.iter().map(Vec::len).sum();
+            let conflicts: Vec<(usize, Vec<usize>)> = (0..hw_n)
+                .filter(|&q| usage[q] > 1)
+                .map(|q| {
+                    let owners: Vec<usize> = (0..n)
+                        .filter(|&v| chains[v].contains(&q))
+                        .collect();
+                    (q, owners)
+                })
+                .collect();
+            eprintln!(
+                "round {round}: max_usage={maxu} total_chain_qubits={total} conflicts={conflicts:?}"
+            );
+        }
+        // Mild reshuffle between rounds helps escape ties.
+        if round % 4 == 3 {
+            order.shuffle(rng);
+        }
+    }
+    best.map(|(_, chains)| Embedding { chains })
+}
+
+/// Computes a chain for `v` connecting to all currently-embedded
+/// neighbors, using weighted Dijkstra from each neighbor chain.
+fn route_one(
+    v: usize,
+    adj: &[Vec<usize>],
+    chains: &[Vec<usize>],
+    hardware: &HardwareGraph,
+    usage: &[u32],
+    options: &EmbedOptions,
+    round: usize,
+    rng: &mut StdRng,
+) -> Option<(Vec<usize>, Vec<(usize, Vec<usize>)>)> {
+    let hw_n = hardware.num_nodes();
+    // The reuse penalty escalates with the improvement round so that a
+    // persistent overlap eventually becomes costlier than any detour
+    // (capped so polish rounds can still contract the layout).
+    let base = options.penalty_base * (1.0 + round.min(12) as f64);
+    let weight = |q: usize| -> f64 {
+        if !hardware.is_active(q) {
+            return f64::INFINITY;
+        }
+        base.powi(usage[q].min(8) as i32)
+    };
+
+    let embedded_neighbors: Vec<usize> =
+        adj[v].iter().copied().filter(|&u| !chains[u].is_empty()).collect();
+
+    if embedded_neighbors.is_empty() {
+        // Fresh start: any cheapest active qubit.
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_w = f64::INFINITY;
+        for q in 0..hw_n {
+            let w = weight(q);
+            if w < best_w {
+                best_w = w;
+                best = vec![q];
+            } else if w == best_w {
+                best.push(q);
+            }
+        }
+        if best.is_empty() || best_w.is_infinite() {
+            return None;
+        }
+        return Some((vec![best[rng.gen_range(0..best.len())]], Vec::new()));
+    }
+
+    // Dijkstra from each neighbor chain.
+    let mut dists: Vec<Vec<f64>> = Vec::with_capacity(embedded_neighbors.len());
+    let mut parents: Vec<Vec<usize>> = Vec::with_capacity(embedded_neighbors.len());
+    for &u in &embedded_neighbors {
+        let (dist, parent) = dijkstra_from_chain(&chains[u], hardware, &weight);
+        dists.push(dist);
+        parents.push(parent);
+    }
+
+    // Pick the root g minimizing w(g) + Σ dist_u(g), where dist excludes
+    // the endpoint's own weight (g is paid for exactly once).
+    let mut best_g: Vec<usize> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    for g in 0..hw_n {
+        let wg = weight(g);
+        if wg.is_infinite() {
+            continue;
+        }
+        let mut total = wg;
+        let mut ok = true;
+        for d in &dists {
+            if d[g].is_finite() {
+                total += d[g];
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if total < best_cost - 1e-12 {
+            best_cost = total;
+            best_g = vec![g];
+        } else if (total - best_cost).abs() <= 1e-12 {
+            best_g.push(g);
+        }
+    }
+    if best_g.is_empty() {
+        return None;
+    }
+    let g = best_g[rng.gen_range(0..best_g.len())];
+
+    // Collect the paths g → each neighbor chain. Following minorminer,
+    // each path's interior is split: the half nearer g joins v's chain,
+    // the half nearer u is donated to u's chain. This keeps hub
+    // variables from accumulating enormous chains, which matters both
+    // for qubit counts (§6.1) and for sampler mixing.
+    let mut chain: Vec<usize> = vec![g];
+    let mut donations: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, &u) in embedded_neighbors.iter().enumerate() {
+        let mut interior: Vec<usize> = Vec::new();
+        let mut cur = g;
+        loop {
+            let p = parents[i][cur];
+            if p == usize::MAX {
+                break; // cur is inside chain(u)
+            }
+            if p == cur {
+                break;
+            }
+            cur = p;
+            if chains[u].contains(&cur) {
+                break;
+            }
+            interior.push(cur);
+        }
+        // interior[0] is adjacent to g, interior.last() adjacent to chain(u).
+        let keep = interior.len().div_ceil(2);
+        let mut donated: Vec<usize> = Vec::new();
+        for (pos, q) in interior.into_iter().enumerate() {
+            if pos < keep {
+                if !chain.contains(&q) {
+                    chain.push(q);
+                }
+            } else if !chain.contains(&q) && !donated.contains(&q) {
+                donated.push(q);
+            }
+        }
+        if !donated.is_empty() {
+            donations.push((u, donated));
+        }
+    }
+    Some((chain, donations))
+}
+
+/// Multi-source Dijkstra with node weights. Sources (the chain's nodes)
+/// have distance 0 and parent `usize::MAX`. `dist[g]` is the total weight
+/// of the *interior* nodes on the cheapest path from the chain to `g` —
+/// the endpoint's own weight is excluded (the caller pays it once).
+fn dijkstra_from_chain(
+    chain: &[usize],
+    hardware: &HardwareGraph,
+    weight: &dyn Fn(usize) -> f64,
+) -> (Vec<f64>, Vec<usize>) {
+    let n = hardware.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_source = vec![false; n];
+    for &q in chain {
+        is_source[q] = true;
+    }
+    // Max-heap on reversed order.
+    #[derive(PartialEq)]
+    struct Entry(f64, usize);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Entry) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Entry) -> std::cmp::Ordering {
+            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+    let mut heap = BinaryHeap::new();
+    for &q in chain {
+        dist[q] = 0.0;
+        heap.push(Entry(0.0, q));
+    }
+    while let Some(Entry(d, q)) = heap.pop() {
+        if d > dist[q] {
+            continue;
+        }
+        // Stepping q → next adds q's own weight (q becomes interior),
+        // except when q is a chain node (free) or next is unusable.
+        let step = if is_source[q] { 0.0 } else { weight(q) };
+        for &next in hardware.neighbors(q) {
+            if weight(next).is_infinite() || is_source[next] {
+                continue;
+            }
+            let nd = d + step;
+            if nd < dist[next] {
+                dist[next] = nd;
+                parent[next] = q;
+                heap.push(Entry(nd, next));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Removes chain qubits that are not needed for connectivity or for any
+/// logical edge (cheap post-pass; reduces the §6.1 qubit counts).
+fn trim_chains(embedding: &mut Embedding, adj: &[Vec<usize>], hardware: &HardwareGraph) {
+    let n = embedding.chains.len();
+    for v in 0..n {
+        loop {
+            let chain = embedding.chains[v].clone();
+            if chain.len() <= 1 {
+                break;
+            }
+            let mut removed = false;
+            for (idx, &q) in chain.iter().enumerate() {
+                let rest: Vec<usize> =
+                    chain.iter().enumerate().filter(|&(i, _)| i != idx).map(|(_, &x)| x).collect();
+                if !hardware.is_connected_subset(&rest) {
+                    continue;
+                }
+                // Every logical neighbor must stay physically adjacent.
+                let still_ok = adj[v].iter().all(|&u| {
+                    let other = &embedding.chains[u];
+                    rest.iter().any(|&a| {
+                        hardware.neighbors(a).iter().any(|&b| other.contains(&b))
+                    })
+                });
+                if still_ok {
+                    embedding.chains[v] = rest;
+                    removed = true;
+                    let _ = q;
+                    break;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Chimera;
+
+    fn opts(seed: u64) -> EmbedOptions {
+        EmbedOptions { seed, ..Default::default() }
+    }
+
+    #[test]
+    fn single_variable() {
+        let hw = Chimera::new(1).graph();
+        let e = find_embedding(&[], 1, &hw, &opts(1)).unwrap();
+        assert_eq!(e.num_vars(), 1);
+        assert_eq!(e.num_physical_qubits(), 1);
+        assert!(e.validate(&[], &hw));
+    }
+
+    #[test]
+    fn edge_embeds_directly() {
+        let hw = Chimera::new(1).graph();
+        let edges = [(0, 1)];
+        let e = find_embedding(&edges, 2, &hw, &opts(2)).unwrap();
+        assert!(e.validate(&edges, &hw));
+        // An edge fits on adjacent qubits without chains.
+        assert_eq!(e.num_physical_qubits(), 2);
+    }
+
+    #[test]
+    fn triangle_needs_a_chain() {
+        // Chimera is bipartite: K3 requires at least one 2-qubit chain.
+        let hw = Chimera::new(1).graph();
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let e = find_embedding(&edges, 3, &hw, &opts(3)).unwrap();
+        assert!(e.validate(&edges, &hw));
+        assert!(e.num_physical_qubits() >= 4);
+        assert!(e.max_chain_length() >= 2);
+    }
+
+    #[test]
+    fn k5_embeds_in_one_cell_plus() {
+        let hw = Chimera::new(2).graph();
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let e = find_embedding(&edges, 5, &hw, &opts(4)).unwrap();
+        assert!(e.validate(&edges, &hw));
+    }
+
+    #[test]
+    fn k8_embeds_in_c4_via_fallback() {
+        let chimera = Chimera::new(4);
+        let hw = chimera.graph();
+        let mut edges = Vec::new();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                edges.push((i, j));
+            }
+        }
+        let fast = EmbedOptions { tries: 2, rounds: 12, ..opts(5) };
+        let e = find_embedding_or_clique(&edges, 8, &chimera, &hw, &fast).unwrap();
+        assert!(e.validate(&edges, &hw));
+    }
+
+    #[test]
+    fn clique_template_is_valid_up_to_4m() {
+        for m in [2usize, 4] {
+            let chimera = Chimera::new(m);
+            let hw = chimera.graph();
+            for n in [1usize, 4, 4 * m - 1, 4 * m] {
+                let mut edges = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        edges.push((i, j));
+                    }
+                }
+                let e = chimera.clique_embedding(n).unwrap();
+                assert!(e.validate(&edges, &hw), "K{n} template on C{m}");
+            }
+            assert!(chimera.clique_embedding(4 * m + 1).is_none());
+        }
+    }
+
+    #[test]
+    fn random_sparse_graph_embeds_with_dropout() {
+        let hw = Chimera::new(4).graph_with_dropout(0.03, 7);
+        // A random-ish sparse graph on 12 nodes.
+        let edges: Vec<(usize, usize)> = (0..12)
+            .flat_map(|i| [(i, (i + 1) % 12), (i, (i + 3) % 12)])
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let e = find_embedding(&edges, 12, &hw, &opts(6)).unwrap();
+        assert!(e.validate(&edges, &hw));
+        // Dropped qubits are never used.
+        for chain in e.chains() {
+            for &q in chain {
+                assert!(hw.is_active(q));
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_embedding_reports_failure() {
+        // K9 cannot fit in a single unit cell (8 qubits).
+        let hw = Chimera::new(1).graph();
+        let mut edges = Vec::new();
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                edges.push((i, j));
+            }
+        }
+        let fast = EmbedOptions { tries: 2, rounds: 8, ..opts(8) };
+        assert!(matches!(
+            find_embedding(&edges, 9, &hw, &fast),
+            Err(EmbedError::NoEmbeddingFound { .. })
+        ));
+    }
+
+    #[test]
+    fn randomized_qubit_counts_vary_by_seed() {
+        // §6.1: "the number of physical qubits varies from compilation to
+        // compilation" — different seeds should explore different embeddings.
+        let hw = Chimera::new(3).graph();
+        let mut edges = Vec::new();
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                edges.push((i, j));
+            }
+        }
+        let chimera = Chimera::new(3);
+        let counts: Vec<usize> = (0..6)
+            .map(|s| {
+                find_embedding_or_clique(&edges, 7, &chimera, &hw, &opts(100 + s))
+                    .unwrap()
+                    .num_physical_qubits()
+            })
+            .collect();
+        // All valid; at least produce a spread or equal minimal counts.
+        assert!(counts.iter().all(|&c| c >= 7));
+    }
+
+    #[test]
+    fn empty_hardware_rejected() {
+        let mut hw = HardwareGraph::new(2);
+        hw.add_edge(0, 1);
+        hw.deactivate(0);
+        hw.deactivate(1);
+        assert_eq!(
+            find_embedding(&[(0, 1)], 2, &hw, &opts(9)),
+            Err(EmbedError::EmptyHardware)
+        );
+    }
+}

@@ -1,0 +1,131 @@
+use std::collections::BTreeSet;
+
+/// An undirected hardware connectivity graph with optional inactive
+/// ("dropped-out") nodes — real annealers always lose a few qubits to
+/// calibration (§2: "there is inevitably some drop-out").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardwareGraph {
+    adj: Vec<Vec<usize>>,
+    edges: BTreeSet<(usize, usize)>,
+    active: Vec<bool>,
+}
+
+impl HardwareGraph {
+    /// Creates a graph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> HardwareGraph {
+        HardwareGraph {
+            adj: vec![Vec::new(); num_nodes],
+            edges: BTreeSet::new(),
+            active: vec![true; num_nodes],
+        }
+    }
+
+    /// Number of nodes (including inactive ones).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of active nodes.
+    pub fn num_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or self-loops.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a != b, "no self-loops");
+        assert!(a < self.adj.len() && b < self.adj.len(), "node in range");
+        let key = (a.min(b), a.max(b));
+        if self.edges.insert(key) {
+            self.adj[a].push(b);
+            self.adj[b].push(a);
+        }
+    }
+
+    /// Whether nodes `a` and `b` are directly coupled.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// The neighbors of `node` (including inactive ones; callers filter).
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adj[node]
+    }
+
+    /// All edges as ordered pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Marks a node inactive (unusable by embeddings).
+    pub fn deactivate(&mut self, node: usize) {
+        self.active[node] = false;
+    }
+
+    /// Whether a node is active.
+    pub fn is_active(&self, node: usize) -> bool {
+        self.active[node]
+    }
+
+    /// Whether the active subgraph induced by `nodes` is connected.
+    pub fn is_connected_subset(&self, nodes: &[usize]) -> bool {
+        if nodes.is_empty() {
+            return false;
+        }
+        let set: BTreeSet<usize> = nodes.iter().copied().collect();
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![nodes[0]];
+        seen.insert(nodes[0]);
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if set.contains(&u) && seen.insert(u) {
+                    stack.push(u);
+                }
+            }
+        }
+        seen.len() == set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_deduplicate() {
+        let mut g = HardwareGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let mut g = HardwareGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.is_connected_subset(&[0, 1, 2]));
+        assert!(!g.is_connected_subset(&[0, 2]));
+        assert!(!g.is_connected_subset(&[0, 3]));
+        assert!(g.is_connected_subset(&[3]));
+        assert!(!g.is_connected_subset(&[]));
+    }
+
+    #[test]
+    fn deactivation_tracked() {
+        let mut g = HardwareGraph::new(2);
+        assert_eq!(g.num_active(), 2);
+        g.deactivate(1);
+        assert_eq!(g.num_active(), 1);
+        assert!(!g.is_active(1));
+    }
+}

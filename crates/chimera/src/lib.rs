@@ -1,0 +1,41 @@
+//! The D-Wave Chimera hardware topology and minor embedding.
+//!
+//! "The most severe hardware limitation in practice is that the on-chip
+//! network lacks all-to-all connectivity" (paper §2). This crate models
+//! that limitation and the compiler's answer to it:
+//!
+//! * [`Chimera`] — the Chimera graph `C_m`: an m×m mesh of 8-qubit
+//!   bipartite unit cells (Figure 1), with optional qubit drop-out;
+//! * [`find_embedding`] — a randomized minor-embedding heuristic in the
+//!   style of Cai–Macready–Roy (the SAPI algorithm the paper uses, §4.4),
+//!   mapping each logical variable to a connected *chain* of physical
+//!   qubits;
+//! * [`embed_ising`] / [`unembed`] — applying an embedding to a logical
+//!   Ising model (distributing `h` over chains, placing `J` on physical
+//!   couplers, adding ferromagnetic intra-chain couplings) and decoding
+//!   physical samples back through majority vote.
+//!
+//! # Example
+//!
+//! ```
+//! use qac_chimera::{Chimera, find_embedding, EmbedOptions};
+//!
+//! // Embed a triangle (which needs a chain: Chimera has no odd cycles).
+//! let hw = Chimera::new(2).graph();
+//! let edges = [(0, 1), (1, 2), (0, 2)];
+//! let embedding = find_embedding(&edges, 3, &hw, &EmbedOptions::default()).unwrap();
+//! assert!(embedding.num_physical_qubits() >= 4); // ≥ one chain of 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod chimera;
+mod embed;
+mod graph;
+
+pub use apply::{embed_ising, unembed, ChainBreakStats, EmbeddedIsing};
+pub use chimera::Chimera;
+pub use embed::{find_embedding, find_embedding_or_clique, EmbedError, EmbedOptions, Embedding};
+pub use graph::HardwareGraph;

@@ -1,0 +1,70 @@
+use std::fmt;
+
+use qac_chimera::EmbedError;
+use qac_edif::EdifError;
+use qac_netlist::NetlistError;
+use qac_qmasm::QmasmError;
+use qac_verilog::VerilogError;
+
+/// Any error the compiler pipeline can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Verilog frontend failure.
+    Verilog(VerilogError),
+    /// Netlist validation failure.
+    Netlist(NetlistError),
+    /// EDIF round-trip failure.
+    Edif(EdifError),
+    /// QMASM parse/assembly failure.
+    Qmasm(QmasmError),
+    /// Minor embedding failure.
+    Embed(EmbedError),
+    /// A pipeline-level problem (e.g. unrolling requested on a
+    /// combinational design).
+    Pipeline(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Verilog(e) => write!(f, "verilog: {e}"),
+            CompileError::Netlist(e) => write!(f, "netlist: {e}"),
+            CompileError::Edif(e) => write!(f, "edif: {e}"),
+            CompileError::Qmasm(e) => write!(f, "qmasm: {e}"),
+            CompileError::Embed(e) => write!(f, "embedding: {e}"),
+            CompileError::Pipeline(m) => write!(f, "pipeline: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<VerilogError> for CompileError {
+    fn from(e: VerilogError) -> CompileError {
+        CompileError::Verilog(e)
+    }
+}
+
+impl From<NetlistError> for CompileError {
+    fn from(e: NetlistError) -> CompileError {
+        CompileError::Netlist(e)
+    }
+}
+
+impl From<EdifError> for CompileError {
+    fn from(e: EdifError) -> CompileError {
+        CompileError::Edif(e)
+    }
+}
+
+impl From<QmasmError> for CompileError {
+    fn from(e: QmasmError) -> CompileError {
+        CompileError::Qmasm(e)
+    }
+}
+
+impl From<EmbedError> for CompileError {
+    fn from(e: EmbedError) -> CompileError {
+        CompileError::Embed(e)
+    }
+}

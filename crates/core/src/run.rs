@@ -1,0 +1,419 @@
+//! Executing compiled programs — forward or backward (§4.3.6, §5).
+
+use qac_pbf::Spin;
+use qac_qmasm::pin::parse_pins;
+use qac_qmasm::Solution;
+use qac_solvers::{
+    DWaveSim, DWaveSimOptions, ExactSolver, QbsolvStyle, Sampler, SimulatedAnnealing, Sqa,
+    TabuSearch,
+};
+
+use crate::{CompileError, Compiled};
+
+/// Which sampler executes the program.
+#[derive(Debug, Clone)]
+pub enum SolverChoice {
+    /// Exhaustive enumeration (small models only).
+    Exact,
+    /// Simulated annealing with the given sweep count.
+    Sa {
+        /// Sweeps per read.
+        sweeps: usize,
+    },
+    /// Path-integral simulated quantum annealing.
+    Sqa {
+        /// Sweeps per read.
+        sweeps: usize,
+        /// Trotter slices.
+        slices: usize,
+    },
+    /// Tabu search.
+    Tabu,
+    /// qbsolv-style decomposition with the given subproblem size.
+    Qbsolv {
+        /// Subproblem variable budget.
+        subproblem: usize,
+    },
+    /// The full hardware model: scale, embed on Chimera, distort, sample.
+    DWave(Box<DWaveSimOptions>),
+}
+
+impl Default for SolverChoice {
+    fn default() -> SolverChoice {
+        SolverChoice::Sa { sweeps: 256 }
+    }
+}
+
+/// How pins are realized in the runnable model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PinRealization {
+    /// Strong bias fields (`None` = 2 × the assembled chain strength) —
+    /// what the hardware does (§4.3.4).
+    Bias(Option<f64>),
+    /// Substitute pinned variables out of the model.
+    Fix,
+}
+
+/// Options for one run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    pins: Vec<String>,
+    num_reads: usize,
+    solver: SolverChoice,
+    pin_realization: PinRealization,
+    seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            pins: Vec::new(),
+            num_reads: 100,
+            solver: SolverChoice::default(),
+            pin_realization: PinRealization::Bias(None),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Default options: 100 reads of simulated annealing, bias pins.
+    pub fn new() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Adds a pin specification in the `--pin` syntax, e.g.
+    /// `"C[7:0] := 10001111"` (§5.3).
+    pub fn pin(mut self, spec: &str) -> RunOptions {
+        self.pins.push(spec.to_string());
+        self
+    }
+
+    /// Sets the read count.
+    pub fn num_reads(mut self, num_reads: usize) -> RunOptions {
+        self.num_reads = num_reads.max(1);
+        self
+    }
+
+    /// Sets the sampler.
+    pub fn solver(mut self, solver: SolverChoice) -> RunOptions {
+        self.solver = solver;
+        self
+    }
+
+    /// Realizes pins by substitution instead of bias fields.
+    pub fn fix_pins(mut self) -> RunOptions {
+        self.pin_realization = PinRealization::Fix;
+        self
+    }
+
+    /// Sets the pin bias weight explicitly.
+    pub fn pin_weight(mut self, weight: f64) -> RunOptions {
+        self.pin_realization = PinRealization::Bias(Some(weight));
+        self
+    }
+
+    /// Sets the sampler seed.
+    pub fn seed(mut self, seed: u64) -> RunOptions {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One decoded sample.
+#[derive(Debug, Clone)]
+pub struct SolvedSample {
+    /// Values by symbol/group name.
+    pub values: Solution,
+    /// Energy under the *unpinned* logical model.
+    pub energy: f64,
+    /// Raw logical spins (for custom decoding).
+    pub spins: Vec<Spin>,
+    /// Reads that produced this sample.
+    pub occurrences: usize,
+    /// Whether the sample is a valid program execution: it reaches the
+    /// expected ground energy, satisfies every pin, and passes all
+    /// embedded assertions. (An invalid best sample is how UNSAT
+    /// manifests — the annealer "would return an invalid solution",
+    /// §5.2.)
+    pub valid: bool,
+}
+
+/// Hardware-model statistics, present when [`SolverChoice::DWave`] ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareStats {
+    /// Physical qubits consumed.
+    pub physical_qubits: usize,
+    /// Terms in the physical Hamiltonian.
+    pub physical_terms: usize,
+    /// Mean chain-break fraction.
+    pub chain_breaks: f64,
+    /// Modeled wall-clock (µs).
+    pub time_us: f64,
+}
+
+/// The result of a run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Decoded samples, lowest energy first.
+    pub samples: Vec<SolvedSample>,
+    /// The energy a valid execution reaches (program ground + pins).
+    pub expected_energy: f64,
+    /// Hardware statistics, if the D-Wave model ran.
+    pub hardware: Option<HardwareStats>,
+}
+
+impl RunOutcome {
+    /// Iterates over valid samples (lowest energy first).
+    pub fn valid_solutions(&self) -> impl Iterator<Item = &Solution> {
+        self.samples.iter().filter(|s| s.valid).map(|s| &s.values)
+    }
+
+    /// The best sample, valid or not.
+    pub fn best(&self) -> Option<&SolvedSample> {
+        self.samples.first()
+    }
+
+    /// Fraction of reads that decoded to valid executions.
+    pub fn valid_fraction(&self) -> f64 {
+        let total: usize = self.samples.iter().map(|s| s.occurrences).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let valid: usize =
+            self.samples.iter().filter(|s| s.valid).map(|s| s.occurrences).sum();
+        valid as f64 / total as f64
+    }
+}
+
+impl Compiled {
+    /// Runs the compiled program.
+    ///
+    /// Pin inputs to run forward; pin outputs to run backward (§4.3.6).
+    ///
+    /// # Errors
+    /// [`CompileError::Qmasm`] for bad pin specifications or unknown
+    /// symbols; [`CompileError::Embed`] if the hardware model cannot embed
+    /// the program.
+    pub fn run(&self, options: &RunOptions) -> Result<RunOutcome, CompileError> {
+        let pin_specs: Vec<&str> = options.pins.iter().map(String::as_str).collect();
+        let extra_pins = parse_pins(pin_specs)?;
+
+        // Realize pins.
+        let bias_weight = match options.pin_realization {
+            PinRealization::Bias(Some(w)) => Some(w),
+            PinRealization::Bias(None) => Some((2.0 * self.assembled.chain_strength).max(2.0)),
+            PinRealization::Fix => None,
+        };
+        let style = match bias_weight {
+            Some(w) => qac_qmasm::PinStyle::Bias(w),
+            None => qac_qmasm::PinStyle::Fix,
+        };
+        let model = self.assembled.pinned_model(&extra_pins, style)?;
+
+        // Sample.
+        let mut hardware = None;
+        let sample_set = match &options.solver {
+            SolverChoice::Exact => ExactSolver::new().sample(&model, options.num_reads),
+            SolverChoice::Sa { sweeps } => SimulatedAnnealing::new(options.seed)
+                .with_sweeps(*sweeps)
+                .sample(&model, options.num_reads),
+            SolverChoice::Sqa { sweeps, slices } => Sqa::new(options.seed)
+                .with_sweeps(*sweeps)
+                .with_slices(*slices)
+                .sample(&model, options.num_reads),
+            SolverChoice::Tabu => {
+                TabuSearch::new(options.seed).sample(&model, options.num_reads)
+            }
+            SolverChoice::Qbsolv { subproblem } => QbsolvStyle::new(options.seed)
+                .with_subproblem_size(*subproblem)
+                .sample(&model, options.num_reads),
+            SolverChoice::DWave(sim_options) => {
+                let sim = DWaveSim::new((**sim_options).clone());
+                let result = sim.run(&model, options.num_reads)?;
+                hardware = Some(HardwareStats {
+                    physical_qubits: result.physical_qubits,
+                    physical_terms: result.physical_terms,
+                    chain_breaks: result.mean_chain_breaks,
+                    time_us: result.estimated_time_us,
+                });
+                result.logical
+            }
+        };
+
+        // Pin targets in spin form, for forcing (Fix style) and checking.
+        let mut pin_targets: Vec<(usize, Spin, String, bool)> = Vec::new();
+        for (name, value) in self.assembled.pins.iter().chain(extra_pins.iter()) {
+            let (var, parity) = self
+                .assembled
+                .symbols
+                .resolve(name)
+                .ok_or_else(|| CompileError::Qmasm(qac_qmasm::QmasmError::UnknownSymbol(name.clone())))?;
+            let target = match parity {
+                Spin::Up => Spin::from(*value),
+                Spin::Down => Spin::from(!*value),
+            };
+            pin_targets.push((var, target, name.clone(), *value));
+        }
+
+        // Decode.
+        let logical = &self.assembled.ising;
+        let mut samples = Vec::new();
+        for sample in sample_set.iter() {
+            let mut spins = sample.spins.clone();
+            if bias_weight.is_none() {
+                // Fixed variables are inert in the model; force their
+                // sampled values to the pinned targets before decoding.
+                for &(var, target, ..) in &pin_targets {
+                    spins[var] = target;
+                }
+            }
+            let energy = logical.energy(&spins);
+            let pins_ok = pin_targets.iter().all(|&(var, target, ..)| spins[var] == target);
+            let asserts_ok =
+                self.assembled.check_asserts(&spins).iter().all(|(_, ok)| *ok);
+            let valid = pins_ok
+                && asserts_ok
+                && (energy - self.expected_ground_energy).abs() < 1e-6;
+            samples.push(SolvedSample {
+                values: self.assembled.interpret(&spins),
+                energy,
+                spins,
+                occurrences: sample.occurrences,
+                valid,
+            });
+        }
+        samples.sort_by(|a, b| {
+            b.valid
+                .cmp(&a.valid)
+                .then(a.energy.partial_cmp(&b.energy).unwrap_or(std::cmp::Ordering::Equal))
+        });
+
+        Ok(RunOutcome { samples, expected_energy: self.expected_ground_energy, hardware })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+
+    const MUX_ADD_SUB: &str = r#"
+        module circuit (s, a, b, c);
+          input s, a, b;
+          output [1:0] c;
+          assign c = s ? a+b : a-b;
+        endmodule
+    "#;
+
+    fn compiled() -> Compiled {
+        compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn forward_execution_all_inputs() {
+        // Run forward (pin s, a, b; read c) with the exact solver — the
+        // paper's Figure 2 relation.
+        let program = compiled();
+        for s in 0..2u64 {
+            for a in 0..2u64 {
+                for b in 0..2u64 {
+                    let run = RunOptions::new()
+                        .pin(&format!("s := {s}"))
+                        .pin(&format!("a := {a}"))
+                        .pin(&format!("b := {b}"))
+                        .solver(SolverChoice::Exact);
+                    let outcome = program.run(&run).unwrap();
+                    let best = outcome.best().unwrap();
+                    assert!(best.valid, "s={s} a={a} b={b}: {best:?}");
+                    let c = best.values.get("c").unwrap();
+                    let expect = if s == 1 { a + b } else { a.wrapping_sub(b) & 0b11 };
+                    assert_eq!(c, expect, "s={s} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_execution_solves_for_inputs() {
+        // Pin the output c = 2 and s = 1 (addition): inputs must be 1+1.
+        let program = compiled();
+        let run = RunOptions::new()
+            .pin("c[1:0] := 10")
+            .pin("s := 1")
+            .solver(SolverChoice::Exact);
+        let outcome = program.run(&run).unwrap();
+        let best = outcome.best().unwrap();
+        assert!(best.valid);
+        assert_eq!(best.values.get("a"), Some(1));
+        assert_eq!(best.values.get("b"), Some(1));
+    }
+
+    #[test]
+    fn fixed_pins_match_biased_pins() {
+        let program = compiled();
+        for style_fix in [false, true] {
+            let mut run = RunOptions::new()
+                .pin("s := 0")
+                .pin("a := 1")
+                .pin("b := 1")
+                .solver(SolverChoice::Exact);
+            if style_fix {
+                run = run.fix_pins();
+            }
+            let outcome = program.run(&run).unwrap();
+            let best = outcome.best().unwrap();
+            assert!(best.valid, "fix={style_fix}");
+            // 1 − 1 = 0
+            assert_eq!(best.values.get("c"), Some(0), "fix={style_fix}");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_pins_yield_invalid_samples() {
+        // Pin an impossible relation: s=1 (add), a=0, b=0, c=3.
+        let program = compiled();
+        let run = RunOptions::new()
+            .pin("s := 1")
+            .pin("a := 0")
+            .pin("b := 0")
+            .pin("c[1:0] := 11")
+            .solver(SolverChoice::Exact);
+        let outcome = program.run(&run).unwrap();
+        // Equation (1) "has no ability to represent 'no solution'": we
+        // still get samples, but none is valid.
+        assert!(outcome.best().is_some());
+        assert_eq!(outcome.valid_solutions().count(), 0);
+        assert_eq!(outcome.valid_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sa_finds_valid_solutions() {
+        let program = compiled();
+        let run = RunOptions::new()
+            .pin("s := 1")
+            .pin("a := 1")
+            .pin("b := 1")
+            .solver(SolverChoice::Sa { sweeps: 200 })
+            .num_reads(30);
+        let outcome = program.run(&run).unwrap();
+        assert!(outcome.valid_fraction() > 0.0);
+        let best = outcome.best().unwrap();
+        assert!(best.valid);
+        assert_eq!(best.values.get("c"), Some(2));
+    }
+
+    #[test]
+    fn bad_pin_spec_is_an_error() {
+        let program = compiled();
+        let run = RunOptions::new().pin("garbage");
+        assert!(matches!(program.run(&run), Err(CompileError::Qmasm(_))));
+    }
+
+    #[test]
+    fn unknown_pin_symbol_is_an_error() {
+        let program = compiled();
+        let run = RunOptions::new().pin("ghost := 1").solver(SolverChoice::Exact);
+        assert!(program.run(&run).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Map-coloring models, including the paper's map of Australia
+//! (Figure 5, Listings 7–8).
+
+use crate::{Constraint, Model};
+
+/// The adjacency of Australia's mainland states and territories, exactly
+/// the ten constraints of paper Listings 7/8 (Tasmania is an island and
+/// excluded).
+pub const AUSTRALIA_ADJACENCY: [(&str, &str); 10] = [
+    ("WA", "NT"),
+    ("WA", "SA"),
+    ("NT", "SA"),
+    ("NT", "QLD"),
+    ("SA", "QLD"),
+    ("SA", "NSW"),
+    ("SA", "VIC"),
+    ("QLD", "NSW"),
+    ("NSW", "VIC"),
+    ("NSW", "ACT"),
+];
+
+/// The region names of the Australia model, in the paper's declaration
+/// order.
+pub const AUSTRALIA_REGIONS: [&str; 7] = ["NSW", "QLD", "SA", "VIC", "WA", "NT", "ACT"];
+
+/// Builds a map-coloring model: one variable per region with domain
+/// `1..=num_colors`, one `!=` per adjacency.
+///
+/// # Panics
+/// Panics if an adjacency names an unknown region or `num_colors == 0`.
+pub fn map_coloring(regions: &[&str], adjacency: &[(&str, &str)], num_colors: usize) -> Model {
+    assert!(num_colors > 0, "need at least one color");
+    let mut model = Model::new();
+    for &r in regions {
+        model.add_var_range(r, 1, num_colors as i64);
+    }
+    for &(a, b) in adjacency {
+        let va = model.var_by_name(a).unwrap_or_else(|| panic!("unknown region `{a}`"));
+        let vb = model.var_by_name(b).unwrap_or_else(|| panic!("unknown region `{b}`"));
+        model.add_constraint(Constraint::NotEqual(va, vb));
+    }
+    model
+}
+
+/// The paper's Australia model with the given number of colors
+/// (Listing 8 uses 4).
+pub fn australia(num_colors: usize) -> Model {
+    map_coloring(&AUSTRALIA_REGIONS, &AUSTRALIA_ADJACENCY, num_colors)
+}
+
+/// A ring of `n` regions (n-cycle) — handy for crossover experiments:
+/// even cycles are 2-colorable, odd cycles need 3.
+pub fn ring(n: usize, num_colors: usize) -> Model {
+    assert!(n >= 3, "a ring needs at least 3 regions");
+    let names: Vec<String> = (0..n).map(|i| format!("R{i}")).collect();
+    let mut model = Model::new();
+    for name in &names {
+        model.add_var_range(name.clone(), 1, num_colors as i64);
+    }
+    for i in 0..n {
+        let a = model.var_by_name(&names[i]).unwrap();
+        let b = model.var_by_name(&names[(i + 1) % n]).unwrap();
+        model.add_constraint(Constraint::NotEqual(a, b));
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn australia_is_four_colorable() {
+        let m = australia(4);
+        let s = m.solve().expect("paper four-colors Australia");
+        assert!(m.check(&s));
+    }
+
+    #[test]
+    fn australia_is_three_colorable() {
+        // The mainland map actually admits 3-colorings (SA's five
+        // neighbors form a path, not a clique).
+        let m = australia(3);
+        assert!(m.solve().is_some());
+    }
+
+    #[test]
+    fn australia_is_not_two_colorable() {
+        // WA–NT–SA is a triangle.
+        let m = australia(2);
+        assert_eq!(m.solve(), None);
+    }
+
+    #[test]
+    fn australia_solution_count_with_4_colors() {
+        // Count all proper 4-colorings; the annealer-vs-CSP comparison
+        // samples from this space. (Chromatic polynomial of the paper's
+        // 7-node, 10-edge graph.)
+        let m = australia(4);
+        let count = m.count_solutions(100_000);
+        assert!(count > 100, "expected many colorings, got {count}");
+        // All returned solutions really are proper.
+        for s in m.solutions().take(50) {
+            assert!(m.check(&s));
+        }
+    }
+
+    #[test]
+    fn minizinc_rendering_is_listing8() {
+        let text = australia(4).to_minizinc();
+        assert!(text.contains("var 1..4: NSW;"));
+        assert!(text.contains("constraint WA != NT;"));
+        assert!(text.contains("constraint NSW != ACT;"));
+        assert!(text.contains("solve satisfy;"));
+    }
+
+    #[test]
+    fn rings() {
+        assert!(ring(4, 2).solve().is_some());
+        assert_eq!(ring(5, 2).solve(), None);
+        assert!(ring(5, 3).solve().is_some());
+    }
+}

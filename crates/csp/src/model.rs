@@ -1,0 +1,227 @@
+use std::collections::HashMap;
+
+/// Identifier of a CSP variable.
+pub type VarId = usize;
+
+/// A constraint over finite-domain variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// `x != y` — the workhorse of map coloring.
+    NotEqual(VarId, VarId),
+    /// `x == y`.
+    Equal(VarId, VarId),
+    /// All listed variables take pairwise distinct values.
+    AllDifferent(Vec<VarId>),
+    /// The tuple of variables must match one of the allowed rows.
+    Table {
+        /// The constrained variables, in row order.
+        vars: Vec<VarId>,
+        /// Allowed value tuples.
+        allowed: Vec<Vec<i64>>,
+    },
+}
+
+impl Constraint {
+    /// The variables this constraint mentions.
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            Constraint::NotEqual(a, b) | Constraint::Equal(a, b) => vec![*a, *b],
+            Constraint::AllDifferent(vs) => vs.clone(),
+            Constraint::Table { vars, .. } => vars.clone(),
+        }
+    }
+
+    /// Checks the constraint against a full assignment.
+    pub fn satisfied(&self, assignment: &[i64]) -> bool {
+        match self {
+            Constraint::NotEqual(a, b) => assignment[*a] != assignment[*b],
+            Constraint::Equal(a, b) => assignment[*a] == assignment[*b],
+            Constraint::AllDifferent(vs) => {
+                let mut seen = std::collections::HashSet::new();
+                vs.iter().all(|&v| seen.insert(assignment[v]))
+            }
+            Constraint::Table { vars, allowed } => {
+                let tuple: Vec<i64> = vars.iter().map(|&v| assignment[v]).collect();
+                allowed.contains(&tuple)
+            }
+        }
+    }
+}
+
+/// A constraint-satisfaction model: named variables with finite domains
+/// plus constraints.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    names: Vec<String>,
+    domains: Vec<Vec<i64>>,
+    constraints: Vec<Constraint>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Adds a variable with the given domain; returns its id.
+    ///
+    /// # Panics
+    /// Panics on an empty domain or duplicate name.
+    pub fn add_var(&mut self, name: impl Into<String>, domain: Vec<i64>) -> VarId {
+        let name = name.into();
+        assert!(!domain.is_empty(), "domain of `{name}` is empty");
+        assert!(!self.by_name.contains_key(&name), "duplicate variable `{name}`");
+        let id = self.names.len();
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.domains.push(domain);
+        id
+    }
+
+    /// Adds a variable over `lo..=hi` (the `var 1..4: NSW;` form of
+    /// Listing 8).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn add_var_range(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> VarId {
+        assert!(lo <= hi, "range must be non-empty");
+        self.add_var(name, (lo..=hi).collect())
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    /// Panics if a referenced variable does not exist.
+    pub fn add_constraint(&mut self, constraint: Constraint) {
+        for v in constraint.vars() {
+            assert!(v < self.names.len(), "constraint references unknown variable {v}");
+        }
+        self.constraints.push(constraint);
+    }
+
+    /// Looks up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The variable's name.
+    pub fn name(&self, var: VarId) -> &str {
+        &self.names[var]
+    }
+
+    /// The variable's domain.
+    pub fn domain(&self, var: VarId) -> &[i64] {
+        &self.domains[var]
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Whether a complete assignment satisfies every constraint.
+    pub fn check(&self, assignment: &[i64]) -> bool {
+        assignment.len() == self.num_vars()
+            && self.constraints.iter().all(|c| c.satisfied(assignment))
+    }
+
+    /// Renders the model in MiniZinc syntax (the paper's Listing 8 shape),
+    /// for documentation and debugging.
+    pub fn to_minizinc(&self) -> String {
+        let mut out = String::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let d = &self.domains[i];
+            let contiguous = d.windows(2).all(|w| w[1] == w[0] + 1);
+            if contiguous && d.len() > 1 {
+                out.push_str(&format!("var {}..{}: {};\n", d[0], d[d.len() - 1], name));
+            } else {
+                let vals: Vec<String> = d.iter().map(|v| v.to_string()).collect();
+                out.push_str(&format!("var {{{}}}: {};\n", vals.join(","), name));
+            }
+        }
+        for c in &self.constraints {
+            match c {
+                Constraint::NotEqual(a, b) => {
+                    out.push_str(&format!(
+                        "constraint {} != {};\n",
+                        self.names[*a], self.names[*b]
+                    ));
+                }
+                Constraint::Equal(a, b) => {
+                    out.push_str(&format!(
+                        "constraint {} == {};\n",
+                        self.names[*a], self.names[*b]
+                    ));
+                }
+                Constraint::AllDifferent(vs) => {
+                    let names: Vec<&str> = vs.iter().map(|&v| self.names[v].as_str()).collect();
+                    out.push_str(&format!("constraint alldifferent([{}]);\n", names.join(",")));
+                }
+                Constraint::Table { vars, .. } => {
+                    let names: Vec<&str> =
+                        vars.iter().map(|&v| self.names[v].as_str()).collect();
+                    out.push_str(&format!("% table constraint over [{}]\n", names.join(",")));
+                }
+            }
+        }
+        out.push_str("solve satisfy;\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_check() {
+        let mut m = Model::new();
+        let x = m.add_var_range("x", 1, 3);
+        let y = m.add_var_range("y", 1, 3);
+        m.add_constraint(Constraint::NotEqual(x, y));
+        assert!(m.check(&[1, 2]));
+        assert!(!m.check(&[2, 2]));
+        assert_eq!(m.var_by_name("x"), Some(0));
+        assert_eq!(m.name(1), "y");
+    }
+
+    #[test]
+    fn all_different() {
+        let c = Constraint::AllDifferent(vec![0, 1, 2]);
+        assert!(c.satisfied(&[1, 2, 3]));
+        assert!(!c.satisfied(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn table_constraint() {
+        let c = Constraint::Table { vars: vec![0, 1], allowed: vec![vec![1, 2], vec![2, 1]] };
+        assert!(c.satisfied(&[1, 2]));
+        assert!(!c.satisfied(&[1, 1]));
+    }
+
+    #[test]
+    fn minizinc_rendering_matches_listing8_shape() {
+        let mut m = Model::new();
+        let nsw = m.add_var_range("NSW", 1, 4);
+        let qld = m.add_var_range("QLD", 1, 4);
+        m.add_constraint(Constraint::NotEqual(nsw, qld));
+        let text = m.to_minizinc();
+        assert!(text.contains("var 1..4: NSW;"));
+        assert!(text.contains("constraint NSW != QLD;"));
+        assert!(text.contains("solve satisfy;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let mut m = Model::new();
+        m.add_var_range("x", 0, 1);
+        m.add_var_range("x", 0, 1);
+    }
+}

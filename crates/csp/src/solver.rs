@@ -1,0 +1,385 @@
+//! Backtracking search with MRV and forward checking.
+
+use crate::{Constraint, Model, VarId};
+
+/// Statistics from a search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Variable assignments tried.
+    pub assignments: usize,
+    /// Backtracks taken.
+    pub backtracks: usize,
+}
+
+impl Model {
+    /// The first solution, if one exists (deterministic: variables by MRV
+    /// with index tie-break, values in domain order).
+    pub fn solve(&self) -> Option<Vec<i64>> {
+        self.solutions().next()
+    }
+
+    /// The first solution plus search statistics.
+    pub fn solve_with_stats(&self) -> (Option<Vec<i64>>, SearchStats) {
+        let mut iter = self.solutions();
+        let sol = iter.next();
+        (sol, iter.stats())
+    }
+
+    /// Iterates over all solutions.
+    pub fn solutions(&self) -> Solutions<'_> {
+        Solutions::new(self)
+    }
+
+    /// Counts solutions, up to `limit`.
+    pub fn count_solutions(&self, limit: usize) -> usize {
+        self.solutions().take(limit).count()
+    }
+}
+
+/// An iterator over the solutions of a [`Model`].
+///
+/// The search maintains per-variable candidate domains; forward checking
+/// prunes neighbor candidates on each assignment.
+pub struct Solutions<'a> {
+    model: &'a Model,
+    /// Stack of (var, value-index-in-snapshot, domain snapshots) frames.
+    stack: Vec<Frame>,
+    /// Current candidate domain per variable.
+    domains: Vec<Vec<i64>>,
+    /// Current partial assignment (None = unassigned).
+    assignment: Vec<Option<i64>>,
+    /// Constraints touching each variable.
+    watching: Vec<Vec<usize>>,
+    stats: SearchStats,
+    done: bool,
+}
+
+struct Frame {
+    var: VarId,
+    /// Values still to try for `var`.
+    remaining: Vec<i64>,
+    /// Domains as they were before this frame assigned anything.
+    saved_domains: Vec<Vec<i64>>,
+}
+
+impl<'a> Solutions<'a> {
+    fn new(model: &'a Model) -> Solutions<'a> {
+        let n = model.num_vars();
+        let mut watching: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, c) in model.constraints().iter().enumerate() {
+            for v in c.vars() {
+                if !watching[v].contains(&ci) {
+                    watching[v].push(ci);
+                }
+            }
+        }
+        Solutions {
+            model,
+            stack: Vec::new(),
+            domains: (0..n).map(|v| model.domain(v).to_vec()).collect(),
+            assignment: vec![None; n],
+            watching,
+            stats: SearchStats::default(),
+            done: n == 0,
+        }
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Chooses the unassigned variable with the fewest candidates (MRV).
+    fn pick_var(&self) -> Option<VarId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .min_by_key(|&(v, _)| self.domains[v].len())
+            .map(|(v, _)| v)
+    }
+
+    /// Forward-checks after assigning `var`: prunes candidates of
+    /// unassigned variables in shared constraints. Returns false on a
+    /// wipe-out.
+    fn propagate(&mut self, var: VarId) -> bool {
+        for &ci in &self.watching[var].clone() {
+            let constraint = &self.model.constraints()[ci];
+            match constraint {
+                Constraint::NotEqual(a, b) => {
+                    let (x, y) = (*a, *b);
+                    let (assigned, other) = if self.assignment[x].is_some() && self.assignment[y].is_none() {
+                        (x, y)
+                    } else if self.assignment[y].is_some() && self.assignment[x].is_none() {
+                        (y, x)
+                    } else {
+                        continue;
+                    };
+                    let val = self.assignment[assigned].unwrap();
+                    self.domains[other].retain(|&v| v != val);
+                    if self.domains[other].is_empty() {
+                        return false;
+                    }
+                }
+                Constraint::Equal(a, b) => {
+                    let (x, y) = (*a, *b);
+                    let (assigned, other) = if self.assignment[x].is_some() && self.assignment[y].is_none() {
+                        (x, y)
+                    } else if self.assignment[y].is_some() && self.assignment[x].is_none() {
+                        (y, x)
+                    } else {
+                        continue;
+                    };
+                    let val = self.assignment[assigned].unwrap();
+                    self.domains[other].retain(|&v| v == val);
+                    if self.domains[other].is_empty() {
+                        return false;
+                    }
+                }
+                Constraint::AllDifferent(vs) => {
+                    let assigned_vals: Vec<i64> =
+                        vs.iter().filter_map(|&v| self.assignment[v]).collect();
+                    // Conflict among assigned values?
+                    let mut seen = std::collections::HashSet::new();
+                    for &v in &assigned_vals {
+                        if !seen.insert(v) {
+                            return false;
+                        }
+                    }
+                    for &v in vs {
+                        if self.assignment[v].is_none() {
+                            self.domains[v].retain(|val| !assigned_vals.contains(val));
+                            if self.domains[v].is_empty() {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                Constraint::Table { vars, allowed } => {
+                    // Filter candidates of each unassigned variable by
+                    // compatibility with some allowed row.
+                    for (pos, &v) in vars.iter().enumerate() {
+                        if self.assignment[v].is_some() {
+                            continue;
+                        }
+                        let dom = self.domains[v].clone();
+                        let feasible: Vec<i64> = dom
+                            .into_iter()
+                            .filter(|&cand| {
+                                allowed.iter().any(|row| {
+                                    row[pos] == cand
+                                        && vars.iter().enumerate().all(|(p2, &v2)| {
+                                            match self.assignment[v2] {
+                                                Some(a) => row[p2] == a,
+                                                None => self.domains[v2].contains(&row[p2]),
+                                            }
+                                        })
+                                })
+                            })
+                            .collect();
+                        if feasible.is_empty() {
+                            return false;
+                        }
+                        self.domains[v] = feasible;
+                    }
+                    // Fully assigned rows must match.
+                    if vars.iter().all(|&v| self.assignment[v].is_some()) {
+                        let tuple: Vec<i64> =
+                            vars.iter().map(|&v| self.assignment[v].unwrap()).collect();
+                        if !allowed.contains(&tuple) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Tries the next value of the top frame, descending on success.
+    /// Returns true if a full solution is reached.
+    fn advance(&mut self) -> bool {
+        loop {
+            // If every variable is assigned, we have a solution.
+            if self.assignment.iter().all(|a| a.is_some()) {
+                return true;
+            }
+            // Open a frame for the next variable if the top frame is fresh.
+            let need_new_frame = match self.stack.last() {
+                None => true,
+                Some(f) => self.assignment[f.var].is_some(),
+            };
+            if need_new_frame {
+                let Some(var) = self.pick_var() else { return false };
+                let remaining = self.domains[var].clone();
+                let saved = self.domains.clone();
+                self.stack.push(Frame { var, remaining, saved_domains: saved });
+            }
+            // Try values in the top frame.
+            loop {
+                let Some(frame) = self.stack.last_mut() else { return false };
+                let var = frame.var;
+                match frame.remaining.pop() {
+                    Some(value) => {
+                        self.stats.assignments += 1;
+                        self.assignment[var] = Some(value);
+                        self.domains[var] = vec![value];
+                        if self.propagate(var) {
+                            break; // descend
+                        }
+                        // Undo and try the next value.
+                        self.stats.backtracks += 1;
+                        self.assignment[var] = None;
+                        let saved = self.stack.last().unwrap().saved_domains.clone();
+                        self.domains = saved;
+                    }
+                    None => {
+                        // Exhausted: pop and step up.
+                        let frame = self.stack.pop().unwrap();
+                        self.domains = frame.saved_domains;
+                        self.assignment[frame.var] = None;
+                        self.stats.backtracks += 1;
+                        // Also unassign the frame below's variable so its
+                        // next value can be tried.
+                        if self.stack.is_empty() {
+                            return false;
+                        }
+                        if let Some(parent) = self.stack.last() {
+                            let pv = parent.var;
+                            self.assignment[pv] = None;
+                            self.domains = parent.saved_domains.clone();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for Solutions<'a> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        if self.done {
+            return None;
+        }
+        // Resume: if we previously yielded a solution, unassign the top
+        // frame's variable to continue the search.
+        if self.assignment.iter().all(|a| a.is_some()) && !self.stack.is_empty() {
+            let top = self.stack.last().unwrap();
+            let var = top.var;
+            self.assignment[var] = None;
+            self.domains = top.saved_domains.clone();
+        }
+        if self.advance() {
+            let solution: Vec<i64> =
+                self.assignment.iter().map(|a| a.expect("complete")).collect();
+            debug_assert!(self.model.check(&solution));
+            Some(solution)
+        } else {
+            self.done = true;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Constraint;
+
+    #[test]
+    fn two_var_not_equal() {
+        let mut m = Model::new();
+        let x = m.add_var_range("x", 1, 2);
+        let y = m.add_var_range("y", 1, 2);
+        m.add_constraint(Constraint::NotEqual(x, y));
+        let all: Vec<Vec<i64>> = m.solutions().collect();
+        assert_eq!(all.len(), 2);
+        for s in all {
+            assert_ne!(s[0], s[1]);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", vec![1]);
+        let y = m.add_var("y", vec![1]);
+        m.add_constraint(Constraint::NotEqual(x, y));
+        assert_eq!(m.solve(), None);
+    }
+
+    #[test]
+    fn equality_chains() {
+        let mut m = Model::new();
+        let x = m.add_var_range("x", 1, 3);
+        let y = m.add_var_range("y", 1, 3);
+        let z = m.add_var_range("z", 1, 3);
+        m.add_constraint(Constraint::Equal(x, y));
+        m.add_constraint(Constraint::Equal(y, z));
+        let count = m.count_solutions(100);
+        assert_eq!(count, 3);
+        for s in m.solutions() {
+            assert_eq!(s[0], s[1]);
+            assert_eq!(s[1], s[2]);
+        }
+    }
+
+    #[test]
+    fn all_different_pigeonhole() {
+        // 4 pigeons, 3 holes: unsatisfiable.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..4).map(|i| m.add_var_range(format!("p{i}"), 1, 3)).collect();
+        m.add_constraint(Constraint::AllDifferent(vars));
+        assert_eq!(m.solve(), None);
+        // 3 pigeons, 3 holes: 3! solutions.
+        let mut m2 = Model::new();
+        let vars2: Vec<_> = (0..3).map(|i| m2.add_var_range(format!("p{i}"), 1, 3)).collect();
+        m2.add_constraint(Constraint::AllDifferent(vars2));
+        assert_eq!(m2.count_solutions(100), 6);
+    }
+
+    #[test]
+    fn table_constraints_respected() {
+        let mut m = Model::new();
+        let x = m.add_var_range("x", 0, 2);
+        let y = m.add_var_range("y", 0, 2);
+        m.add_constraint(Constraint::Table {
+            vars: vec![x, y],
+            allowed: vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+        });
+        let solutions: Vec<Vec<i64>> = m.solutions().collect();
+        assert_eq!(solutions.len(), 3);
+    }
+
+    #[test]
+    fn solution_count_exact_for_triangle_coloring() {
+        // Triangle with 3 colors: 3! = 6 proper colorings.
+        let mut m = Model::new();
+        let a = m.add_var_range("a", 1, 3);
+        let b = m.add_var_range("b", 1, 3);
+        let c = m.add_var_range("c", 1, 3);
+        m.add_constraint(Constraint::NotEqual(a, b));
+        m.add_constraint(Constraint::NotEqual(b, c));
+        m.add_constraint(Constraint::NotEqual(a, c));
+        assert_eq!(m.count_solutions(100), 6);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut m = Model::new();
+        let x = m.add_var_range("x", 1, 3);
+        let y = m.add_var_range("y", 1, 3);
+        m.add_constraint(Constraint::NotEqual(x, y));
+        let (sol, stats) = m.solve_with_stats();
+        assert!(sol.is_some());
+        assert!(stats.assignments >= 2);
+    }
+
+    #[test]
+    fn empty_model_yields_nothing() {
+        let m = Model::new();
+        assert_eq!(m.solve(), None);
+    }
+}

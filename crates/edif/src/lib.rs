@@ -1,0 +1,45 @@
+//! EDIF 2.0.0 netlist interchange.
+//!
+//! The paper's pipeline lowers Verilog to an EDIF netlist ("a single,
+//! large s-expression, which makes it easy to parse mechanically", §4.2)
+//! and then translates EDIF to QMASM. This crate provides both halves of
+//! that boundary: a writer that serializes a `qac-netlist` [`Netlist`] to
+//! EDIF text, and a reader that parses EDIF text back. The compiler
+//! pipeline literally round-trips through the textual form, as the
+//! original toolchain does.
+//!
+//! Conventions (documented once, used by both directions):
+//! * multi-bit ports are `(array (rename safe "name") N)` with
+//!   `(member safe i)` selecting bit `i`, LSB first;
+//! * constants are instances of `GND`/`VCC` cells with output port `Y`;
+//! * cell names are the Table 5 set (`AND`, `XOR`, `MUX`, `DFF_P`, …).
+//!
+//! # Example
+//!
+//! ```
+//! use qac_netlist::Builder;
+//! use qac_edif::{to_edif, from_edif};
+//!
+//! let mut b = Builder::new("demo");
+//! let a = b.input("a", 1)[0];
+//! let bb = b.input("b", 1)[0];
+//! let y = b.xor(a, bb);
+//! b.output("y", &[y]);
+//! let netlist = b.finish();
+//!
+//! let text = to_edif(&netlist);
+//! let back = from_edif(&text).unwrap();
+//! assert_eq!(back.cells().len(), netlist.cells().len());
+//! ```
+//!
+//! [`Netlist`]: qac_netlist::Netlist
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod read;
+pub mod sexp;
+mod write;
+
+pub use read::{from_edif, EdifError};
+pub use write::to_edif;

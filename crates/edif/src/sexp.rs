@@ -1,0 +1,304 @@
+//! A minimal s-expression reader/printer — the syntactic substrate of
+//! EDIF (§4.2: "an EDIF netlist is represented by a single, large
+//! s-expression").
+
+use std::fmt;
+
+/// One s-expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexp {
+    /// A bare symbol or number, e.g. `edif` or `2`.
+    Atom(String),
+    /// A quoted string, e.g. `"c"`.
+    Str(String),
+    /// A parenthesized list.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// Convenience constructor for an atom.
+    pub fn atom(s: impl Into<String>) -> Sexp {
+        Sexp::Atom(s.into())
+    }
+
+    /// Convenience constructor for a list.
+    pub fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    /// The atom's text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list's items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// For a list whose head is an atom, that head.
+    pub fn head(&self) -> Option<&str> {
+        self.as_list()?.first()?.as_atom()
+    }
+
+    /// Finds the first child list with the given head, e.g.
+    /// `(interface …)` inside a `(view …)`.
+    pub fn child(&self, head: &str) -> Option<&Sexp> {
+        self.as_list()?
+            .iter()
+            .find(|s| s.head() == Some(head))
+    }
+
+    /// Iterates over all child lists with the given head.
+    pub fn children<'a>(&'a self, head: &'a str) -> impl Iterator<Item = &'a Sexp> + 'a {
+        self.as_list()
+            .unwrap_or(&[])
+            .iter()
+            .filter(move |s| s.head() == Some(head))
+    }
+
+    /// Parses an atom as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_atom()?.parse().ok()
+    }
+}
+
+/// Pretty-prints with one nested list per line, EDIF style.
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_sexp(f, self, 0)
+    }
+}
+
+fn is_simple(s: &Sexp) -> bool {
+    match s {
+        Sexp::Atom(_) | Sexp::Str(_) => true,
+        Sexp::List(items) => {
+            items.len() <= 4 && items.iter().all(|i| matches!(i, Sexp::Atom(_) | Sexp::Str(_)))
+        }
+    }
+}
+
+fn write_flat(f: &mut fmt::Formatter<'_>, s: &Sexp) -> fmt::Result {
+    match s {
+        Sexp::Atom(a) => write!(f, "{a}"),
+        Sexp::Str(v) => write!(f, "\"{}\"", v.replace('"', "\\\"")),
+        Sexp::List(items) => {
+            write!(f, "(")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write_flat(f, item)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+fn write_sexp(f: &mut fmt::Formatter<'_>, s: &Sexp, indent: usize) -> fmt::Result {
+    match s {
+        Sexp::Atom(_) | Sexp::Str(_) => write_flat(f, s),
+        Sexp::List(items) => {
+            // Short lists print flat; long ones break per child list.
+            let flat_ok = items.iter().all(is_simple) && items.len() <= 6;
+            if flat_ok {
+                return write_flat(f, s);
+            }
+            write!(f, "(")?;
+            let mut first = true;
+            for item in items {
+                if first {
+                    write_flat(f, item)?; // the head atom
+                    first = false;
+                    continue;
+                }
+                if is_simple(item) {
+                    write!(f, " ")?;
+                    write_flat(f, item)?;
+                } else {
+                    writeln!(f)?;
+                    for _ in 0..(indent + 1) {
+                        write!(f, "  ")?;
+                    }
+                    write_sexp(f, item, indent + 1)?;
+                }
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SexpError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SexpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s-expression error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SexpError {}
+
+/// Parses a single s-expression from `input` (trailing whitespace allowed).
+///
+/// # Errors
+/// [`SexpError`] on unbalanced parentheses, unterminated strings, or
+/// trailing garbage.
+pub fn parse(input: &str) -> Result<Sexp, SexpError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let sexp = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(SexpError { position: pos, message: "trailing input".into() });
+    }
+    Ok(sexp)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() {
+        let c = bytes[*pos];
+        if c.is_ascii_whitespace() {
+            *pos += 1;
+        } else if c == b';' {
+            // Comment to end of line.
+            while *pos < bytes.len() && bytes[*pos] != b'\n' {
+                *pos += 1;
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Sexp, SexpError> {
+    skip_ws(bytes, pos);
+    if *pos >= bytes.len() {
+        return Err(SexpError { position: *pos, message: "unexpected end of input".into() });
+    }
+    match bytes[*pos] {
+        b'(' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(bytes, pos);
+                if *pos >= bytes.len() {
+                    return Err(SexpError { position: *pos, message: "unclosed list".into() });
+                }
+                if bytes[*pos] == b')' {
+                    *pos += 1;
+                    return Ok(Sexp::List(items));
+                }
+                items.push(parse_at(bytes, pos)?);
+            }
+        }
+        b')' => Err(SexpError { position: *pos, message: "unexpected `)`".into() }),
+        b'"' => {
+            *pos += 1;
+            let mut s = String::new();
+            while *pos < bytes.len() {
+                match bytes[*pos] {
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(Sexp::Str(s));
+                    }
+                    b'\\' if *pos + 1 < bytes.len() => {
+                        s.push(bytes[*pos + 1] as char);
+                        *pos += 2;
+                    }
+                    c => {
+                        s.push(c as char);
+                        *pos += 1;
+                    }
+                }
+            }
+            Err(SexpError { position: *pos, message: "unterminated string".into() })
+        }
+        _ => {
+            let start = *pos;
+            while *pos < bytes.len() {
+                let c = bytes[*pos];
+                if c.is_ascii_whitespace() || c == b'(' || c == b')' || c == b'"' {
+                    break;
+                }
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| SexpError { position: start, message: "invalid UTF-8".into() })?;
+            Ok(Sexp::Atom(text.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_round_trip() {
+        let s = parse("hello").unwrap();
+        assert_eq!(s, Sexp::atom("hello"));
+    }
+
+    #[test]
+    fn nested_lists() {
+        let s = parse("(a (b c) (d (e)))").unwrap();
+        assert_eq!(s.head(), Some("a"));
+        assert_eq!(s.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let s = parse(r#"(rename x "weird \"name\"")"#).unwrap();
+        let items = s.as_list().unwrap();
+        assert_eq!(items[2], Sexp::Str("weird \"name\"".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let s = parse("; header\n(a b) ; trailer\n").unwrap();
+        assert_eq!(s.head(), Some("a"));
+    }
+
+    #[test]
+    fn unbalanced_rejected() {
+        assert!(parse("(a (b)").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("(a) extra").is_err());
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let original = parse("(edif top (edifVersion 2 0 0) (library L (cell AND (view V (interface (port A) (port B))))))").unwrap();
+        let printed = original.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn child_lookup() {
+        let s = parse("(view (viewType NETLIST) (interface (port A)) (contents))").unwrap();
+        assert!(s.child("interface").is_some());
+        assert!(s.child("nope").is_none());
+        assert_eq!(s.children("interface").count(), 1);
+    }
+
+    #[test]
+    fn int_atoms() {
+        assert_eq!(parse("42").unwrap().as_int(), Some(42));
+        assert_eq!(parse("foo").unwrap().as_int(), None);
+    }
+}

@@ -1,0 +1,351 @@
+//! Serializing a netlist to EDIF text.
+
+use std::collections::HashMap;
+
+use qac_netlist::{CellKind, NetId, Netlist};
+
+use crate::sexp::Sexp;
+
+/// Serializes `netlist` to EDIF 2.0.0 text.
+///
+/// The output follows the structure Yosys emits (the paper's Figure 3(b)):
+/// an `external` library declaring the standard cells, a design library
+/// with one cell holding the interface and contents, and a trailing
+/// `design` stanza.
+pub fn to_edif(netlist: &Netlist) -> String {
+    Writer::new(netlist).build().to_string() + "\n"
+}
+
+struct Writer<'a> {
+    netlist: &'a Netlist,
+    /// original name → sanitized EDIF identifier
+    renames: HashMap<String, String>,
+    used: HashMap<String, usize>,
+}
+
+impl<'a> Writer<'a> {
+    fn new(netlist: &'a Netlist) -> Writer<'a> {
+        Writer { netlist, renames: HashMap::new(), used: HashMap::new() }
+    }
+
+    /// EDIF identifiers: letter first, then alphanumerics/underscore.
+    fn sanitize(&mut self, name: &str) -> String {
+        if let Some(s) = self.renames.get(name) {
+            return s.clone();
+        }
+        let mut safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .collect();
+        if safe.is_empty() || !safe.chars().next().unwrap().is_ascii_alphabetic() {
+            safe.insert_str(0, "id_");
+        }
+        // Ensure uniqueness across distinct originals that sanitize alike.
+        let count = self.used.entry(safe.clone()).or_insert(0);
+        *count += 1;
+        if *count > 1 {
+            safe = format!("{}_{}", safe, *count - 1);
+        }
+        self.renames.insert(name.to_string(), safe.clone());
+        safe
+    }
+
+    /// `name` if already safe, else `(rename safe "name")`.
+    fn name_ref(&mut self, name: &str) -> Sexp {
+        let safe = self.sanitize(name);
+        if safe == name {
+            Sexp::atom(safe)
+        } else {
+            Sexp::list(vec![Sexp::atom("rename"), Sexp::atom(safe), Sexp::Str(name.to_string())])
+        }
+    }
+
+    fn build(mut self) -> Sexp {
+        let design_name = self.sanitize(&self.netlist.name().to_string());
+
+        let mut top = vec![
+            Sexp::atom("edif"),
+            Sexp::atom(design_name.clone()),
+            Sexp::list(vec![
+                Sexp::atom("edifVersion"),
+                Sexp::atom("2"),
+                Sexp::atom("0"),
+                Sexp::atom("0"),
+            ]),
+            Sexp::list(vec![Sexp::atom("edifLevel"), Sexp::atom("0")]),
+            Sexp::list(vec![
+                Sexp::atom("keywordMap"),
+                Sexp::list(vec![Sexp::atom("keywordLevel"), Sexp::atom("0")]),
+            ]),
+        ];
+
+        top.push(self.external_library());
+        top.push(self.design_library(&design_name));
+        top.push(Sexp::list(vec![
+            Sexp::atom("design"),
+            Sexp::atom(design_name.clone()),
+            Sexp::list(vec![
+                Sexp::atom("cellRef"),
+                Sexp::atom(design_name),
+                Sexp::list(vec![Sexp::atom("libraryRef"), Sexp::atom("DESIGN")]),
+            ]),
+        ]));
+        Sexp::list(top)
+    }
+
+    /// The `external` library declaring every cell kind in use.
+    fn external_library(&mut self) -> Sexp {
+        let mut kinds: Vec<CellKind> = self
+            .netlist
+            .cells()
+            .iter()
+            .map(|c| c.kind)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        kinds.sort();
+        let mut items = vec![
+            Sexp::atom("external"),
+            Sexp::atom("LIB"),
+            Sexp::list(vec![Sexp::atom("edifLevel"), Sexp::atom("0")]),
+            Sexp::list(vec![
+                Sexp::atom("technology"),
+                Sexp::list(vec![Sexp::atom("numberDefinition")]),
+            ]),
+        ];
+        for kind in kinds {
+            let mut ports: Vec<Sexp> = vec![Sexp::atom("interface")];
+            for input in kind.input_names() {
+                ports.push(port_decl(input, "INPUT"));
+            }
+            ports.push(port_decl(kind.output_name(), "OUTPUT"));
+            items.push(cell_decl(kind.name(), Sexp::list(ports), None));
+        }
+        // Constant drivers.
+        let has_gnd = self.netlist.constants().iter().any(|&(_, v)| !v);
+        let has_vcc = self.netlist.constants().iter().any(|&(_, v)| v);
+        if has_gnd {
+            items.push(cell_decl(
+                "GND",
+                Sexp::list(vec![Sexp::atom("interface"), port_decl("Y", "OUTPUT")]),
+                None,
+            ));
+        }
+        if has_vcc {
+            items.push(cell_decl(
+                "VCC",
+                Sexp::list(vec![Sexp::atom("interface"), port_decl("Y", "OUTPUT")]),
+                None,
+            ));
+        }
+        Sexp::list(items)
+    }
+
+    fn design_library(&mut self, design_name: &str) -> Sexp {
+        // Interface.
+        let mut interface = vec![Sexp::atom("interface")];
+        for (port, dir) in self
+            .netlist
+            .input_ports()
+            .iter()
+            .map(|p| (p, "INPUT"))
+            .chain(self.netlist.output_ports().iter().map(|p| (p, "OUTPUT")))
+        {
+            let name_ref = self.name_ref(&port.name);
+            let decl = if port.width() == 1 {
+                Sexp::list(vec![
+                    Sexp::atom("port"),
+                    name_ref,
+                    Sexp::list(vec![Sexp::atom("direction"), Sexp::atom(dir)]),
+                ])
+            } else {
+                Sexp::list(vec![
+                    Sexp::atom("port"),
+                    Sexp::list(vec![
+                        Sexp::atom("array"),
+                        name_ref,
+                        Sexp::atom(port.width().to_string()),
+                    ]),
+                    Sexp::list(vec![Sexp::atom("direction"), Sexp::atom(dir)]),
+                ])
+            };
+            interface.push(decl);
+        }
+
+        // Contents: instances then nets.
+        let mut contents = vec![Sexp::atom("contents")];
+        for cell in self.netlist.cells() {
+            let inst = self.name_ref(&cell.name.clone());
+            contents.push(Sexp::list(vec![
+                Sexp::atom("instance"),
+                inst,
+                view_ref(cell.kind.name()),
+            ]));
+        }
+        // Constant instances, one per tied net.
+        for (idx, &(_, value)) in self.netlist.constants().iter().enumerate() {
+            let kind = if value { "VCC" } else { "GND" };
+            let inst = self.name_ref(&format!("const${idx}"));
+            contents.push(Sexp::list(vec![Sexp::atom("instance"), inst, view_ref(kind)]));
+        }
+
+        // Group endpoints per net.
+        let mut endpoints: HashMap<NetId, Vec<Sexp>> = HashMap::new();
+        for cell in self.netlist.cells() {
+            let inst = self.sanitize(&cell.name.clone());
+            for (i, &net) in cell.inputs.iter().enumerate() {
+                endpoints.entry(net).or_default().push(port_ref(
+                    cell.kind.input_names()[i],
+                    Some(&inst),
+                    None,
+                ));
+            }
+            endpoints
+                .entry(cell.output)
+                .or_default()
+                .push(port_ref(cell.kind.output_name(), Some(&inst), None));
+        }
+        for (idx, &(net, _)) in self.netlist.constants().iter().enumerate() {
+            let inst = self.sanitize(&format!("const${idx}"));
+            endpoints.entry(net).or_default().push(port_ref("Y", Some(&inst), None));
+        }
+        for port in self.netlist.input_ports().iter().chain(self.netlist.output_ports()) {
+            let safe = self.sanitize(&port.name.clone());
+            for (i, &net) in port.bits.iter().enumerate() {
+                let member = if port.width() == 1 { None } else { Some(i) };
+                endpoints.entry(net).or_default().push(port_ref(&safe, None, member));
+            }
+        }
+
+        let mut net_ids: Vec<NetId> = endpoints.keys().copied().collect();
+        net_ids.sort_unstable();
+        for net in net_ids {
+            // Single-endpoint nets (e.g. a discarded carry-out) are still
+            // emitted so the reader can reconnect every instance pin.
+            let eps = &endpoints[&net];
+            let label = match self.netlist.net_name(net) {
+                Some(n) => self.name_ref(&n.to_string()),
+                None => Sexp::atom(format!("net_{net}")),
+            };
+            let mut joined = vec![Sexp::atom("joined")];
+            joined.extend(eps.iter().cloned());
+            contents.push(Sexp::list(vec![Sexp::atom("net"), label, Sexp::list(joined)]));
+        }
+
+        let view = Sexp::list(vec![
+            Sexp::atom("view"),
+            Sexp::atom("VIEW_NETLIST"),
+            Sexp::list(vec![Sexp::atom("viewType"), Sexp::atom("NETLIST")]),
+            Sexp::list(interface),
+            Sexp::list(contents),
+        ]);
+        Sexp::list(vec![
+            Sexp::atom("library"),
+            Sexp::atom("DESIGN"),
+            Sexp::list(vec![Sexp::atom("edifLevel"), Sexp::atom("0")]),
+            Sexp::list(vec![
+                Sexp::atom("technology"),
+                Sexp::list(vec![Sexp::atom("numberDefinition")]),
+            ]),
+            Sexp::list(vec![
+                Sexp::atom("cell"),
+                Sexp::atom(design_name.to_string()),
+                Sexp::list(vec![Sexp::atom("cellType"), Sexp::atom("GENERIC")]),
+                view,
+            ]),
+        ])
+    }
+}
+
+fn port_decl(name: &str, dir: &str) -> Sexp {
+    Sexp::list(vec![
+        Sexp::atom("port"),
+        Sexp::atom(name),
+        Sexp::list(vec![Sexp::atom("direction"), Sexp::atom(dir)]),
+    ])
+}
+
+fn cell_decl(name: &str, interface: Sexp, _contents: Option<Sexp>) -> Sexp {
+    Sexp::list(vec![
+        Sexp::atom("cell"),
+        Sexp::atom(name),
+        Sexp::list(vec![Sexp::atom("cellType"), Sexp::atom("GENERIC")]),
+        Sexp::list(vec![
+            Sexp::atom("view"),
+            Sexp::atom("VIEW_NETLIST"),
+            Sexp::list(vec![Sexp::atom("viewType"), Sexp::atom("NETLIST")]),
+            interface,
+        ]),
+    ])
+}
+
+fn view_ref(cell: &str) -> Sexp {
+    Sexp::list(vec![
+        Sexp::atom("viewRef"),
+        Sexp::atom("VIEW_NETLIST"),
+        Sexp::list(vec![
+            Sexp::atom("cellRef"),
+            Sexp::atom(cell),
+            Sexp::list(vec![Sexp::atom("libraryRef"), Sexp::atom("LIB")]),
+        ]),
+    ])
+}
+
+fn port_ref(port: &str, instance: Option<&str>, member: Option<usize>) -> Sexp {
+    let port_part = match member {
+        Some(i) => Sexp::list(vec![
+            Sexp::atom("member"),
+            Sexp::atom(port),
+            Sexp::atom(i.to_string()),
+        ]),
+        None => Sexp::atom(port),
+    };
+    match instance {
+        Some(inst) => Sexp::list(vec![
+            Sexp::atom("portRef"),
+            port_part,
+            Sexp::list(vec![Sexp::atom("instanceRef"), Sexp::atom(inst)]),
+        ]),
+        None => Sexp::list(vec![Sexp::atom("portRef"), port_part]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qac_netlist::Builder;
+
+    #[test]
+    fn structure_contains_expected_stanzas() {
+        let mut b = Builder::new("demo");
+        let a = b.input("a", 1)[0];
+        let c = b.input("b", 2);
+        let x = b.xor(a, c[0]);
+        let t = b.constant(true);
+        let y = b.and(x, t);
+        b.output("y", &[y]);
+        let text = to_edif(&b.finish());
+        assert!(text.starts_with("(edif demo"));
+        assert!(text.contains("(edifVersion 2 0 0)"));
+        assert!(text.contains("(external LIB"));
+        assert!(text.contains("(cell XOR"));
+        assert!(text.contains("(cell VCC"));
+        assert!(text.contains("(library DESIGN"));
+        assert!(text.contains("(array b 2)"));
+        assert!(text.contains("(instanceRef"));
+        assert!(text.contains("(design demo"));
+        // Parses back as a single s-expression.
+        crate::sexp::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn special_names_renamed() {
+        let mut b = Builder::new("top");
+        let a = b.input("a$weird", 1)[0];
+        let buffered = b.buf(a);
+        b.output("y", &[buffered]);
+        let text = to_edif(&b.finish());
+        assert!(text.contains("rename"));
+        crate::sexp::parse(&text).unwrap();
+    }
+}

@@ -1,0 +1,236 @@
+use qac_pbf::{bits_to_spins, Ising};
+
+use crate::TruthTable;
+
+/// A gate realized as a quadratic pseudo-Boolean function: pins (output
+/// first, then inputs) plus optional ancilla variables, with the property
+/// that the function's minima project exactly onto the gate's valid truth
+/// table rows (paper §4.3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellHamiltonian {
+    name: String,
+    pins: Vec<String>,
+    num_ancillas: usize,
+    ising: Ising,
+    ground_energy: f64,
+}
+
+/// The result of brute-force verification of a cell against a truth table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Whether the minimizing pin rows are exactly the valid rows.
+    pub matches: bool,
+    /// The ground-state energy `k`.
+    pub k: f64,
+    /// Energy separation between valid and invalid pin rows:
+    /// `min over invalid rows of (min over ancillas of H) − k`.
+    /// Larger gaps are empirically more robust on hardware (§4.3.2).
+    pub gap: f64,
+    /// The pin rows achieving the ground energy (sorted).
+    pub ground_rows: Vec<u64>,
+}
+
+impl CellHamiltonian {
+    /// Wraps an Ising model as a cell.
+    ///
+    /// The model's variables must be ordered pins-then-ancillas:
+    /// variable `i < pins.len()` is pin `i`; the rest are ancillas.
+    ///
+    /// # Panics
+    /// Panics if the model's variable count is not `pins.len() + num_ancillas`.
+    pub fn new(
+        name: impl Into<String>,
+        pins: Vec<String>,
+        num_ancillas: usize,
+        ising: Ising,
+        ground_energy: f64,
+    ) -> CellHamiltonian {
+        assert_eq!(
+            ising.num_vars(),
+            pins.len() + num_ancillas,
+            "model size must equal pins + ancillas"
+        );
+        CellHamiltonian { name: name.into(), pins, num_ancillas, ising, ground_energy }
+    }
+
+    /// The cell's name (e.g. `"AND"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pin names, output first.
+    pub fn pins(&self) -> &[String] {
+        &self.pins
+    }
+
+    /// Number of ancilla variables.
+    pub fn num_ancillas(&self) -> usize {
+        self.num_ancillas
+    }
+
+    /// Total variables (pins + ancillas).
+    pub fn num_vars(&self) -> usize {
+        self.pins.len() + self.num_ancillas
+    }
+
+    /// The underlying Ising model (variables: pins then ancillas).
+    pub fn ising(&self) -> &Ising {
+        &self.ising
+    }
+
+    /// The ground-state energy `k` the cell was constructed with.
+    pub fn ground_energy(&self) -> f64 {
+        self.ground_energy
+    }
+
+    /// For each pin row, the minimum energy over all ancilla assignments.
+    ///
+    /// Index `r` of the returned vector corresponds to pin row `r`.
+    pub fn pin_row_energies(&self) -> Vec<f64> {
+        let p = self.pins.len();
+        let a = self.num_ancillas;
+        let mut out = vec![f64::INFINITY; 1 << p];
+        for full in 0..(1u64 << (p + a)) {
+            let spins = bits_to_spins(full, p + a);
+            let e = self.ising.energy(&spins);
+            let row = (full & ((1 << p) - 1)) as usize;
+            if e < out[row] {
+                out[row] = e;
+            }
+        }
+        out
+    }
+
+    /// Brute-force verifies the cell against `truth`: the pin rows whose
+    /// min-over-ancilla energy equals the global minimum must be exactly
+    /// the valid rows.
+    ///
+    /// # Panics
+    /// Panics if `truth.num_pins()` differs from the cell's pin count.
+    pub fn verify(&self, truth: &TruthTable) -> VerifyReport {
+        assert_eq!(truth.num_pins(), self.pins.len(), "pin count mismatch");
+        let energies = self.pin_row_energies();
+        let k = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        let eps = 1e-6;
+        let ground_rows: Vec<u64> = energies
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &e)| if (e - k).abs() < eps { Some(r as u64) } else { None })
+            .collect();
+        let matches = ground_rows == truth.valid_rows();
+        let gap = energies
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !truth.is_valid(*r as u64))
+            .map(|(_, &e)| e - k)
+            .fold(f64::INFINITY, f64::min);
+        VerifyReport { matches, k, gap, ground_rows }
+    }
+
+    /// Builds a larger cell by composition (paper §4.3.5): the sum of
+    /// component Hamiltonians is minimized exactly on the intersection of
+    /// their relations.
+    ///
+    /// `num_vars` is the total variable count of the composed cell;
+    /// variables `0..pins.len()` are its pins and the rest its ancillas
+    /// (which typically include the internal wires joining components).
+    /// Each component comes with a mapping from its local variables (pins
+    /// then ancillas) to composed variables.
+    ///
+    /// # Panics
+    /// Panics if a mapping has the wrong arity or maps out of range.
+    pub fn compose(
+        name: impl Into<String>,
+        pins: Vec<String>,
+        num_vars: usize,
+        components: &[(&CellHamiltonian, Vec<usize>)],
+    ) -> CellHamiltonian {
+        assert!(pins.len() <= num_vars, "more pins than variables");
+        let mut ising = Ising::new(num_vars);
+        let mut ground = 0.0;
+        for (cell, map) in components {
+            assert_eq!(map.len(), cell.num_vars(), "mapping arity mismatch for {}", cell.name);
+            for &g in map {
+                assert!(g < num_vars, "mapped variable {g} out of range");
+            }
+            for (local, h) in cell.ising.h_iter() {
+                if h != 0.0 {
+                    ising.add_h(map[local], h);
+                }
+            }
+            for t in cell.ising.j_iter() {
+                let (gi, gj) = (map[t.i], map[t.j]);
+                assert_ne!(gi, gj, "component mapping collapses a coupling");
+                ising.add_j(gi, gj, t.value);
+            }
+            ising.add_offset(cell.ising.offset());
+            // Each component's ground energy already includes its offset;
+            // components are simultaneously minimizable by construction.
+            ground += cell.ground_energy;
+        }
+        let num_ancillas = num_vars - pins.len();
+        CellHamiltonian { name: name.into(), pins, num_ancillas, ising, ground_energy: ground }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_cell() -> CellHamiltonian {
+        // Table 5 AND: −½σA −½σB + σY + ½σAσB − σAσY − σBσY, k = −1.5.
+        let mut m = Ising::new(3);
+        m.add_h(0, 1.0);
+        m.add_h(1, -0.5);
+        m.add_h(2, -0.5);
+        m.add_j(1, 2, 0.5);
+        m.add_j(0, 1, -1.0);
+        m.add_j(0, 2, -1.0);
+        CellHamiltonian::new("AND", vec!["Y".into(), "A".into(), "B".into()], 0, m, -1.5)
+    }
+
+    #[test]
+    fn and_cell_verifies() {
+        let cell = and_cell();
+        let truth = TruthTable::from_gate(2, |i| i[0] && i[1]);
+        let report = cell.verify(&truth);
+        assert!(report.matches, "ground rows: {:?}", report.ground_rows);
+        assert!((report.k - (-1.5)).abs() < 1e-9);
+        assert!(report.gap > 0.0);
+    }
+
+    #[test]
+    fn broken_cell_fails_verification() {
+        // An OR truth table cannot be satisfied by an AND Hamiltonian.
+        let cell = and_cell();
+        let or_truth = TruthTable::from_gate(2, |i| i[0] || i[1]);
+        assert!(!cell.verify(&or_truth).matches);
+    }
+
+    #[test]
+    fn three_input_and_by_composition() {
+        // Paper §4.3.5: AND3(Y, A, B, C) from two ANDs plus a wire.
+        // Composed variables: 0=Y, 1=A, 2=B, 3=C, 4=n (internal).
+        // AND #1: n = A ∧ B → local (Y,A,B) ↦ (4,1,2)
+        // AND #2: Y = n ∧ C → local (Y,A,B) ↦ (0,4,3)
+        let and = and_cell();
+        let composed = CellHamiltonian::compose(
+            "AND3",
+            vec!["Y".into(), "A".into(), "B".into(), "C".into()],
+            5,
+            &[(&and, vec![4, 1, 2]), (&and, vec![0, 4, 3])],
+        );
+        let truth = TruthTable::from_gate(3, |i| i[0] && i[1] && i[2]);
+        let report = composed.verify(&truth);
+        assert!(report.matches, "ground rows: {:?}", report.ground_rows);
+        assert!((report.k - composed.ground_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pin_row_energies_shape() {
+        let cell = and_cell();
+        let energies = cell.pin_row_energies();
+        assert_eq!(energies.len(), 8);
+        assert!(energies.iter().all(|e| e.is_finite()));
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthesis and verification of gate Hamiltonians.
+//!
+//! A quantum-annealing "cell" is a quadratic pseudo-Boolean function that is
+//! minimized exactly on the valid rows of a gate's truth table (paper
+//! §4.3.2). This crate provides:
+//!
+//! * [`TruthTable`] — the relation a cell must encode;
+//! * [`synthesize`] — mechanical derivation of cell Hamiltonians by solving
+//!   the paper's system of equalities/inequalities as a gap-maximizing
+//!   linear program (reproducing Tables 2–4), including the
+//!   ancilla-augmentation search needed for XOR/XNOR and larger gates;
+//! * [`CellHamiltonian`] — a synthesized or published cell, with
+//!   brute-force verification of its ground-state structure;
+//! * [`stdcell`] — the paper's Table 5 standard-cell library, verified at
+//!   construction, with compositional fallbacks for any published entry
+//!   that does not survive verification.
+//!
+//! # Example: re-deriving the AND gate of Table 2
+//!
+//! ```
+//! use qac_gatesynth::{synthesize, SynthOptions, TruthTable};
+//!
+//! // Y = A AND B, pins ordered [Y, A, B].
+//! let truth = TruthTable::from_gate(2, |inp| inp[0] && inp[1]);
+//! let cell = synthesize("AND", &["Y", "A", "B"], &truth, 0, &SynthOptions::default())
+//!     .expect("AND is realizable without ancillas");
+//! let report = cell.verify(&truth);
+//! assert!(report.matches);
+//! assert!(report.gap > 0.9); // comfortably separated
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+pub mod stdcell;
+mod synth;
+mod truth;
+
+pub use cell::{CellHamiltonian, VerifyReport};
+pub use stdcell::{CellLibrary, CellSource};
+pub use synth::{synthesize, SynthError, SynthOptions};
+pub use truth::TruthTable;

@@ -1,0 +1,374 @@
+//! Mechanical derivation of cell Hamiltonians (paper §4.3.2, Tables 2–4).
+//!
+//! Given a truth table over p pins and a number of ancilla variables a,
+//! the synthesizer searches over augmentations of the truth table (an
+//! ancilla value for each valid row) and, for each augmentation, solves the
+//! paper's system of equalities and inequalities as a linear program:
+//!
+//! * every valid row (with its chosen ancilla value) has `H = k`;
+//! * every valid row with any *other* ancilla value has `H ≥ k`;
+//! * every invalid row (any ancilla value) has `H ≥ k + g`;
+//! * all coefficients honor the hardware ranges;
+//! * the gap `g` is maximized (the paper notes larger gaps are
+//!   "empirically … more robust" on hardware).
+
+use qac_pbf::Ising;
+use qac_simplex::{Lp, LpOutcome, Relation};
+
+use crate::{CellHamiltonian, TruthTable};
+
+/// Options controlling Hamiltonian synthesis.
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    /// Allowed range of linear coefficients (D-Wave: `[-2, 2]`).
+    pub h_range: (f64, f64),
+    /// Allowed range of quadratic coefficients (D-Wave: `[-2, 1]`).
+    pub j_range: (f64, f64),
+    /// Minimum acceptable valid/invalid energy separation.
+    pub min_gap: f64,
+    /// Maximum number of ancilla augmentations to enumerate exhaustively.
+    pub max_exhaustive: u64,
+    /// Number of random augmentations to try when the space exceeds
+    /// `max_exhaustive`.
+    pub random_tries: u32,
+    /// Seed for the randomized search.
+    pub seed: u64,
+}
+
+impl Default for SynthOptions {
+    fn default() -> SynthOptions {
+        SynthOptions {
+            h_range: (-2.0, 2.0),
+            j_range: (-2.0, 1.0),
+            min_gap: 0.05,
+            max_exhaustive: 1 << 16,
+            random_tries: 4096,
+            seed: 0x5eed_ce11,
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// No augmentation examined yielded a solvable system with the
+    /// requested gap. More ancillas (or more random tries) may help —
+    /// the paper notes XOR/XNOR are unrealizable with zero ancillas.
+    Unrealizable {
+        /// Number of ancillas that were available.
+        num_ancillas: usize,
+        /// How many augmentations were examined.
+        tried: u64,
+    },
+    /// The problem is too large to enumerate (pins + ancillas > 16).
+    TooWide,
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Unrealizable { num_ancillas, tried } => write!(
+                f,
+                "no quadratic pseudo-Boolean function found with {num_ancillas} ancillas \
+                 ({tried} augmentations examined)"
+            ),
+            SynthError::TooWide => write!(f, "cell too wide to synthesize"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Synthesizes a cell Hamiltonian for `truth` using exactly `num_ancillas`
+/// ancilla variables, maximizing the energy gap.
+///
+/// Returns the best cell found over all examined truth-table
+/// augmentations.
+///
+/// # Errors
+/// [`SynthError::Unrealizable`] when no examined augmentation admits a
+/// solution (e.g. XOR with zero ancillas — the paper's Table 2 discussion);
+/// [`SynthError::TooWide`] when `pins + ancillas > 16`.
+///
+/// # Panics
+/// Panics if `pins.len() != truth.num_pins()`.
+pub fn synthesize(
+    name: &str,
+    pins: &[&str],
+    truth: &TruthTable,
+    num_ancillas: usize,
+    opts: &SynthOptions,
+) -> Result<CellHamiltonian, SynthError> {
+    assert_eq!(pins.len(), truth.num_pins(), "pin name count must match truth table");
+    let p = truth.num_pins();
+    let a = num_ancillas;
+    if p + a > 16 {
+        return Err(SynthError::TooWide);
+    }
+    let nv = truth.num_valid();
+    let anc_states = 1u64 << a;
+    // Number of augmentations = anc_states ^ nv (saturating).
+    let combos = anc_states.checked_pow(nv as u32).unwrap_or(u64::MAX);
+
+    let mut best: Option<(f64, Vec<f64>, f64)> = None; // (gap, coeffs, k)
+    let mut tried = 0u64;
+
+    let consider = |assignment: &[u64], best: &mut Option<(f64, Vec<f64>, f64)>| {
+        if let Some((gap, coeffs, k)) = solve_augmentation(truth, a, assignment, opts) {
+            if gap >= opts.min_gap && best.as_ref().map_or(true, |(bg, _, _)| gap > *bg) {
+                *best = Some((gap, coeffs, k));
+            }
+        }
+    };
+
+    if combos <= opts.max_exhaustive {
+        let mut assignment = vec![0u64; nv];
+        loop {
+            tried += 1;
+            consider(&assignment, &mut best);
+            // Odometer increment.
+            let mut idx = 0;
+            loop {
+                if idx == nv {
+                    break;
+                }
+                assignment[idx] += 1;
+                if assignment[idx] < anc_states {
+                    break;
+                }
+                assignment[idx] = 0;
+                idx += 1;
+            }
+            if idx == nv {
+                break;
+            }
+        }
+    } else {
+        // Randomized search (deterministic xorshift).
+        let mut state = opts.seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut assignment = vec![0u64; nv];
+        for _ in 0..opts.random_tries {
+            for slot in assignment.iter_mut() {
+                *slot = next() % anc_states;
+            }
+            tried += 1;
+            consider(&assignment, &mut best);
+        }
+    }
+
+    let Some((_gap, coeffs, k)) = best else {
+        return Err(SynthError::Unrealizable { num_ancillas: a, tried });
+    };
+
+    // Unpack the LP solution into an Ising model.
+    let n = p + a;
+    let mut ising = Ising::new(n);
+    let mut idx = 0;
+    for i in 0..n {
+        let h = coeffs[idx];
+        idx += 1;
+        if h.abs() > 1e-9 {
+            ising.add_h(i, h);
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let jv = coeffs[idx];
+            idx += 1;
+            if jv.abs() > 1e-9 {
+                ising.add_j(i, j, jv);
+            }
+        }
+    }
+    let pin_names: Vec<String> = pins.iter().map(|s| s.to_string()).collect();
+    Ok(CellHamiltonian::new(name, pin_names, a, ising, k))
+}
+
+/// Solves one augmentation's LP. Returns `(gap, coefficient vector, k)` on
+/// success; the coefficient vector is laid out `h_0..h_{n-1}` then
+/// `J_{0,1}, J_{0,2}, …` in row-major upper-triangular order.
+fn solve_augmentation(
+    truth: &TruthTable,
+    num_ancillas: usize,
+    assignment: &[u64],
+    opts: &SynthOptions,
+) -> Option<(f64, Vec<f64>, f64)> {
+    let p = truth.num_pins();
+    let a = num_ancillas;
+    let n = p + a;
+
+    let mut lp = Lp::new();
+    let h_vars: Vec<_> = (0..n).map(|_| lp.add_var(opts.h_range.0, opts.h_range.1)).collect();
+    let mut j_vars = Vec::with_capacity(n * (n - 1) / 2);
+    for _i in 0..n {
+        for _j in (_i + 1)..n {
+            j_vars.push(lp.add_var(opts.j_range.0, opts.j_range.1));
+        }
+    }
+    let k_var = lp.add_free_var();
+    let g_var = lp.add_var(0.0, f64::INFINITY);
+    lp.set_objective_coeff(g_var, 1.0);
+
+    let j_index = |i: usize, j: usize| -> usize {
+        // Upper-triangular row-major index for i < j.
+        debug_assert!(i < j);
+        i * n - i * (i + 1) / 2 + (j - i - 1)
+    };
+
+    // Map valid pin rows to their position in `assignment`.
+    let valid_pos: std::collections::HashMap<u64, usize> =
+        truth.valid_rows().iter().enumerate().map(|(idx, &r)| (r, idx)).collect();
+
+    for full in 0..(1u64 << n) {
+        let spin = |i: usize| if (full >> i) & 1 == 1 { 1.0 } else { -1.0 };
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(n + n * (n - 1) / 2 + 2);
+        for i in 0..n {
+            coeffs.push((h_vars[i], spin(i)));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                coeffs.push((j_vars[j_index(i, j)], spin(i) * spin(j)));
+            }
+        }
+        coeffs.push((k_var, -1.0));
+        let pin_row = full & ((1 << p) - 1);
+        let anc_val = full >> p;
+        if let Some(&pos) = valid_pos.get(&pin_row) {
+            if anc_val == assignment[pos] {
+                // H(row) = k
+                lp.add_constraint(&coeffs, Relation::Eq, 0.0);
+            } else if a > 0 {
+                // Wrong ancilla for a valid row: merely H ≥ k.
+                lp.add_constraint(&coeffs, Relation::Ge, 0.0);
+            }
+        } else {
+            // Invalid pin row: H ≥ k + g.
+            coeffs.push((g_var, -1.0));
+            lp.add_constraint(&coeffs, Relation::Ge, 0.0);
+        }
+    }
+
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => {
+            let gap = sol.objective;
+            if gap <= 0.0 {
+                return None;
+            }
+            let mut coeffs = Vec::with_capacity(n + j_vars.len());
+            for &hv in &h_vars {
+                coeffs.push(sol.values[hv]);
+            }
+            for &jv in &j_vars {
+                coeffs.push(sol.values[jv]);
+            }
+            Some((gap, coeffs, sol.values[k_var]))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> SynthOptions {
+        SynthOptions::default()
+    }
+
+    #[test]
+    fn and_without_ancillas() {
+        let truth = TruthTable::from_gate(2, |i| i[0] && i[1]);
+        let cell = synthesize("AND", &["Y", "A", "B"], &truth, 0, &opts()).unwrap();
+        let report = cell.verify(&truth);
+        assert!(report.matches);
+        assert!(report.gap >= 1.0, "AND admits gap ≥ 1 in D-Wave ranges, got {}", report.gap);
+    }
+
+    #[test]
+    fn or_nand_nor_without_ancillas() {
+        let gates: [(&str, fn(&[bool]) -> bool); 3] = [
+            ("OR", |i| i[0] || i[1]),
+            ("NAND", |i| !(i[0] && i[1])),
+            ("NOR", |i| !(i[0] || i[1])),
+        ];
+        for (name, f) in gates {
+            let truth = TruthTable::from_gate(2, f);
+            let cell = synthesize(name, &["Y", "A", "B"], &truth, 0, &opts()).unwrap();
+            assert!(cell.verify(&truth).matches, "{name} failed");
+        }
+    }
+
+    #[test]
+    fn xor_unrealizable_without_ancillas() {
+        // The paper (§4.3.2, citing Whitfield et al.): XOR and XNOR lead to
+        // an unsolvable system of inequalities with no ancillas.
+        let truth = TruthTable::from_gate(2, |i| i[0] ^ i[1]);
+        let err = synthesize("XOR", &["Y", "A", "B"], &truth, 0, &opts()).unwrap_err();
+        assert!(matches!(err, SynthError::Unrealizable { num_ancillas: 0, .. }));
+    }
+
+    #[test]
+    fn xnor_unrealizable_without_ancillas() {
+        let truth = TruthTable::from_gate(2, |i| !(i[0] ^ i[1]));
+        let err = synthesize("XNOR", &["Y", "A", "B"], &truth, 0, &opts()).unwrap_err();
+        assert!(matches!(err, SynthError::Unrealizable { num_ancillas: 0, .. }));
+    }
+
+    #[test]
+    fn xor_with_one_ancilla() {
+        // "In the case of XOR and XNOR a single ancilla suffices" (§4.3.2).
+        let truth = TruthTable::from_gate(2, |i| i[0] ^ i[1]);
+        let cell = synthesize("XOR", &["Y", "A", "B"], &truth, 1, &opts()).unwrap();
+        assert_eq!(cell.num_ancillas(), 1);
+        let report = cell.verify(&truth);
+        assert!(report.matches, "ground rows: {:?}", report.ground_rows);
+        assert!(report.gap > 0.1);
+    }
+
+    #[test]
+    fn not_gate_trivial() {
+        let truth = TruthTable::from_gate(1, |i| !i[0]);
+        let cell = synthesize("NOT", &["Y", "A"], &truth, 0, &opts()).unwrap();
+        let report = cell.verify(&truth);
+        assert!(report.matches);
+        // Maximum-gap NOT should reach the J-range limit: H = 2σAσY → gap 4
+        // is impossible since J ≤ 1 in the positive direction... the gap is
+        // bounded by the coefficient ranges; just require a healthy margin.
+        assert!(report.gap >= 2.0, "gap {}", report.gap);
+    }
+
+    #[test]
+    fn equality_relation_synthesizes() {
+        // A wire/DFF: Q = D (Table 1 shape).
+        let truth = TruthTable::from_rows(2, &[0b00, 0b11]);
+        let cell = synthesize("WIRE", &["Q", "D"], &truth, 0, &opts()).unwrap();
+        assert!(cell.verify(&truth).matches);
+    }
+
+    #[test]
+    fn mux_with_one_ancilla() {
+        // 2:1 MUX as in Table 5 (pins Y, S, A, B; Y = S ? B : A).
+        let truth = TruthTable::from_gate(3, |i| if i[0] { i[2] } else { i[1] });
+        let cell = synthesize("MUX", &["Y", "S", "A", "B"], &truth, 1, &opts()).unwrap();
+        let report = cell.verify(&truth);
+        assert!(report.matches, "ground rows: {:?}", report.ground_rows);
+    }
+
+    #[test]
+    fn coefficients_honor_ranges() {
+        let truth = TruthTable::from_gate(2, |i| i[0] ^ i[1]);
+        let cell = synthesize("XOR", &["Y", "A", "B"], &truth, 1, &opts()).unwrap();
+        for (_, h) in cell.ising().h_iter() {
+            assert!(h >= -2.0 - 1e-9 && h <= 2.0 + 1e-9);
+        }
+        for t in cell.ising().j_iter() {
+            assert!(t.value >= -2.0 - 1e-9 && t.value <= 1.0 + 1e-9);
+        }
+    }
+}

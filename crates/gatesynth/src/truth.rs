@@ -1,0 +1,138 @@
+use std::collections::BTreeSet;
+
+/// The relation a cell must encode: which rows over its pins are valid.
+///
+/// Pins are ordered with the output first (`Y`, then inputs), and a row is
+/// a little-endian bitmask over the pins: bit 0 is the output, bit `i` is
+/// input `i − 1`.
+///
+/// ```
+/// use qac_gatesynth::TruthTable;
+///
+/// let and = TruthTable::from_gate(2, |inp| inp[0] && inp[1]);
+/// assert_eq!(and.num_pins(), 3);
+/// // Valid rows: (Y=0,A=0,B=0), (Y=0,A=1,B=0), (Y=0,A=0,B=1), (Y=1,A=1,B=1)
+/// assert_eq!(and.valid_rows(), &[0b000, 0b010, 0b100, 0b111]);
+/// assert!(and.is_valid(0b111));
+/// assert!(!and.is_valid(0b001));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    num_pins: usize,
+    valid: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Builds the table of a single-output gate with `num_inputs` inputs
+    /// from its Boolean function. Each of the 2ⁿ input combinations yields
+    /// exactly one valid row.
+    ///
+    /// # Panics
+    /// Panics if `num_inputs > 16`.
+    pub fn from_gate(num_inputs: usize, f: impl Fn(&[bool]) -> bool) -> TruthTable {
+        assert!(num_inputs <= 16, "gate too wide");
+        let mut valid = Vec::with_capacity(1 << num_inputs);
+        let mut inputs = vec![false; num_inputs];
+        for combo in 0..(1u64 << num_inputs) {
+            for (i, b) in inputs.iter_mut().enumerate() {
+                *b = (combo >> i) & 1 == 1;
+            }
+            let y = f(&inputs);
+            valid.push((combo << 1) | u64::from(y));
+        }
+        valid.sort_unstable();
+        TruthTable { num_pins: num_inputs + 1, valid }
+    }
+
+    /// Builds a table directly from a set of valid rows over `num_pins`
+    /// pins. Useful for relations that are not functions (e.g. a bare
+    /// equality constraint between two pins).
+    ///
+    /// # Panics
+    /// Panics if any row has bits beyond `num_pins` or the set is empty.
+    pub fn from_rows(num_pins: usize, rows: &[u64]) -> TruthTable {
+        assert!(!rows.is_empty(), "a relation needs at least one valid row");
+        assert!(num_pins <= 24, "relation too wide");
+        let set: BTreeSet<u64> = rows.iter().copied().collect();
+        for &r in &set {
+            assert!(r < (1u64 << num_pins), "row {r:#b} out of range for {num_pins} pins");
+        }
+        TruthTable { num_pins, valid: set.into_iter().collect() }
+    }
+
+    /// Number of pins (output + inputs).
+    pub fn num_pins(&self) -> usize {
+        self.num_pins
+    }
+
+    /// The sorted valid rows.
+    pub fn valid_rows(&self) -> &[u64] {
+        &self.valid
+    }
+
+    /// Number of valid rows.
+    pub fn num_valid(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Whether `row` is a valid relation of pin values.
+    pub fn is_valid(&self, row: u64) -> bool {
+        self.valid.binary_search(&row).is_ok()
+    }
+
+    /// Total number of rows, 2^num_pins.
+    pub fn num_rows(&self) -> u64 {
+        1u64 << self.num_pins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_truth_table() {
+        let t = TruthTable::from_gate(2, |i| i[0] ^ i[1]);
+        assert_eq!(t.valid_rows(), &[0b000, 0b011, 0b101, 0b110]);
+        assert_eq!(t.num_valid(), 4);
+        assert_eq!(t.num_rows(), 8);
+    }
+
+    #[test]
+    fn not_truth_table() {
+        let t = TruthTable::from_gate(1, |i| !i[0]);
+        assert_eq!(t.valid_rows(), &[0b01, 0b10]);
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        // Inputs ordered [S, A, B]: Y = S ? B : A.
+        let t = TruthTable::from_gate(3, |i| if i[0] { i[2] } else { i[1] });
+        assert_eq!(t.num_valid(), 8);
+        // S=1, A=0, B=1 → Y=1: row bits are Y | S<<1 | A<<2 | B<<3.
+        assert!(t.is_valid(0b1011));
+        assert!(!t.is_valid(0b1010));
+    }
+
+    #[test]
+    fn relation_from_rows() {
+        // Equality relation over two pins.
+        let t = TruthTable::from_rows(2, &[0b00, 0b11]);
+        assert!(t.is_valid(0b00));
+        assert!(!t.is_valid(0b01));
+        assert_eq!(t.num_pins(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_rows_validates_width() {
+        TruthTable::from_rows(2, &[0b100]);
+    }
+
+    #[test]
+    fn dff_is_equality_relation() {
+        // Paper §4.3.3: a D flip-flop is the relation Q = D.
+        let t = TruthTable::from_gate(1, |i| i[0]);
+        assert_eq!(t.valid_rows(), &[0b00, 0b11]);
+    }
+}

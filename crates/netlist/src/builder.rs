@@ -1,0 +1,524 @@
+use std::collections::HashMap;
+
+use crate::{CellKind, NetId, Netlist};
+
+/// A convenience layer for constructing netlists, from single gates up to
+/// word-level arithmetic (ripple-carry adders, array multipliers,
+/// comparators, mux trees) — the lowering primitives the Verilog frontend
+/// uses in place of Yosys's techmap.
+///
+/// Words are `Vec<NetId>`, least-significant bit first.
+#[derive(Debug)]
+pub struct Builder {
+    netlist: Netlist,
+    const_nets: HashMap<bool, NetId>,
+}
+
+impl Builder {
+    /// Starts building a netlist named `name`.
+    pub fn new(name: impl Into<String>) -> Builder {
+        Builder { netlist: Netlist::new(name), const_nets: HashMap::new() }
+    }
+
+    /// Access to the netlist under construction.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Finishes and returns the netlist.
+    pub fn finish(self) -> Netlist {
+        self.netlist
+    }
+
+    /// Allocates a fresh unnamed net.
+    pub fn fresh(&mut self) -> NetId {
+        self.netlist.add_net()
+    }
+
+    /// Declares a `width`-bit input port; returns its nets, LSB first.
+    pub fn input(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        let bits: Vec<NetId> = (0..width).map(|_| self.netlist.add_net()).collect();
+        for (i, &b) in bits.iter().enumerate() {
+            if width == 1 {
+                self.netlist.set_net_name(b, name.to_string());
+            } else {
+                self.netlist.set_net_name(b, format!("{name}[{i}]"));
+            }
+        }
+        self.netlist.add_input_port(name, bits.clone());
+        bits
+    }
+
+    /// Declares an output port over existing nets (LSB first).
+    pub fn output(&mut self, name: &str, bits: &[NetId]) {
+        for (i, &b) in bits.iter().enumerate() {
+            if self.netlist.net_name(b).is_none() {
+                if bits.len() == 1 {
+                    self.netlist.set_net_name(b, name.to_string());
+                } else {
+                    self.netlist.set_net_name(b, format!("{name}[{i}]"));
+                }
+            }
+        }
+        self.netlist.add_output_port(name, bits.to_vec());
+    }
+
+    /// A net tied to the given constant (cached per polarity).
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if let Some(&n) = self.const_nets.get(&value) {
+            return n;
+        }
+        let n = self.netlist.add_net();
+        self.netlist.add_constant(n, value);
+        self.const_nets.insert(value, n);
+        n
+    }
+
+    /// A constant word of the given width holding `value` (LSB first).
+    pub fn constant_word(&mut self, value: u64, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.constant((value >> i) & 1 == 1)).collect()
+    }
+
+    fn unary(&mut self, kind: CellKind, a: NetId) -> NetId {
+        let y = self.netlist.add_net();
+        self.netlist.add_cell(kind, vec![a], y);
+        y
+    }
+
+    fn binary(&mut self, kind: CellKind, a: NetId, b: NetId) -> NetId {
+        let y = self.netlist.add_net();
+        self.netlist.add_cell(kind, vec![a, b], y);
+        y
+    }
+
+    /// `Y = ¬A`
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.unary(CellKind::Not, a)
+    }
+
+    /// `Y = A` (buffer)
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.unary(CellKind::Buf, a)
+    }
+
+    /// `Y = A ∧ B`
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(CellKind::And, a, b)
+    }
+
+    /// `Y = A ∨ B`
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(CellKind::Or, a, b)
+    }
+
+    /// `Y = ¬(A ∧ B)`
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(CellKind::Nand, a, b)
+    }
+
+    /// `Y = ¬(A ∨ B)`
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(CellKind::Nor, a, b)
+    }
+
+    /// `Y = A ⊕ B`
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(CellKind::Xor, a, b)
+    }
+
+    /// `Y = ¬(A ⊕ B)`
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(CellKind::Xnor, a, b)
+    }
+
+    /// `Y = S ? B : A` (2:1 multiplexer)
+    pub fn mux(&mut self, s: NetId, a: NetId, b: NetId) -> NetId {
+        let y = self.netlist.add_net();
+        self.netlist.add_cell(CellKind::Mux, vec![s, a, b], y);
+        y
+    }
+
+    /// A positive edge-triggered flip-flop; returns the Q net.
+    pub fn dff(&mut self, d: NetId) -> NetId {
+        let q = self.netlist.add_net();
+        self.netlist.add_cell(CellKind::DffP, vec![d], q);
+        q
+    }
+
+    /// A buffer whose output drives the pre-allocated net `dst`.
+    ///
+    /// This is how continuous assignments connect expression results to
+    /// declared wires; downstream buffer merging removes the cell.
+    pub fn add_buf_into(&mut self, src: NetId, dst: NetId) {
+        self.netlist.add_cell(CellKind::Buf, vec![src], dst);
+    }
+
+    /// A flip-flop whose Q output drives the pre-allocated net `q`.
+    ///
+    /// Needed to close feedback loops: allocate the Q net first, build the
+    /// next-state logic reading it, then connect the flip-flop.
+    pub fn add_dff_into(&mut self, d: NetId, q: NetId) {
+        self.netlist.add_cell(CellKind::DffP, vec![d], q);
+    }
+
+    // ---------------------------------------------------------------
+    // Word-level operations (LSB-first vectors)
+    // ---------------------------------------------------------------
+
+    /// Full adder: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let t1 = self.and(a, b);
+        let t2 = self.and(axb, cin);
+        let cout = self.or(t1, t2);
+        (sum, cout)
+    }
+
+    /// Ripple-carry addition; result has the width of the longer operand
+    /// (carry-out is discarded, matching Verilog's modular semantics).
+    pub fn add(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let width = a.len().max(b.len());
+        let zero = self.constant(false);
+        let mut carry = zero;
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            let ai = a.get(i).copied().unwrap_or(zero);
+            let bi = b.get(i).copied().unwrap_or(zero);
+            let (s, c) = self.full_adder(ai, bi, carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    /// Two's-complement subtraction `a − b` (modular).
+    pub fn sub(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let width = a.len().max(b.len());
+        let zero = self.constant(false);
+        let one = self.constant(true);
+        let mut carry = one;
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            let ai = a.get(i).copied().unwrap_or(zero);
+            let bi = b.get(i).copied().unwrap_or(zero);
+            let nbi = self.not(bi);
+            let (s, c) = self.full_adder(ai, nbi, carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: &[NetId]) -> Vec<NetId> {
+        let zero_word: Vec<NetId> = (0..a.len()).map(|_| self.constant(false)).collect();
+        self.sub(&zero_word, a)
+    }
+
+    /// Array multiplication; the result is `out_width` bits (modular).
+    pub fn mul(&mut self, a: &[NetId], b: &[NetId], out_width: usize) -> Vec<NetId> {
+        let zero = self.constant(false);
+        let mut acc: Vec<NetId> = vec![zero; out_width];
+        for (i, &bi) in b.iter().enumerate() {
+            if i >= out_width {
+                break;
+            }
+            // Partial product: (a << i) masked by bi.
+            let mut partial: Vec<NetId> = vec![zero; out_width];
+            for (j, &aj) in a.iter().enumerate() {
+                if i + j < out_width {
+                    partial[i + j] = self.and(aj, bi);
+                }
+            }
+            acc = self.add(&acc, &partial);
+            acc.truncate(out_width);
+        }
+        acc
+    }
+
+    /// Reduction AND over a word (1 for the empty word).
+    pub fn reduce_and(&mut self, a: &[NetId]) -> NetId {
+        match a {
+            [] => self.constant(true),
+            [single] => *single,
+            _ => {
+                let mut acc = a[0];
+                for &bit in &a[1..] {
+                    acc = self.and(acc, bit);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Reduction OR over a word (0 for the empty word).
+    pub fn reduce_or(&mut self, a: &[NetId]) -> NetId {
+        match a {
+            [] => self.constant(false),
+            [single] => *single,
+            _ => {
+                let mut acc = a[0];
+                for &bit in &a[1..] {
+                    acc = self.or(acc, bit);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Reduction XOR over a word (0 for the empty word).
+    pub fn reduce_xor(&mut self, a: &[NetId]) -> NetId {
+        match a {
+            [] => self.constant(false),
+            [single] => *single,
+            _ => {
+                let mut acc = a[0];
+                for &bit in &a[1..] {
+                    acc = self.xor(acc, bit);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Word equality `a == b` (operands zero-extended to the longer width).
+    pub fn eq(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let width = a.len().max(b.len());
+        let zero = self.constant(false);
+        let mut bits = Vec::with_capacity(width);
+        for i in 0..width {
+            let ai = a.get(i).copied().unwrap_or(zero);
+            let bi = b.get(i).copied().unwrap_or(zero);
+            bits.push(self.xnor(ai, bi));
+        }
+        self.reduce_and(&bits)
+    }
+
+    /// Word inequality `a != b`.
+    pub fn ne(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than `a < b` via subtraction borrow.
+    pub fn lt_unsigned(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        // a < b  ⟺  the (width+1)-bit computation a − b borrows.
+        let width = a.len().max(b.len());
+        let zero = self.constant(false);
+        let one = self.constant(true);
+        let mut carry = one;
+        for i in 0..width {
+            let ai = a.get(i).copied().unwrap_or(zero);
+            let bi = b.get(i).copied().unwrap_or(zero);
+            let nbi = self.not(bi);
+            let (_, c) = self.full_adder(ai, nbi, carry);
+            carry = c;
+        }
+        // No final carry ⇒ borrow ⇒ a < b.
+        self.not(carry)
+    }
+
+    /// Unsigned `a ≤ b`.
+    pub fn le_unsigned(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let gt = self.lt_unsigned(b, a);
+        self.not(gt)
+    }
+
+    /// Word-wise 2:1 mux: `s ? b : a`, zero-extending to the longer width.
+    pub fn mux_word(&mut self, s: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let width = a.len().max(b.len());
+        let zero = self.constant(false);
+        (0..width)
+            .map(|i| {
+                let ai = a.get(i).copied().unwrap_or(zero);
+                let bi = b.get(i).copied().unwrap_or(zero);
+                self.mux(s, ai, bi)
+            })
+            .collect()
+    }
+
+    /// Bitwise NOT of a word.
+    pub fn not_word(&mut self, a: &[NetId]) -> Vec<NetId> {
+        a.iter().map(|&bit| self.not(bit)).collect()
+    }
+
+    /// Bitwise binary op over words, zero-extending the shorter operand.
+    pub fn bitwise(&mut self, kind: CellKind, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let width = a.len().max(b.len());
+        let zero = self.constant(false);
+        (0..width)
+            .map(|i| {
+                let ai = a.get(i).copied().unwrap_or(zero);
+                let bi = b.get(i).copied().unwrap_or(zero);
+                self.binary(kind, ai, bi)
+            })
+            .collect()
+    }
+
+    /// Constant left shift (zeros shifted in), keeping the input width.
+    pub fn shl_const(&mut self, a: &[NetId], amount: usize) -> Vec<NetId> {
+        let zero = self.constant(false);
+        (0..a.len())
+            .map(|i| if i >= amount { a[i - amount] } else { zero })
+            .collect()
+    }
+
+    /// Constant logical right shift, keeping the input width.
+    pub fn shr_const(&mut self, a: &[NetId], amount: usize) -> Vec<NetId> {
+        let zero = self.constant(false);
+        (0..a.len())
+            .map(|i| a.get(i + amount).copied().unwrap_or(zero))
+            .collect()
+    }
+
+    /// Variable left shift by a shift word `s` (barrel shifter).
+    pub fn shl(&mut self, a: &[NetId], s: &[NetId]) -> Vec<NetId> {
+        let mut cur = a.to_vec();
+        for (stage, &sbit) in s.iter().enumerate() {
+            if (1usize << stage) >= cur.len() && stage >= 7 {
+                break;
+            }
+            let shifted = self.shl_const(&cur, 1 << stage);
+            cur = self.mux_word(sbit, &cur, &shifted);
+        }
+        cur
+    }
+
+    /// Variable logical right shift by a shift word `s`.
+    pub fn shr(&mut self, a: &[NetId], s: &[NetId]) -> Vec<NetId> {
+        let mut cur = a.to_vec();
+        for (stage, &sbit) in s.iter().enumerate() {
+            if (1usize << stage) >= cur.len() && stage >= 7 {
+                break;
+            }
+            let shifted = self.shr_const(&cur, 1 << stage);
+            cur = self.mux_word(sbit, &cur, &shifted);
+        }
+        cur
+    }
+
+    /// Zero-extends or truncates a word to `width`.
+    pub fn resize(&mut self, a: &[NetId], width: usize) -> Vec<NetId> {
+        let zero = self.constant(false);
+        (0..width).map(|i| a.get(i).copied().unwrap_or(zero)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CombSim;
+
+    /// Builds a 2-input word-op circuit and exhaustively compares against
+    /// a reference function.
+    fn check_binop(
+        width_a: usize,
+        width_b: usize,
+        out_width: usize,
+        build: impl Fn(&mut Builder, &[NetId], &[NetId]) -> Vec<NetId>,
+        reference: impl Fn(u64, u64) -> u64,
+    ) {
+        let mut b = Builder::new("dut");
+        let a_bits = b.input("a", width_a);
+        let b_bits = b.input("b", width_b);
+        let out = build(&mut b, &a_bits, &b_bits);
+        b.output("y", &out);
+        let netlist = b.finish();
+        netlist.validate().unwrap();
+        let sim = CombSim::new(&netlist).unwrap();
+        let mask = if out_width >= 64 { u64::MAX } else { (1u64 << out_width) - 1 };
+        for av in 0..(1u64 << width_a) {
+            for bv in 0..(1u64 << width_b) {
+                let got = sim.eval_words(&[("a", av), ("b", bv)]).unwrap()["y"];
+                let want = reference(av, bv) & mask;
+                assert_eq!(got, want, "a={av} b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        check_binop(4, 4, 4, |b, x, y| b.add(x, y), |a, c| a.wrapping_add(c));
+    }
+
+    #[test]
+    fn subtractor_exhaustive_4bit() {
+        check_binop(4, 4, 4, |b, x, y| b.sub(x, y), |a, c| a.wrapping_sub(c));
+    }
+
+    #[test]
+    fn multiplier_exhaustive_4x4_to_8() {
+        check_binop(4, 4, 8, |b, x, y| b.mul(x, y, 8), |a, c| a * c);
+    }
+
+    #[test]
+    fn comparators_exhaustive() {
+        check_binop(3, 3, 1, |b, x, y| vec![b.lt_unsigned(x, y)], |a, c| u64::from(a < c));
+        check_binop(3, 3, 1, |b, x, y| vec![b.le_unsigned(x, y)], |a, c| u64::from(a <= c));
+        check_binop(3, 3, 1, |b, x, y| vec![b.eq(x, y)], |a, c| u64::from(a == c));
+        check_binop(3, 3, 1, |b, x, y| vec![b.ne(x, y)], |a, c| u64::from(a != c));
+    }
+
+    #[test]
+    fn mixed_width_add_zero_extends() {
+        check_binop(2, 4, 4, |b, x, y| b.add(x, y), |a, c| a.wrapping_add(c));
+    }
+
+    #[test]
+    fn bitwise_words() {
+        check_binop(3, 3, 3, |b, x, y| b.bitwise(CellKind::And, x, y), |a, c| a & c);
+        check_binop(3, 3, 3, |b, x, y| b.bitwise(CellKind::Or, x, y), |a, c| a | c);
+        check_binop(3, 3, 3, |b, x, y| b.bitwise(CellKind::Xor, x, y), |a, c| a ^ c);
+    }
+
+    #[test]
+    fn variable_shifts() {
+        check_binop(4, 2, 4, |b, x, s| b.shl(x, s), |a, s| a << s);
+        check_binop(4, 2, 4, |b, x, s| b.shr(x, s), |a, s| a >> s);
+    }
+
+    #[test]
+    fn neg_is_twos_complement() {
+        let mut b = Builder::new("neg");
+        let a = b.input("a", 4);
+        let out = b.neg(&a);
+        b.output("y", &out);
+        let netlist = b.finish();
+        let sim = CombSim::new(&netlist).unwrap();
+        for av in 0..16u64 {
+            let got = sim.eval_words(&[("a", av)]).unwrap()["y"];
+            assert_eq!(got, av.wrapping_neg() & 0xF);
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let mut b = Builder::new("red");
+        let a = b.input("a", 3);
+        let rand = b.reduce_and(&a);
+        let ror = b.reduce_or(&a);
+        let rxor = b.reduce_xor(&a);
+        b.output("and", &[rand]);
+        b.output("or", &[ror]);
+        b.output("xor", &[rxor]);
+        let netlist = b.finish();
+        let sim = CombSim::new(&netlist).unwrap();
+        for av in 0..8u64 {
+            let out = sim.eval_words(&[("a", av)]).unwrap();
+            assert_eq!(out["and"], u64::from(av == 7));
+            assert_eq!(out["or"], u64::from(av != 0));
+            assert_eq!(out["xor"], u64::from(av.count_ones() % 2 == 1));
+        }
+    }
+
+    #[test]
+    fn constants_are_cached() {
+        let mut b = Builder::new("c");
+        let t1 = b.constant(true);
+        let t2 = b.constant(true);
+        let f1 = b.constant(false);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, f1);
+    }
+}

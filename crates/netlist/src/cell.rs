@@ -1,0 +1,231 @@
+use std::fmt;
+
+/// The gate kinds the compiler targets — the default cell set of the ABC
+/// optimizer, matching paper Table 5, plus `BUF`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Identity buffer, `Y = A`.
+    Buf,
+    /// Inverter, `Y = ¬A`.
+    Not,
+    /// `Y = A ∧ B`.
+    And,
+    /// `Y = A ∨ B`.
+    Or,
+    /// `Y = ¬(A ∧ B)`.
+    Nand,
+    /// `Y = ¬(A ∨ B)`.
+    Nor,
+    /// `Y = A ⊕ B`.
+    Xor,
+    /// `Y = ¬(A ⊕ B)`.
+    Xnor,
+    /// 2:1 multiplexer, `Y = S ? B : A`.
+    Mux,
+    /// 3-bit AND-OR-invert, `Y = ¬((A ∧ B) ∨ C)`.
+    Aoi3,
+    /// 3-bit OR-AND-invert, `Y = ¬((A ∨ B) ∧ C)`.
+    Oai3,
+    /// 4-bit AND-OR-invert, `Y = ¬((A ∧ B) ∨ (C ∧ D))`.
+    Aoi4,
+    /// 4-bit OR-AND-invert, `Y = ¬((A ∨ B) ∧ (C ∨ D))`.
+    Oai4,
+    /// Positive edge-triggered D flip-flop, `Q ← D`.
+    DffP,
+    /// Negative edge-triggered D flip-flop, `Q ← D`.
+    DffN,
+}
+
+impl CellKind {
+    /// All cell kinds.
+    pub const ALL: [CellKind; 15] = [
+        CellKind::Buf,
+        CellKind::Not,
+        CellKind::And,
+        CellKind::Or,
+        CellKind::Nand,
+        CellKind::Nor,
+        CellKind::Xor,
+        CellKind::Xnor,
+        CellKind::Mux,
+        CellKind::Aoi3,
+        CellKind::Oai3,
+        CellKind::Aoi4,
+        CellKind::Oai4,
+        CellKind::DffP,
+        CellKind::DffN,
+    ];
+
+    /// The canonical cell name used across EDIF, QMASM, and the standard
+    /// cell library.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::Buf => "BUF",
+            CellKind::Not => "NOT",
+            CellKind::And => "AND",
+            CellKind::Or => "OR",
+            CellKind::Nand => "NAND",
+            CellKind::Nor => "NOR",
+            CellKind::Xor => "XOR",
+            CellKind::Xnor => "XNOR",
+            CellKind::Mux => "MUX",
+            CellKind::Aoi3 => "AOI3",
+            CellKind::Oai3 => "OAI3",
+            CellKind::Aoi4 => "AOI4",
+            CellKind::Oai4 => "OAI4",
+            CellKind::DffP => "DFF_P",
+            CellKind::DffN => "DFF_N",
+        }
+    }
+
+    /// Parses a canonical cell name (also accepts Yosys-style `$_AND_`
+    /// internal names).
+    pub fn from_name(name: &str) -> Option<CellKind> {
+        let trimmed = name.trim_matches(|c| c == '$' || c == '_');
+        let upper = trimmed.to_ascii_uppercase();
+        CellKind::ALL.into_iter().find(|k| k.name() == upper)
+            .or(match upper.as_str() {
+                "DFF" | "DFFP" => Some(CellKind::DffP),
+                "DFFN" => Some(CellKind::DffN),
+                "INV" => Some(CellKind::Not),
+                "MUX2" => Some(CellKind::Mux),
+                _ => None,
+            })
+    }
+
+    /// Number of data inputs (the DFF clock is implicit — the paper's
+    /// unrolling ignores clock edges, §4.3.3).
+    pub fn num_inputs(self) -> usize {
+        match self {
+            CellKind::Buf | CellKind::Not | CellKind::DffP | CellKind::DffN => 1,
+            CellKind::And
+            | CellKind::Or
+            | CellKind::Nand
+            | CellKind::Nor
+            | CellKind::Xor
+            | CellKind::Xnor => 2,
+            CellKind::Mux | CellKind::Aoi3 | CellKind::Oai3 => 3,
+            CellKind::Aoi4 | CellKind::Oai4 => 4,
+        }
+    }
+
+    /// Input port names in order.
+    pub fn input_names(self) -> &'static [&'static str] {
+        match self {
+            CellKind::Buf | CellKind::Not => &["A"],
+            CellKind::DffP | CellKind::DffN => &["D"],
+            CellKind::And
+            | CellKind::Or
+            | CellKind::Nand
+            | CellKind::Nor
+            | CellKind::Xor
+            | CellKind::Xnor => &["A", "B"],
+            CellKind::Mux => &["S", "A", "B"],
+            CellKind::Aoi3 | CellKind::Oai3 => &["A", "B", "C"],
+            CellKind::Aoi4 | CellKind::Oai4 => &["A", "B", "C", "D"],
+        }
+    }
+
+    /// The output port name (`Y`, or `Q` for flip-flops).
+    pub fn output_name(self) -> &'static str {
+        match self {
+            CellKind::DffP | CellKind::DffN => "Q",
+            _ => "Y",
+        }
+    }
+
+    /// Whether this cell holds state across clock cycles.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::DffP | CellKind::DffN)
+    }
+
+    /// Combinationally evaluates the cell (for a DFF this is the identity —
+    /// the value that will appear at Q on the next step).
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != num_inputs()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_inputs(), "arity mismatch for {}", self.name());
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And => inputs[0] && inputs[1],
+            CellKind::Or => inputs[0] || inputs[1],
+            CellKind::Nand => !(inputs[0] && inputs[1]),
+            CellKind::Nor => !(inputs[0] || inputs[1]),
+            CellKind::Xor => inputs[0] ^ inputs[1],
+            CellKind::Xnor => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            CellKind::Aoi3 => !((inputs[0] && inputs[1]) || inputs[2]),
+            CellKind::Oai3 => !((inputs[0] || inputs[1]) && inputs[2]),
+            CellKind::Aoi4 => !((inputs[0] && inputs[1]) || (inputs[2] && inputs[3])),
+            CellKind::Oai4 => !((inputs[0] || inputs[1]) && (inputs[2] || inputs[3])),
+            CellKind::DffP | CellKind::DffN => inputs[0],
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CellKind::from_name("$_AND_"), Some(CellKind::And));
+        assert_eq!(CellKind::from_name("inv"), Some(CellKind::Not));
+        assert_eq!(CellKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn arity_matches_input_names() {
+        for kind in CellKind::ALL {
+            assert_eq!(kind.num_inputs(), kind.input_names().len(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        assert!(CellKind::And.eval(&[true, true]));
+        assert!(!CellKind::And.eval(&[true, false]));
+        assert!(CellKind::Nor.eval(&[false, false]));
+        assert!(CellKind::Xor.eval(&[true, false]));
+        assert!(CellKind::Xnor.eval(&[true, true]));
+        // MUX: S selects between A (S=0) and B (S=1).
+        assert!(CellKind::Mux.eval(&[false, true, false]));
+        assert!(!CellKind::Mux.eval(&[true, true, false]));
+        // AOI3 = ¬((A∧B)∨C)
+        assert!(CellKind::Aoi3.eval(&[false, true, false]));
+        assert!(!CellKind::Aoi3.eval(&[true, true, false]));
+        // OAI4 = ¬((A∨B)∧(C∨D))
+        assert!(CellKind::Oai4.eval(&[false, false, true, true]));
+        assert!(!CellKind::Oai4.eval(&[true, false, true, false]));
+    }
+
+    #[test]
+    fn sequential_flags() {
+        assert!(CellKind::DffP.is_sequential());
+        assert!(CellKind::DffN.is_sequential());
+        assert!(!CellKind::Mux.is_sequential());
+    }
+
+    #[test]
+    fn dff_output_is_q() {
+        assert_eq!(CellKind::DffP.output_name(), "Q");
+        assert_eq!(CellKind::And.output_name(), "Y");
+    }
+}

@@ -1,0 +1,504 @@
+//! Netlist optimization passes — the stand-in for the ABC logic optimizer
+//! the paper invokes from Yosys (§4.2).
+//!
+//! Every pass preserves the netlist's observable behaviour (validated by
+//! randomized equivalence tests). Qubits are "scarce resources" (§2), so
+//! the passes aim squarely at cell/net count:
+//!
+//! * [`constant_fold`] — propagates constant nets through cells;
+//! * [`merge_buffers`] — short-circuits `BUF` cells and double inverters;
+//! * [`structural_hash`] — merges structurally identical cells (CSE);
+//! * [`eliminate_dead`] — removes cells whose output nobody reads;
+//! * [`optimize`] — runs all passes to a fixed point.
+
+use std::collections::HashMap;
+
+use crate::graph::Driver;
+use crate::{CellKind, NetId, Netlist};
+
+/// Statistics about what an optimization run changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Cells removed by constant folding.
+    pub folded: usize,
+    /// Buffers / double inverters short-circuited.
+    pub buffers: usize,
+    /// Cells merged by structural hashing.
+    pub hashed: usize,
+    /// Dead cells removed.
+    pub dead: usize,
+}
+
+impl OptReport {
+    /// Total number of cells eliminated.
+    pub fn total(&self) -> usize {
+        self.folded + self.buffers + self.hashed + self.dead
+    }
+}
+
+/// Runs all passes repeatedly until none of them makes progress.
+pub fn optimize(netlist: &mut Netlist) -> OptReport {
+    let mut report = OptReport::default();
+    loop {
+        let folded = constant_fold(netlist);
+        let buffers = merge_buffers(netlist);
+        let hashed = structural_hash(netlist);
+        let dead = eliminate_dead(netlist);
+        report.folded += folded;
+        report.buffers += buffers;
+        report.hashed += hashed;
+        report.dead += dead;
+        if folded + buffers + hashed + dead == 0 {
+            return report;
+        }
+    }
+}
+
+/// Replaces cells all of whose inputs are constant (or that simplify with
+/// a partially constant input, e.g. `AND(x, 0) = 0`, `AND(x, 1) = x`) with
+/// constant ties or buffers. Returns the number of cells simplified.
+pub fn constant_fold(netlist: &mut Netlist) -> usize {
+    // Net-level constant knowledge.
+    let mut known: HashMap<NetId, bool> = netlist.constants().iter().copied().collect();
+    let Ok(order) = netlist.topo_order() else { return 0 };
+    let mut simplified = 0usize;
+
+    // First pass: compute which cell outputs are constant, and which cells
+    // reduce to a buffer/inverter of one input.
+    let mut actions: Vec<(usize, Action)> = Vec::new();
+    for &id in &order {
+        let cell = &netlist.cells()[id];
+        if cell.kind.is_sequential() {
+            continue;
+        }
+        let vals: Vec<Option<bool>> =
+            cell.inputs.iter().map(|n| known.get(n).copied()).collect();
+        let action = simplify_cell(cell.kind, &cell.inputs, &vals);
+        if let Action::Const(v) = action {
+            known.insert(cell.output, v);
+        }
+        match action {
+            Action::Keep => {}
+            other => actions.push((id, other)),
+        }
+    }
+
+    if actions.is_empty() {
+        return 0;
+    }
+
+    // Apply: replace the producing cell with a constant tie / buffer / NOT.
+    let mut to_remove: Vec<usize> = Vec::new();
+    let mut new_bufs: Vec<(CellKind, NetId, NetId)> = Vec::new();
+    for (id, action) in &actions {
+        let out = netlist.cells()[*id].output;
+        match action {
+            Action::Const(v) => {
+                netlist.add_constant(out, *v);
+                to_remove.push(*id);
+                simplified += 1;
+            }
+            Action::Alias(src) => {
+                new_bufs.push((CellKind::Buf, *src, out));
+                to_remove.push(*id);
+                simplified += 1;
+            }
+            Action::Invert(src) => {
+                new_bufs.push((CellKind::Not, *src, out));
+                to_remove.push(*id);
+                simplified += 1;
+            }
+            Action::Keep => {}
+        }
+    }
+    to_remove.sort_unstable();
+    for &id in to_remove.iter().rev() {
+        netlist.cells_mut().remove(id);
+    }
+    for (kind, src, out) in new_bufs {
+        netlist.add_cell(kind, vec![src], out);
+    }
+    simplified
+}
+
+
+/// How a partially-constant cell simplifies.
+enum Action {
+    /// Output is the given constant.
+    Const(bool),
+    /// Output equals this net.
+    Alias(NetId),
+    /// Output is the inversion of this net.
+    Invert(NetId),
+    /// No simplification applies.
+    Keep,
+}
+
+fn simplify_cell(kind: CellKind, inputs: &[NetId], vals: &[Option<bool>]) -> Action {
+    // Fully constant?
+    if vals.iter().all(|v| v.is_some()) {
+        let bits: Vec<bool> = vals.iter().map(|v| v.unwrap()).collect();
+        return Action::Const(kind.eval(&bits));
+    }
+    match kind {
+        CellKind::And | CellKind::Nand => {
+            let neg = kind == CellKind::Nand;
+            for (i, v) in vals.iter().enumerate() {
+                match v {
+                    Some(false) => return Action::Const(neg),
+                    Some(true) => {
+                        let other = inputs[1 - i];
+                        return if neg { Action::Invert(other) } else { Action::Alias(other) };
+                    }
+                    None => {}
+                }
+            }
+            Action::Keep
+        }
+        CellKind::Or | CellKind::Nor => {
+            let neg = kind == CellKind::Nor;
+            for (i, v) in vals.iter().enumerate() {
+                match v {
+                    Some(true) => return Action::Const(!neg),
+                    Some(false) => {
+                        let other = inputs[1 - i];
+                        return if neg { Action::Invert(other) } else { Action::Alias(other) };
+                    }
+                    None => {}
+                }
+            }
+            Action::Keep
+        }
+        CellKind::Xor | CellKind::Xnor => {
+            let neg = kind == CellKind::Xnor;
+            for (i, v) in vals.iter().enumerate() {
+                if let Some(c) = v {
+                    let other = inputs[1 - i];
+                    let inverted = *c != neg;
+                    return if inverted { Action::Invert(other) } else { Action::Alias(other) };
+                }
+            }
+            Action::Keep
+        }
+        CellKind::Mux => {
+            // inputs [S, A, B]: Y = S ? B : A
+            match vals[0] {
+                Some(false) => Action::Alias(inputs[1]),
+                Some(true) => Action::Alias(inputs[2]),
+                None => {
+                    // Identical data inputs make the select irrelevant.
+                    if inputs[1] == inputs[2] {
+                        Action::Alias(inputs[1])
+                    } else {
+                        Action::Keep
+                    }
+                }
+            }
+        }
+        _ => Action::Keep,
+    }
+}
+
+/// Short-circuits buffers (`Y = A` becomes a net merge) and cancels
+/// double inverters. Returns the number of cells removed.
+pub fn merge_buffers(netlist: &mut Netlist) -> usize {
+    let drivers = netlist.drivers();
+    let num_nets = netlist.num_nets();
+    // Union-find over nets for BUF merging.
+    let mut parent: Vec<NetId> = (0..num_nets).collect();
+    fn find(parent: &mut Vec<NetId>, mut x: NetId) -> NetId {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    // Module input nets and constant nets must stay canonical (they have
+    // external drivers); prefer them as roots.
+    let mut is_root_preferred = vec![false; num_nets];
+    for port in netlist.input_ports() {
+        for &n in &port.bits {
+            is_root_preferred[n] = true;
+        }
+    }
+    for &(n, _) in netlist.constants() {
+        is_root_preferred[n] = true;
+    }
+
+    let mut removed_cells: Vec<usize> = Vec::new();
+    for (id, cell) in netlist.cells().iter().enumerate() {
+        if cell.kind == CellKind::Buf {
+            // Merge output into input.
+            let a = find(&mut parent, cell.inputs[0]);
+            let y = find(&mut parent, cell.output);
+            if a != y {
+                // Prefer input-side root.
+                if is_root_preferred[y] && !is_root_preferred[a] {
+                    parent[a] = y;
+                } else {
+                    parent[y] = a;
+                }
+            }
+            removed_cells.push(id);
+        }
+    }
+    // Double inverters: NOT(NOT(x)) — alias outer output to x.
+    for (id, cell) in netlist.cells().iter().enumerate() {
+        if cell.kind == CellKind::Not {
+            if let Driver::Cell(src) = drivers[cell.inputs[0]] {
+                let src_cell = &netlist.cells()[src];
+                if src_cell.kind == CellKind::Not && !removed_cells.contains(&id) {
+                    let x = find(&mut parent, src_cell.inputs[0]);
+                    let y = find(&mut parent, cell.output);
+                    if x != y {
+                        if is_root_preferred[y] && !is_root_preferred[x] {
+                            parent[x] = y;
+                        } else {
+                            parent[y] = x;
+                        }
+                        removed_cells.push(id);
+                    }
+                }
+            }
+        }
+    }
+    if removed_cells.is_empty() {
+        return 0;
+    }
+    removed_cells.sort_unstable();
+    removed_cells.dedup();
+    for &id in removed_cells.iter().rev() {
+        netlist.cells_mut().remove(id);
+    }
+    let map: Vec<NetId> = (0..num_nets).map(|n| find(&mut parent, n)).collect();
+    netlist.substitute_nets(&map);
+    removed_cells.len()
+}
+
+/// Merges cells with identical kind and input nets (common-subexpression
+/// elimination). Returns the number of cells removed.
+pub fn structural_hash(netlist: &mut Netlist) -> usize {
+    let num_nets = netlist.num_nets();
+    let mut seen: HashMap<(CellKind, Vec<NetId>), NetId> = HashMap::new();
+    let mut map: Vec<NetId> = (0..num_nets).collect();
+    let mut removed: Vec<usize> = Vec::new();
+    let Ok(order) = netlist.topo_order() else { return 0 };
+    for &id in &order {
+        let cell = &netlist.cells()[id];
+        if cell.kind.is_sequential() {
+            continue;
+        }
+        let key = (cell.kind, cell.inputs.iter().map(|&n| map[n]).collect::<Vec<_>>());
+        match seen.get(&key) {
+            Some(&canonical) => {
+                map[cell.output] = canonical;
+                removed.push(id);
+            }
+            None => {
+                seen.insert(key, map[cell.output]);
+            }
+        }
+    }
+    if removed.is_empty() {
+        return 0;
+    }
+    removed.sort_unstable();
+    for &id in removed.iter().rev() {
+        netlist.cells_mut().remove(id);
+    }
+    // Close the mapping transitively.
+    for n in 0..num_nets {
+        let mut cur = n;
+        let mut hops = 0;
+        while map[cur] != cur && hops < num_nets {
+            cur = map[cur];
+            hops += 1;
+        }
+        map[n] = cur;
+    }
+    netlist.substitute_nets(&map);
+    removed.len()
+}
+
+/// Removes cells whose output is neither read by another cell nor visible
+/// at an output port. Returns the number removed.
+pub fn eliminate_dead(netlist: &mut Netlist) -> usize {
+    let mut read = vec![false; netlist.num_nets()];
+    for cell in netlist.cells() {
+        for &n in &cell.inputs {
+            read[n] = true;
+        }
+    }
+    for port in netlist.output_ports() {
+        for &n in &port.bits {
+            read[n] = true;
+        }
+    }
+    // Iterate: removing a dead cell may make its fan-in dead too.
+    let mut removed = 0usize;
+    loop {
+        let dead: Vec<usize> = netlist
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !read[c.output])
+            .map(|(id, _)| id)
+            .collect();
+        if dead.is_empty() {
+            // Also drop constant ties on unread nets.
+            netlist.constants_mut().retain(|&(n, _)| read[n]);
+            return removed;
+        }
+        for &id in dead.iter().rev() {
+            netlist.cells_mut().remove(id);
+            removed += 1;
+        }
+        // Recompute readership.
+        for r in read.iter_mut() {
+            *r = false;
+        }
+        for cell in netlist.cells() {
+            for &n in &cell.inputs {
+                read[n] = true;
+            }
+        }
+        for port in netlist.output_ports() {
+            for &n in &port.bits {
+                read[n] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Builder, CombSim};
+
+    /// Checks that `optimize` preserves I/O behaviour on an exhaustive
+    /// input sweep.
+    fn assert_equivalent(netlist: &Netlist, optimized: &Netlist, widths: &[(&str, usize)]) {
+        let sim_a = CombSim::new(netlist).unwrap();
+        let sim_b = CombSim::new(optimized).unwrap();
+        let total: usize = widths.iter().map(|(_, w)| w).sum();
+        assert!(total <= 16, "sweep too large");
+        for combo in 0..(1u64 << total) {
+            let mut shift = 0;
+            let inputs: Vec<(&str, u64)> = widths
+                .iter()
+                .map(|&(name, w)| {
+                    let v = (combo >> shift) & ((1 << w) - 1);
+                    shift += w;
+                    (name, v)
+                })
+                .collect();
+            let a = sim_a.eval_words(&inputs).unwrap();
+            let b = sim_b.eval_words(&inputs).unwrap();
+            assert_eq!(a, b, "mismatch at inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn constant_folding_shrinks_and_preserves() {
+        let mut b = Builder::new("cf");
+        let x = b.input("x", 1)[0];
+        let t = b.constant(true);
+        let f = b.constant(false);
+        let a1 = b.and(x, t); // = x
+        let a2 = b.or(a1, f); // = x
+        let a3 = b.and(a2, f); // = 0
+        let y = b.or(a2, a3); // = x
+        b.output("y", &[y]);
+        let original = b.finish();
+        let mut optimized = original.clone();
+        let report = optimize(&mut optimized);
+        assert!(report.total() > 0);
+        assert!(optimized.cells().len() < original.cells().len());
+        assert_equivalent(&original, &optimized, &[("x", 1)]);
+    }
+
+    #[test]
+    fn double_inverter_cancelled() {
+        let mut b = Builder::new("inv2");
+        let x = b.input("x", 1)[0];
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        b.output("y", &[n2]);
+        let original = b.finish();
+        let mut optimized = original.clone();
+        optimize(&mut optimized);
+        assert_eq!(optimized.cells().len(), 0, "both inverters should vanish");
+        assert_equivalent(&original, &optimized, &[("x", 1)]);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_gates() {
+        let mut b = Builder::new("cse");
+        let x = b.input("x", 1)[0];
+        let y = b.input("y", 1)[0];
+        let a1 = b.and(x, y);
+        let a2 = b.and(x, y); // duplicate
+        let o = b.or(a1, a2); // = a1
+        b.output("o", &[o]);
+        let original = b.finish();
+        let mut optimized = original.clone();
+        let report = optimize(&mut optimized);
+        assert!(report.hashed >= 1);
+        assert_equivalent(&original, &optimized, &[("x", 1), ("y", 1)]);
+    }
+
+    #[test]
+    fn dead_logic_removed() {
+        let mut b = Builder::new("dead");
+        let x = b.input("x", 1)[0];
+        let y = b.input("y", 1)[0];
+        let _unused = b.xor(x, y);
+        let used = b.and(x, y);
+        b.output("o", &[used]);
+        let original = b.finish();
+        let mut optimized = original.clone();
+        let report = optimize(&mut optimized);
+        assert!(report.dead >= 1);
+        assert_eq!(optimized.cells().len(), 1);
+        assert_equivalent(&original, &optimized, &[("x", 1), ("y", 1)]);
+    }
+
+    #[test]
+    fn adder_equivalence_after_optimize() {
+        let mut b = Builder::new("add4");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let s = b.add(&x, &y);
+        b.output("s", &s);
+        let original = b.finish();
+        let mut optimized = original.clone();
+        optimize(&mut optimized);
+        optimized.validate().unwrap();
+        assert_equivalent(&original, &optimized, &[("x", 4), ("y", 4)]);
+    }
+
+    #[test]
+    fn mux_same_branches_collapses() {
+        let mut b = Builder::new("mx");
+        let s = b.input("s", 1)[0];
+        let x = b.input("x", 1)[0];
+        let m = b.mux(s, x, x);
+        b.output("o", &[m]);
+        let original = b.finish();
+        let mut optimized = original.clone();
+        optimize(&mut optimized);
+        assert_eq!(optimized.cells().len(), 0);
+        assert_equivalent(&original, &optimized, &[("s", 1), ("x", 1)]);
+    }
+
+    #[test]
+    fn sequential_cells_survive() {
+        let mut b = Builder::new("seq");
+        let x = b.input("x", 1)[0];
+        let q = b.dff(x);
+        b.output("q", &[q]);
+        let mut n = b.finish();
+        optimize(&mut n);
+        assert_eq!(n.num_flip_flops(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Netlist size statistics — the §6.1 "static properties" counters.
+
+use std::collections::BTreeMap;
+
+use crate::{CellKind, Netlist};
+
+/// Size statistics for a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Count of cells by kind.
+    pub by_kind: BTreeMap<CellKind, usize>,
+    /// Total cell count.
+    pub cells: usize,
+    /// Total allocated nets.
+    pub nets: usize,
+    /// Flip-flop count.
+    pub flip_flops: usize,
+    /// Input port bit count.
+    pub input_bits: usize,
+    /// Output port bit count.
+    pub output_bits: usize,
+}
+
+impl NetlistStats {
+    /// Gathers statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let mut by_kind: BTreeMap<CellKind, usize> = BTreeMap::new();
+        for cell in netlist.cells() {
+            *by_kind.entry(cell.kind).or_insert(0) += 1;
+        }
+        NetlistStats {
+            cells: netlist.cells().len(),
+            nets: netlist.num_nets(),
+            flip_flops: netlist.num_flip_flops(),
+            input_bits: netlist.input_ports().iter().map(|p| p.width()).sum(),
+            output_bits: netlist.output_ports().iter().map(|p| p.width()).sum(),
+            by_kind,
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} cells ({} FFs), {} nets, {} input bits, {} output bits",
+            self.cells, self.flip_flops, self.nets, self.input_bits, self.output_bits
+        )?;
+        for (kind, count) in &self.by_kind {
+            writeln!(f, "  {kind}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn counts_cells_by_kind() {
+        let mut b = Builder::new("s");
+        let x = b.input("x", 2);
+        let y = b.input("y", 2);
+        let s = b.add(&x, &y);
+        b.output("s", &s);
+        let n = b.finish();
+        let stats = NetlistStats::of(&n);
+        assert_eq!(stats.cells, n.cells().len());
+        assert_eq!(stats.input_bits, 4);
+        assert_eq!(stats.output_bits, 2);
+        assert!(stats.by_kind[&CellKind::Xor] >= 2);
+        assert!(!stats.to_string().is_empty());
+    }
+}

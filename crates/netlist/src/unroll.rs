@@ -1,0 +1,228 @@
+//! Time-unrolling of sequential netlists (paper §4.3.3).
+//!
+//! A stateful program cannot be a pure quadratic function, so the compiler
+//! "statically unrolls the code, replicating the entire program for each
+//! time step … with the outputs of one time step serving as the inputs to
+//! the subsequent time step". A flip-flop instantiated at time t forwards
+//! its Q to the same flip-flop's D at time t+1; since the unrolled netlist
+//! is combinational, that forwarding is just a wire.
+//!
+//! Port naming: input/output port `p` of the original module becomes
+//! `p@0, p@1, …` in the unrolled module. Initial flip-flop state is either
+//! tied to zero or exposed as an input port `ff_init`.
+
+use crate::{CellKind, NetId, Netlist};
+
+/// Where flip-flops start at time 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialState {
+    /// All flip-flops start at logic 0 (Verilog's implicit reset).
+    #[default]
+    Zero,
+    /// The initial state is exposed as an input port named `ff_init`
+    /// (LSB = first flip-flop in cell order), so it can be pinned or
+    /// solved for — running time itself "backward".
+    Free,
+}
+
+/// Unrolls `netlist` over `steps` time steps into a combinational netlist.
+///
+/// The result contains `steps` copies of every combinational cell. Each
+/// original flip-flop contributes no cells at all: its Q net at step t+1
+/// is simply driven by (a buffer of) its D net at step t, implementing
+/// `H_DFF(σ_Q, σ_D) = −σ_Q σ_D` across adjacent steps.
+///
+/// # Panics
+/// Panics if `steps == 0`.
+pub fn unroll(netlist: &Netlist, steps: usize, initial: InitialState) -> Netlist {
+    assert!(steps > 0, "must unroll at least one step");
+    let mut out = Netlist::new(format!("{}@x{steps}", netlist.name()));
+    let n_nets = netlist.num_nets();
+
+    // net_map[t][n] = unrolled net for original net n at step t.
+    let mut net_map: Vec<Vec<NetId>> = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let step_nets: Vec<NetId> = (0..n_nets).map(|_| out.add_net()).collect();
+        net_map.push(step_nets);
+    }
+
+    // Name nets per step for debuggability.
+    for t in 0..steps {
+        for n in 0..n_nets {
+            if let Some(name) = netlist.net_name(n) {
+                out.set_net_name(net_map[t][n], format!("{name}@{t}"));
+            }
+        }
+    }
+
+    // Ports, replicated per step.
+    for t in 0..steps {
+        for port in netlist.input_ports() {
+            let bits: Vec<NetId> = port.bits.iter().map(|&b| net_map[t][b]).collect();
+            out.add_input_port(format!("{}@{t}", port.name), bits);
+        }
+        for port in netlist.output_ports() {
+            let bits: Vec<NetId> = port.bits.iter().map(|&b| net_map[t][b]).collect();
+            out.add_output_port(format!("{}@{t}", port.name), bits);
+        }
+    }
+
+    // Constants, replicated per step.
+    for t in 0..steps {
+        for &(net, value) in netlist.constants() {
+            out.add_constant(net_map[t][net], value);
+        }
+    }
+
+    // Cells.
+    let ff_cells: Vec<usize> = netlist
+        .cells()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.kind.is_sequential())
+        .map(|(id, _)| id)
+        .collect();
+
+    for t in 0..steps {
+        for cell in netlist.cells() {
+            if cell.kind.is_sequential() {
+                continue;
+            }
+            let inputs: Vec<NetId> = cell.inputs.iter().map(|&n| net_map[t][n]).collect();
+            out.add_cell(cell.kind, inputs, net_map[t][cell.output]);
+        }
+    }
+
+    // Flip-flop threading: Q@(t+1) = D@t.
+    for &id in &ff_cells {
+        let cell = &netlist.cells()[id];
+        let d = cell.inputs[0];
+        let q = cell.output;
+        for t in 0..steps - 1 {
+            out.add_cell(CellKind::Buf, vec![net_map[t][d]], net_map[t + 1][q]);
+        }
+    }
+
+    // Initial state at step 0.
+    match initial {
+        InitialState::Zero => {
+            for &id in &ff_cells {
+                let q = netlist.cells()[id].output;
+                out.add_constant(net_map[0][q], false);
+            }
+        }
+        InitialState::Free => {
+            let bits: Vec<NetId> =
+                ff_cells.iter().map(|&id| net_map[0][netlist.cells()[id].output]).collect();
+            if !bits.is_empty() {
+                out.add_input_port("ff_init", bits);
+            }
+        }
+    }
+
+    // Final D values: expose as an output so the "state after the last
+    // step" is observable (and pinnable).
+    let final_bits: Vec<NetId> =
+        ff_cells.iter().map(|&id| net_map[steps - 1][netlist.cells()[id].inputs[0]]).collect();
+    if !final_bits.is_empty() {
+        out.add_output_port("ff_final", final_bits);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Builder, CombSim, SeqSim};
+
+    /// A 3-bit counter with an `inc` input.
+    fn counter() -> Netlist {
+        let mut b = Builder::new("count3");
+        let inc = b.input("inc", 1)[0];
+        let width = 3;
+        let q: Vec<NetId> = (0..width).map(|_| b.fresh()).collect();
+        let one = b.constant_word(1, width);
+        let plus1 = b.add(&q, &one);
+        let next = b.mux_word(inc, &q, &plus1);
+        for i in 0..width {
+            b.add_dff_into(next[i], q[i]);
+        }
+        b.output("out", &q);
+        b.finish()
+    }
+
+    #[test]
+    fn unrolled_counter_matches_sequential_simulation() {
+        let seq_netlist = counter();
+        let steps = 4;
+        let unrolled = unroll(&seq_netlist, steps, InitialState::Zero);
+        unrolled.validate().unwrap();
+        assert!(!unrolled.is_sequential());
+
+        // Drive inc=1 on every step in both models.
+        let mut seq = SeqSim::new(&seq_netlist).unwrap();
+        let comb = CombSim::new(&unrolled).unwrap();
+        let input_names: Vec<String> = (0..steps).map(|t| format!("inc@{t}")).collect();
+        let inputs: Vec<(&str, u64)> = input_names.iter().map(|n| (n.as_str(), 1u64)).collect();
+        let unrolled_out = comb.eval_words(&inputs).unwrap();
+        for t in 0..steps {
+            let seq_out = seq.step(&[("inc", 1)]).unwrap();
+            assert_eq!(
+                unrolled_out[&format!("out@{t}")],
+                seq_out["out"],
+                "mismatch at step {t}"
+            );
+        }
+        // Final state after the last step: counter holds `steps`.
+        assert_eq!(unrolled_out["ff_final"], steps as u64);
+    }
+
+    #[test]
+    fn unrolled_with_varying_inputs() {
+        let seq_netlist = counter();
+        let steps = 5;
+        let unrolled = unroll(&seq_netlist, steps, InitialState::Zero);
+        let comb = CombSim::new(&unrolled).unwrap();
+        let pattern = [1u64, 0, 1, 1, 0];
+        let names: Vec<String> = (0..steps).map(|t| format!("inc@{t}")).collect();
+        let inputs: Vec<(&str, u64)> =
+            names.iter().zip(pattern.iter()).map(|(n, &v)| (n.as_str(), v)).collect();
+        let out = comb.eval_words(&inputs).unwrap();
+        let mut seq = SeqSim::new(&seq_netlist).unwrap();
+        for t in 0..steps {
+            let s = seq.step(&[("inc", pattern[t])]).unwrap();
+            assert_eq!(out[&format!("out@{t}")], s["out"], "step {t}");
+        }
+    }
+
+    #[test]
+    fn free_initial_state_is_input() {
+        let unrolled = unroll(&counter(), 2, InitialState::Free);
+        assert!(unrolled.port("ff_init").is_some());
+        let comb = CombSim::new(&unrolled).unwrap();
+        // Start the counter at 5, increment once: out@0 = 5, final = 6.
+        let out = comb
+            .eval_words(&[("ff_init", 5), ("inc@0", 1), ("inc@1", 0)])
+            .unwrap();
+        assert_eq!(out["out@0"], 5);
+        assert_eq!(out["out@1"], 6);
+        assert_eq!(out["ff_final"], 6);
+    }
+
+    #[test]
+    fn qubit_blowup_is_linear_in_steps() {
+        // The paper's "heavy toll in qubit count": cells scale with T.
+        let base = counter();
+        let u2 = unroll(&base, 2, InitialState::Zero);
+        let u4 = unroll(&base, 4, InitialState::Zero);
+        let comb_cells = |n: &Netlist| n.cells().iter().filter(|c| !c.kind.is_sequential()).count();
+        assert!(comb_cells(&u4) >= 2 * comb_cells(&u2) - 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        unroll(&counter(), 0, InitialState::Zero);
+    }
+}

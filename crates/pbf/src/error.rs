@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by model construction and transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbfError {
+    /// A variable index was at least the model's variable count.
+    VariableOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of variables in the model.
+        num_vars: usize,
+    },
+    /// A quadratic term was requested between a variable and itself.
+    SelfCoupling(usize),
+    /// A coefficient was not finite (NaN or infinite).
+    NonFiniteCoefficient(f64),
+    /// The assignment vector length did not match the model.
+    AssignmentLength {
+        /// Length supplied by the caller.
+        got: usize,
+        /// Length the model requires.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for PbfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbfError::VariableOutOfRange { index, num_vars } => {
+                write!(f, "variable index {index} out of range for {num_vars} variables")
+            }
+            PbfError::SelfCoupling(i) => {
+                write!(f, "self-coupling requested on variable {i}")
+            }
+            PbfError::NonFiniteCoefficient(c) => {
+                write!(f, "coefficient {c} is not finite")
+            }
+            PbfError::AssignmentLength { got, expected } => {
+                write!(f, "assignment has {got} entries but model has {expected} variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PbfError {}

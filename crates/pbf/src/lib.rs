@@ -1,0 +1,53 @@
+//! Quadratic pseudo-Boolean functions for quantum annealing.
+//!
+//! This crate provides the two canonical representations of the objective
+//! a quantum annealer minimizes (Pakin, ASPLOS 2019, Equations 1–2):
+//!
+//! * [`Ising`] — the "physics" form over spins σ ∈ {−1, +1}:
+//!   `H(σ̄) = Σ hᵢσᵢ + Σ Jᵢⱼσᵢσⱼ + offset`
+//! * [`Qubo`] — the operations-research form over bits x ∈ {0, 1}:
+//!   `E(x̄) = Σ qᵢxᵢ + Σ qᵢⱼxᵢxⱼ + offset`
+//!
+//! The two forms are exactly interconvertible ([`Ising::to_qubo`],
+//! [`Qubo::to_ising`]) and both support energy evaluation, coefficient
+//! iteration, and serialization.
+//!
+//! On top of the models the crate implements the hardware-facing
+//! transformations the paper's toolchain relies on:
+//!
+//! * [`scale`] — scaling coefficients into the engineering ranges of a
+//!   D-Wave 2000Q (`h ∈ [−2, 2]`, `J ∈ [−2, 1]`), including coefficient
+//!   quantization to model the machine's limited analog precision.
+//! * [`flow`] — a from-scratch Dinic maximum-flow solver.
+//! * [`roof`] — roof duality (QPBO) over the Boros–Hammer implication
+//!   network, used to fix ("elide") variables whose value in every ground
+//!   state can be determined a priori, as SAPI does for QMASM (§4.4).
+//!
+//! # Example
+//!
+//! ```
+//! use qac_pbf::{Ising, Spin};
+//!
+//! // A two-ended net (paper Table 1): H = -σ_A σ_Y is minimized iff A == Y.
+//! let mut net = Ising::new(2);
+//! net.add_j(0, 1, -1.0);
+//! let equal = [Spin::Up, Spin::Up];
+//! let differ = [Spin::Up, Spin::Down];
+//! assert!(net.energy(&equal) < net.energy(&differ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod flow;
+mod ising;
+mod qubo;
+pub mod roof;
+pub mod scale;
+mod spin;
+
+pub use error::PbfError;
+pub use ising::{Ising, JTerm};
+pub use qubo::Qubo;
+pub use spin::{bits_to_spins, spins_to_bits, spins_to_index, Spin, SpinVec};

@@ -1,0 +1,266 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Ising, PbfError};
+
+/// A quadratic unconstrained binary optimization problem
+/// `E(x̄) = Σ qᵢxᵢ + Σ_{i<j} qᵢⱼxᵢxⱼ + offset` over bits x ∈ {0, 1}.
+///
+/// This is the 0/1 form used by qbsolv and the operations-research
+/// community (paper §2 footnote). It is exactly interconvertible with
+/// [`Ising`] via x = (σ + 1) / 2.
+///
+/// ```
+/// use qac_pbf::Qubo;
+///
+/// // E = 3·x0·x1 − 2·x0 − 2·x1 has minimum −2 at (1,0) and (0,1).
+/// let mut q = Qubo::new(2);
+/// q.add_linear(0, -2.0);
+/// q.add_linear(1, -2.0);
+/// q.add_quadratic(0, 1, 3.0);
+/// assert_eq!(q.energy(&[true, false]), -2.0);
+/// assert_eq!(q.energy(&[true, true]), -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Qubo {
+    num_vars: usize,
+    linear: Vec<f64>,
+    quadratic: BTreeMap<(usize, usize), f64>,
+    offset: f64,
+}
+
+impl Qubo {
+    /// Creates an all-zero QUBO over `num_vars` binary variables.
+    pub fn new(num_vars: usize) -> Qubo {
+        Qubo {
+            num_vars,
+            linear: vec![0.0; num_vars],
+            quadratic: BTreeMap::new(),
+            offset: 0.0,
+        }
+    }
+
+    /// Number of binary variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Adds `delta` to the constant offset.
+    pub fn add_offset(&mut self, delta: f64) {
+        self.offset += delta;
+    }
+
+    /// The linear coefficient of `xᵢ`.
+    pub fn linear(&self, i: usize) -> f64 {
+        self.linear[i]
+    }
+
+    /// The quadratic coefficient of `xᵢxⱼ` (0.0 if absent).
+    pub fn quadratic(&self, i: usize, j: usize) -> f64 {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.quadratic.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Accumulates `delta` onto the linear coefficient of `xᵢ`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn add_linear(&mut self, i: usize, delta: f64) {
+        assert!(i < self.num_vars, "variable index in range");
+        self.linear[i] += delta;
+    }
+
+    /// Accumulates `delta` onto the quadratic coefficient of `xᵢxⱼ`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range or `i == j`. (A QUBO self
+    /// product `xᵢxᵢ = xᵢ` should be added as a linear term.)
+    pub fn add_quadratic(&mut self, i: usize, j: usize, delta: f64) {
+        assert!(i != j, "use add_linear for diagonal terms");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        assert!(b < self.num_vars, "variable index in range");
+        *self.quadratic.entry((a, b)).or_insert(0.0) += delta;
+    }
+
+    /// Iterates over linear coefficients `(i, qᵢ)`.
+    pub fn linear_iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.linear.iter().copied().enumerate()
+    }
+
+    /// Iterates over quadratic terms `((i, j), qᵢⱼ)`.
+    pub fn quadratic_iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.quadratic.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Evaluates `E(x̄)`.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != num_vars`. See [`Qubo::try_energy`].
+    pub fn energy(&self, bits: &[bool]) -> f64 {
+        self.try_energy(bits).expect("assignment length matches model")
+    }
+
+    /// Fallible version of [`Qubo::energy`].
+    ///
+    /// # Errors
+    /// Returns [`PbfError::AssignmentLength`] on a length mismatch.
+    pub fn try_energy(&self, bits: &[bool]) -> Result<f64, PbfError> {
+        if bits.len() != self.num_vars {
+            return Err(PbfError::AssignmentLength { got: bits.len(), expected: self.num_vars });
+        }
+        let mut e = self.offset;
+        for (i, &q) in self.linear.iter().enumerate() {
+            if bits[i] {
+                e += q;
+            }
+        }
+        for (&(i, j), &q) in &self.quadratic {
+            if bits[i] && bits[j] {
+                e += q;
+            }
+        }
+        Ok(e)
+    }
+
+    /// Converts to the equivalent Ising model via x = (σ + 1)/2.
+    ///
+    /// Energies are preserved exactly.
+    pub fn to_ising(&self) -> Ising {
+        let mut m = Ising::new(self.num_vars);
+        let mut offset = self.offset;
+        for (i, &q) in self.linear.iter().enumerate() {
+            // qx = q(σ+1)/2
+            m.add_h(i, q / 2.0);
+            offset += q / 2.0;
+        }
+        for (&(i, j), &q) in &self.quadratic {
+            // qxx' = q(σ+1)(σ'+1)/4
+            m.add_j(i, j, q / 4.0);
+            m.add_h(i, q / 4.0);
+            m.add_h(j, q / 4.0);
+            offset += q / 4.0;
+        }
+        m.add_offset(offset);
+        m
+    }
+
+    /// Builds an adjacency list of coupled partners per variable.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); self.num_vars];
+        for (&(i, j), &v) in &self.quadratic {
+            if v != 0.0 {
+                adj[i].push((j, v));
+                adj[j].push((i, v));
+            }
+        }
+        adj
+    }
+
+    /// Number of stored quadratic entries.
+    pub fn num_quadratic(&self) -> usize {
+        self.quadratic.len()
+    }
+}
+
+impl fmt::Display for Qubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# QUBO: {} variables, {} quadratic terms",
+            self.num_vars,
+            self.quadratic.len()
+        )?;
+        if self.offset != 0.0 {
+            writeln!(f, "offset {}", self.offset)?;
+        }
+        for (i, &q) in self.linear.iter().enumerate() {
+            if q != 0.0 {
+                writeln!(f, "{i} {i} {q}")?;
+            }
+        }
+        for (&(i, j), &q) in &self.quadratic {
+            if q != 0.0 {
+                writeln!(f, "{i} {j} {q}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bits_to_spins, spins_to_bits};
+
+    fn sample_qubo() -> Qubo {
+        let mut q = Qubo::new(4);
+        q.add_linear(0, 1.5);
+        q.add_linear(2, -2.0);
+        q.add_quadratic(0, 1, -1.0);
+        q.add_quadratic(1, 3, 3.0);
+        q.add_quadratic(2, 3, 0.5);
+        q.add_offset(0.25);
+        q
+    }
+
+    #[test]
+    fn energy_basics() {
+        let q = sample_qubo();
+        assert_eq!(q.energy(&[false; 4]), 0.25);
+        assert_eq!(q.energy(&[true, true, false, false]), 0.25 + 1.5 - 1.0);
+    }
+
+    #[test]
+    fn ising_round_trip_preserves_energy() {
+        let q = sample_qubo();
+        let m = q.to_ising();
+        for idx in 0..16u64 {
+            let spins = bits_to_spins(idx, 4);
+            let bits = spins_to_bits(&spins);
+            assert!(
+                (q.energy(&bits) - m.energy(&spins)).abs() < 1e-12,
+                "mismatch at {idx}"
+            );
+        }
+        let q2 = m.to_qubo();
+        for idx in 0..16u64 {
+            let bits = spins_to_bits(&bits_to_spins(idx, 4));
+            assert!((q.energy(&bits) - q2.energy(&bits)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadratic_key_normalized() {
+        let mut q = Qubo::new(3);
+        q.add_quadratic(2, 1, 1.0);
+        q.add_quadratic(1, 2, 1.0);
+        assert_eq!(q.quadratic(1, 2), 2.0);
+        assert_eq!(q.num_quadratic(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn self_quadratic_panics() {
+        let mut q = Qubo::new(2);
+        q.add_quadratic(1, 1, 1.0);
+    }
+
+    #[test]
+    fn try_energy_length_check() {
+        let q = sample_qubo();
+        assert!(q.try_energy(&[true]).is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let q = Qubo::new(0);
+        assert!(!q.to_string().is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Scaling and quantizing coefficients to hardware engineering ranges.
+//!
+//! A D-Wave 2000Q accepts `h ∈ [−2.0, 2.0]` and `J ∈ [−2.0, 1.0]`
+//! (paper §2; the J asymmetry comes from the rf-SQUID coupler physics).
+//! Because the machine is analog, coefficients also have limited precision.
+//! This module scales a logical [`Ising`] model into range (preserving the
+//! energy ordering — scaling by a positive constant does not move the
+//! argmin) and optionally quantizes coefficients to a given number of bits
+//! to model analog precision.
+
+use crate::Ising;
+
+/// The coefficient ranges a hardware target accepts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoefficientRange {
+    /// Minimum allowed linear coefficient.
+    pub h_min: f64,
+    /// Maximum allowed linear coefficient.
+    pub h_max: f64,
+    /// Minimum allowed coupling.
+    pub j_min: f64,
+    /// Maximum allowed coupling.
+    pub j_max: f64,
+}
+
+impl CoefficientRange {
+    /// The D-Wave 2000Q ranges from the paper: `h ∈ [−2, 2]`, `J ∈ [−2, 1]`.
+    pub const DWAVE_2000Q: CoefficientRange =
+        CoefficientRange { h_min: -2.0, h_max: 2.0, j_min: -2.0, j_max: 1.0 };
+
+    /// A symmetric unit range `[−1, 1]` for both h and J.
+    pub const UNIT: CoefficientRange =
+        CoefficientRange { h_min: -1.0, h_max: 1.0, j_min: -1.0, j_max: 1.0 };
+
+    /// Checks that every coefficient of `model` lies inside the range
+    /// (within `eps` slack).
+    pub fn admits(&self, model: &Ising, eps: f64) -> bool {
+        model
+            .h_iter()
+            .all(|(_, h)| h >= self.h_min - eps && h <= self.h_max + eps)
+            && model
+                .j_iter()
+                .all(|t| t.value >= self.j_min - eps && t.value <= self.j_max + eps)
+    }
+}
+
+impl Default for CoefficientRange {
+    fn default() -> Self {
+        CoefficientRange::DWAVE_2000Q
+    }
+}
+
+/// The outcome of scaling a model into a [`CoefficientRange`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledIsing {
+    /// The scaled model (every coefficient within range).
+    pub model: Ising,
+    /// The positive factor the logical model was multiplied by (≤ 1 for
+    /// out-of-range inputs; exactly 1 when the input already fit).
+    pub scale: f64,
+}
+
+/// Scales `model` by the largest factor ≤ 1 that brings every coefficient
+/// into `range`.
+///
+/// Positive scaling preserves the ordering of all energies, so the set of
+/// minimizing assignments is unchanged; only the spectral gap shrinks
+/// (which on real hardware hurts robustness — see the gap-maximization
+/// ablation in `qac-bench`).
+///
+/// The offset is scaled too, keeping reported energies consistent.
+///
+/// # Panics
+/// Panics if `range` does not contain 0 in both intervals (such a range
+/// cannot admit a zero coefficient and no uniform scaling can fix it).
+pub fn scale_to_range(model: &Ising, range: CoefficientRange) -> ScaledIsing {
+    assert!(
+        range.h_min <= 0.0 && range.h_max >= 0.0 && range.j_min <= 0.0 && range.j_max >= 0.0,
+        "coefficient range must contain zero"
+    );
+    let mut factor: f64 = 1.0;
+    for (_, h) in model.h_iter() {
+        if h > range.h_max {
+            factor = factor.min(range.h_max / h);
+        } else if h < range.h_min {
+            factor = factor.min(range.h_min / h);
+        }
+    }
+    for t in model.j_iter() {
+        if t.value > range.j_max {
+            factor = factor.min(range.j_max / t.value);
+        } else if t.value < range.j_min {
+            factor = factor.min(range.j_min / t.value);
+        }
+    }
+    let mut scaled = Ising::new(model.num_vars());
+    for (i, h) in model.h_iter() {
+        if h != 0.0 {
+            scaled.add_h(i, h * factor);
+        }
+    }
+    for t in model.j_iter() {
+        if t.value != 0.0 {
+            scaled.add_j(t.i, t.j, t.value * factor);
+        }
+    }
+    scaled.add_offset(model.offset() * factor);
+    ScaledIsing { model: scaled, scale: factor }
+}
+
+/// Quantizes every coefficient of `model` to `bits` bits of precision over
+/// `range`, emulating the analog DAC resolution of real hardware.
+///
+/// Each coefficient is snapped to the nearest representable step
+/// `(max − min) / (2^bits − 1)` of its interval. A D-Wave 2000Q has on the
+/// order of 5–6 effective bits.
+///
+/// # Panics
+/// Panics if `bits` is 0 or greater than 52.
+pub fn quantize(model: &Ising, range: CoefficientRange, bits: u32) -> Ising {
+    assert!(bits >= 1 && bits <= 52, "bits must be in 1..=52");
+    let steps = (1u64 << bits) as f64 - 1.0;
+    let snap = |v: f64, lo: f64, hi: f64| -> f64 {
+        let step = (hi - lo) / steps;
+        let q = ((v - lo) / step).round();
+        (lo + q * step).clamp(lo, hi)
+    };
+    let mut out = Ising::new(model.num_vars());
+    for (i, h) in model.h_iter() {
+        if h != 0.0 {
+            out.add_h(i, snap(h, range.h_min, range.h_max));
+        }
+    }
+    for t in model.j_iter() {
+        if t.value != 0.0 {
+            out.add_j(t.i, t.j, snap(t.value, range.j_min, range.j_max));
+        }
+    }
+    out.add_offset(model.offset());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits_to_spins;
+
+    fn wild_model() -> Ising {
+        let mut m = Ising::new(3);
+        m.add_h(0, 5.0);
+        m.add_h(1, -3.0);
+        m.add_j(0, 1, -8.0);
+        m.add_j(1, 2, 4.0);
+        m
+    }
+
+    #[test]
+    fn scaling_brings_into_range() {
+        let m = wild_model();
+        let range = CoefficientRange::DWAVE_2000Q;
+        assert!(!range.admits(&m, 1e-9));
+        let scaled = scale_to_range(&m, range);
+        assert!(range.admits(&scaled.model, 1e-9));
+        assert!(scaled.scale > 0.0 && scaled.scale < 1.0);
+    }
+
+    #[test]
+    fn scaling_preserves_energy_ordering() {
+        let m = wild_model();
+        let scaled = scale_to_range(&m, CoefficientRange::DWAVE_2000Q);
+        let mut pairs: Vec<(f64, f64)> = (0..8)
+            .map(|i| {
+                let s = bits_to_spins(i, 3);
+                (m.energy(&s), scaled.model.energy(&s))
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12, "ordering violated: {pairs:?}");
+        }
+    }
+
+    #[test]
+    fn in_range_model_untouched() {
+        let mut m = Ising::new(2);
+        m.add_h(0, 1.0);
+        m.add_j(0, 1, -1.5);
+        let scaled = scale_to_range(&m, CoefficientRange::DWAVE_2000Q);
+        assert_eq!(scaled.scale, 1.0);
+        assert_eq!(scaled.model, m);
+    }
+
+    #[test]
+    fn j_asymmetry_respected() {
+        // J = 1.5 exceeds the +1.0 J limit even though |1.5| < 2.
+        let mut m = Ising::new(2);
+        m.add_j(0, 1, 1.5);
+        let scaled = scale_to_range(&m, CoefficientRange::DWAVE_2000Q);
+        assert!((scaled.model.j(0, 1) - 1.0).abs() < 1e-12);
+        assert!((scaled.scale - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_snaps_to_grid() {
+        let mut m = Ising::new(2);
+        m.add_h(0, 0.123_456);
+        m.add_j(0, 1, -0.987_654);
+        let q = quantize(&m, CoefficientRange::UNIT, 4);
+        let step = 2.0 / 15.0;
+        let h = q.h(0);
+        let rem = ((h + 1.0) / step).round() * step - 1.0;
+        assert!((h - rem).abs() < 1e-12);
+        assert!(CoefficientRange::UNIT.admits(&q, 1e-12));
+    }
+
+    #[test]
+    fn quantize_high_precision_is_near_identity() {
+        let mut m = Ising::new(2);
+        m.add_h(0, 0.5);
+        m.add_j(0, 1, -0.25);
+        let q = quantize(&m, CoefficientRange::UNIT, 30);
+        assert!((q.h(0) - 0.5).abs() < 1e-6);
+        assert!((q.j(0, 1) + 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the pseudo-Boolean model crate.
+
+use proptest::prelude::*;
+use qac_pbf::scale::{quantize, scale_to_range, CoefficientRange};
+use qac_pbf::{bits_to_spins, roof, spins_to_bits, spins_to_index, Ising, Spin};
+
+/// Strategy producing a random small Ising model (n in 1..=6).
+fn arb_ising() -> impl Strategy<Value = Ising> {
+    (1usize..=6).prop_flat_map(|n| {
+        let h = proptest::collection::vec(-4.0f64..4.0, n);
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+        let j = proptest::collection::vec(-4.0f64..4.0, pairs.len());
+        (Just(n), h, Just(pairs), j).prop_map(|(n, h, pairs, j)| {
+            let mut m = Ising::new(n);
+            for (i, &v) in h.iter().enumerate() {
+                m.add_h(i, v);
+            }
+            for (&(a, b), &v) in pairs.iter().zip(j.iter()) {
+                m.add_j(a, b, v);
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn ising_qubo_round_trip_energy(m in arb_ising()) {
+        let q = m.to_qubo();
+        let m2 = q.to_ising();
+        let n = m.num_vars();
+        for idx in 0..(1u64 << n) {
+            let spins = bits_to_spins(idx, n);
+            let bits = spins_to_bits(&spins);
+            let e_ising = m.energy(&spins);
+            let e_qubo = q.energy(&bits);
+            let e_back = m2.energy(&spins);
+            prop_assert!((e_ising - e_qubo).abs() < 1e-9, "qubo mismatch at {idx}");
+            prop_assert!((e_ising - e_back).abs() < 1e-9, "round trip mismatch at {idx}");
+        }
+    }
+
+    #[test]
+    fn spins_index_round_trip(idx in 0u64..1024, extra in 0usize..4) {
+        let n = 10 + extra;
+        prop_assert_eq!(spins_to_index(&bits_to_spins(idx, n)), idx);
+    }
+
+    #[test]
+    fn scaling_preserves_argmin(m in arb_ising()) {
+        let scaled = scale_to_range(&m, CoefficientRange::DWAVE_2000Q);
+        prop_assert!(CoefficientRange::DWAVE_2000Q.admits(&scaled.model, 1e-9));
+        let n = m.num_vars();
+        let energies: Vec<(f64, f64)> = (0..(1u64 << n))
+            .map(|i| {
+                let s = bits_to_spins(i, n);
+                (m.energy(&s), scaled.model.energy(&s))
+            })
+            .collect();
+        let min_orig = energies.iter().map(|e| e.0).fold(f64::INFINITY, f64::min);
+        let min_scaled = energies.iter().map(|e| e.1).fold(f64::INFINITY, f64::min);
+        for (orig, sc) in &energies {
+            // Argmin sets coincide (within tolerance scaled by the factor).
+            let orig_is_min = (orig - min_orig).abs() < 1e-9;
+            let scaled_is_min = (sc - min_scaled).abs() < 1e-9 * scaled.scale.max(1e-6);
+            prop_assert_eq!(orig_is_min, scaled_is_min);
+        }
+    }
+
+    #[test]
+    fn quantize_stays_in_range(m in arb_ising(), bits in 3u32..16) {
+        let scaled = scale_to_range(&m, CoefficientRange::DWAVE_2000Q).model;
+        let q = quantize(&scaled, CoefficientRange::DWAVE_2000Q, bits);
+        prop_assert!(CoefficientRange::DWAVE_2000Q.admits(&q, 1e-9));
+    }
+
+    #[test]
+    fn roof_duality_bound_below_minimum(m in arb_ising()) {
+        let n = m.num_vars();
+        let min = (0..(1u64 << n))
+            .map(|i| m.energy(&bits_to_spins(i, n)))
+            .fold(f64::INFINITY, f64::min);
+        let rd = roof::roof_duality(&m);
+        prop_assert!(rd.lower_bound <= min + 1e-3,
+            "roof bound {} exceeds true min {}", rd.lower_bound, min);
+    }
+
+    #[test]
+    fn roof_duality_weak_persistency(m in arb_ising()) {
+        let n = m.num_vars();
+        let mut best = f64::INFINITY;
+        let mut minima: Vec<Vec<Spin>> = Vec::new();
+        for idx in 0..(1u64 << n) {
+            let s = bits_to_spins(idx, n);
+            let e = m.energy(&s);
+            if e < best - 1e-9 {
+                best = e;
+                minima = vec![s];
+            } else if (e - best).abs() <= 1e-9 {
+                minima.push(s);
+            }
+        }
+        let rd = roof::roof_duality(&m);
+        let ok = minima.iter().any(|assign| {
+            rd.fixed.iter().enumerate().all(|(i, f)| f.map_or(true, |v| assign[i] == v))
+        });
+        prop_assert!(ok, "persistency {:?} not extendable to an optimum", rd.fixed);
+    }
+
+    #[test]
+    fn fix_variable_matches_restriction(m in arb_ising(), which in 0usize..6, up in any::<bool>()) {
+        let n = m.num_vars();
+        let i = which % n;
+        let spin = Spin::from(up);
+        let mut fixed = m.clone();
+        fixed.fix_variable(i, spin);
+        for idx in 0..(1u64 << n) {
+            let mut s = bits_to_spins(idx, n);
+            s[i] = spin;
+            // After fixing, variable i is inert: any value gives same energy.
+            let mut s_other = s.clone();
+            s_other[i] = -spin;
+            prop_assert!((fixed.energy(&s) - m.energy(&s)).abs() < 1e-9);
+            prop_assert!((fixed.energy(&s_other) - m.energy(&s)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_variable_matches_restriction(m in arb_ising(), up in any::<bool>()) {
+        let n = m.num_vars();
+        prop_assume!(n >= 2);
+        let parity = Spin::from(up);
+        let mut merged = m.clone();
+        merged.merge_variable(0, 1, parity);
+        for idx in 0..(1u64 << n) {
+            let mut s = bits_to_spins(idx, n);
+            s[1] = if parity == Spin::Up { s[0] } else { -s[0] };
+            prop_assert!((merged.energy(&s) - m.energy(&s)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! `!assert` expressions — the debugging aid mentioned for the standard
+//! cell library in §4.3.2 ("the file includes niceties such as assertions").
+//!
+//! Expressions use C-like operators over symbol values (each symbol is a
+//! 0/1 bit) and integer literals, e.g. `!assert Y == A & B`.
+
+use std::fmt;
+
+use crate::QmasmError;
+
+/// A parsed assertion expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertExpr {
+    text: String,
+    root: Node,
+}
+
+/// Outcome of checking one assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertOutcome {
+    /// The assertion's source text.
+    pub text: String,
+    /// Whether it held.
+    pub holds: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Num(u64),
+    Sym(String),
+    Unary(UnOp, Box<Node>),
+    Binary(BinOp, Box<Node>, Box<Node>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnOp {
+    Not,
+    LogicNot,
+    Neg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinOp {
+    Or,
+    And,
+    BitOr,
+    BitXor,
+    BitAnd,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(u64),
+    Sym(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, QmasmError> {
+    let bad = |m: &str| QmasmError::BadAssert(format!("{m} in `{text}`"));
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' => i += 1,
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: u64 = text[start..i].parse().map_err(|_| bad("bad number"))?;
+                out.push(Tok::Num(v));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || c == b'$'
+                        || c == b'.'
+                        || c == b'['
+                        || c == b']'
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Sym(text[start..i].to_string()));
+            }
+            _ => {
+                // Multi-char operators first.
+                let rest = &text[i..];
+                let two = ["||", "&&", "==", "!=", "<=", ">=", "<<", ">>"]
+                    .iter()
+                    .find(|op| rest.starts_with(**op));
+                if let Some(op) = two {
+                    out.push(Tok::Op(op));
+                    i += 2;
+                    continue;
+                }
+                let one = ["|", "^", "&", "<", ">", "+", "-", "*", "/", "%", "~", "!", "="]
+                    .iter()
+                    .find(|op| rest.starts_with(**op));
+                match one {
+                    // QMASM historically wrote equality as a single `=`.
+                    Some(&"=") => {
+                        out.push(Tok::Op("=="));
+                        i += 1;
+                    }
+                    Some(op) => {
+                        out.push(Tok::Op(op));
+                        i += 1;
+                    }
+                    None => return Err(bad("unexpected character")),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn bad(&self, m: &str) -> QmasmError {
+        QmasmError::BadAssert(format!("{m} in `{}`", self.text))
+    }
+
+    fn peek_op(&self) -> Option<&'static str> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Op(op)) => Some(op),
+            _ => None,
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.peek_op() == Some(op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Precedence-climbing over a table.
+    fn expr(&mut self, min_prec: u8) -> Result<Node, QmasmError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some(op) = self.peek_op() else { break };
+            let Some((prec, bop)) = prec_of(op) else { break };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.expr(prec + 1)?;
+            lhs = Node::Binary(bop, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Node, QmasmError> {
+        if self.eat_op("~") {
+            return Ok(Node::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_op("!") {
+            return Ok(Node::Unary(UnOp::LogicNot, Box::new(self.unary()?)));
+        }
+        if self.eat_op("-") {
+            return Ok(Node::Unary(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::Num(v)) => {
+                self.pos += 1;
+                Ok(Node::Num(v))
+            }
+            Some(Tok::Sym(s)) => {
+                self.pos += 1;
+                Ok(Node::Sym(s))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.expr(0)?;
+                if !matches!(self.toks.get(self.pos), Some(Tok::RParen)) {
+                    return Err(self.bad("missing `)`"));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            _ => Err(self.bad("expected operand")),
+        }
+    }
+}
+
+fn prec_of(op: &str) -> Option<(u8, BinOp)> {
+    Some(match op {
+        "||" => (1, BinOp::Or),
+        "&&" => (2, BinOp::And),
+        "|" => (3, BinOp::BitOr),
+        "^" => (4, BinOp::BitXor),
+        "&" => (5, BinOp::BitAnd),
+        "==" => (6, BinOp::Eq),
+        "!=" => (6, BinOp::Ne),
+        "<" => (7, BinOp::Lt),
+        "<=" => (7, BinOp::Le),
+        ">" => (7, BinOp::Gt),
+        ">=" => (7, BinOp::Ge),
+        "<<" => (8, BinOp::Shl),
+        ">>" => (8, BinOp::Shr),
+        "+" => (9, BinOp::Add),
+        "-" => (9, BinOp::Sub),
+        "*" => (10, BinOp::Mul),
+        "/" => (10, BinOp::Div),
+        "%" => (10, BinOp::Mod),
+        _ => return None,
+    })
+}
+
+impl AssertExpr {
+    /// Parses an assertion expression.
+    ///
+    /// # Errors
+    /// [`QmasmError::BadAssert`] on malformed input.
+    pub fn parse(text: &str) -> Result<AssertExpr, QmasmError> {
+        let toks = tokenize(text)?;
+        let mut parser = Parser { toks: &toks, pos: 0, text };
+        let root = parser.expr(0)?;
+        if parser.pos != toks.len() {
+            return Err(parser.bad("trailing tokens"));
+        }
+        Ok(AssertExpr { text: text.to_string(), root })
+    }
+
+    /// The original source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Evaluates under a symbol-value environment. Returns `None` when a
+    /// referenced symbol is unknown or a division by zero occurs.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<u64>) -> Option<u64> {
+        eval_node(&self.root, lookup)
+    }
+
+    /// The symbols the expression references.
+    pub fn symbols(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        collect_symbols(&self.root, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for AssertExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+fn eval_node(node: &Node, lookup: &dyn Fn(&str) -> Option<u64>) -> Option<u64> {
+    Some(match node {
+        Node::Num(v) => *v,
+        Node::Sym(s) => lookup(s)?,
+        Node::Unary(op, inner) => {
+            let v = eval_node(inner, lookup)?;
+            match op {
+                UnOp::Not => !v,
+                UnOp::LogicNot => u64::from(v == 0),
+                UnOp::Neg => v.wrapping_neg(),
+            }
+        }
+        Node::Binary(op, a, b) => {
+            let x = eval_node(a, lookup)?;
+            let y = eval_node(b, lookup)?;
+            match op {
+                BinOp::Or => u64::from(x != 0 || y != 0),
+                BinOp::And => u64::from(x != 0 && y != 0),
+                BinOp::BitOr => x | y,
+                BinOp::BitXor => x ^ y,
+                BinOp::BitAnd => x & y,
+                BinOp::Eq => u64::from(x == y),
+                BinOp::Ne => u64::from(x != y),
+                BinOp::Lt => u64::from(x < y),
+                BinOp::Le => u64::from(x <= y),
+                BinOp::Gt => u64::from(x > y),
+                BinOp::Ge => u64::from(x >= y),
+                BinOp::Shl => {
+                    if y >= 64 {
+                        0
+                    } else {
+                        x << y
+                    }
+                }
+                BinOp::Shr => {
+                    if y >= 64 {
+                        0
+                    } else {
+                        x >> y
+                    }
+                }
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => x.checked_div(y)?,
+                BinOp::Mod => x.checked_rem(y)?,
+            }
+        }
+    })
+}
+
+fn collect_symbols<'a>(node: &'a Node, out: &mut Vec<&'a str>) {
+    match node {
+        Node::Sym(s) => out.push(s),
+        Node::Unary(_, inner) => collect_symbols(inner, out),
+        Node::Binary(_, a, b) => {
+            collect_symbols(a, out);
+            collect_symbols(b, out);
+        }
+        Node::Num(_) => {}
+    }
+}
+
+/// Rewrites the symbols in an assertion's text with an instance prefix
+/// (used during macro expansion).
+pub(crate) fn prefix_symbols(text: &str, prefix: &str) -> String {
+    if prefix.is_empty() {
+        return text.to_string();
+    }
+    match tokenize(text) {
+        Ok(toks) => {
+            let mut out = String::new();
+            for tok in toks {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                match tok {
+                    Tok::Num(v) => out.push_str(&v.to_string()),
+                    Tok::Sym(s) => {
+                        out.push_str(prefix);
+                        out.push('.');
+                        out.push_str(&s);
+                    }
+                    Tok::Op(op) => out.push_str(op),
+                    Tok::LParen => out.push('('),
+                    Tok::RParen => out.push(')'),
+                }
+            }
+            out
+        }
+        Err(_) => text.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn eval(text: &str, pairs: &[(&str, u64)]) -> Option<u64> {
+        let e = env(pairs);
+        AssertExpr::parse(text).unwrap().eval(&|name| e.get(name).copied())
+    }
+
+    #[test]
+    fn gate_assertions() {
+        assert_eq!(eval("Y == A & B", &[("Y", 1), ("A", 1), ("B", 1)]), Some(1));
+        assert_eq!(eval("Y == A & B", &[("Y", 1), ("A", 0), ("B", 1)]), Some(0));
+        assert_eq!(eval("Y = A|B", &[("Y", 1), ("A", 0), ("B", 1)]), Some(1));
+        assert_eq!(eval("Y == A ^ B", &[("Y", 0), ("A", 1), ("B", 1)]), Some(1));
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval("1 + 2 * 3", &[]), Some(7));
+        assert_eq!(eval("(1 + 2) * 3", &[]), Some(9));
+        assert_eq!(eval("1 | 2 == 2", &[]), Some(1 | 1));
+        assert_eq!(eval("2 < 3 && 3 < 2", &[]), Some(0));
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(eval("!0", &[]), Some(1));
+        assert_eq!(eval("!5", &[]), Some(0));
+        assert_eq!(eval("~0 == 18446744073709551615", &[]), Some(1));
+    }
+
+    #[test]
+    fn unknown_symbol_is_none() {
+        assert_eq!(eval("ghost == 1", &[]), None);
+    }
+
+    #[test]
+    fn indexed_symbols() {
+        assert_eq!(eval("C[3] == 1", &[("C[3]", 1)]), Some(1));
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let e = AssertExpr::parse("Y == A & $x").unwrap();
+        assert_eq!(e.symbols(), vec!["Y", "A", "$x"]);
+    }
+
+    #[test]
+    fn prefixing() {
+        assert_eq!(prefix_symbols("Y == A & B", "g1"), "g1.Y == g1.A & g1.B");
+        assert_eq!(prefix_symbols("Y == A", ""), "Y == A");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(AssertExpr::parse("1 +").is_err());
+        assert!(AssertExpr::parse("(1").is_err());
+        assert!(AssertExpr::parse("@").is_err());
+        assert!(AssertExpr::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        assert_eq!(eval("1 / 0", &[]), None);
+    }
+}

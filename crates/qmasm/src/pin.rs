@@ -1,0 +1,174 @@
+//! Pin-specification parsing — the `--pin "C[7:0] := 10001111"` syntax
+//! the paper uses to pass arguments to compiled programs (§4.3.6, §5.3).
+
+use crate::QmasmError;
+
+/// Parses one pin specification into single-bit `(symbol, value)` pairs.
+///
+/// Accepted forms:
+/// * `name := true|false|0|1` — a single-bit pin on `name`;
+/// * `name[i] := 0|1|true|false` — a single-bit pin on `name[i]`;
+/// * `name[msb:lsb] := 1011…` — a bit-string applied MSB-first across the
+///   range (the paper's `--pin="C[7:0] := 10001111"`);
+/// * `name[msb:lsb] := 143` — a decimal value, converted to binary.
+///
+/// # Errors
+/// [`QmasmError::BadPin`] describing the malformed specification.
+///
+/// ```
+/// use qac_qmasm::pin::parse_pin;
+/// let bits = parse_pin("C[7:0] := 10001111").unwrap();
+/// assert_eq!(bits.len(), 8);
+/// assert_eq!(bits[0], ("C[7]".to_string(), true));
+/// assert_eq!(bits[7], ("C[0]".to_string(), true));
+/// ```
+pub fn parse_pin(spec: &str) -> Result<Vec<(String, bool)>, QmasmError> {
+    let bad = || QmasmError::BadPin(spec.to_string());
+    let (lhs, rhs) = spec.split_once(":=").ok_or_else(bad)?;
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+    if lhs.is_empty() || rhs.is_empty() {
+        return Err(bad());
+    }
+
+    // Range form?
+    if let Some(open) = lhs.find('[') {
+        let close = lhs.rfind(']').ok_or_else(bad)?;
+        let base = &lhs[..open];
+        let inside = &lhs[open + 1..close];
+        if let Some((msb_s, lsb_s)) = inside.split_once(':') {
+            let msb: i64 = msb_s.trim().parse().map_err(|_| bad())?;
+            let lsb: i64 = lsb_s.trim().parse().map_err(|_| bad())?;
+            let width = (msb - lsb).unsigned_abs() as usize + 1;
+            if width > 64 {
+                return Err(bad());
+            }
+            let bits = parse_value(rhs, width).ok_or_else(bad)?;
+            // Bits are MSB-first across the written range.
+            let indices: Vec<i64> = if msb >= lsb {
+                (lsb..=msb).rev().collect()
+            } else {
+                (msb..=lsb).collect()
+            };
+            return Ok(indices
+                .into_iter()
+                .zip(bits)
+                .map(|(i, b)| (format!("{base}[{i}]"), b))
+                .collect());
+        }
+        // Single indexed bit.
+        let value = parse_bool(rhs).ok_or_else(bad)?;
+        let idx: i64 = inside.trim().parse().map_err(|_| bad())?;
+        return Ok(vec![(format!("{base}[{idx}]"), value)]);
+    }
+
+    let value = parse_bool(rhs).ok_or_else(bad)?;
+    Ok(vec![(lhs.to_string(), value)])
+}
+
+/// Parses several pin specifications (the CLI may pass `--pin` repeatedly).
+///
+/// # Errors
+/// [`QmasmError::BadPin`] on the first malformed specification.
+pub fn parse_pins<'a>(
+    specs: impl IntoIterator<Item = &'a str>,
+) -> Result<Vec<(String, bool)>, QmasmError> {
+    let mut out = Vec::new();
+    for spec in specs {
+        out.extend(parse_pin(spec)?);
+    }
+    Ok(out)
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s.to_ascii_lowercase().as_str() {
+        "true" | "1" | "+1" => Some(true),
+        "false" | "0" | "-1" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parses a value string into `width` bits, MSB first.
+fn parse_value(s: &str, width: usize) -> Option<Vec<bool>> {
+    // A bit-string of exactly the right width wins (e.g. "10001111").
+    if s.len() == width && s.chars().all(|c| c == '0' || c == '1') {
+        return Some(s.chars().map(|c| c == '1').collect());
+    }
+    // Otherwise interpret as a number (decimal, or 0x/0b prefixed).
+    let value = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()?
+    } else {
+        s.parse::<u64>().ok()?
+    };
+    if width < 64 && value >> width != 0 {
+        return None;
+    }
+    Some((0..width).rev().map(|i| (value >> i) & 1 == 1).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_forms() {
+        assert_eq!(parse_pin("valid := true").unwrap(), vec![("valid".into(), true)]);
+        assert_eq!(parse_pin("x := 0").unwrap(), vec![("x".into(), false)]);
+        assert_eq!(parse_pin("q[2] := 1").unwrap(), vec![("q[2]".into(), true)]);
+    }
+
+    #[test]
+    fn paper_factoring_pin() {
+        // --pin="C[7:0] := 10001111"  (143 decimal)
+        let bits = parse_pin("C[7:0] := 10001111").unwrap();
+        let value = bits
+            .iter()
+            .fold(0u64, |acc, (_, b)| (acc << 1) | u64::from(*b));
+        assert_eq!(value, 143);
+        assert_eq!(bits[0].0, "C[7]");
+        assert_eq!(bits[7].0, "C[0]");
+    }
+
+    #[test]
+    fn decimal_value() {
+        let bits = parse_pin("C[7:0] := 143").unwrap();
+        let value = bits.iter().fold(0u64, |acc, (_, b)| (acc << 1) | u64::from(*b));
+        assert_eq!(value, 143);
+    }
+
+    #[test]
+    fn hex_value() {
+        let bits = parse_pin("A[3:0] := 0xD").unwrap();
+        let value = bits.iter().fold(0u64, |acc, (_, b)| (acc << 1) | u64::from(*b));
+        assert_eq!(value, 13);
+    }
+
+    #[test]
+    fn ascending_range() {
+        let bits = parse_pin("x[0:3] := 1000").unwrap();
+        assert_eq!(bits[0], ("x[0]".into(), true));
+        assert_eq!(bits[3], ("x[3]".into(), false));
+    }
+
+    #[test]
+    fn value_too_wide_rejected() {
+        assert!(parse_pin("C[3:0] := 255").is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse_pin("novalue :=").is_err());
+        assert!(parse_pin(":= 1").is_err());
+        assert!(parse_pin("x = 1").is_err());
+        assert!(parse_pin("x[1:0] := maybe").is_err());
+    }
+
+    #[test]
+    fn multiple_specs() {
+        let bits =
+            parse_pins(["A[1:0] := 10", "valid := true"]).unwrap();
+        assert_eq!(bits.len(), 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Interpreting spin assignments as named values — what the `qmasm` tool
+//! prints after a run ("reports the solution … in terms of the
+//! program-specified symbolic names rather than as physical qubit
+//! numbers").
+
+use std::collections::BTreeMap;
+
+use qac_pbf::Spin;
+
+use crate::assemble::Assembled;
+
+/// The value of one visible symbol or symbol group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolValue {
+    /// A single-bit symbol.
+    Bit(bool),
+    /// A multi-bit group `name[i]`, assembled into an integer.
+    Word {
+        /// The integer value (bit `i` of the word from `name[i]`).
+        value: u64,
+        /// Number of bits present.
+        width: usize,
+    },
+}
+
+/// A decoded solution: visible symbol (groups) and their values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Solution {
+    /// Name → value, sorted by name. Internal symbols (containing `$`)
+    /// are omitted, as the `qmasm` tool does.
+    pub values: BTreeMap<String, SymbolValue>,
+}
+
+impl Solution {
+    /// The integer value of a symbol or group, if present (bits read as
+    /// 0/1).
+    pub fn get(&self, name: &str) -> Option<u64> {
+        match self.values.get(name)? {
+            SymbolValue::Bit(b) => Some(u64::from(*b)),
+            SymbolValue::Word { value, .. } => Some(*value),
+        }
+    }
+}
+
+impl Assembled {
+    /// Decodes a spin assignment over the logical variables into named
+    /// values, grouping `name[i]` symbols into words and hiding `$`
+    /// internals.
+    pub fn interpret(&self, spins: &[Spin]) -> Solution {
+        let mut solution = Solution::default();
+        for name in self.symbols.names() {
+            if name.contains('$') {
+                continue;
+            }
+            let Some(value) = self.symbols.value_of(name, spins) else { continue };
+            // Grouped bit?
+            if let Some((base, index)) = split_indexed(name) {
+                let entry = solution
+                    .values
+                    .entry(base.to_string())
+                    .or_insert(SymbolValue::Word { value: 0, width: 0 });
+                if let SymbolValue::Word { value: w, width } = entry {
+                    if value {
+                        *w |= 1 << index;
+                    }
+                    *width = (*width).max(index + 1);
+                }
+            } else {
+                solution.values.insert(name.to_string(), SymbolValue::Bit(value));
+            }
+        }
+        solution
+    }
+}
+
+/// Splits `name[3]` into `("name", 3)`.
+fn split_indexed(name: &str) -> Option<(&str, usize)> {
+    let open = name.rfind('[')?;
+    let close = name.rfind(']')?;
+    if close != name.len() - 1 || open + 1 >= close {
+        return None;
+    }
+    let index: usize = name[open + 1..close].parse().ok()?;
+    Some((&name[..open], index))
+}
+
+/// Formats a solution in the two-column style of the `qmasm` tool.
+pub fn format_solution(solution: &Solution) -> String {
+    let mut out = String::from("Name       Value\n---------  -----\n");
+    for (name, value) in &solution.values {
+        match value {
+            SymbolValue::Bit(b) => {
+                out.push_str(&format!("{name:<10} {}\n", if *b { "True" } else { "False" }));
+            }
+            SymbolValue::Word { value, width } => {
+                out.push_str(&format!("{name:<10} {value} ({width} bits)\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse, NoIncludes};
+    use crate::{assemble, AssembleOptions};
+
+    #[test]
+    fn grouping_and_hiding() {
+        let src = "C[0] 1\nC[1] 1\nC[2] 1\nvalid 1\n$internal 1\ng.$x 1\n";
+        let program = parse(src, &NoIncludes).unwrap();
+        let a = assemble(&program, &AssembleOptions::default()).unwrap();
+        let n = a.ising.num_vars();
+        // All +1 spins: every symbol true.
+        let spins = vec![Spin::Up; n];
+        let sol = a.interpret(&spins);
+        assert_eq!(sol.get("C"), Some(0b111));
+        assert_eq!(sol.get("valid"), Some(1));
+        assert!(sol.get("$internal").is_none());
+        assert!(sol.get("g.$x").is_none());
+        let text = format_solution(&sol);
+        assert!(text.contains("valid"));
+        assert!(text.contains("True"));
+    }
+
+    #[test]
+    fn word_value_respects_bit_positions() {
+        let src = "X[0] 1\nX[3] 1\n";
+        let program = parse(src, &NoIncludes).unwrap();
+        let a = assemble(&program, &AssembleOptions::default()).unwrap();
+        let (v0, _) = a.symbols.resolve("X[0]").unwrap();
+        let (v3, _) = a.symbols.resolve("X[3]").unwrap();
+        let mut spins = vec![Spin::Down; a.ising.num_vars()];
+        spins[v0] = Spin::Up;
+        spins[v3] = Spin::Up;
+        let sol = a.interpret(&spins);
+        assert_eq!(sol.get("X"), Some(0b1001));
+        assert_eq!(
+            sol.values["X"],
+            SymbolValue::Word { value: 0b1001, width: 4 }
+        );
+    }
+
+    #[test]
+    fn split_indexed_parses() {
+        assert_eq!(split_indexed("C[7]"), Some(("C", 7)));
+        assert_eq!(split_indexed("a.b[10]"), Some(("a.b", 10)));
+        assert_eq!(split_indexed("plain"), None);
+        assert_eq!(split_indexed("odd[“]"), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Generation of `stdcell.qmasm` — the standard-cell library file the
+//! compiler `!include`s into every generated program (paper §4.3.2,
+//! Listing 2).
+
+use qac_gatesynth::CellLibrary;
+
+/// Renders the verified cell library as QMASM macro definitions.
+///
+/// Each cell becomes a `!begin_macro`/`!end_macro` block with an `!assert`
+/// stating its logic (a "nicety … which aids debugging", §4.3.2), its
+/// linear weights, and its couplings. Ancilla variables are named `$anc0`,
+/// `$anc1`, … so the `qmasm` reporter hides them.
+pub fn stdcell_qmasm(library: &CellLibrary) -> String {
+    let mut out = String::new();
+    out.push_str("# Standard-cell library: quadratic pseudo-Boolean gate functions\n");
+    out.push_str("# (paper Table 5). Generated from the verified cell library.\n\n");
+    for (name, cell) in library.iter() {
+        let pins = cell.pins();
+        out.push_str(&format!("!begin_macro {name}\n"));
+        if let Some(assert) = assert_for(name) {
+            out.push_str(&format!("  !assert {assert}\n"));
+        }
+        let var_name = |i: usize| -> String {
+            if i < pins.len() {
+                pins[i].clone()
+            } else {
+                format!("$anc{}", i - pins.len())
+            }
+        };
+        for (i, h) in cell.ising().h_iter() {
+            if h != 0.0 {
+                out.push_str(&format!("  {} {}\n", var_name(i), fmt_num(h)));
+            }
+        }
+        for t in cell.ising().j_iter() {
+            if t.value != 0.0 {
+                out.push_str(&format!(
+                    "  {} {} {}\n",
+                    var_name(t.i),
+                    var_name(t.j),
+                    fmt_num(t.value)
+                ));
+            }
+        }
+        out.push_str(&format!("!end_macro {name}\n\n"));
+    }
+    out
+}
+
+/// The logic assertion for each library cell.
+fn assert_for(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "BUF" => "Y == A",
+        "NOT" => "Y == !A",
+        "AND" => "Y == (A & B)",
+        "OR" => "Y == (A | B)",
+        "NAND" => "Y == !(A & B)",
+        "NOR" => "Y == !(A | B)",
+        "XOR" => "Y == (A ^ B)",
+        "XNOR" => "Y == !(A ^ B)",
+        "MUX" => "Y == ((S & B) | (!S & A))",
+        "AOI3" => "Y == !((A & B) | C)",
+        "OAI3" => "Y == !((A | B) & C)",
+        "AOI4" => "Y == !((A & B) | (C & D))",
+        "OAI4" => "Y == !((A | B) & (C | D))",
+        "DFF_P" | "DFF_N" => "Q == D",
+        _ => return None,
+    })
+}
+
+/// Formats a coefficient without trailing float noise.
+fn fmt_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-12 {
+        format!("{}", v.round() as i64)
+    } else {
+        // Prefer short exact decimals for halves/quarters/thirds.
+        let s = format!("{v:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse, MapIncludes};
+    use crate::{assemble, AssembleOptions};
+    use qac_pbf::bits_to_spins;
+
+    #[test]
+    fn library_text_parses_and_defines_all_macros() {
+        let lib = CellLibrary::table5();
+        let text = stdcell_qmasm(&lib);
+        assert!(text.contains("!begin_macro AND"));
+        assert!(text.contains("!assert"));
+        let program = parse(&text, &crate::parse::NoIncludes).unwrap();
+        for (name, _) in lib.iter() {
+            assert!(program.macros.contains_key(name), "missing macro {name}");
+        }
+    }
+
+    #[test]
+    fn included_and_macro_reproduces_cell_ground_states() {
+        let lib = CellLibrary::table5();
+        let mut includes = MapIncludes::new();
+        includes.insert("stdcell.qmasm", stdcell_qmasm(&lib));
+        let src = "!include \"stdcell.qmasm\"\n!use_macro XOR g\n";
+        let program = parse(src, &includes).unwrap();
+        let a = assemble(&program, &AssembleOptions::default()).unwrap();
+        // XOR has 3 pins + 1 ancilla.
+        assert_eq!(a.ising.num_vars(), 4);
+        // Ground states project exactly onto the XOR truth table.
+        let n = a.ising.num_vars();
+        let mut best = f64::INFINITY;
+        let mut rows = Vec::new();
+        for idx in 0..(1u64 << n) {
+            let spins = bits_to_spins(idx, n);
+            let e = a.ising.energy(&spins);
+            if e < best - 1e-9 {
+                best = e;
+                rows = vec![spins];
+            } else if (e - best).abs() < 1e-9 {
+                rows.push(spins);
+            }
+        }
+        for spins in rows {
+            let y = a.symbols.value_of("g.Y", &spins).unwrap();
+            let av = a.symbols.value_of("g.A", &spins).unwrap();
+            let bv = a.symbols.value_of("g.B", &spins).unwrap();
+            assert_eq!(y, av ^ bv);
+            // And the embedded assertion agrees.
+            let checks = a.check_asserts(&spins);
+            assert!(checks.iter().all(|(_, ok)| *ok));
+        }
+    }
+
+    #[test]
+    fn fmt_num_is_tidy() {
+        assert_eq!(fmt_num(1.0), "1");
+        assert_eq!(fmt_num(-0.5), "-0.5");
+        assert_eq!(fmt_num(1.0 / 3.0), "0.333333");
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the QMASM assembler: chain merging must preserve
+//! the restricted energy landscape, and pin handling must agree between
+//! bias and fix styles.
+
+use proptest::prelude::*;
+use qac_pbf::{bits_to_spins, Spin};
+use qac_qmasm::{assemble, parse, AssembleOptions, NoIncludes, PinStyle};
+
+/// A random QMASM program over symbols s0..s{n-1} with weights, couplings,
+/// and chains.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    n: usize,
+    weights: Vec<(usize, f64)>,
+    couplings: Vec<(usize, usize, f64)>,
+    chains: Vec<(usize, usize, bool)>, // (a, b, equal?)
+}
+
+impl RandomProgram {
+    fn to_source(&self) -> String {
+        let mut out = String::new();
+        for &(s, w) in &self.weights {
+            out.push_str(&format!("s{s} {w}\n"));
+        }
+        for &(a, b, j) in &self.couplings {
+            out.push_str(&format!("s{a} s{b} {j}\n"));
+        }
+        for &(a, b, eq) in &self.chains {
+            out.push_str(&format!("s{a} {} s{b}\n", if eq { "=" } else { "!=" }));
+        }
+        out
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = RandomProgram> {
+    (2usize..=6).prop_flat_map(|n| {
+        let weights = proptest::collection::vec((0..n, -2.0f64..2.0), 0..4);
+        let couplings =
+            proptest::collection::vec((0..n, 0..n, -2.0f64..2.0), 0..6);
+        let chains = proptest::collection::vec((0..n, 0..n, any::<bool>()), 0..3);
+        (Just(n), weights, couplings, chains).prop_map(|(n, weights, couplings, chains)| {
+            RandomProgram {
+                n,
+                weights,
+                couplings: couplings
+                    .into_iter()
+                    .filter(|&(a, b, _)| a != b)
+                    .collect(),
+                chains: chains.into_iter().filter(|&(a, b, _)| a != b).collect(),
+            }
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn merged_and_unmerged_chains_agree_on_chain_respecting_states(p in arb_program()) {
+        // Make sure every symbol exists in both variants.
+        let mut source = p.to_source();
+        for s in 0..p.n {
+            source.push_str(&format!("s{s} 0\n"));
+        }
+        let program = parse(&source, &NoIncludes).unwrap();
+        let merged = match assemble(&program, &AssembleOptions::default()) {
+            Ok(a) => a,
+            Err(_) => return Ok(()), // contradictory chains: nothing to compare
+        };
+        let unmerged = assemble(
+            &program,
+            &AssembleOptions { merge_chains: false, ..Default::default() },
+        )
+        .unwrap();
+        prop_assert!(merged.ising.num_vars() <= unmerged.ising.num_vars());
+
+        // For every assignment of the merged model, build the expanded
+        // assignment and compare energies up to the chain bonus:
+        // each satisfied chain in the unmerged model contributes
+        // −chain_strength (couplings are −K per chain statement).
+        let nm = merged.ising.num_vars();
+        prop_assume!(nm <= 12);
+        let chain_bonus: f64 = p.chains.iter()
+            .filter(|&&(a, b, _)| {
+                // Chains that merged two distinct variables carry a −K
+                // coupling in the unmerged model; self-chains (after
+                // transitive merging) become constants there too, so
+                // count every chain whose endpoints differ as symbols.
+                let _ = (a, b);
+                true
+            })
+            .count() as f64 * unmerged.chain_strength;
+        for idx in 0..(1u64 << nm) {
+            let spins = bits_to_spins(idx, nm);
+            // Expand to the unmerged model through symbol values.
+            let mut expanded = vec![Spin::Down; unmerged.ising.num_vars()];
+            for s in 0..p.n {
+                let name = format!("s{s}");
+                let value = merged.symbols.value_of(&name, &spins).unwrap();
+                let (var, parity) = unmerged.symbols.resolve(&name).unwrap();
+                expanded[var] = match parity {
+                    Spin::Up => Spin::from(value),
+                    Spin::Down => Spin::from(!value),
+                };
+            }
+            let e_merged = merged.ising.energy(&spins);
+            let e_unmerged = unmerged.ising.energy(&expanded);
+            prop_assert!(
+                (e_merged - (e_unmerged + chain_bonus)).abs() < 1e-6,
+                "merged {} vs unmerged {} (+bonus {})",
+                e_merged, e_unmerged, chain_bonus
+            );
+        }
+    }
+
+    #[test]
+    fn bias_and_fix_pins_share_ground_states(p in arb_program(), pin_sym in 0usize..6, pin_val in any::<bool>()) {
+        let mut source = p.to_source();
+        for s in 0..p.n {
+            source.push_str(&format!("s{s} 0\n"));
+        }
+        let program = parse(&source, &NoIncludes).unwrap();
+        let Ok(assembled) = assemble(&program, &AssembleOptions::default()) else {
+            return Ok(());
+        };
+        let sym = format!("s{}", pin_sym % p.n);
+        let pins = vec![(sym.clone(), pin_val)];
+        let biased = assembled.pinned_model(&pins, PinStyle::Bias(64.0)).unwrap();
+        let fixed = assembled.pinned_model(&pins, PinStyle::Fix).unwrap();
+        let n = assembled.ising.num_vars();
+        prop_assume!(n <= 10);
+        let (pin_var, parity) = assembled.symbols.resolve(&sym).unwrap();
+        let target = if parity == Spin::Up { Spin::from(pin_val) } else { Spin::from(!pin_val) };
+        // Minimize both; the biased model's minima must have the pin
+        // satisfied and coincide with the fixed model's minima on the
+        // remaining variables.
+        let mut best_bias = f64::INFINITY;
+        let mut bias_minima = Vec::new();
+        let mut best_fix = f64::INFINITY;
+        let mut fix_minima = Vec::new();
+        for idx in 0..(1u64 << n) {
+            let spins = bits_to_spins(idx, n);
+            let eb = biased.energy(&spins);
+            if eb < best_bias - 1e-9 {
+                best_bias = eb;
+                bias_minima = vec![spins.clone()];
+            } else if (eb - best_bias).abs() <= 1e-9 {
+                bias_minima.push(spins.clone());
+            }
+            if spins[pin_var] == target {
+                let ef = fixed.energy(&spins);
+                if ef < best_fix - 1e-9 {
+                    best_fix = ef;
+                    fix_minima = vec![spins];
+                } else if (ef - best_fix).abs() <= 1e-9 {
+                    fix_minima.push(spins);
+                }
+            }
+        }
+        for m in &bias_minima {
+            prop_assert_eq!(m[pin_var], target, "bias weight strong enough to enforce the pin");
+        }
+        // The two styles agree on the restriction.
+        for m in &bias_minima {
+            prop_assert!(fix_minima.contains(m));
+        }
+    }
+}

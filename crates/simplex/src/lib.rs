@@ -1,0 +1,41 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The paper synthesizes gate Hamiltonians by "setting up and solving a
+//! system of inequalities (using, e.g., MiniZinc)" (§4.3.2). This crate is
+//! the substitute for that external solver: a dense two-phase primal
+//! simplex implementation sized for the tiny systems gate synthesis
+//! produces (tens of variables, tens of constraints).
+//!
+//! Variables may have arbitrary finite or infinite bounds; free variables
+//! are split internally. Bland's rule is used throughout, so the solver
+//! cannot cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use qac_simplex::{Lp, LpOutcome, Relation};
+//!
+//! // maximize 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2,  x, y ≥ 0
+//! let mut lp = Lp::new();
+//! let x = lp.add_var(0.0, f64::INFINITY);
+//! let y = lp.add_var(0.0, f64::INFINITY);
+//! lp.set_objective_coeff(x, 3.0);
+//! lp.set_objective_coeff(y, 2.0);
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! lp.add_constraint(&[(x, 1.0)], Relation::Le, 2.0);
+//! match lp.solve() {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert!((sol.objective - 10.0).abs() < 1e-9); // x=2, y=2
+//!         assert!((sol.values[x] - 2.0).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod solver;
+mod tableau;
+
+pub use solver::{Lp, LpOutcome, Relation, Solution, VarId};

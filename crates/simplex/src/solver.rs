@@ -1,0 +1,514 @@
+//! The public LP builder and two-phase driver.
+
+use crate::tableau::{PivotOutcome, Tableau};
+
+/// Identifier of an LP variable, as returned by [`Lp::add_var`].
+pub type VarId = usize;
+
+/// The sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// Value of each user variable, indexed by [`VarId`].
+    pub values: Vec<f64>,
+}
+
+/// Result of [`Lp::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal(Solution),
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective can be made arbitrarily large.
+    Unbounded,
+}
+
+#[derive(Debug, Clone)]
+struct RawConstraint {
+    coeffs: Vec<(VarId, f64)>,
+    rel: Relation,
+    rhs: f64,
+}
+
+/// A linear program under construction: maximize `c·x` subject to linear
+/// constraints and per-variable bounds.
+///
+/// Call [`Lp::add_var`] for each variable, [`Lp::set_objective_coeff`] for
+/// the objective, [`Lp::add_constraint`] for each row, then [`Lp::solve`].
+/// To minimize, negate the objective.
+#[derive(Debug, Clone, Default)]
+pub struct Lp {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    objective: Vec<f64>,
+    constraints: Vec<RawConstraint>,
+}
+
+impl Lp {
+    /// Creates an empty maximization problem.
+    pub fn new() -> Lp {
+        Lp::default()
+    }
+
+    /// Adds a variable with bounds `lower ≤ x ≤ upper` (either may be
+    /// infinite) and objective coefficient 0. Returns its [`VarId`].
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn add_var(&mut self, lower: f64, upper: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "bounds must not be NaN");
+        assert!(lower <= upper, "lower bound exceeds upper bound");
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.objective.push(0.0);
+        self.lower.len() - 1
+    }
+
+    /// Adds a free variable (no bounds).
+    pub fn add_free_var(&mut self) -> VarId {
+        self.add_var(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Sets the objective coefficient of `var` (maximization sense).
+    ///
+    /// # Panics
+    /// Panics if `var` is unknown.
+    pub fn set_objective_coeff(&mut self, var: VarId, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Adds the constraint `Σ coeffs ⋄ rhs` where `⋄` is `rel`.
+    ///
+    /// Repeated `VarId`s in `coeffs` are accumulated.
+    ///
+    /// # Panics
+    /// Panics if any referenced variable is unknown or any value is NaN.
+    pub fn add_constraint(&mut self, coeffs: &[(VarId, f64)], rel: Relation, rhs: f64) {
+        assert!(!rhs.is_nan(), "rhs must not be NaN");
+        for &(v, c) in coeffs {
+            assert!(v < self.num_vars(), "unknown variable {v}");
+            assert!(!c.is_nan(), "coefficient must not be NaN");
+        }
+        self.constraints.push(RawConstraint { coeffs: coeffs.to_vec(), rel, rhs });
+    }
+
+    /// Solves the LP with two-phase primal simplex.
+    pub fn solve(&self) -> LpOutcome {
+        let n_user = self.num_vars();
+
+        // --- Normalize variables to x' ≥ 0. ---
+        // Each user variable maps to (col_pos, optional col_neg, shift):
+        //   finite lower:  x = lower + x'       (upper becomes a constraint)
+        //   only upper:    x = upper − x'
+        //   free:          x = x⁺ − x⁻
+        #[derive(Clone, Copy)]
+        enum VarMap {
+            Shifted { col: usize, shift: f64 },   // x = shift + x'
+            Mirrored { col: usize, shift: f64 },  // x = shift − x'
+            Split { pos: usize, neg: usize },     // x = x⁺ − x⁻
+        }
+        let mut maps: Vec<VarMap> = Vec::with_capacity(n_user);
+        let mut n_cols = 0usize;
+        let mut extra_upper: Vec<(usize, f64)> = Vec::new(); // (col, ub on x')
+        for i in 0..n_user {
+            let (lo, hi) = (self.lower[i], self.upper[i]);
+            if lo.is_finite() {
+                let col = n_cols;
+                n_cols += 1;
+                maps.push(VarMap::Shifted { col, shift: lo });
+                if hi.is_finite() {
+                    extra_upper.push((col, hi - lo));
+                }
+            } else if hi.is_finite() {
+                let col = n_cols;
+                n_cols += 1;
+                maps.push(VarMap::Mirrored { col, shift: hi });
+            } else {
+                let pos = n_cols;
+                let neg = n_cols + 1;
+                n_cols += 2;
+                maps.push(VarMap::Split { pos, neg });
+            }
+        }
+
+        // --- Translate constraints into (dense row over cols, rel, rhs). ---
+        struct NormRow {
+            coeffs: Vec<f64>,
+            rel: Relation,
+            rhs: f64,
+        }
+        let mut norm: Vec<NormRow> = Vec::new();
+        let mut push_row = |coeffs: Vec<f64>, rel: Relation, rhs: f64| {
+            norm.push(NormRow { coeffs, rel, rhs });
+        };
+        for rc in &self.constraints {
+            let mut row = vec![0.0; n_cols];
+            let mut rhs = rc.rhs;
+            for &(v, c) in &rc.coeffs {
+                match maps[v] {
+                    VarMap::Shifted { col, shift } => {
+                        row[col] += c;
+                        rhs -= c * shift;
+                    }
+                    VarMap::Mirrored { col, shift } => {
+                        row[col] -= c;
+                        rhs -= c * shift;
+                    }
+                    VarMap::Split { pos, neg } => {
+                        row[pos] += c;
+                        row[neg] -= c;
+                    }
+                }
+            }
+            push_row(row, rc.rel, rhs);
+        }
+        for &(col, ub) in &extra_upper {
+            let mut row = vec![0.0; n_cols];
+            row[col] = 1.0;
+            push_row(row, Relation::Le, ub);
+        }
+
+        // --- Objective over normalized columns. ---
+        let mut obj = vec![0.0; n_cols];
+        let mut obj_const = 0.0;
+        for (i, &c) in self.objective.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            match maps[i] {
+                VarMap::Shifted { col, shift } => {
+                    obj[col] += c;
+                    obj_const += c * shift;
+                }
+                VarMap::Mirrored { col, shift } => {
+                    obj[col] -= c;
+                    obj_const += c * shift;
+                }
+                VarMap::Split { pos, neg } => {
+                    obj[pos] += c;
+                    obj[neg] -= c;
+                }
+            }
+        }
+
+        // --- Standard form: add slack/surplus, make b ≥ 0, artificials. ---
+        let m = norm.len();
+        // Count slack columns.
+        let n_slack = norm.iter().filter(|r| r.rel != Relation::Eq).count();
+        let total_struct = n_cols + n_slack;
+        let total = total_struct + m; // one artificial per row (some unused)
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        let mut slack_idx = n_cols;
+        let mut artificial_cols: Vec<bool> = vec![false; total];
+        for (r, nr) in norm.iter().enumerate() {
+            let mut row = vec![0.0; total + 1];
+            row[..n_cols].copy_from_slice(&nr.coeffs);
+            let mut rhs = nr.rhs;
+            match nr.rel {
+                Relation::Le => {
+                    row[slack_idx] = 1.0;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    row[slack_idx] = -1.0;
+                    slack_idx += 1;
+                }
+                Relation::Eq => {}
+            }
+            if rhs < 0.0 {
+                for v in row.iter_mut() {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+                // (row[total] currently 0; negation harmless)
+            }
+            row[total] = rhs;
+            // Artificial variable for this row.
+            let art = total_struct + r;
+            row[art] = 1.0;
+            artificial_cols[art] = true;
+            basis.push(art);
+            rows.push(row);
+        }
+
+        // --- Phase 1: maximize −Σ artificials. ---
+        let mut phase1_obj = vec![0.0; total + 1];
+        for a in total_struct..total {
+            phase1_obj[a] = -1.0;
+        }
+        let mut t = Tableau::new(rows, phase1_obj, basis, total);
+        t.price_out();
+        match t.optimize(&|_| true) {
+            PivotOutcome::Unbounded => unreachable!("phase 1 objective is bounded above by 0"),
+            PivotOutcome::Optimal => {}
+        }
+        if t.objective_value() < -1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive artificial variables out of the basis.
+        let is_struct = |j: usize| j < total_struct;
+        let mut drop_rows: Vec<usize> = Vec::new();
+        for r in 0..t.basis.len() {
+            if t.basis[r] >= total_struct && !t.drive_out(r, &is_struct) {
+                drop_rows.push(r);
+            }
+        }
+        for &r in drop_rows.iter().rev() {
+            t.rows.remove(r);
+            t.basis.remove(r);
+        }
+
+        // --- Phase 2: real objective, artificial columns forbidden. ---
+        let mut phase2_obj = vec![0.0; total + 1];
+        phase2_obj[..n_cols].copy_from_slice(&obj);
+        t.obj = phase2_obj;
+        t.price_out();
+        match t.optimize(&is_struct) {
+            PivotOutcome::Unbounded => return LpOutcome::Unbounded,
+            PivotOutcome::Optimal => {}
+        }
+
+        // --- Map back to user variables. ---
+        let x = t.solution();
+        let mut values = vec![0.0; n_user];
+        for (i, map) in maps.iter().enumerate() {
+            values[i] = match *map {
+                VarMap::Shifted { col, shift } => shift + x[col],
+                VarMap::Mirrored { col, shift } => shift - x[col],
+                VarMap::Split { pos, neg } => x[pos] - x[neg],
+            };
+        }
+        LpOutcome::Optimal(Solution { objective: t.objective_value() + obj_const, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max() {
+        let mut lp = Lp::new();
+        let x = lp.add_var(0.0, f64::INFINITY);
+        let y = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(x, 3.0);
+        lp.set_objective_coeff(y, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.objective, 36.0);
+        assert_near(sol.values[x], 2.0);
+        assert_near(sol.values[y], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y st x + y = 3, x − y = 1 → x=2, y=1.
+        let mut lp = Lp::new();
+        let x = lp.add_var(0.0, f64::INFINITY);
+        let y = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.objective, 3.0);
+        assert_near(sol.values[x], 2.0);
+        assert_near(sol.values[y], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = Lp::new();
+        let x = lp.add_var(0.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = Lp::new();
+        let x = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(x, 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn free_variables() {
+        // max −|ish|: max −x st x ≥ −3 encoded with a free var and a Ge row.
+        let mut lp = Lp::new();
+        let x = lp.add_free_var();
+        lp.set_objective_coeff(x, -1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, -3.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.values[x], -3.0);
+        assert_near(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn bounded_variables_via_bounds() {
+        // max x + y with −2 ≤ x ≤ 2 and −2 ≤ y ≤ 1.
+        let mut lp = Lp::new();
+        let x = lp.add_var(-2.0, 2.0);
+        let y = lp.add_var(-2.0, 1.0);
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 1.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.objective, 3.0);
+        assert_near(sol.values[x], 2.0);
+        assert_near(sol.values[y], 1.0);
+    }
+
+    #[test]
+    fn upper_bound_only_variable() {
+        // max x with x ≤ 5 (no lower bound): optimum 5.
+        let mut lp = Lp::new();
+        let x = lp.add_var(f64::NEG_INFINITY, 5.0);
+        lp.set_objective_coeff(x, 1.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.values[x], 5.0);
+    }
+
+    #[test]
+    fn minimize_by_negation() {
+        // min x + y st x + y ≥ 2, x,y ≥ 0 → 2.
+        let mut lp = Lp::new();
+        let x = lp.add_var(0.0, f64::INFINITY);
+        let y = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(x, -1.0);
+        lp.set_objective_coeff(y, -1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(-sol.objective, 2.0);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // max −x st −x ≥ −4 (i.e. x ≤ 4), x ≥ 1 → optimum at x = 1.
+        let mut lp = Lp::new();
+        let x = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(x, -1.0);
+        lp.add_constraint(&[(x, -1.0)], Relation::Ge, -4.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.values[x], 1.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate vertex; Bland's rule must terminate.
+        let mut lp = Lp::new();
+        let x1 = lp.add_var(0.0, f64::INFINITY);
+        let x2 = lp.add_var(0.0, f64::INFINITY);
+        let x3 = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(x1, 10.0);
+        lp.set_objective_coeff(x2, -57.0);
+        lp.set_objective_coeff(x3, -9.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 1.0)], Relation::Le, 1.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.values[x1], 1.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x = 1 stated twice; phase 1 must drop the redundant row.
+        let mut lp = Lp::new();
+        let x = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Eq, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Eq, 1.0);
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert_near(sol.values[x], 1.0);
+    }
+
+    #[test]
+    fn gate_style_system_solves() {
+        // A miniature version of the paper's Table 2 system: find hY, hA,
+        // hB, JYA, JYB, JAB, k with valid rows = k and invalid rows ≥ k + 1,
+        // all coefficients in [−2, 2] (J additionally ≤ 1), maximize gap g.
+        let mut lp = Lp::new();
+        let hy = lp.add_var(-2.0, 2.0);
+        let ha = lp.add_var(-2.0, 2.0);
+        let hb = lp.add_var(-2.0, 2.0);
+        let jya = lp.add_var(-2.0, 1.0);
+        let jyb = lp.add_var(-2.0, 1.0);
+        let jab = lp.add_var(-2.0, 1.0);
+        let k = lp.add_free_var();
+        let g = lp.add_var(0.0, f64::INFINITY);
+        lp.set_objective_coeff(g, 1.0);
+        // Truth table rows (y, a, b) for y = a AND b.
+        for bits in 0..8u32 {
+            let y = if bits & 1 == 1 { 1.0 } else { -1.0 };
+            let a = if bits & 2 == 2 { 1.0 } else { -1.0 };
+            let b = if bits & 4 == 4 { 1.0 } else { -1.0 };
+            let coeffs = [
+                (hy, y),
+                (ha, a),
+                (hb, b),
+                (jya, y * a),
+                (jyb, y * b),
+                (jab, a * b),
+                (k, -1.0),
+            ];
+            let valid = (a > 0.0 && b > 0.0) == (y > 0.0);
+            if valid {
+                lp.add_constraint(&coeffs, Relation::Eq, 0.0);
+            } else {
+                let mut with_gap = coeffs.to_vec();
+                with_gap.push((g, -1.0));
+                lp.add_constraint(&with_gap, Relation::Ge, 0.0);
+            }
+        }
+        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        assert!(sol.objective > 0.5, "AND gate should admit a healthy gap");
+        // Verify the solution actually separates valid from invalid rows.
+        let eval = |y: f64, a: f64, b: f64| {
+            sol.values[hy] * y
+                + sol.values[ha] * a
+                + sol.values[hb] * b
+                + sol.values[jya] * y * a
+                + sol.values[jyb] * y * b
+                + sol.values[jab] * a * b
+        };
+        let kv = sol.values[k];
+        for bits in 0..8u32 {
+            let y = if bits & 1 == 1 { 1.0 } else { -1.0 };
+            let a = if bits & 2 == 2 { 1.0 } else { -1.0 };
+            let b = if bits & 4 == 4 { 1.0 } else { -1.0 };
+            let e = eval(y, a, b);
+            let valid = (a > 0.0 && b > 0.0) == (y > 0.0);
+            if valid {
+                assert!((e - kv).abs() < 1e-6);
+            } else {
+                assert!(e > kv + 0.5);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Dense simplex tableau with Bland's anti-cycling rule.
+//!
+//! Works on the standard form `max c·x  s.t.  A x = b,  x ≥ 0,  b ≥ 0`.
+//! The public [`crate::Lp`] builder reduces general problems to this form.
+
+const TOL: f64 = 1e-9;
+
+/// Result of optimizing a tableau.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PivotOutcome {
+    Optimal,
+    Unbounded,
+}
+
+/// A dense simplex tableau: `rows × (num_vars + 1)` with the RHS in the
+/// last column, plus a priced-out objective row.
+pub(crate) struct Tableau {
+    /// Constraint rows, each of length `num_vars + 1` (last entry is RHS).
+    pub rows: Vec<Vec<f64>>,
+    /// Objective row in reduced-cost form (`c_j − z_j`), same length.
+    pub obj: Vec<f64>,
+    /// Index of the basic variable for each row.
+    pub basis: Vec<usize>,
+    pub num_vars: usize,
+}
+
+impl Tableau {
+    pub fn new(rows: Vec<Vec<f64>>, obj: Vec<f64>, basis: Vec<usize>, num_vars: usize) -> Tableau {
+        debug_assert!(rows.iter().all(|r| r.len() == num_vars + 1));
+        debug_assert_eq!(obj.len(), num_vars + 1);
+        debug_assert_eq!(basis.len(), rows.len());
+        Tableau { rows, obj, basis, num_vars }
+    }
+
+    /// Subtracts multiples of the constraint rows from the objective row so
+    /// that every basic column has reduced cost zero ("pricing out").
+    pub fn price_out(&mut self) {
+        for (r, &b) in self.basis.iter().enumerate() {
+            let coeff = self.obj[b];
+            if coeff.abs() > TOL {
+                for c in 0..=self.num_vars {
+                    self.obj[c] -= coeff * self.rows[r][c];
+                }
+            }
+        }
+    }
+
+    /// Runs primal simplex iterations until optimal or unbounded.
+    ///
+    /// `allowed` restricts the entering columns (used in phase 2 to keep
+    /// artificial variables out of the basis).
+    pub fn optimize(&mut self, allowed: &dyn Fn(usize) -> bool) -> PivotOutcome {
+        loop {
+            // Bland's rule: smallest-index improving column.
+            let entering = (0..self.num_vars).find(|&j| allowed(j) && self.obj[j] > TOL);
+            let Some(col) = entering else {
+                return PivotOutcome::Optimal;
+            };
+            // Ratio test, ties broken by smallest basis variable (Bland).
+            let mut best: Option<(usize, f64)> = None;
+            for (r, row) in self.rows.iter().enumerate() {
+                let a = row[col];
+                if a > TOL {
+                    let ratio = row[self.num_vars] / a;
+                    match best {
+                        None => best = Some((r, ratio)),
+                        Some((br, bratio)) => {
+                            if ratio < bratio - TOL
+                                || (ratio < bratio + TOL && self.basis[r] < self.basis[br])
+                            {
+                                best = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return PivotOutcome::Unbounded;
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// Pivots so that column `col` becomes basic in row `row`.
+    pub fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.rows[row][col];
+        debug_assert!(pivot.abs() > TOL, "pivot element too small: {pivot}");
+        let inv = 1.0 / pivot;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        for r in 0..self.rows.len() {
+            if r != row {
+                let factor = self.rows[r][col];
+                if factor.abs() > TOL {
+                    for c in 0..=self.num_vars {
+                        let delta = factor * self.rows[row][c];
+                        self.rows[r][c] -= delta;
+                    }
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > TOL {
+            for c in 0..=self.num_vars {
+                let delta = factor * self.rows[row][c];
+                self.obj[c] -= delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// The current objective value (negated last entry of the priced-out
+    /// objective row).
+    pub fn objective_value(&self) -> f64 {
+        -self.obj[self.num_vars]
+    }
+
+    /// Extracts the value of every variable in the current basic solution.
+    pub fn solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.num_vars];
+        for (r, &b) in self.basis.iter().enumerate() {
+            x[b] = self.rows[r][self.num_vars];
+        }
+        x
+    }
+
+    /// Attempts to drive the artificial variable basic in `row` out of the
+    /// basis by pivoting on any allowed column with a nonzero entry.
+    /// Returns `true` on success; `false` means the row is redundant.
+    pub fn drive_out(&mut self, row: usize, allowed: &dyn Fn(usize) -> bool) -> bool {
+        for col in 0..self.num_vars {
+            if allowed(col) && self.rows[row][col].abs() > TOL {
+                self.pivot(row, col);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_max_already_standard() {
+        // max 3x+2y st x+y+s1=4, x+s2=2
+        let rows = vec![vec![1.0, 1.0, 1.0, 0.0, 4.0], vec![1.0, 0.0, 0.0, 1.0, 2.0]];
+        let obj = vec![3.0, 2.0, 0.0, 0.0, 0.0];
+        let mut t = Tableau::new(rows, obj, vec![2, 3], 4);
+        t.price_out();
+        assert_eq!(t.optimize(&|_| true), PivotOutcome::Optimal);
+        assert!((t.objective_value() - 10.0).abs() < 1e-9);
+        let x = t.solution();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // max x st -x + s = 1 (x can grow without bound)
+        let rows = vec![vec![-1.0, 1.0, 1.0]];
+        let obj = vec![1.0, 0.0, 0.0];
+        let mut t = Tableau::new(rows, obj, vec![1], 2);
+        t.price_out();
+        assert_eq!(t.optimize(&|_| true), PivotOutcome::Unbounded);
+    }
+}

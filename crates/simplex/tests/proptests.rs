@@ -1,0 +1,72 @@
+//! Property tests for the simplex solver: any reported optimum must be
+//! feasible and at least as good as randomly sampled feasible points.
+
+use proptest::prelude::*;
+use qac_simplex::{Lp, LpOutcome, Relation};
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // Σ aᵢxᵢ ≤ b
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (1usize..=4).prop_flat_map(|n| {
+        let obj = proptest::collection::vec(-3.0f64..3.0, n);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(-2.0f64..2.0, n), 0.5f64..5.0),
+            1..=5,
+        );
+        (Just(n), obj, rows).prop_map(|(n, objective, rows)| RandomLp { n, objective, rows })
+    })
+}
+
+proptest! {
+    #[test]
+    fn optimum_is_feasible_and_dominates_samples(rlp in arb_lp(), seed in any::<u64>()) {
+        // Box bounds keep the LP bounded; origin keeps it feasible.
+        let mut lp = Lp::new();
+        let vars: Vec<_> = (0..rlp.n).map(|_| lp.add_var(0.0, 10.0)).collect();
+        for (i, &c) in rlp.objective.iter().enumerate() {
+            lp.set_objective_coeff(vars[i], c);
+        }
+        for (coeffs, rhs) in &rlp.rows {
+            let row: Vec<_> = coeffs.iter().enumerate().map(|(i, &c)| (vars[i], c)).collect();
+            lp.add_constraint(&row, Relation::Le, *rhs);
+        }
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            return Err(TestCaseError::fail("bounded feasible LP must be optimal"));
+        };
+        // Feasibility of the reported solution.
+        for (i, &v) in sol.values.iter().enumerate() {
+            prop_assert!(v >= -1e-7 && v <= 10.0 + 1e-7, "bound violated on x{i}: {v}");
+        }
+        for (coeffs, rhs) in &rlp.rows {
+            let lhs: f64 = coeffs.iter().zip(&sol.values).map(|(c, v)| c * v).sum();
+            prop_assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+        }
+        let opt: f64 = rlp.objective.iter().zip(&sol.values).map(|(c, v)| c * v).sum();
+        prop_assert!((opt - sol.objective).abs() < 1e-6);
+        // Dominance over random feasible samples (deterministic xorshift).
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let candidate: Vec<f64> = (0..rlp.n).map(|_| next() * 10.0).collect();
+            let feasible = rlp.rows.iter().all(|(coeffs, rhs)| {
+                coeffs.iter().zip(&candidate).map(|(c, v)| c * v).sum::<f64>() <= *rhs
+            });
+            if feasible {
+                let val: f64 =
+                    rlp.objective.iter().zip(&candidate).map(|(c, v)| c * v).sum();
+                prop_assert!(val <= sol.objective + 1e-6,
+                    "sample beats 'optimum': {val} > {}", sol.objective);
+            }
+        }
+    }
+}

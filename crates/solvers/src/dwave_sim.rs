@@ -1,0 +1,471 @@
+//! A software model of running on a D-Wave 2000Q.
+//!
+//! The paper's experiments execute on real hardware; this simulator
+//! substitutes for it while exercising the same pipeline stages and
+//! artifacts (DESIGN.md, substitution table):
+//!
+//! 1. scale coefficients into `h ∈ [−2,2]`, `J ∈ [−2,1]` (§2);
+//! 2. minor-embed onto a Chimera graph with qubit drop-out (§4.4);
+//! 3. quantize coefficients to a few bits and add analog Gaussian noise
+//!    (the machine "is analog rather than digital … limited precision");
+//! 4. draw stochastic samples (simulated annealing stands in for the
+//!    physical anneal);
+//! 5. decode through majority vote, counting chain breaks;
+//! 6. account wall-clock time with a programming/anneal/readout model so
+//!    §6.2-style per-solution costs can be reported.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qac_chimera::{
+    embed_ising, find_embedding_or_clique, Chimera, EmbedError, EmbedOptions, Embedding,
+};
+use qac_pbf::scale::{quantize, scale_to_range, CoefficientRange};
+use qac_pbf::Ising;
+
+use qac_pbf::Spin;
+
+use crate::{Sample, SampleSet, Sampler};
+
+/// The time budget of one D-Wave job (microseconds).
+///
+/// Defaults follow public D-Wave 2000Q timing data: ~10 ms programming,
+/// user-set anneal time (the paper uses 20 µs), ~123 µs readout and
+/// ~21 µs inter-sample delay per read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// One-time problem programming cost.
+    pub programming_us: f64,
+    /// Annealing time per read (1–2000 µs on the 2000Q, §2).
+    pub anneal_us: f64,
+    /// Readout time per read.
+    pub readout_us: f64,
+    /// Thermalization/delay per read.
+    pub delay_us: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> TimingModel {
+        TimingModel { programming_us: 10_000.0, anneal_us: 20.0, readout_us: 123.0, delay_us: 21.0 }
+    }
+}
+
+impl TimingModel {
+    /// Total wall-clock for a job of `num_reads` anneals.
+    pub fn total_us(&self, num_reads: usize) -> f64 {
+        self.programming_us
+            + num_reads as f64 * (self.anneal_us + self.readout_us + self.delay_us)
+    }
+}
+
+/// Options for the hardware model.
+#[derive(Debug, Clone)]
+pub struct DWaveSimOptions {
+    /// Chimera mesh size (16 = D-Wave 2000Q).
+    pub chimera_size: usize,
+    /// Fraction of qubits lost to fabrication (deterministic per seed).
+    pub dropout: f64,
+    /// Base RNG seed (noise, annealing).
+    pub seed: u64,
+    /// Chain coupling strength; `None` = 2 × max |J| of the scaled model,
+    /// clamped to the hardware J range.
+    pub chain_strength: Option<f64>,
+    /// Effective DAC precision in bits (0 disables quantization).
+    pub precision_bits: u32,
+    /// Std-dev of Gaussian coefficient noise, as a fraction of the
+    /// coefficient range (0 disables).
+    pub noise_sigma: f64,
+    /// Sweeps of the stand-in annealer per read (more sweeps ≈ longer
+    /// anneal time).
+    pub anneal_sweeps: usize,
+    /// Embedding heuristic options.
+    pub embed: EmbedOptions,
+    /// The timing model used for cost accounting.
+    pub timing: TimingModel,
+}
+
+impl Default for DWaveSimOptions {
+    fn default() -> DWaveSimOptions {
+        DWaveSimOptions {
+            chimera_size: 16,
+            dropout: 0.0,
+            seed: 0xd3ca_f,
+            chain_strength: None,
+            precision_bits: 5,
+            noise_sigma: 0.01,
+            anneal_sweeps: 64,
+            embed: EmbedOptions::default(),
+            timing: TimingModel::default(),
+        }
+    }
+}
+
+/// The result of one simulated hardware job.
+#[derive(Debug, Clone)]
+pub struct DWaveSimResult {
+    /// Decoded logical samples with *logical* energies.
+    pub logical: SampleSet,
+    /// Mean chain-break fraction across reads.
+    pub mean_chain_breaks: f64,
+    /// The embedding that was used.
+    pub embedding: Embedding,
+    /// Physical qubits consumed (the §6.1 metric).
+    pub physical_qubits: usize,
+    /// Terms in the physical Hamiltonian (the §6.1 metric).
+    pub physical_terms: usize,
+    /// The positive factor applied to fit the coefficient ranges.
+    pub scale: f64,
+    /// Estimated wall-clock of the job.
+    pub estimated_time_us: f64,
+}
+
+/// The simulated D-Wave annealer.
+#[derive(Debug, Clone, Default)]
+pub struct DWaveSim {
+    options: DWaveSimOptions,
+}
+
+impl DWaveSim {
+    /// A simulator with the given options.
+    pub fn new(options: DWaveSimOptions) -> DWaveSim {
+        DWaveSim { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &DWaveSimOptions {
+        &self.options
+    }
+
+    /// Runs a job: embed, distort, sample, decode.
+    ///
+    /// # Errors
+    /// Propagates [`EmbedError`] when the logical model does not fit the
+    /// hardware graph.
+    pub fn run(&self, logical: &Ising, num_reads: usize) -> Result<DWaveSimResult, EmbedError> {
+        let o = &self.options;
+        let chimera = Chimera::new(o.chimera_size);
+        let hardware = if o.dropout > 0.0 {
+            chimera.graph_with_dropout(o.dropout, o.seed)
+        } else {
+            chimera.graph()
+        };
+
+        // 1. Scale the logical model into hardware range.
+        let range = CoefficientRange::DWAVE_2000Q;
+        let scaled = scale_to_range(logical, range);
+
+        // 2. Embed.
+        let edges: Vec<(usize, usize)> =
+            scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
+        let embedding = find_embedding_or_clique(
+            &edges,
+            scaled.model.num_vars(),
+            &chimera,
+            &hardware,
+            &o.embed,
+        )?;
+        let chain_strength = o
+            .chain_strength
+            .unwrap_or_else(|| (2.0 * scaled.model.max_abs_j()).max(1.0))
+            .min(-range.j_min);
+        let embedded = embed_ising(&scaled.model, &embedding, &hardware, chain_strength);
+
+        // Rescale after chains were added (chains may exceed J range).
+        let physical = scale_to_range(&embedded.physical, range).model;
+
+        // 3. Analog distortion: quantization plus Gaussian noise.
+        let mut distorted = if o.precision_bits > 0 {
+            quantize(&physical, range, o.precision_bits)
+        } else {
+            physical.clone()
+        };
+        if o.noise_sigma > 0.0 {
+            let mut rng = StdRng::seed_from_u64(o.seed ^ 0x6e01_5e);
+            let mut noisy = Ising::new(distorted.num_vars());
+            for (i, h) in distorted.h_iter() {
+                if h != 0.0 {
+                    let sigma = o.noise_sigma * (range.h_max - range.h_min);
+                    noisy.add_h(i, h + gaussian(&mut rng) * sigma);
+                }
+            }
+            for t in distorted.j_iter() {
+                if t.value != 0.0 {
+                    let sigma = o.noise_sigma * (range.j_max - range.j_min);
+                    noisy.add_j(t.i, t.j, t.value + gaussian(&mut rng) * sigma);
+                }
+            }
+            noisy.add_offset(distorted.offset());
+            distorted = noisy;
+        }
+
+        // 4. Stochastic sampling. Plain single-flip annealing cannot cross
+        // the energy barrier of a long intact chain (the physical device
+        // tunnels chains collectively), so the stand-in anneal mixes
+        // chain-block flips with single-qubit flips: blocks provide the
+        // logical dynamics, single-qubit moves let chains break the way
+        // analog hardware does.
+        let physical_set = anneal_embedded(
+            &distorted,
+            &embedding,
+            o.anneal_sweeps.max(1),
+            o.seed ^ 0xa1_ea1,
+            num_reads,
+        );
+
+        // 5. Decode with majority vote; re-evaluate energies logically.
+        let mut decoded: Vec<Sample> = Vec::new();
+        let mut breaks = 0.0;
+        let mut reads = 0usize;
+        for sample in physical_set.iter() {
+            let (logical_spins, stats) = embedded.unembed(&sample.spins);
+            breaks += stats.break_fraction() * sample.occurrences as f64;
+            reads += sample.occurrences;
+            let energy = logical.energy(&logical_spins);
+            decoded.push(Sample {
+                spins: logical_spins,
+                energy,
+                occurrences: sample.occurrences,
+            });
+        }
+        let logical_set = SampleSet::from_samples(decoded);
+        let physical_terms = embedded.physical.num_terms(1e-12);
+
+        Ok(DWaveSimResult {
+            logical: logical_set,
+            mean_chain_breaks: if reads > 0 { breaks / reads as f64 } else { 0.0 },
+            embedding,
+            physical_qubits: embedded.embedding.num_physical_qubits(),
+            physical_terms,
+            scale: scaled.scale,
+            estimated_time_us: o.timing.total_us(num_reads),
+        })
+    }
+}
+
+impl Sampler for DWaveSim {
+    /// Runs a job and returns the decoded logical samples.
+    ///
+    /// # Panics
+    /// Panics if the model cannot be embedded; use [`DWaveSim::run`] to
+    /// handle embedding failure.
+    fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
+        self.run(model, num_reads).expect("model embeds on the configured hardware").logical
+    }
+}
+
+
+/// Annealing over an embedded model with chain-block moves.
+///
+/// Each sweep proposes one collective flip per chain (Metropolis on the
+/// physical energy) followed by one single-qubit pass at the same
+/// temperature; a greedy single-qubit descent finishes each read. The
+/// block moves emulate the collective dynamics a physical annealer gets
+/// from quantum tunneling; the single-qubit moves are where chain breaks
+/// come from.
+fn anneal_embedded(
+    model: &Ising,
+    embedding: &Embedding,
+    sweeps: usize,
+    seed: u64,
+    num_reads: usize,
+) -> SampleSet {
+    let adj = model.adjacency();
+    let n = model.num_vars();
+    // Chain membership per physical qubit (usize::MAX = unused).
+    let mut member = vec![usize::MAX; n];
+    for (v, chain) in embedding.chains().iter().enumerate() {
+        for &q in chain {
+            member[q] = v;
+        }
+    }
+    // β schedule bounds from the physical scale.
+    let mut max_local = 0.0f64;
+    for i in 0..n {
+        let local: f64 = model.h(i).abs() + adj[i].iter().map(|(_, j)| j.abs()).sum::<f64>();
+        max_local = max_local.max(2.0 * local);
+    }
+    if max_local == 0.0 {
+        max_local = 1.0;
+    }
+    let beta_min = 0.7 / max_local;
+    let beta_max = 50.0 / max_local.min(8.0).max(1e-9);
+
+    let mut reads = Vec::with_capacity(num_reads);
+    for r in 0..num_reads {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+        // Chain-coherent random start.
+        let mut spins: Vec<Spin> = vec![Spin::Down; n];
+        for chain in embedding.chains() {
+            let s = Spin::from(rng.gen::<bool>());
+            for &q in chain {
+                spins[q] = s;
+            }
+        }
+        for q in 0..n {
+            if member[q] == usize::MAX {
+                spins[q] = Spin::from(rng.gen::<bool>());
+            }
+        }
+        let ratio = (beta_max / beta_min).powf(1.0 / sweeps.max(1) as f64);
+        let mut beta = beta_min;
+        for _ in 0..sweeps {
+            // Block pass: flip whole chains.
+            for chain in embedding.chains() {
+                // ΔE of flipping the block: intra-chain terms cancel.
+                let mut delta = 0.0;
+                for &q in chain {
+                    let mut field = model.h(q);
+                    for &(other, j) in &adj[q] {
+                        if member[other] != member[q] {
+                            field += j * spins[other].value();
+                        }
+                    }
+                    delta += -2.0 * spins[q].value() * field;
+                }
+                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
+                    for &q in chain {
+                        spins[q] = spins[q].flipped();
+                    }
+                }
+            }
+            // Single-qubit pass (chain breaks happen here).
+            for q in 0..n {
+                if member[q] == usize::MAX && adj[q].is_empty() && model.h(q) == 0.0 {
+                    continue;
+                }
+                let delta = model.flip_delta(&spins, q, &adj[q]);
+                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
+                    spins[q] = spins[q].flipped();
+                }
+            }
+            beta *= ratio;
+        }
+        // Greedy descent: blocks first, then single qubits.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for chain in embedding.chains() {
+                let mut delta = 0.0;
+                for &q in chain {
+                    let mut field = model.h(q);
+                    for &(other, j) in &adj[q] {
+                        if member[other] != member[q] {
+                            field += j * spins[other].value();
+                        }
+                    }
+                    delta += -2.0 * spins[q].value() * field;
+                }
+                if delta < -1e-12 {
+                    for &q in chain {
+                        spins[q] = spins[q].flipped();
+                    }
+                    improved = true;
+                }
+            }
+            for q in 0..n {
+                if model.flip_delta(&spins, q, &adj[q]) < -1e-12 {
+                    spins[q] = spins[q].flipped();
+                    improved = true;
+                }
+            }
+        }
+        reads.push(spins);
+    }
+    SampleSet::from_reads(model, reads)
+}
+
+/// Standard normal via Box–Muller (rand_distr is not among the allowed
+/// dependencies).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qac_pbf::Spin;
+
+    fn small_options() -> DWaveSimOptions {
+        DWaveSimOptions {
+            chimera_size: 3,
+            anneal_sweeps: 60,
+            noise_sigma: 0.005,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn solves_a_pinned_chain() {
+        let mut m = Ising::new(4);
+        m.add_h(0, -1.0);
+        for i in 0..3 {
+            m.add_j(i, i + 1, -1.0);
+        }
+        let sim = DWaveSim::new(small_options());
+        let result = sim.run(&m, 50).unwrap();
+        let best = result.logical.best().unwrap();
+        assert_eq!(best.spins, vec![Spin::Up; 4]);
+        assert!(result.physical_qubits >= 4);
+        assert!(result.estimated_time_us > 0.0);
+    }
+
+    #[test]
+    fn and_gate_relation_sampled() {
+        // Table 5 AND gate: all samples at minimum satisfy Y = A ∧ B.
+        let mut m = Ising::new(3);
+        m.add_h(0, 1.0);
+        m.add_h(1, -0.5);
+        m.add_h(2, -0.5);
+        m.add_j(1, 2, 0.5);
+        m.add_j(0, 1, -1.0);
+        m.add_j(0, 2, -1.0);
+        let sim = DWaveSim::new(small_options());
+        let result = sim.run(&m, 100).unwrap();
+        let best = result.logical.best().unwrap();
+        let y = best.spins[0].to_bool();
+        let a = best.spins[1].to_bool();
+        let b = best.spins[2].to_bool();
+        assert_eq!(y, a && b, "best sample violates the AND relation");
+        // A healthy majority of reads should decode to ground states.
+        assert!(result.logical.ground_fraction(1e-6) > 0.3);
+    }
+
+    #[test]
+    fn noise_and_quantization_disabled_cleanly() {
+        let mut m = Ising::new(2);
+        m.add_j(0, 1, -1.0);
+        m.add_h(0, -0.5);
+        let opts = DWaveSimOptions {
+            chimera_size: 2,
+            precision_bits: 0,
+            noise_sigma: 0.0,
+            ..small_options()
+        };
+        let result = DWaveSim::new(opts).run(&m, 20).unwrap();
+        assert_eq!(result.logical.best().unwrap().spins, vec![Spin::Up, Spin::Up]);
+    }
+
+    #[test]
+    fn timing_model_accounts_reads() {
+        let t = TimingModel::default();
+        let single = t.total_us(1);
+        let many = t.total_us(1000);
+        assert!(many > single);
+        // Per-read marginal cost equals anneal + readout + delay.
+        let marginal = (many - single) / 999.0;
+        assert!((marginal - (20.0 + 123.0 + 21.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut m = Ising::new(3);
+        m.add_j(0, 1, -1.0);
+        m.add_j(1, 2, 1.0);
+        let sim = DWaveSim::new(small_options());
+        let a = sim.run(&m, 10).unwrap();
+        let b = sim.run(&m, 10).unwrap();
+        assert_eq!(a.logical, b.logical);
+    }
+}

@@ -1,0 +1,154 @@
+//! Exhaustive enumeration — the ground-truth solver for small models.
+
+use qac_pbf::{bits_to_spins, Ising, Spin};
+
+use crate::{Sample, SampleSet, Sampler};
+
+/// Enumerates all 2ⁿ assignments using a Gray code so each step is a
+/// single O(degree) incremental energy update.
+///
+/// The default variable cap (28) keeps runtime bounded; raise it
+/// explicitly for bigger sweeps.
+#[derive(Debug, Clone)]
+pub struct ExactSolver {
+    max_vars: usize,
+}
+
+impl Default for ExactSolver {
+    fn default() -> ExactSolver {
+        ExactSolver { max_vars: 28 }
+    }
+}
+
+impl ExactSolver {
+    /// An exact solver with the default variable cap.
+    pub fn new() -> ExactSolver {
+        ExactSolver::default()
+    }
+
+    /// Overrides the variable cap.
+    pub fn with_max_vars(mut self, max_vars: usize) -> ExactSolver {
+        self.max_vars = max_vars;
+        self
+    }
+
+    /// All ground states of `model` (within `eps` of the minimum), along
+    /// with the minimum energy.
+    ///
+    /// # Panics
+    /// Panics if the model exceeds the variable cap.
+    pub fn ground_states(&self, model: &Ising, eps: f64) -> (f64, Vec<Vec<Spin>>) {
+        let n = model.num_vars();
+        assert!(n <= self.max_vars, "model has {n} variables, cap is {}", self.max_vars);
+        if n == 0 {
+            return (model.offset(), vec![Vec::new()]);
+        }
+        let adj = model.adjacency();
+        let mut spins = bits_to_spins(0, n);
+        let mut energy = model.energy(&spins);
+        let mut best = energy;
+        let mut minima: Vec<Vec<Spin>> = vec![spins.clone()];
+        // Gray-code walk: at step k, flip bit = trailing zeros of k.
+        for k in 1u64..(1u64 << n) {
+            let bit = k.trailing_zeros() as usize;
+            energy += model.flip_delta(&spins, bit, &adj[bit]);
+            spins[bit] = spins[bit].flipped();
+            if energy < best - eps {
+                best = energy;
+                minima.clear();
+                minima.push(spins.clone());
+            } else if (energy - best).abs() <= eps {
+                minima.push(spins.clone());
+            }
+        }
+        (best, minima)
+    }
+
+    /// The single minimum energy of `model`.
+    ///
+    /// # Panics
+    /// Panics if the model exceeds the variable cap.
+    pub fn minimum_energy(&self, model: &Ising) -> f64 {
+        self.ground_states(model, 1e-9).0
+    }
+}
+
+impl Sampler for ExactSolver {
+    /// "Sampling" with the exact solver returns every ground state once
+    /// (occurrences spread evenly over `num_reads`).
+    fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
+        let (energy, minima) = self.ground_states(model, 1e-9);
+        let count = minima.len().max(1);
+        let per = (num_reads / count).max(1);
+        SampleSet::from_samples(
+            minima
+                .into_iter()
+                .map(|spins| Sample { spins, energy, occurrences: per })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_minima_of_and_gate() {
+        // Table 5 AND: four ground states.
+        let mut m = Ising::new(3);
+        m.add_h(0, 1.0);
+        m.add_h(1, -0.5);
+        m.add_h(2, -0.5);
+        m.add_j(1, 2, 0.5);
+        m.add_j(0, 1, -1.0);
+        m.add_j(0, 2, -1.0);
+        let (energy, minima) = ExactSolver::new().ground_states(&m, 1e-9);
+        assert!((energy - (-1.5)).abs() < 1e-12);
+        assert_eq!(minima.len(), 4);
+    }
+
+    #[test]
+    fn gray_code_matches_direct_energy() {
+        let mut m = Ising::new(6);
+        m.add_h(0, 0.3);
+        m.add_h(5, -0.8);
+        m.add_j(0, 3, 1.2);
+        m.add_j(2, 4, -0.7);
+        m.add_j(1, 5, 0.1);
+        let (best, minima) = ExactSolver::new().ground_states(&m, 1e-9);
+        // Direct check.
+        let mut direct_best = f64::INFINITY;
+        for idx in 0..(1u64 << 6) {
+            direct_best = direct_best.min(m.energy(&bits_to_spins(idx, 6)));
+        }
+        assert!((best - direct_best).abs() < 1e-9);
+        for g in minima {
+            assert!((m.energy(&g) - best).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_variable_model() {
+        let mut m = Ising::new(0);
+        m.add_offset(3.5);
+        let (e, minima) = ExactSolver::new().ground_states(&m, 1e-9);
+        assert_eq!(e, 3.5);
+        assert_eq!(minima.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn cap_enforced() {
+        let m = Ising::new(40);
+        ExactSolver::new().ground_states(&m, 1e-9);
+    }
+
+    #[test]
+    fn sampler_interface() {
+        let mut m = Ising::new(1);
+        m.add_h(0, -1.0);
+        let set = ExactSolver::new().sample(&m, 10);
+        assert_eq!(set.best().unwrap().spins, vec![Spin::Up]);
+    }
+}

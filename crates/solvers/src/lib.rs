@@ -1,0 +1,60 @@
+//! Samplers that minimize Ising/QUBO models.
+//!
+//! The paper's generated Hamiltonians are minimized on a D-Wave 2000Q,
+//! but §2 notes the same functions "can be minimized in software on
+//! conventional computers using, e.g., simulated annealing". This crate
+//! provides that software substrate:
+//!
+//! * [`ExactSolver`] — exhaustive enumeration (the oracle for tests and
+//!   small problems);
+//! * [`SimulatedAnnealing`] — multi-read Metropolis annealing with a
+//!   geometric β schedule, parallelized across reads;
+//! * [`Sqa`] — simulated *quantum* annealing by path-integral Monte Carlo
+//!   (the approach of Hitachi's annealer the paper cites);
+//! * [`TabuSearch`] — deterministic local search with a tabu list, the
+//!   core move of D-Wave's classical `qbsolv`;
+//! * [`QbsolvStyle`] — qbsolv-style decomposition: splits problems larger
+//!   than a sub-solver budget into impact-selected subproblems;
+//! * [`DWaveSim`] — an end-to-end hardware model: Chimera embedding,
+//!   coefficient scaling and quantization, analog noise, stochastic
+//!   sampling, majority-vote unembedding, chain-break accounting, and a
+//!   timing model for §6.2-style per-solution costs.
+//!
+//! All samplers implement [`Sampler`] and are deterministic under a fixed
+//! seed (reads are seeded independently, so thread scheduling cannot
+//! change results).
+//!
+//! # Example
+//!
+//! ```
+//! use qac_pbf::{Ising, Spin};
+//! use qac_solvers::{Sampler, SimulatedAnnealing};
+//!
+//! // A ferromagnetic pair pinned up: ground state (+1, +1).
+//! let mut model = Ising::new(2);
+//! model.add_h(0, -1.0);
+//! model.add_j(0, 1, -1.0);
+//! let sampler = SimulatedAnnealing::new(7).with_sweeps(50);
+//! let result = sampler.sample(&model, 20);
+//! let best = result.best().unwrap();
+//! assert_eq!(best.spins, vec![Spin::Up, Spin::Up]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dwave_sim;
+mod exact;
+mod qbsolv;
+mod sa;
+mod sample;
+mod sqa;
+mod tabu;
+
+pub use dwave_sim::{DWaveSim, DWaveSimOptions, DWaveSimResult, TimingModel};
+pub use exact::ExactSolver;
+pub use qbsolv::QbsolvStyle;
+pub use sa::SimulatedAnnealing;
+pub use sample::{Sample, SampleSet, Sampler};
+pub use sqa::Sqa;
+pub use tabu::TabuSearch;

@@ -1,0 +1,234 @@
+//! Simulated annealing (Kirkpatrick et al. 1983) — the classical
+//! counterpart of quantum annealing the paper contrasts against in §2.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qac_pbf::{Ising, Spin};
+
+use crate::{SampleSet, Sampler};
+
+/// Multi-read Metropolis simulated annealing with a geometric inverse
+/// temperature schedule.
+///
+/// Each read is an independent restart seeded from the base seed, so
+/// results are deterministic regardless of how reads are scheduled across
+/// threads.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    seed: u64,
+    sweeps: usize,
+    beta_range: Option<(f64, f64)>,
+    threads: usize,
+}
+
+impl SimulatedAnnealing {
+    /// A sampler with the given seed and default schedule (256 sweeps,
+    /// automatic β range).
+    pub fn new(seed: u64) -> SimulatedAnnealing {
+        SimulatedAnnealing { seed, sweeps: 256, beta_range: None, threads: 4 }
+    }
+
+    /// Sets the number of full-model sweeps per read.
+    pub fn with_sweeps(mut self, sweeps: usize) -> SimulatedAnnealing {
+        self.sweeps = sweeps.max(1);
+        self
+    }
+
+    /// Overrides the automatic β (inverse temperature) range.
+    pub fn with_beta_range(mut self, beta_min: f64, beta_max: f64) -> SimulatedAnnealing {
+        assert!(beta_min > 0.0 && beta_max >= beta_min, "need 0 < beta_min <= beta_max");
+        self.beta_range = Some((beta_min, beta_max));
+        self
+    }
+
+    /// Sets the worker thread count (1 = fully sequential).
+    pub fn with_threads(mut self, threads: usize) -> SimulatedAnnealing {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Derives a β schedule from the model's energy scale: start hot
+    /// enough to accept the largest uphill move often, finish cold enough
+    /// to freeze single-bit excitations.
+    fn beta_range_for(&self, model: &Ising) -> (f64, f64) {
+        if let Some(range) = self.beta_range {
+            return range;
+        }
+        let adj = model.adjacency();
+        // Max |ΔE| of a single flip, bounded by 2(|h| + Σ|J|) per site.
+        let mut max_delta = 0.0f64;
+        let mut min_delta = f64::INFINITY;
+        for i in 0..model.num_vars() {
+            let local: f64 =
+                model.h(i).abs() + adj[i].iter().map(|(_, j)| j.abs()).sum::<f64>();
+            if local > 0.0 {
+                max_delta = max_delta.max(2.0 * local);
+                min_delta = min_delta.min(2.0 * local);
+            }
+        }
+        if max_delta == 0.0 {
+            return (0.1, 1.0);
+        }
+        if !min_delta.is_finite() || min_delta <= 0.0 {
+            min_delta = max_delta;
+        }
+        // Accept the worst move w.p. ~50% initially; freeze the smallest
+        // move to ~e⁻¹⁰ at the end.
+        (0.693 / max_delta, 10.0 / min_delta)
+    }
+
+    /// One annealing read.
+    fn anneal_once(
+        model: &Ising,
+        adj: &[Vec<(usize, f64)>],
+        sweeps: usize,
+        betas: (f64, f64),
+        seed: u64,
+    ) -> Vec<Spin> {
+        let n = model.num_vars();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spins: Vec<Spin> =
+            (0..n).map(|_| Spin::from(rng.gen::<bool>())).collect();
+        if n == 0 {
+            return spins;
+        }
+        let (beta_min, beta_max) = betas;
+        let ratio = (beta_max / beta_min).powf(1.0 / sweeps.max(1) as f64);
+        let mut beta = beta_min;
+        for _ in 0..sweeps {
+            for i in 0..n {
+                let delta = model.flip_delta(&spins, i, &adj[i]);
+                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
+                    spins[i] = spins[i].flipped();
+                }
+            }
+            beta *= ratio;
+        }
+        // Greedy descent to the local minimum (standard postprocessing).
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for i in 0..n {
+                if model.flip_delta(&spins, i, &adj[i]) < -1e-12 {
+                    spins[i] = spins[i].flipped();
+                    improved = true;
+                }
+            }
+        }
+        spins
+    }
+}
+
+impl Sampler for SimulatedAnnealing {
+    fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
+        let adj = model.adjacency();
+        let betas = self.beta_range_for(model);
+        let reads = Mutex::new(vec![Vec::new(); num_reads]);
+        let threads = self.threads.min(num_reads.max(1));
+        if threads <= 1 {
+            let mut out = Vec::with_capacity(num_reads);
+            for r in 0..num_reads {
+                out.push(Self::anneal_once(
+                    model,
+                    &adj,
+                    self.sweeps,
+                    betas,
+                    self.seed.wrapping_add(r as u64),
+                ));
+            }
+            return SampleSet::from_reads(model, out);
+        }
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let reads = &reads;
+                let adj = &adj;
+                let sweeps = self.sweeps;
+                let seed = self.seed;
+                scope.spawn(move |_| {
+                    let mut r = t;
+                    while r < num_reads {
+                        let spins = Self::anneal_once(
+                            model,
+                            adj,
+                            sweeps,
+                            betas,
+                            seed.wrapping_add(r as u64),
+                        );
+                        reads.lock()[r] = spins;
+                        r += threads;
+                    }
+                });
+            }
+        })
+        .expect("annealing threads do not panic");
+        SampleSet::from_reads(model, reads.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactSolver;
+
+    fn frustrated_model(seed: u64, n: usize) -> Ising {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Ising::new(n);
+        for i in 0..n {
+            m.add_h(i, rng.gen_range(-1.0..1.0));
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < 0.4 {
+                    m.add_j(i, j, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn finds_ground_state_of_small_models() {
+        for seed in 0..5 {
+            let m = frustrated_model(seed, 10);
+            let exact = ExactSolver::new().minimum_energy(&m);
+            let sa = SimulatedAnnealing::new(99).with_sweeps(200);
+            let best = sa.sample(&m, 30).best().unwrap().energy;
+            assert!(
+                (best - exact).abs() < 1e-9,
+                "seed {seed}: SA {best} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = frustrated_model(3, 12);
+        let sa = SimulatedAnnealing::new(1234).with_sweeps(50);
+        let a = sa.sample(&m, 10);
+        let b = sa.sample(&m, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let m = frustrated_model(4, 12);
+        let a = SimulatedAnnealing::new(7).with_sweeps(40).with_threads(1).sample(&m, 8);
+        let b = SimulatedAnnealing::new(7).with_sweeps(40).with_threads(4).sample(&m, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = Ising::new(0);
+        let set = SimulatedAnnealing::new(1).sample(&m, 3);
+        assert_eq!(set.total_reads(), 3);
+    }
+
+    #[test]
+    fn beta_range_override() {
+        let m = frustrated_model(5, 6);
+        let sa = SimulatedAnnealing::new(2).with_beta_range(0.01, 20.0).with_sweeps(100);
+        let set = sa.sample(&m, 10);
+        assert!(!set.is_empty());
+    }
+}

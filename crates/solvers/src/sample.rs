@@ -1,0 +1,180 @@
+//! Samples, sample sets, and the sampler trait.
+
+use std::collections::HashMap;
+
+use qac_pbf::{Ising, Spin};
+
+/// One distinct solution with its energy and multiplicity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The spin assignment.
+    pub spins: Vec<Spin>,
+    /// Its energy under the sampled model.
+    pub energy: f64,
+    /// How many reads produced this assignment.
+    pub occurrences: usize,
+}
+
+/// A collection of samples, deduplicated and sorted by energy
+/// (lowest first) — what a quantum annealer returns after many anneals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleSet {
+    samples: Vec<Sample>,
+}
+
+impl SampleSet {
+    /// Builds a sample set from raw reads, deduplicating and sorting.
+    pub fn from_reads(model: &Ising, reads: Vec<Vec<Spin>>) -> SampleSet {
+        let mut index: HashMap<Vec<Spin>, usize> = HashMap::new();
+        let mut samples: Vec<Sample> = Vec::new();
+        for spins in reads {
+            match index.get(&spins) {
+                Some(&i) => samples[i].occurrences += 1,
+                None => {
+                    let energy = model.energy(&spins);
+                    index.insert(spins.clone(), samples.len());
+                    samples.push(Sample { spins, energy, occurrences: 1 });
+                }
+            }
+        }
+        let mut set = SampleSet { samples };
+        set.sort();
+        set
+    }
+
+    /// Builds a set from already-evaluated samples (used by decoders that
+    /// compute logical energies separately).
+    pub fn from_samples(mut samples: Vec<Sample>) -> SampleSet {
+        // Merge duplicates.
+        let mut index: HashMap<Vec<Spin>, usize> = HashMap::new();
+        let mut merged: Vec<Sample> = Vec::new();
+        for s in samples.drain(..) {
+            match index.get(&s.spins) {
+                Some(&i) => merged[i].occurrences += s.occurrences,
+                None => {
+                    index.insert(s.spins.clone(), merged.len());
+                    merged.push(s);
+                }
+            }
+        }
+        let mut set = SampleSet { samples: merged };
+        set.sort();
+        set
+    }
+
+    fn sort(&mut self) {
+        self.samples.sort_by(|a, b| {
+            a.energy
+                .partial_cmp(&b.energy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.occurrences.cmp(&a.occurrences))
+        });
+    }
+
+    /// The lowest-energy sample.
+    pub fn best(&self) -> Option<&Sample> {
+        self.samples.first()
+    }
+
+    /// All distinct samples, lowest energy first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Number of distinct samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total reads across all samples.
+    pub fn total_reads(&self) -> usize {
+        self.samples.iter().map(|s| s.occurrences).sum()
+    }
+
+    /// Fraction of reads whose energy is within `eps` of the best.
+    pub fn ground_fraction(&self, eps: f64) -> f64 {
+        let Some(best) = self.best() else { return 0.0 };
+        let ground: usize = self
+            .samples
+            .iter()
+            .filter(|s| (s.energy - best.energy).abs() <= eps)
+            .map(|s| s.occurrences)
+            .sum();
+        ground as f64 / self.total_reads().max(1) as f64
+    }
+}
+
+impl IntoIterator for SampleSet {
+    type Item = Sample;
+    type IntoIter = std::vec::IntoIter<Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+/// Anything that can draw samples from an Ising model.
+///
+/// Implementations are deterministic for a fixed configuration (seeds are
+/// part of the sampler's state, not the call).
+pub trait Sampler {
+    /// Draws `num_reads` samples from `model`.
+    fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Ising {
+        let mut m = Ising::new(2);
+        m.add_h(0, 1.0);
+        m.add_j(0, 1, -0.5);
+        m
+    }
+
+    #[test]
+    fn deduplication_and_sorting() {
+        let m = model();
+        let reads = vec![
+            vec![Spin::Up, Spin::Up],
+            vec![Spin::Down, Spin::Down],
+            vec![Spin::Down, Spin::Down],
+            vec![Spin::Up, Spin::Down],
+        ];
+        let set = SampleSet::from_reads(&m, reads);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.total_reads(), 4);
+        let best = set.best().unwrap();
+        assert_eq!(best.spins, vec![Spin::Down, Spin::Down]);
+        assert_eq!(best.occurrences, 2);
+        // Energies ascending.
+        let energies: Vec<f64> = set.iter().map(|s| s.energy).collect();
+        assert!(energies.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ground_fraction() {
+        let m = model();
+        let reads = vec![
+            vec![Spin::Down, Spin::Down],
+            vec![Spin::Down, Spin::Down],
+            vec![Spin::Up, Spin::Down],
+            vec![Spin::Up, Spin::Up],
+        ];
+        let set = SampleSet::from_reads(&m, reads);
+        assert!((set.ground_fraction(1e-9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = SampleSet::default();
+        assert!(set.is_empty());
+        assert!(set.best().is_none());
+        assert_eq!(set.ground_fraction(1e-9), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Abstract syntax tree for the Verilog subset.
+
+/// A parsed source file: an ordered list of modules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Design {
+    /// The modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl Design {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// One `module … endmodule` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// The module name.
+    pub name: String,
+    /// Port names in header order.
+    pub ports: Vec<String>,
+    /// All signal declarations (including ports).
+    pub decls: Vec<Decl>,
+    /// Parameters / localparams in declaration order.
+    pub params: Vec<(String, Expr)>,
+    /// Continuous assignments.
+    pub assigns: Vec<AssignStmt>,
+    /// `always` blocks.
+    pub always: Vec<AlwaysBlock>,
+    /// Module instantiations.
+    pub instances: Vec<Instance>,
+}
+
+/// Direction/kind of a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// Module input.
+    Input,
+    /// Module output (wire).
+    Output,
+    /// Module output declared `output reg`.
+    OutputReg,
+    /// Internal wire.
+    Wire,
+    /// Internal register.
+    Reg,
+}
+
+/// A signal declaration: `input [3:0] a, b;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// What kind of signal.
+    pub kind: SignalKind,
+    /// Optional `[msb:lsb]` range (constant expressions).
+    pub range: Option<(Expr, Expr)>,
+    /// The declared names.
+    pub names: Vec<String>,
+}
+
+/// A continuous assignment `assign lhs = rhs;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignStmt {
+    /// The assignment target.
+    pub lhs: LValue,
+    /// The driven expression.
+    pub rhs: Expr,
+}
+
+/// The sensitivity of an `always` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// `@*` or a plain signal list — combinational.
+    Combinational,
+    /// `@(posedge clk)` (or negedge) — clocked. The signal name is kept
+    /// for diagnostics; the compiler's discrete-time model has one global
+    /// clock (§4.3.3).
+    Edge {
+        /// Whether the edge is a posedge.
+        posedge: bool,
+        /// The clock signal name.
+        signal: String,
+    },
+}
+
+/// An `always` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlwaysBlock {
+    /// The sensitivity list.
+    pub sensitivity: Sensitivity,
+    /// The body statement.
+    pub body: Stmt,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `lhs = rhs;` (blocking) or `lhs <= rhs;` (nonblocking).
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+        /// True for `<=`.
+        nonblocking: bool,
+    },
+    /// `if (cond) then else else_`.
+    If {
+        /// Condition (reduced to a single bit).
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case (selector) … endcase`.
+    Case {
+        /// The switched expression.
+        selector: Expr,
+        /// `(labels, statement)` arms.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// Optional `default:` arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// `begin … end`.
+    Block(Vec<Stmt>),
+    /// `;` (empty statement).
+    Empty,
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A whole signal.
+    Ident(String),
+    /// A single bit `sig[i]` (constant index).
+    Bit(String, Expr),
+    /// A part select `sig[msb:lsb]` (constant bounds).
+    Part(String, Expr, Expr),
+    /// A concatenation `{a, b, …}` (first element is most significant).
+    Concat(Vec<LValue>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (unsigned)
+    Div,
+    /// `%` (unsigned)
+    Mod,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `~^`
+    BitXnor,
+    /// `&&`
+    LogicAnd,
+    /// `||`
+    LogicOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Bitwise `~`.
+    Not,
+    /// Logical `!`.
+    LogicNot,
+    /// Arithmetic `-` (two's complement).
+    Neg,
+    /// Reduction `&`.
+    ReduceAnd,
+    /// Reduction `|`.
+    ReduceOr,
+    /// Reduction `^`.
+    ReduceXor,
+    /// Reduction `~&`.
+    ReduceNand,
+    /// Reduction `~|`.
+    ReduceNor,
+    /// Reduction `~^`.
+    ReduceXnor,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal with optional declared width (None = unsized).
+    Literal {
+        /// The value.
+        value: u64,
+        /// Declared width, if the literal was sized.
+        width: Option<usize>,
+    },
+    /// A signal or parameter reference.
+    Ident(String),
+    /// `expr[index]` (index may be dynamic).
+    Bit(Box<Expr>, Box<Expr>),
+    /// `expr[msb:lsb]` with constant bounds.
+    Part(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `cond ? then : else`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `{a, b, …}` — first element is most significant.
+    Concat(Vec<Expr>),
+    /// `{n{expr}}`.
+    Repeat(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized literal.
+    pub fn lit(value: u64) -> Expr {
+        Expr::Literal { value, width: None }
+    }
+}
+
+/// A module instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The instantiated module's name.
+    pub module: String,
+    /// The instance name.
+    pub name: String,
+    /// Parameter overrides `#(.N(8))` by name.
+    pub param_overrides: Vec<(String, Expr)>,
+    /// Port connections.
+    pub connections: Connections,
+}
+
+/// How instance ports are connected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Connections {
+    /// Positional: `m i (a, b, c);`
+    Positional(Vec<Expr>),
+    /// Named: `m i (.x(a), .y(b));`
+    Named(Vec<(String, Expr)>),
+}

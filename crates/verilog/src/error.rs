@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors from parsing or elaborating Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerilogError {
+    /// A character the lexer does not understand.
+    Lex {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A semantic error during elaboration.
+    Elab(String),
+    /// The requested top module does not exist.
+    UnknownModule(String),
+}
+
+impl VerilogError {
+    pub(crate) fn lex(line: usize, message: impl Into<String>) -> VerilogError {
+        VerilogError::Lex { line, message: message.into() }
+    }
+
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> VerilogError {
+        VerilogError::Parse { line, message: message.into() }
+    }
+
+    pub(crate) fn elab(message: impl Into<String>) -> VerilogError {
+        VerilogError::Elab(message.into())
+    }
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogError::Lex { line, message } => write!(f, "line {line}: lexical error: {message}"),
+            VerilogError::Parse { line, message } => write!(f, "line {line}: syntax error: {message}"),
+            VerilogError::Elab(message) => write!(f, "elaboration error: {message}"),
+            VerilogError::UnknownModule(name) => write!(f, "unknown module `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for VerilogError {}

@@ -1,0 +1,593 @@
+//! Tokenizer for the Verilog subset.
+
+use crate::VerilogError;
+
+/// A lexical token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The token kinds of the Verilog subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// An unsized decimal literal, e.g. `42`.
+    Number(u64),
+    /// A sized/based literal, e.g. `4'b1011` → (width 4, value 11).
+    /// Width 0 means the literal was based but unsized (`'b101`).
+    BasedNumber {
+        /// Declared bit width (0 if unsized).
+        width: usize,
+        /// The literal's value.
+        value: u64,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `<=` (nonblocking assign or less-equal, disambiguated by context)
+    LeOrNonblock,
+    /// `?`
+    Question,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~^` or `^~`
+    TildeCaret,
+    /// `~&`
+    TildeAmp,
+    /// `~|`
+    TildePipe,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::BasedNumber { width, value } => format!("literal {width}'d{value}"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// A streaming tokenizer. Most users call [`Lexer::tokenize`].
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Lexer<'a> {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Tokenizes the whole input.
+    ///
+    /// # Errors
+    /// [`VerilogError::Lex`] on malformed literals or stray characters.
+    pub fn tokenize(source: &'a str) -> Result<Vec<Token>, VerilogError> {
+        let mut lexer = Lexer::new(source);
+        let mut tokens = Vec::new();
+        loop {
+            let tok = lexer.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            tokens.push(tok);
+            if done {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), VerilogError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(VerilogError::lex(start_line, "unterminated comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produces the next token.
+    ///
+    /// # Errors
+    /// [`VerilogError::Lex`] on malformed input.
+    pub fn next_token(&mut self) -> Result<Token, VerilogError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, line });
+        };
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'#' => {
+                self.bump();
+                TokenKind::Hash
+            }
+            b'@' => {
+                self.bump();
+                TokenKind::At
+            }
+            b'?' => {
+                self.bump();
+                TokenKind::Question
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::BangEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::LeOrNonblock
+                    }
+                    Some(b'<') => {
+                        self.bump();
+                        TokenKind::Shl
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Ge
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::Shr
+                    }
+                    _ => TokenKind::Gt,
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AmpAmp
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::PipePipe
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'^' => {
+                self.bump();
+                if self.peek() == Some(b'~') {
+                    self.bump();
+                    TokenKind::TildeCaret
+                } else {
+                    TokenKind::Caret
+                }
+            }
+            b'~' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'^') => {
+                        self.bump();
+                        TokenKind::TildeCaret
+                    }
+                    Some(b'&') => {
+                        self.bump();
+                        TokenKind::TildeAmp
+                    }
+                    Some(b'|') => {
+                        self.bump();
+                        TokenKind::TildePipe
+                    }
+                    _ => TokenKind::Tilde,
+                }
+            }
+            b'\'' => {
+                // Unsized based literal like 'b101.
+                self.bump();
+                self.lex_based(0, line)?
+            }
+            b'0'..=b'9' => self.lex_number(line)?,
+            c if c == b'_' || c.is_ascii_alphabetic() || c == b'\\' => self.lex_ident(),
+            other => {
+                return Err(VerilogError::lex(line, format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(Token { kind, line })
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        // Escaped identifiers: `\name ` (backslash to whitespace).
+        if self.peek() == Some(b'\\') {
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_whitespace() {
+                    break;
+                }
+                s.push(c as char);
+                self.bump();
+            }
+            return TokenKind::Ident(s);
+        }
+        while let Some(c) = self.peek() {
+            if c == b'_' || c == b'$' || c.is_ascii_alphanumeric() {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident(s)
+    }
+
+    fn lex_number(&mut self, line: usize) -> Result<TokenKind, VerilogError> {
+        let mut value: u64 = 0;
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                if c != b'_' {
+                    digits.push(c as char);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        for d in digits.chars() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(d as u64 - '0' as u64))
+                .ok_or_else(|| VerilogError::lex(line, "decimal literal overflows 64 bits"))?;
+        }
+        if self.peek() == Some(b'\'') {
+            self.bump();
+            let width = usize::try_from(value)
+                .map_err(|_| VerilogError::lex(line, "width too large"))?;
+            if width > 64 {
+                return Err(VerilogError::lex(line, "literal width exceeds 64 bits"));
+            }
+            return self.lex_based(width, line);
+        }
+        Ok(TokenKind::Number(value))
+    }
+
+    fn lex_based(&mut self, width: usize, line: usize) -> Result<TokenKind, VerilogError> {
+        let Some(base_char) = self.bump() else {
+            return Err(VerilogError::lex(line, "missing base after `'`"));
+        };
+        let base: u64 = match base_char.to_ascii_lowercase() {
+            b'b' => 2,
+            b'o' => 8,
+            b'd' => 10,
+            b'h' => 16,
+            other => {
+                return Err(VerilogError::lex(line, format!("unknown base `{}`", other as char)));
+            }
+        };
+        let mut value: u64 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if c == b'_' {
+                self.bump();
+                continue;
+            }
+            let digit = match c.to_ascii_lowercase() {
+                d @ b'0'..=b'9' => u64::from(d - b'0'),
+                d @ b'a'..=b'f' => u64::from(d - b'a' + 10),
+                _ => break,
+            };
+            if digit >= base {
+                return Err(VerilogError::lex(line, format!("digit `{}` invalid for base {base}", c as char)));
+            }
+            value = value
+                .checked_mul(base)
+                .and_then(|v| v.checked_add(digit))
+                .ok_or_else(|| VerilogError::lex(line, "literal overflows 64 bits"))?;
+            self.bump();
+            any = true;
+        }
+        if !any {
+            return Err(VerilogError::lex(line, "based literal has no digits"));
+        }
+        if width > 0 && width < 64 && value >> width != 0 {
+            return Err(VerilogError::lex(
+                line,
+                format!("value {value} does not fit in {width} bits"),
+            ));
+        }
+        Ok(TokenKind::BasedNumber { width, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_symbols() {
+        let ks = kinds("module m (a); endmodule");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("module".into()),
+                TokenKind::Ident("m".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Ident("endmodule".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Number(42));
+        assert_eq!(kinds("4'b1011")[0], TokenKind::BasedNumber { width: 4, value: 11 });
+        assert_eq!(kinds("8'hFF")[0], TokenKind::BasedNumber { width: 8, value: 255 });
+        assert_eq!(kinds("6'd3")[0], TokenKind::BasedNumber { width: 6, value: 3 });
+        assert_eq!(kinds("12'o17")[0], TokenKind::BasedNumber { width: 12, value: 15 });
+        assert_eq!(kinds("1_000")[0], TokenKind::Number(1000));
+    }
+
+    #[test]
+    fn value_must_fit_width() {
+        assert!(Lexer::tokenize("2'd7").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <= b == c && d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LeOrNonblock,
+                TokenKind::Ident("b".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::AmpAmp,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("~^")[0], TokenKind::TildeCaret);
+        assert_eq!(kinds("^~")[0], TokenKind::TildeCaret);
+        assert_eq!(kinds("~&")[0], TokenKind::TildeAmp);
+        assert_eq!(kinds("<<")[0], TokenKind::Shl);
+        assert_eq!(kinds(">>")[0], TokenKind::Shr);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("a // line comment\n /* block\n comment */ b");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = Lexer::tokenize("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(Lexer::tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        assert!(Lexer::tokenize("a ` b").is_err());
+    }
+
+    #[test]
+    fn dollar_in_identifier() {
+        assert_eq!(kinds("sig$1")[0], TokenKind::Ident("sig$1".into()));
+    }
+}

@@ -1,0 +1,73 @@
+//! A synthesizable-Verilog frontend for the quantum-annealer compiler.
+//!
+//! This crate substitutes for the Yosys + ABC toolchain of paper §4.2: it
+//! parses a practical subset of Verilog-2005 and lowers it straight to the
+//! Table 5 gate set of `qac-netlist`.
+//!
+//! Supported subset (the constructs the paper's examples and evaluation
+//! rely on, plus the usual conveniences):
+//!
+//! * modules with ANSI or classic port declarations, `wire`/`reg`
+//!   declarations with ranges, `parameter`/`localparam`;
+//! * continuous `assign` (including concatenation lvalues);
+//! * `always @*` combinational blocks and `always @(posedge/negedge clk)`
+//!   sequential blocks with `if`/`else`, `case`, `begin`/`end`, and
+//!   blocking/nonblocking assignment;
+//! * the full expression grammar: arithmetic `+ − * / %`, comparisons,
+//!   shifts, bitwise and logical operators, reductions, ternary,
+//!   concatenation, replication, bit- and part-selects (including dynamic
+//!   bit selects);
+//! * sized/based literals (`4'b1011`, `8'hFF`, `6'd3`) and plain decimals;
+//! * module instantiation (hierarchies are flattened by inlining).
+//!
+//! Deliberate deviations, documented here once: logic is two-state (no
+//! `x`/`z`), arithmetic is unsigned, and `always @(posedge …)` treats every
+//! listed signal edge as the single global clock (the paper's discrete-time
+//! unrolling "ignores clock edges", §4.3.3).
+//!
+//! # Example
+//!
+//! ```
+//! use qac_verilog::compile;
+//! use qac_netlist::CombSim;
+//!
+//! // The multiplier the paper factors 143 with (Listing 6).
+//! let src = r#"
+//!     module mult (A, B, C);
+//!       input [3:0] A;
+//!       input [3:0] B;
+//!       output [7:0] C;
+//!       assign C = A * B;
+//!     endmodule
+//! "#;
+//! let netlist = compile(src, "mult").unwrap();
+//! let sim = CombSim::new(&netlist).unwrap();
+//! let out = sim.eval_words(&[("A", 11), ("B", 13)]).unwrap();
+//! assert_eq!(out["C"], 143);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use error::VerilogError;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::{elaborate, Elaborator};
+pub use parser::parse;
+
+use qac_netlist::Netlist;
+
+/// Parses `source` and lowers module `top` to a gate-level netlist.
+///
+/// # Errors
+/// Returns a [`VerilogError`] for lexical, syntactic, or elaboration
+/// problems (unknown module, width mismatches, unsupported constructs).
+pub fn compile(source: &str, top: &str) -> Result<Netlist, VerilogError> {
+    let design = parse(source)?;
+    elaborate(&design, top)
+}

@@ -1,0 +1,970 @@
+//! Elaboration and lowering: AST → gate-level netlist.
+//!
+//! Combinational logic lowers through the word-level builders of
+//! `qac-netlist` (ripple-carry adders, array multipliers, mux trees,
+//! restoring dividers). Procedural blocks are lowered by symbolic
+//! execution: each branch produces a word per assigned signal and control
+//! flow merges them through multiplexers. Clocked blocks produce one D
+//! flip-flop per register bit; module hierarchies are flattened by
+//! inlining.
+
+use std::collections::HashMap;
+
+use qac_netlist::{Builder, CellKind, NetId, Netlist};
+
+use crate::ast::*;
+use crate::VerilogError;
+
+/// Maximum module nesting depth (guards against recursive instantiation).
+const MAX_DEPTH: usize = 32;
+
+/// A word of nets, least-significant bit first.
+type Word = Vec<NetId>;
+
+/// Elaborates module `top` of `design` into a flat gate-level netlist.
+///
+/// # Errors
+/// [`VerilogError::UnknownModule`] if `top` does not exist, and
+/// [`VerilogError::Elab`] for semantic problems (undeclared signals,
+/// non-constant widths, recursive instantiation, etc.).
+pub fn elaborate(design: &Design, top: &str) -> Result<Netlist, VerilogError> {
+    let module =
+        design.module(top).ok_or_else(|| VerilogError::UnknownModule(top.to_string()))?;
+    let mut elab = Elaborator { design, builder: Builder::new(top) };
+    elab.lower_module(module, &HashMap::new(), None, 0)?;
+    let netlist = elab.builder.finish();
+    netlist
+        .validate()
+        .map_err(|e| VerilogError::elab(format!("lowered netlist is malformed: {e}")))?;
+    Ok(netlist)
+}
+
+/// The elaboration engine. Construct via [`elaborate`]; exposed for
+/// advanced use (custom builders, multiple top levels).
+pub struct Elaborator<'a> {
+    design: &'a Design,
+    builder: Builder,
+}
+
+/// Everything known about one declared signal.
+#[derive(Debug, Clone)]
+struct Signal {
+    kind: SignalKind,
+    /// Declared range ends as written: `[left:right]`.
+    left: i64,
+    right: i64,
+    /// Nets, LSB (the `right` index end) first.
+    nets: Word,
+}
+
+impl Signal {
+    fn width(&self) -> usize {
+        (self.left - self.right).unsigned_abs() as usize + 1
+    }
+
+    /// Maps a source-level index to a net offset.
+    fn offset(&self, index: i64) -> Option<usize> {
+        let off = if self.left >= self.right { index - self.right } else { self.right - index };
+        if off < 0 || off as usize >= self.width() {
+            None
+        } else {
+            Some(off as usize)
+        }
+    }
+}
+
+/// Per-module elaboration state.
+struct ModuleCtx {
+    params: HashMap<String, u64>,
+    signals: HashMap<String, Signal>,
+    module_name: String,
+}
+
+/// How an inlined instance's ports bind to the parent.
+struct PortBindings {
+    /// Input port name → parent word.
+    inputs: HashMap<String, Word>,
+    /// Output port name → parent nets to drive.
+    outputs: HashMap<String, Word>,
+}
+
+impl<'a> Elaborator<'a> {
+    fn err(&self, msg: impl Into<String>) -> VerilogError {
+        VerilogError::elab(msg.into())
+    }
+
+    /// Lowers one module. For the top module `bindings` is `None`; for an
+    /// inlined instance it carries the parent connections.
+    fn lower_module(
+        &mut self,
+        module: &Module,
+        param_overrides: &HashMap<String, u64>,
+        bindings: Option<&PortBindings>,
+        depth: usize,
+    ) -> Result<(), VerilogError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!(
+                "module nesting deeper than {MAX_DEPTH} (recursive instantiation of `{}`?)",
+                module.name
+            )));
+        }
+
+        // --- Parameters. ---
+        let mut params: HashMap<String, u64> = HashMap::new();
+        for (name, expr) in &module.params {
+            let value = match param_overrides.get(name) {
+                Some(&v) => v,
+                None => eval_const(expr, &params)
+                    .map_err(|e| self.err(format!("parameter `{name}`: {e}")))?,
+            };
+            params.insert(name.clone(), value);
+        }
+        for name in param_overrides.keys() {
+            if !params.contains_key(name) {
+                return Err(self.err(format!(
+                    "module `{}` has no parameter `{name}`",
+                    module.name
+                )));
+            }
+        }
+
+        let mut ctx = ModuleCtx { params, signals: HashMap::new(), module_name: module.name.clone() };
+
+        // --- Declarations. ---
+        for decl in &module.decls {
+            let (left, right) = match &decl.range {
+                Some((l, r)) => {
+                    let l = eval_const(l, &ctx.params).map_err(|e| self.err(e))? as i64;
+                    let r = eval_const(r, &ctx.params).map_err(|e| self.err(e))? as i64;
+                    (l, r)
+                }
+                None => (0, 0),
+            };
+            for name in &decl.names {
+                if ctx.signals.contains_key(name) {
+                    // Allow a port re-declared once (header + body classic style)
+                    // only when kinds agree.
+                    return Err(self.err(format!(
+                        "signal `{name}` declared twice in module `{}`",
+                        module.name
+                    )));
+                }
+                let width = (left - right).unsigned_abs() as usize + 1;
+                let is_port = module.ports.contains(name);
+                let nets: Word = match (decl.kind, bindings) {
+                    (SignalKind::Input, None) => {
+                        if !is_port {
+                            return Err(self.err(format!(
+                                "input `{name}` is not in the port list of `{}`",
+                                module.name
+                            )));
+                        }
+                        self.builder.input(name, width)
+                    }
+                    (SignalKind::Input, Some(b)) => {
+                        let bound = b.inputs.get(name).ok_or_else(|| {
+                            self.err(format!("instance is missing a connection for input `{name}`"))
+                        })?;
+                        self.resize(bound, width)
+                    }
+                    _ => (0..width).map(|_| self.builder.fresh()).collect(),
+                };
+                ctx.signals.insert(name.clone(), Signal { kind: decl.kind, left, right, nets });
+            }
+        }
+        // Ports must all be declared.
+        for port in &module.ports {
+            if !ctx.signals.contains_key(port) {
+                return Err(self.err(format!(
+                    "port `{port}` of module `{}` has no direction declaration",
+                    module.name
+                )));
+            }
+        }
+
+        // --- Continuous assignments. ---
+        for assign in &module.assigns {
+            let lhs_nets = self.lvalue_nets(&ctx, &assign.lhs)?;
+            let rhs = self.lower_expr(&ctx, &HashMap::new(), &assign.rhs, Some(lhs_nets.len()))?;
+            let rhs = self.resize(&rhs, lhs_nets.len());
+            for (dst, src) in lhs_nets.iter().zip(rhs.iter()) {
+                self.builder.add_buf_into(*src, *dst);
+            }
+        }
+
+        // --- Always blocks. ---
+        for block in &module.always {
+            let mut env: HashMap<String, Word> = HashMap::new();
+            self.exec_stmt(&ctx, &mut env, &block.body)?;
+            match &block.sensitivity {
+                Sensitivity::Combinational => {
+                    for (name, word) in &env {
+                        let sig = ctx.signals.get(name).ok_or_else(|| {
+                            self.err(format!("assignment to undeclared signal `{name}`"))
+                        })?;
+                        for (dst, src) in sig.nets.iter().zip(word.iter()) {
+                            self.builder.add_buf_into(*src, *dst);
+                        }
+                    }
+                }
+                Sensitivity::Edge { .. } => {
+                    for (name, word) in &env {
+                        let sig = ctx.signals.get(name).ok_or_else(|| {
+                            self.err(format!("assignment to undeclared signal `{name}`"))
+                        })?;
+                        if !matches!(sig.kind, SignalKind::Reg | SignalKind::OutputReg) {
+                            return Err(self.err(format!(
+                                "clocked assignment to `{name}`, which is not a reg"
+                            )));
+                        }
+                        for (q, d) in sig.nets.iter().zip(word.iter()) {
+                            self.builder.add_dff_into(*d, *q);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Instances (flattened by inlining). ---
+        for inst in &module.instances {
+            self.lower_instance(&ctx, inst, depth)?;
+        }
+
+        // --- Port wiring. ---
+        match bindings {
+            None => {
+                for port in &module.ports {
+                    let sig = &ctx.signals[port];
+                    match sig.kind {
+                        SignalKind::Input => {} // declared via builder.input
+                        _ => self.builder.output(port, &sig.nets.clone()),
+                    }
+                }
+            }
+            Some(b) => {
+                for (port, parent_nets) in &b.outputs {
+                    let sig = ctx.signals.get(port).ok_or_else(|| {
+                        self.err(format!("instance connects unknown output `{port}`"))
+                    })?;
+                    let src = self.resize(&sig.nets.clone(), parent_nets.len());
+                    for (dst, s) in parent_nets.iter().zip(src.iter()) {
+                        self.builder.add_buf_into(*s, *dst);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_instance(
+        &mut self,
+        ctx: &ModuleCtx,
+        inst: &Instance,
+        depth: usize,
+    ) -> Result<(), VerilogError> {
+        let sub = self
+            .design
+            .module(&inst.module)
+            .ok_or_else(|| VerilogError::UnknownModule(inst.module.clone()))?;
+        // Parameter overrides (evaluated in the parent's context).
+        let mut overrides = HashMap::new();
+        for (name, expr) in &inst.param_overrides {
+            let v = eval_const(expr, &ctx.params).map_err(|e| self.err(e))?;
+            overrides.insert(name.clone(), v);
+        }
+        // Determine each port's direction from the submodule's decls.
+        let dir_of = |port: &str| -> Option<SignalKind> {
+            sub.decls
+                .iter()
+                .find(|d| d.names.iter().any(|n| n == port))
+                .map(|d| d.kind)
+        };
+        let pairs: Vec<(String, &Expr)> = match &inst.connections {
+            Connections::Positional(exprs) => {
+                if exprs.len() != sub.ports.len() {
+                    return Err(self.err(format!(
+                        "instance `{}` of `{}` has {} connections for {} ports",
+                        inst.name,
+                        inst.module,
+                        exprs.len(),
+                        sub.ports.len()
+                    )));
+                }
+                sub.ports.iter().cloned().zip(exprs.iter()).collect()
+            }
+            Connections::Named(named) => {
+                named.iter().map(|(p, e)| (p.clone(), e)).collect()
+            }
+        };
+        let mut bindings = PortBindings { inputs: HashMap::new(), outputs: HashMap::new() };
+        for (port, expr) in pairs {
+            match dir_of(&port) {
+                Some(SignalKind::Input) => {
+                    let word = self.lower_expr(ctx, &HashMap::new(), expr, None)?;
+                    bindings.inputs.insert(port, word);
+                }
+                Some(SignalKind::Output) | Some(SignalKind::OutputReg) => {
+                    // The connection must be assignable in the parent.
+                    let lv = expr_as_lvalue(expr).ok_or_else(|| {
+                        self.err(format!(
+                            "output port `{port}` of instance `{}` must connect to an lvalue",
+                            inst.name
+                        ))
+                    })?;
+                    let nets = self.lvalue_nets(ctx, &lv)?;
+                    bindings.outputs.insert(port, nets);
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "instance `{}` connects `{port}`, which is not a port of `{}`",
+                        inst.name, inst.module
+                    )));
+                }
+            }
+        }
+        self.lower_module(sub, &overrides, Some(&bindings), depth + 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Statements (symbolic execution)
+    // ------------------------------------------------------------------
+
+    fn exec_stmt(
+        &mut self,
+        ctx: &ModuleCtx,
+        env: &mut HashMap<String, Word>,
+        stmt: &Stmt,
+    ) -> Result<(), VerilogError> {
+        match stmt {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(ctx, env, s)?;
+                }
+                Ok(())
+            }
+            Stmt::Assign { lhs, rhs, nonblocking: _ } => {
+                let width = self.lvalue_width(ctx, lhs)?;
+                let value = self.lower_expr(ctx, env, rhs, Some(width))?;
+                let value = self.resize(&value, width);
+                self.assign_lvalue(ctx, env, lhs, &value)
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let cond_word = self.lower_expr(ctx, env, cond, None)?;
+                let cond_bit = self.builder.reduce_or(&cond_word);
+                let mut then_env = env.clone();
+                self.exec_stmt(ctx, &mut then_env, then_branch)?;
+                let mut else_env = env.clone();
+                if let Some(eb) = else_branch {
+                    self.exec_stmt(ctx, &mut else_env, eb)?;
+                }
+                self.merge_envs(ctx, env, cond_bit, then_env, else_env)
+            }
+            Stmt::Case { selector, arms, default } => {
+                // Desugar to an if/else chain, last arm first.
+                let sel_word = self.lower_expr(ctx, env, selector, None)?;
+                let mut else_env = env.clone();
+                if let Some(d) = default {
+                    self.exec_stmt(ctx, &mut else_env, d)?;
+                }
+                // Build from the last arm backwards so earlier labels win.
+                let mut result_env = else_env;
+                for (labels, body) in arms.iter().rev() {
+                    let mut arm_env = env.clone();
+                    self.exec_stmt(ctx, &mut arm_env, body)?;
+                    // matched = OR over labels of (sel == label)
+                    let mut matched: Option<NetId> = None;
+                    for label in labels {
+                        let lw = self.lower_expr(ctx, env, label, Some(sel_word.len()))?;
+                        let eq = self.builder.eq(&sel_word, &lw);
+                        matched = Some(match matched {
+                            None => eq,
+                            Some(m) => self.builder.or(m, eq),
+                        });
+                    }
+                    let m = matched.ok_or_else(|| self.err("case arm with no labels"))?;
+                    let mut merged = env.clone();
+                    self.merge_envs(ctx, &mut merged, m, arm_env, result_env)?;
+                    result_env = merged;
+                }
+                *env = result_env;
+                Ok(())
+            }
+        }
+    }
+
+    /// Merges two branch environments under `cond`: for every signal
+    /// assigned in either branch, the merged value is
+    /// `cond ? then_value : else_value`.
+    fn merge_envs(
+        &mut self,
+        ctx: &ModuleCtx,
+        env: &mut HashMap<String, Word>,
+        cond: NetId,
+        then_env: HashMap<String, Word>,
+        else_env: HashMap<String, Word>,
+    ) -> Result<(), VerilogError> {
+        let mut names: Vec<&String> = then_env.keys().chain(else_env.keys()).collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let current = match env.get(name.as_str()) {
+                Some(w) => w.clone(),
+                None => {
+                    let sig = ctx.signals.get(name.as_str()).ok_or_else(|| {
+                        self.err(format!("assignment to undeclared signal `{name}`"))
+                    })?;
+                    sig.nets.clone()
+                }
+            };
+            let t = then_env.get(name.as_str()).cloned().unwrap_or_else(|| current.clone());
+            let e = else_env.get(name.as_str()).cloned().unwrap_or_else(|| current.clone());
+            if t == e {
+                env.insert((*name).clone(), t);
+            } else {
+                let merged = self.builder.mux_word(cond, &e, &t);
+                env.insert((*name).clone(), merged);
+            }
+        }
+        Ok(())
+    }
+
+    /// Current value of `name` inside a procedural block.
+    fn read_signal(
+        &self,
+        ctx: &ModuleCtx,
+        env: &HashMap<String, Word>,
+        name: &str,
+    ) -> Result<(Word, i64, i64), VerilogError> {
+        let sig = ctx
+            .signals
+            .get(name)
+            .ok_or_else(|| self.err(format!("unknown signal `{name}` in `{}`", ctx.module_name)))?;
+        let word = env.get(name).cloned().unwrap_or_else(|| sig.nets.clone());
+        Ok((word, sig.left, sig.right))
+    }
+
+    fn lvalue_width(&self, ctx: &ModuleCtx, lv: &LValue) -> Result<usize, VerilogError> {
+        match lv {
+            LValue::Ident(name) => {
+                let sig = ctx
+                    .signals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown signal `{name}`")))?;
+                Ok(sig.width())
+            }
+            LValue::Bit(..) => Ok(1),
+            LValue::Part(name, msb, lsb) => {
+                let sig = ctx
+                    .signals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown signal `{name}`")))?;
+                let m = eval_const(msb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let l = eval_const(lsb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let om = sig
+                    .offset(m)
+                    .ok_or_else(|| self.err(format!("index {m} out of range for `{name}`")))?;
+                let ol = sig
+                    .offset(l)
+                    .ok_or_else(|| self.err(format!("index {l} out of range for `{name}`")))?;
+                Ok(om.abs_diff(ol) + 1)
+            }
+            LValue::Concat(parts) => {
+                let mut total = 0;
+                for p in parts {
+                    total += self.lvalue_width(ctx, p)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    /// The *declared* nets an lvalue denotes (for continuous assignment).
+    fn lvalue_nets(&mut self, ctx: &ModuleCtx, lv: &LValue) -> Result<Word, VerilogError> {
+        match lv {
+            LValue::Ident(name) => {
+                let sig = ctx
+                    .signals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown signal `{name}`")))?;
+                Ok(sig.nets.clone())
+            }
+            LValue::Bit(name, index) => {
+                let sig = ctx
+                    .signals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown signal `{name}`")))?;
+                let i = eval_const(index, &ctx.params)
+                    .map_err(|e| self.err(format!("bit select of `{name}`: {e}")))?
+                    as i64;
+                let off = sig
+                    .offset(i)
+                    .ok_or_else(|| self.err(format!("index {i} out of range for `{name}`")))?;
+                Ok(vec![sig.nets[off]])
+            }
+            LValue::Part(name, msb, lsb) => {
+                let sig = ctx
+                    .signals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown signal `{name}`")))?;
+                let m = eval_const(msb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let l = eval_const(lsb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let om = sig
+                    .offset(m)
+                    .ok_or_else(|| self.err(format!("index {m} out of range for `{name}`")))?;
+                let ol = sig
+                    .offset(l)
+                    .ok_or_else(|| self.err(format!("index {l} out of range for `{name}`")))?;
+                let (lo, hi) = (om.min(ol), om.max(ol));
+                Ok(sig.nets[lo..=hi].to_vec())
+            }
+            LValue::Concat(parts) => {
+                // First element is most significant: reverse for LSB-first.
+                let mut bits = Vec::new();
+                for p in parts.iter().rev() {
+                    bits.extend(self.lvalue_nets(ctx, p)?);
+                }
+                Ok(bits)
+            }
+        }
+    }
+
+    /// Updates `env` so that `lv` holds `value` (procedural assignment).
+    fn assign_lvalue(
+        &mut self,
+        ctx: &ModuleCtx,
+        env: &mut HashMap<String, Word>,
+        lv: &LValue,
+        value: &Word,
+    ) -> Result<(), VerilogError> {
+        match lv {
+            LValue::Ident(name) => {
+                let (current, ..) = self.read_signal(ctx, env, name)?;
+                let resized = self.resize(value, current.len());
+                env.insert(name.clone(), resized);
+                Ok(())
+            }
+            LValue::Bit(name, index) => {
+                let (mut current, ..) = self.read_signal(ctx, env, name)?;
+                let sig = &ctx.signals[name];
+                let i = eval_const(index, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let off = sig
+                    .offset(i)
+                    .ok_or_else(|| self.err(format!("index {i} out of range for `{name}`")))?;
+                current[off] = value[0];
+                env.insert(name.clone(), current);
+                Ok(())
+            }
+            LValue::Part(name, msb, lsb) => {
+                let (mut current, ..) = self.read_signal(ctx, env, name)?;
+                let sig = &ctx.signals[name];
+                let m = eval_const(msb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let l = eval_const(lsb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let om = sig.offset(m).ok_or_else(|| self.err("part select out of range"))?;
+                let ol = sig.offset(l).ok_or_else(|| self.err("part select out of range"))?;
+                let (lo, hi) = (om.min(ol), om.max(ol));
+                let resized = self.resize(value, hi - lo + 1);
+                current[lo..=hi].copy_from_slice(&resized);
+                env.insert(name.clone(), current);
+                Ok(())
+            }
+            LValue::Concat(parts) => {
+                // First part is most significant.
+                let mut pos = 0;
+                for p in parts.iter().rev() {
+                    let w = self.lvalue_width(ctx, p)?;
+                    let slice: Word = value[pos..pos + w].to_vec();
+                    self.assign_lvalue(ctx, env, p, &slice)?;
+                    pos += w;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn lower_expr(
+        &mut self,
+        ctx: &ModuleCtx,
+        env: &HashMap<String, Word>,
+        expr: &Expr,
+        width_hint: Option<usize>,
+    ) -> Result<Word, VerilogError> {
+        match expr {
+            Expr::Literal { value, width } => {
+                let w = width.unwrap_or_else(|| {
+                    let min = 64 - value.leading_zeros() as usize;
+                    width_hint.unwrap_or(min.max(1)).max(min.max(1))
+                });
+                Ok(self.builder.constant_word(*value, w))
+            }
+            Expr::Ident(name) => {
+                if let Some(&v) = ctx.params.get(name) {
+                    let min = (64 - v.leading_zeros() as usize).max(1);
+                    let w = width_hint.unwrap_or(min).max(min);
+                    return Ok(self.builder.constant_word(v, w));
+                }
+                let (word, ..) = self.read_signal(ctx, env, name)?;
+                Ok(word)
+            }
+            Expr::Bit(base, index) => {
+                let word = self.lower_base(ctx, env, base)?;
+                // Constant index if possible, else a dynamic select.
+                if let Ok(i) = eval_const(index, &ctx.params) {
+                    let off = self.base_offset(ctx, base, i as i64, word.len())?;
+                    Ok(vec![word[off]])
+                } else {
+                    let idx = self.lower_expr(ctx, env, index, None)?;
+                    let shifted = self.builder.shr(&word, &idx);
+                    Ok(vec![shifted[0]])
+                }
+            }
+            Expr::Part(base, msb, lsb) => {
+                let word = self.lower_base(ctx, env, base)?;
+                let m = eval_const(msb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let l = eval_const(lsb, &ctx.params).map_err(|e| self.err(e))? as i64;
+                let om = self.base_offset(ctx, base, m, word.len())?;
+                let ol = self.base_offset(ctx, base, l, word.len())?;
+                let (lo, hi) = (om.min(ol), om.max(ol));
+                Ok(word[lo..=hi].to_vec())
+            }
+            Expr::Unary(op, operand) => self.lower_unary(ctx, env, *op, operand, width_hint),
+            Expr::Binary(op, lhs, rhs) => self.lower_binary(ctx, env, *op, lhs, rhs, width_hint),
+            Expr::Ternary(cond, then, else_) => {
+                let c = self.lower_expr(ctx, env, cond, None)?;
+                let cbit = self.builder.reduce_or(&c);
+                let t = self.lower_expr(ctx, env, then, width_hint)?;
+                let e = self.lower_expr(ctx, env, else_, width_hint)?;
+                Ok(self.builder.mux_word(cbit, &e, &t))
+            }
+            Expr::Concat(parts) => {
+                let mut bits = Vec::new();
+                for p in parts.iter().rev() {
+                    bits.extend(self.lower_expr(ctx, env, p, None)?);
+                }
+                Ok(bits)
+            }
+            Expr::Repeat(count, inner) => {
+                let n = eval_const(count, &ctx.params)
+                    .map_err(|e| self.err(format!("replication count: {e}")))?;
+                if n > 4096 {
+                    return Err(self.err("replication count too large"));
+                }
+                let word = self.lower_expr(ctx, env, inner, None)?;
+                let mut bits = Vec::new();
+                for _ in 0..n {
+                    bits.extend(word.iter().copied());
+                }
+                Ok(bits)
+            }
+        }
+    }
+
+    /// Lowers the base of a bit/part select. Bare identifiers keep their
+    /// declared index mapping; other expressions are `[w-1:0]`.
+    fn lower_base(
+        &mut self,
+        ctx: &ModuleCtx,
+        env: &HashMap<String, Word>,
+        base: &Expr,
+    ) -> Result<Word, VerilogError> {
+        self.lower_expr(ctx, env, base, None)
+    }
+
+    fn base_offset(
+        &self,
+        ctx: &ModuleCtx,
+        base: &Expr,
+        index: i64,
+        width: usize,
+    ) -> Result<usize, VerilogError> {
+        if let Expr::Ident(name) = base {
+            if let Some(sig) = ctx.signals.get(name) {
+                return sig
+                    .offset(index)
+                    .ok_or_else(|| self.err(format!("index {index} out of range for `{name}`")));
+            }
+        }
+        if index < 0 || index as usize >= width {
+            return Err(self.err(format!("index {index} out of range")));
+        }
+        Ok(index as usize)
+    }
+
+    fn lower_unary(
+        &mut self,
+        ctx: &ModuleCtx,
+        env: &HashMap<String, Word>,
+        op: UnaryOp,
+        operand: &Expr,
+        width_hint: Option<usize>,
+    ) -> Result<Word, VerilogError> {
+        // Reduction operators and logical NOT take *self-determined*
+        // operands (no context widening); `~` and unary `-` are
+        // context-determined.
+        let operand_hint = match op {
+            UnaryOp::Not | UnaryOp::Neg => width_hint,
+            _ => None,
+        };
+        let word = self.lower_expr(ctx, env, operand, operand_hint)?;
+        Ok(match op {
+            // `~` and unary `-` are context-determined: widen the operand
+            // to the context before operating (so `-(!a)` in a 4-bit
+            // context is 4'b1111, not 1'b1).
+            UnaryOp::Not => {
+                let w = word.len().max(width_hint.unwrap_or(0));
+                let word = self.resize(&word, w);
+                self.builder.not_word(&word)
+            }
+            UnaryOp::LogicNot => {
+                let any = self.builder.reduce_or(&word);
+                vec![self.builder.not(any)]
+            }
+            UnaryOp::Neg => {
+                let w = word.len().max(width_hint.unwrap_or(0));
+                let word = self.resize(&word, w);
+                self.builder.neg(&word)
+            }
+            UnaryOp::ReduceAnd => vec![self.builder.reduce_and(&word)],
+            UnaryOp::ReduceOr => vec![self.builder.reduce_or(&word)],
+            UnaryOp::ReduceXor => vec![self.builder.reduce_xor(&word)],
+            UnaryOp::ReduceNand => {
+                let r = self.builder.reduce_and(&word);
+                vec![self.builder.not(r)]
+            }
+            UnaryOp::ReduceNor => {
+                let r = self.builder.reduce_or(&word);
+                vec![self.builder.not(r)]
+            }
+            UnaryOp::ReduceXnor => {
+                let r = self.builder.reduce_xor(&word);
+                vec![self.builder.not(r)]
+            }
+        })
+    }
+
+    fn lower_binary(
+        &mut self,
+        ctx: &ModuleCtx,
+        env: &HashMap<String, Word>,
+        op: BinaryOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        width_hint: Option<usize>,
+    ) -> Result<Word, VerilogError> {
+        use BinaryOp::*;
+        // Shift amounts are self-determined; everything else shares a width.
+        match op {
+            Shl | Shr => {
+                let a = self.lower_expr(ctx, env, lhs, width_hint)?;
+                let s = self.lower_expr(ctx, env, rhs, None)?;
+                if let Ok(amount) = eval_const_expr(rhs, &ctx.params) {
+                    let amount = amount as usize;
+                    return Ok(match op {
+                        Shl => self.builder.shl_const(&a, amount.min(a.len())),
+                        _ => self.builder.shr_const(&a, amount.min(a.len())),
+                    });
+                }
+                Ok(match op {
+                    Shl => self.builder.shl(&a, &s),
+                    _ => self.builder.shr(&a, &s),
+                })
+            }
+            LogicAnd | LogicOr => {
+                let a = self.lower_expr(ctx, env, lhs, None)?;
+                let b = self.lower_expr(ctx, env, rhs, None)?;
+                let ab = self.builder.reduce_or(&a);
+                let bb = self.builder.reduce_or(&b);
+                Ok(vec![match op {
+                    LogicAnd => self.builder.and(ab, bb),
+                    _ => self.builder.or(ab, bb),
+                }])
+            }
+            _ => {
+                let a = self.lower_expr(ctx, env, lhs, width_hint)?;
+                let b = self.lower_expr(ctx, env, rhs, Some(a.len()))?;
+                // Context-determined sizing: the assignment context widens
+                // arithmetic/bitwise operands (so 1-bit a−b in a 2-bit
+                // context borrows properly, as in the paper's Figure 2).
+                // Comparison results are self-determined 1-bit values and
+                // zero-extension never changes unsigned comparisons.
+                let context = match op {
+                    Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | BitXnor => {
+                        width_hint.unwrap_or(0)
+                    }
+                    _ => 0,
+                };
+                let w = a.len().max(b.len()).max(context);
+                let a = self.resize(&a, w);
+                let b = self.resize(&b, w);
+                Ok(match op {
+                    Add => self.builder.add(&a, &b),
+                    Sub => self.builder.sub(&a, &b),
+                    Mul => {
+                        let out_w = width_hint.unwrap_or(w).max(w);
+                        self.builder.mul(&a, &b, out_w)
+                    }
+                    Div => self.lower_divmod(&a, &b).0,
+                    Mod => self.lower_divmod(&a, &b).1,
+                    BitAnd => self.builder.bitwise(CellKind::And, &a, &b),
+                    BitOr => self.builder.bitwise(CellKind::Or, &a, &b),
+                    BitXor => self.builder.bitwise(CellKind::Xor, &a, &b),
+                    BitXnor => self.builder.bitwise(CellKind::Xnor, &a, &b),
+                    Eq => vec![self.builder.eq(&a, &b)],
+                    Ne => vec![self.builder.ne(&a, &b)],
+                    Lt => vec![self.builder.lt_unsigned(&a, &b)],
+                    Le => vec![self.builder.le_unsigned(&a, &b)],
+                    Gt => vec![self.builder.lt_unsigned(&b, &a)],
+                    Ge => vec![self.builder.le_unsigned(&b, &a)],
+                    Shl | Shr | LogicAnd | LogicOr => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+
+    /// Unsigned restoring divider: returns `(quotient, remainder)`.
+    /// Division by zero yields all-ones quotient and `a` as remainder
+    /// (hardware convention; x/z states do not exist in this subset).
+    fn lower_divmod(&mut self, a: &Word, b: &Word) -> (Word, Word) {
+        let n = a.len();
+        let zero = self.builder.constant(false);
+        let mut remainder: Word = vec![zero; n];
+        let mut quotient: Word = vec![zero; n];
+        for i in (0..n).rev() {
+            // remainder = (remainder << 1) | a[i]
+            let mut shifted: Word = Vec::with_capacity(n);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&remainder[..n - 1]);
+            // Compare/subtract (one extra bit to catch the borrow).
+            let ge = self.builder.le_unsigned(b, &shifted);
+            let diff = self.builder.sub(&shifted, b);
+            remainder = self.builder.mux_word(ge, &shifted, &diff);
+            quotient[i] = ge;
+        }
+        // Division by zero: quotient ← all ones, remainder ← a.
+        let zero_word: Word = vec![zero; b.len()];
+        let bz = self.builder.eq(b, &zero_word);
+        let ones: Word = (0..n).map(|_| self.builder.constant(true)).collect();
+        let q = self.builder.mux_word(bz, &quotient, &ones);
+        let r = self.builder.mux_word(bz, &remainder, a);
+        (q, r)
+    }
+
+    fn resize(&mut self, word: &Word, width: usize) -> Word {
+        self.builder.resize(word, width)
+    }
+}
+
+/// Interprets a constant expression over parameter values.
+///
+/// # Errors
+/// A description of why the expression is not constant.
+pub(crate) fn eval_const(expr: &Expr, params: &HashMap<String, u64>) -> Result<u64, String> {
+    eval_const_expr(expr, params)
+}
+
+fn eval_const_expr(expr: &Expr, params: &HashMap<String, u64>) -> Result<u64, String> {
+    match expr {
+        Expr::Literal { value, .. } => Ok(*value),
+        Expr::Ident(name) => params
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("`{name}` is not a constant")),
+        Expr::Unary(op, e) => {
+            let v = eval_const_expr(e, params)?;
+            Ok(match op {
+                UnaryOp::Not => !v,
+                UnaryOp::LogicNot => u64::from(v == 0),
+                UnaryOp::Neg => v.wrapping_neg(),
+                _ => return Err("reduction operators are not constant-foldable here".into()),
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval_const_expr(a, params)?;
+            let y = eval_const_expr(b, params)?;
+            Ok(match op {
+                BinaryOp::Add => x.wrapping_add(y),
+                BinaryOp::Sub => x.wrapping_sub(y),
+                BinaryOp::Mul => x.wrapping_mul(y),
+                BinaryOp::Div => {
+                    if y == 0 {
+                        return Err("constant division by zero".into());
+                    }
+                    x / y
+                }
+                BinaryOp::Mod => {
+                    if y == 0 {
+                        return Err("constant modulo by zero".into());
+                    }
+                    x % y
+                }
+                BinaryOp::BitAnd => x & y,
+                BinaryOp::BitOr => x | y,
+                BinaryOp::BitXor => x ^ y,
+                BinaryOp::BitXnor => !(x ^ y),
+                BinaryOp::LogicAnd => u64::from(x != 0 && y != 0),
+                BinaryOp::LogicOr => u64::from(x != 0 || y != 0),
+                BinaryOp::Eq => u64::from(x == y),
+                BinaryOp::Ne => u64::from(x != y),
+                BinaryOp::Lt => u64::from(x < y),
+                BinaryOp::Le => u64::from(x <= y),
+                BinaryOp::Gt => u64::from(x > y),
+                BinaryOp::Ge => u64::from(x >= y),
+                BinaryOp::Shl => {
+                    if y >= 64 {
+                        0
+                    } else {
+                        x << y
+                    }
+                }
+                BinaryOp::Shr => {
+                    if y >= 64 {
+                        0
+                    } else {
+                        x >> y
+                    }
+                }
+            })
+        }
+        Expr::Ternary(c, t, e) => {
+            if eval_const_expr(c, params)? != 0 {
+                eval_const_expr(t, params)
+            } else {
+                eval_const_expr(e, params)
+            }
+        }
+        _ => Err("expression is not constant".into()),
+    }
+}
+
+/// Reinterprets a connection expression as an lvalue, when possible.
+fn expr_as_lvalue(expr: &Expr) -> Option<LValue> {
+    match expr {
+        Expr::Ident(name) => Some(LValue::Ident(name.clone())),
+        Expr::Bit(base, index) => {
+            if let Expr::Ident(name) = base.as_ref() {
+                Some(LValue::Bit(name.clone(), (**index).clone()))
+            } else {
+                None
+            }
+        }
+        Expr::Part(base, msb, lsb) => {
+            if let Expr::Ident(name) = base.as_ref() {
+                Some(LValue::Part(name.clone(), (**msb).clone(), (**lsb).clone()))
+            } else {
+                None
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut lvs = Vec::with_capacity(parts.len());
+            for p in parts {
+                lvs.push(expr_as_lvalue(p)?);
+            }
+            Some(LValue::Concat(lvs))
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,106 @@
+//! Integer factoring by running a multiplier backward (paper §5.3,
+//! Listing 6).
+//!
+//! ```text
+//! cargo run --release --example factor [semiprime]
+//! ```
+//!
+//! "The ability to run code backward makes factoring trivial to program":
+//! express `C = A × B`, pin `C`, and read the factors. The same compiled
+//! program also multiplies (pin `A` and `B`) and divides (pin `C` and
+//! `A`) — exactly the three modes of §5.3.
+
+use qac_core::{compile, CompileOptions, RunOptions, SolverChoice};
+
+/// Paper Listing 6 verbatim.
+const MULT: &str = r#"
+    module mult (A, B, C);
+      input [3:0] A;
+      input [3:0] B;
+      output[7:0] C;
+      assign C = A * B;
+    endmodule
+"#;
+
+fn main() {
+    let target: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(143);
+    assert!(target < 256, "the 4×4 multiplier produces 8-bit products");
+
+    let compiled = compile(MULT, "mult", &CompileOptions::default()).expect("Listing 6 compiles");
+    println!(
+        "compiled: {} gates, {} logical variables",
+        compiled.stats.netlist.cells, compiled.stats.logical_variables
+    );
+
+    // --- Factor: pin C, solve for A and B (the paper factors 143). ---
+    println!("\n== factoring {target} ==");
+    let outcome = compiled
+        .run(
+            &RunOptions::new()
+                .pin(&format!("C[7:0] := {target}"))
+                .solver(SolverChoice::Tabu)
+                .num_reads(60),
+        )
+        .expect("run succeeds");
+    println!("valid fraction: {:.2}", outcome.valid_fraction());
+    let mut factorizations: Vec<(u64, u64)> = outcome
+        .valid_solutions()
+        .map(|s| (s.get("A").unwrap(), s.get("B").unwrap()))
+        .collect();
+    factorizations.sort_unstable();
+    factorizations.dedup();
+    println!("distinct factorizations found: {factorizations:?}");
+    for &(a, b) in &factorizations {
+        assert_eq!(a * b, target, "{a} × {b} != {target}");
+    }
+    if target == 143 {
+        // The paper reports exactly {A=11,B=13} and {A=13,B=11}.
+        assert!(factorizations.contains(&(11, 13)) || factorizations.contains(&(13, 11)));
+    }
+    assert!(!factorizations.is_empty(), "no factorization found — try more reads");
+
+    // --- Multiply: pin A and B (forward execution). ---
+    println!("\n== multiplying 13 × 11 ==");
+    let outcome = compiled
+        .run(
+            &RunOptions::new()
+                .pin("A[3:0] := 1101") // 13, as in the paper's example
+                .pin("B[3:0] := 1011") // 11
+                .solver(SolverChoice::Tabu)
+                .num_reads(30),
+        )
+        .expect("run succeeds");
+    let product = outcome
+        .valid_solutions()
+        .next()
+        .expect("multiplication is deterministic")
+        .get("C")
+        .unwrap();
+    println!("C = {product}");
+    assert_eq!(product, 143);
+
+    // --- Divide: pin C and A, solve for B (the paper's division mode). ---
+    println!("\n== dividing 143 / 13 ==");
+    let outcome = compiled
+        .run(
+            &RunOptions::new()
+                .pin("C[7:0] := 10001111") // 143, the paper's bit string
+                .pin("A[3:0] := 1101") // 13
+                .solver(SolverChoice::Tabu)
+                .num_reads(30),
+        )
+        .expect("run succeeds");
+    let quotient = outcome
+        .valid_solutions()
+        .next()
+        .expect("143 is divisible by 13")
+        .get("B")
+        .unwrap();
+    println!("B = {quotient}");
+    assert_eq!(quotient, 11);
+
+    println!("\nfactor: OK");
+}
