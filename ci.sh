@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, tests, lints, formatting.
+#
+#   ./ci.sh          # run everything
+#
+# Workspace tests run in release because the embedding acceptance tests
+# (crates/bench/tests/cache_portfolio.rs) route on a C16 Chimera graph
+# and are painfully slow unoptimized.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1, root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace --release"
+cargo test -q --workspace --release
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci.sh: all checks passed"

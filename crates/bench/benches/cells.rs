@@ -24,8 +24,14 @@ fn bench_cells(c: &mut Criterion) {
     c.bench_function("synthesize_and_gate", |b| {
         b.iter(|| {
             std::hint::black_box(
-                synthesize("AND", &["Y", "A", "B"], &and_truth, 0, &SynthOptions::default())
-                    .unwrap(),
+                synthesize(
+                    "AND",
+                    &["Y", "A", "B"],
+                    &and_truth,
+                    0,
+                    &SynthOptions::default(),
+                )
+                .unwrap(),
             )
         })
     });
@@ -34,8 +40,14 @@ fn bench_cells(c: &mut Criterion) {
     c.bench_function("synthesize_xor_one_ancilla", |b| {
         b.iter(|| {
             std::hint::black_box(
-                synthesize("XOR", &["Y", "A", "B"], &xor_truth, 1, &SynthOptions::default())
-                    .unwrap(),
+                synthesize(
+                    "XOR",
+                    &["Y", "A", "B"],
+                    &xor_truth,
+                    1,
+                    &SynthOptions::default(),
+                )
+                .unwrap(),
             )
         })
     });

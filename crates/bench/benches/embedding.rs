@@ -17,7 +17,10 @@ fn bench_embedding(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let options = EmbedOptions { seed, ..Default::default() };
+            let options = EmbedOptions {
+                seed,
+                ..Default::default()
+            };
             std::hint::black_box(
                 find_embedding_or_clique(&edges, num_vars, &chimera, &hardware, &options)
                     .expect("embeds"),

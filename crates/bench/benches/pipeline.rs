@@ -22,7 +22,10 @@ fn bench_pipeline(c: &mut Criterion) {
         });
     }
     c.bench_function("compile_counter_unrolled_4", |b| {
-        let options = CompileOptions { unroll_steps: Some(4), ..Default::default() };
+        let options = CompileOptions {
+            unroll_steps: Some(4),
+            ..Default::default()
+        };
         b.iter(|| std::hint::black_box(compile(COUNTER, "count", &options).unwrap()))
     });
 }

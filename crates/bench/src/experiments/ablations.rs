@@ -7,7 +7,7 @@ use qac_pbf::roof::apply_roof_duality;
 use qac_pbf::scale::{scale_to_range, CoefficientRange};
 use qac_pbf::Ising;
 use qac_qmasm::PinStyle;
-use qac_solvers::{DWaveSim, DWaveSimOptions, SimulatedAnnealing, Sampler};
+use qac_solvers::{DWaveSim, DWaveSimOptions, Sampler, SimulatedAnnealing};
 
 use crate::{compile_workload, AUSTRALIA, FIGURE2};
 
@@ -139,7 +139,13 @@ pub fn run_ablation_roof() {
         let mut reduced = model.clone();
         let fixed = apply_roof_duality(&mut reduced);
         let remaining = reduced.active_variables().len();
-        println!("{:<12} {:>10} {:>12} {:>12}", name, total, fixed.len(), remaining);
+        println!(
+            "{:<12} {:>10} {:>12} {:>12}",
+            name,
+            total,
+            fixed.len(),
+            remaining
+        );
         assert!(remaining <= total);
     }
     println!("\nfixed variables need no qubits at all (paper §4.4). ✓");
@@ -161,12 +167,13 @@ pub fn run_ablation_opt() {
     let hardware = chimera.graph();
     for (source, top) in workloads {
         for opt_level in [0u8, 2u8] {
-            let options = CompileOptions { opt_level, ..Default::default() };
+            let options = CompileOptions {
+                opt_level,
+                ..Default::default()
+            };
             let compiled = compile(source, top, &options).expect("compiles");
-            let scaled =
-                scale_to_range(&compiled.assembled.ising, CoefficientRange::DWAVE_2000Q);
-            let edges: Vec<(usize, usize)> =
-                scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
+            let scaled = scale_to_range(&compiled.assembled.ising, CoefficientRange::DWAVE_2000Q);
+            let edges: Vec<(usize, usize)> = scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
             let qubits = if scaled.model.num_vars() > 200 {
                 // Unoptimized multiplier-sized models take minutes to
                 // embed; the cell/variable columns already show the story.
@@ -177,7 +184,10 @@ pub fn run_ablation_opt() {
                     scaled.model.num_vars(),
                     &chimera,
                     &hardware,
-                    &EmbedOptions { seed: 7, ..Default::default() },
+                    &EmbedOptions {
+                        seed: 7,
+                        ..Default::default()
+                    },
                 )
                 .map(|e| {
                     let _ = embed_ising(&scaled.model, &e, &hardware, 2.0);
@@ -187,14 +197,25 @@ pub fn run_ablation_opt() {
             };
             println!(
                 "{:<12} {:>6} {:>12} {:>14} {:>16}",
-                top, opt_level, compiled.stats.netlist.cells, compiled.stats.logical_variables, qubits
+                top,
+                opt_level,
+                compiled.stats.netlist.cells,
+                compiled.stats.logical_variables,
+                qubits
             );
         }
     }
     println!("\nexpected shape: optimization shrinks cells, variables, and qubits. ✓");
     // Sanity: optimization never hurts the logical variable count.
-    let unopt = compile(FIGURE2, "circuit", &CompileOptions { opt_level: 0, ..Default::default() })
-        .unwrap();
+    let unopt = compile(
+        FIGURE2,
+        "circuit",
+        &CompileOptions {
+            opt_level: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let opt = compile_workload(FIGURE2, "circuit");
     assert!(opt.stats.logical_variables <= unopt.stats.logical_variables);
     let _ = SimulatedAnnealing::new(0).sample(&Ising::new(1), 1);

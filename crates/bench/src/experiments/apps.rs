@@ -24,10 +24,19 @@ pub fn run_circsat() {
                 .num_reads(500),
         )
         .expect("run succeeds");
-    println!("valid fraction over 500 anneals: {:.3}", outcome.valid_fraction());
+    println!(
+        "valid fraction over 500 anneals: {:.3}",
+        outcome.valid_fraction()
+    );
     let assignments: BTreeSet<(u64, u64, u64)> = outcome
         .valid_solutions()
-        .map(|s| (s.get("a").unwrap(), s.get("b").unwrap(), s.get("c").unwrap()))
+        .map(|s| {
+            (
+                s.get("a").unwrap(),
+                s.get("b").unwrap(),
+                s.get("c").unwrap(),
+            )
+        })
         .collect();
     println!("satisfying assignments found: {assignments:?} (paper: a=1, b=1, c=0)");
     assert_eq!(assignments, BTreeSet::from([(1, 1, 0)]));
@@ -61,7 +70,9 @@ pub fn run_factor() {
         .valid_solutions()
         .map(|s| (s.get("A").unwrap(), s.get("B").unwrap()))
         .collect();
-    println!("factoring 143: unique solutions {factorizations:?} (paper: {{A=11,B=13}}, {{A=13,B=11}})");
+    println!(
+        "factoring 143: unique solutions {factorizations:?} (paper: {{A=11,B=13}}, {{A=13,B=11}})"
+    );
     assert!(factorizations.contains(&(11, 13)) && factorizations.contains(&(13, 11)));
 
     // Sweep of products: success rate per target. Targets whose factors
@@ -69,10 +80,19 @@ pub fn run_factor() {
     // the annealer returns only invalid samples, exactly the §5.2
     // behaviour for unsatisfiable instances.
     println!("\nproduct sweep (tabu, 60 reads each):");
-    println!("{:>8} {:>10} {:>14} {:>16}", "C", "expect", "valid fraction", "factorizations");
-    for (target, satisfiable) in
-        [(15u64, true), (21, true), (35, true), (77, true), (143, true), (209, false), (221, false)]
-    {
+    println!(
+        "{:>8} {:>10} {:>14} {:>16}",
+        "C", "expect", "valid fraction", "factorizations"
+    );
+    for (target, satisfiable) in [
+        (15u64, true),
+        (21, true),
+        (35, true),
+        (77, true),
+        (143, true),
+        (209, false),
+        (221, false),
+    ] {
         let outcome = compiled
             .run(
                 &RunOptions::new()
@@ -145,7 +165,10 @@ pub fn run_map_color() {
                 .num_reads(1000),
         )
         .expect("run succeeds");
-    println!("valid fraction over 1000 anneals: {:.3}", outcome.valid_fraction());
+    println!(
+        "valid fraction over 1000 anneals: {:.3}",
+        outcome.valid_fraction()
+    );
 
     let regions = qac_csp::mapcolor::AUSTRALIA_REGIONS;
     let mut distinct: BTreeSet<Vec<u64>> = BTreeSet::new();
@@ -155,18 +178,26 @@ pub fn run_map_color() {
         }
         distinct.insert(regions.iter().map(|r| solution.get(r).unwrap()).collect());
     }
-    println!("distinct valid colorings sampled: {} (sampling behaviour, §6.2)", distinct.len());
+    println!(
+        "distinct valid colorings sampled: {} (sampling behaviour, §6.2)",
+        distinct.len()
+    );
     assert!(!distinct.is_empty());
     let first = outcome.valid_solutions().next().unwrap();
-    let rendered: Vec<String> =
-        regions.iter().map(|r| format!("{r} = {}", first.get(r).unwrap())).collect();
+    let rendered: Vec<String> = regions
+        .iter()
+        .map(|r| format!("{r} = {}", first.get(r).unwrap()))
+        .collect();
     println!("example coloring: {{{}}}", rendered.join(", "));
 
     // CSP cross-check: every sampled coloring satisfies the Listing 8 model.
     let model = qac_csp::mapcolor::australia(4);
     for coloring in distinct.iter().take(20) {
         let assignment: Vec<i64> = coloring.iter().map(|&c| c as i64 + 1).collect();
-        assert!(model.check(&assignment), "CSP model rejects an annealer coloring");
+        assert!(
+            model.check(&assignment),
+            "CSP model rejects an annealer coloring"
+        );
     }
     println!("CSP model confirms sampled colorings ✓");
 }
@@ -180,7 +211,10 @@ pub fn run_counter() {
     );
     let mut prev_vars = 0usize;
     for steps in 1..=6usize {
-        let options = CompileOptions { unroll_steps: Some(steps), ..Default::default() };
+        let options = CompileOptions {
+            unroll_steps: Some(steps),
+            ..Default::default()
+        };
         let compiled = compile(COUNTER, "count", &options).expect("counter compiles");
         println!(
             "{:>6} {:>12} {:>14} {:>14}",
@@ -198,7 +232,10 @@ pub fn run_counter() {
     println!("\n\"Doing so exacts a heavy toll in qubit count\" — linear growth per step. ✓");
 
     // And a correctness spot-check at 3 steps (forward execution).
-    let options = CompileOptions { unroll_steps: Some(3), ..Default::default() };
+    let options = CompileOptions {
+        unroll_steps: Some(3),
+        ..Default::default()
+    };
     let compiled = compile(COUNTER, "count", &options).unwrap();
     let mut run = RunOptions::new().solver(SolverChoice::Tabu).num_reads(40);
     for t in 0..3 {
@@ -208,8 +245,14 @@ pub fn run_counter() {
             .pin(&format!("clk@{t} := 0"));
     }
     let outcome = compiled.run(&run).expect("run succeeds");
-    let best = outcome.valid_solutions().next().expect("forward run solves");
+    let best = outcome
+        .valid_solutions()
+        .next()
+        .expect("forward run solves");
     assert_eq!(best.get("ff_final"), Some(3));
-    println!("forward run over 3 steps counts to {} ✓", best.get("ff_final").unwrap());
+    println!(
+        "forward run over 3 steps counts to {} ✓",
+        best.get("ff_final").unwrap()
+    );
     let _ = compile_workload(FIGURE2, "circuit");
 }

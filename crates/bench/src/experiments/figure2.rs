@@ -12,12 +12,21 @@ pub fn run_figure2_3() {
     println!("== Figures 2–3: end-to-end transformation of the mux add/sub circuit ==\n");
     let compiled = compile_workload(FIGURE2, "circuit");
 
-    println!("Verilog (Figure 2a): {} lines", compiled.stats.verilog_lines);
-    println!("digital circuit (Figure 3a): {} cells:", compiled.stats.netlist.cells);
+    println!(
+        "Verilog (Figure 2a): {} lines",
+        compiled.stats.verilog_lines
+    );
+    println!(
+        "digital circuit (Figure 3a): {} cells:",
+        compiled.stats.netlist.cells
+    );
     for (kind, count) in &compiled.stats.netlist.by_kind {
         println!("  {kind}: {count}");
     }
-    println!("\nEDIF netlist excerpt (Figure 3b), {} lines total:", compiled.stats.edif_lines);
+    println!(
+        "\nEDIF netlist excerpt (Figure 3b), {} lines total:",
+        compiled.stats.edif_lines
+    );
     for line in compiled.edif.lines().take(12) {
         println!("  {line}");
     }
@@ -47,7 +56,10 @@ pub fn run_figure2_3() {
             .fix_pins()
             .solver(SolverChoice::Exact);
         let outcome = compiled.run(&run).expect("run succeeds");
-        outcome.best().map(|sample| sample.energy).unwrap_or(f64::INFINITY)
+        outcome
+            .best()
+            .map(|sample| sample.energy)
+            .unwrap_or(f64::INFINITY)
     };
     for (s, a, b, c, valid) in [
         (0u64, 1u64, 0u64, 0b01u64, true),
@@ -61,7 +73,10 @@ pub fn run_figure2_3() {
             "  {{s={s}, a={a}, b={b}, c={c:02b}}} ({tag:7}): H = {e:.3} {} ground {ground:.3}",
             if at_ground { "=" } else { ">" }
         );
-        assert_eq!(at_ground, valid, "relation validity must match ground membership");
+        assert_eq!(
+            at_ground, valid,
+            "relation validity must match ground membership"
+        );
     }
 
     // Physical instantiation on a C16 (Figure 2b talks of physical qubits).
@@ -88,8 +103,11 @@ pub fn run_figure2_3() {
         .num_reads(100);
     let outcome = compiled.run(&run).expect("run succeeds");
     let best = outcome.valid_solutions().next().expect("1+1 computes");
-    println!("\nforward run s=1,a=1,b=1 → c = {} (valid fraction {:.2})",
-        best.get("c").unwrap(), outcome.valid_fraction());
+    println!(
+        "\nforward run s=1,a=1,b=1 → c = {} (valid fraction {:.2})",
+        best.get("c").unwrap(),
+        outcome.valid_fraction()
+    );
     assert_eq!(best.get("c"), Some(2));
     let _ = ExactSolver::new().sample(model, 1);
 }

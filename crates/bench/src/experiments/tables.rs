@@ -98,7 +98,10 @@ pub fn run_table2() {
     let report = cell.verify(&truth);
     println!("\nLP-derived solution (h ∈ [−2,2], J ∈ [−2,1], gap maximized):");
     print_truth_rows(cell.ising(), &truth, 0, report.k);
-    println!("\nderived: k = {:.3}, gap = {:.3}, verifies: {}", report.k, report.gap, report.matches);
+    println!(
+        "\nderived: k = {:.3}, gap = {:.3}, verifies: {}",
+        report.k, report.gap, report.matches
+    );
     assert!(report.matches);
 }
 
@@ -187,15 +190,23 @@ pub fn run_table5() {
     // Cross-check: re-derive every ≤1-ancilla cell from scratch and
     // compare achievable gaps.
     println!("\nre-derivation cross-check (LP synthesizer, same ancilla budget):");
-    println!("{:<8} {:>14} {:>14}", "cell", "published gap", "derived gap");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "cell", "published gap", "derived gap"
+    );
     for (name, cell) in library.iter() {
         if cell.num_ancillas() > 1 || name.starts_with("DFF") || name == "BUF" {
             continue;
         }
         let truth = library.truth(name).unwrap();
         let pins: Vec<&str> = cell.pins().iter().map(String::as_str).collect();
-        let derived =
-            synthesize(name, &pins, truth, cell.num_ancillas(), &SynthOptions::default());
+        let derived = synthesize(
+            name,
+            &pins,
+            truth,
+            cell.num_ancillas(),
+            &SynthOptions::default(),
+        );
         let published_gap = cell.verify(truth).gap;
         match derived {
             Ok(d) => {

@@ -1,7 +1,7 @@
 //! The paper's Verilog programs (Listings 3, 5, 6, 7 and Figure 2) plus
 //! shared helpers used by experiments and benches.
 
-use qac_core::{compile, Compiled, CompileOptions};
+use qac_core::{compile, CompileOptions, Compiled};
 use qac_pbf::{Ising, Qubo};
 
 /// Paper Figure 2(a): mux-selected add/subtract.
@@ -142,7 +142,12 @@ mod tests {
     fn workloads_compile() {
         assert!(compile_workload(FIGURE2, "circuit").stats.logical_variables > 0);
         assert!(compile_workload(CIRCSAT, "circsat").stats.logical_variables > 0);
-        assert!(compile_workload(AUSTRALIA, "australia").stats.logical_variables > 0);
+        assert!(
+            compile_workload(AUSTRALIA, "australia")
+                .stats
+                .logical_variables
+                > 0
+        );
     }
 
     #[test]

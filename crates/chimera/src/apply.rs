@@ -157,10 +157,16 @@ fn unembed_with(
     physical_spins: &[Spin],
 ) -> (Vec<Spin>, ChainBreakStats) {
     let mut logical = Vec::with_capacity(num_logical);
-    let mut stats = ChainBreakStats { broken: 0, total: num_logical };
+    let mut stats = ChainBreakStats {
+        broken: 0,
+        total: num_logical,
+    };
     for v in 0..num_logical {
         let chain = embedding.chain(v);
-        let ups = chain.iter().filter(|&&q| physical_spins[q] == Spin::Up).count();
+        let ups = chain
+            .iter()
+            .filter(|&&q| physical_spins[q] == Spin::Up)
+            .count();
         let downs = chain.len() - ups;
         if ups > 0 && downs > 0 {
             stats.broken += 1;
@@ -210,13 +216,11 @@ mod tests {
         logical.add_j(0, 2, -1.0);
         let hw = Chimera::new(2).graph();
         let edges = [(0, 1), (1, 2), (0, 2)];
-        let embedding =
-            find_embedding(&edges, 3, &hw, &EmbedOptions::default()).unwrap();
+        let embedding = find_embedding(&edges, 3, &hw, &EmbedOptions::default()).unwrap();
         let embedded = embed_ising(&logical, &embedding, &hw, 4.0);
 
         // Enumerate over used qubits only.
-        let used: Vec<usize> =
-            embedding.chains().iter().flatten().copied().collect();
+        let used: Vec<usize> = embedding.chains().iter().flatten().copied().collect();
         let (_, minima) = ground_states(&embedded.physical, &used);
         assert!(!minima.is_empty());
         for phys in &minima {
@@ -230,8 +234,7 @@ mod tests {
     fn chain_break_detection() {
         let hw = Chimera::new(1).graph();
         let edges = [(0, 1), (1, 2), (0, 2)];
-        let embedding =
-            find_embedding(&edges, 3, &hw, &EmbedOptions::default()).unwrap();
+        let embedding = find_embedding(&edges, 3, &hw, &EmbedOptions::default()).unwrap();
         // Find a chained variable and flip half its qubits.
         let chained = (0..3).find(|&v| embedding.chain(v).len() >= 2).unwrap();
         let mut phys = vec![Spin::Down; hw.num_nodes()];
@@ -247,8 +250,7 @@ mod tests {
         logical.add_h(0, 1.5);
         logical.add_j(0, 1, -0.5);
         let hw = Chimera::new(2).graph();
-        let embedding =
-            find_embedding(&[(0, 1)], 2, &hw, &EmbedOptions::default()).unwrap();
+        let embedding = find_embedding(&[(0, 1)], 2, &hw, &EmbedOptions::default()).unwrap();
         let embedded = embed_ising(&logical, &embedding, &hw, 2.0);
         let total_h: f64 = embedded.physical.h_iter().map(|(_, h)| h).sum();
         assert!((total_h - 1.5).abs() < 1e-12);

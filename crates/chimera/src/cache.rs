@@ -1,0 +1,305 @@
+//! A process-wide embedding cache.
+//!
+//! Minor embedding dominates compile-to-run latency (the CMR heuristic
+//! reroutes chains for dozens of rounds), yet repeated runs of the same
+//! compiled program re-solve the identical placement problem: the logical
+//! interaction graph, the embedding options, and the hardware graph fully
+//! determine the search. [`EmbeddingCache`] memoizes on exactly that
+//! triple, so a warm run performs **zero** route iterations.
+//!
+//! The cache is `Sync`; share one instance across runs (or threads) via
+//! `Arc`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::embed::{EmbedOptions, EmbedStats, Embedding};
+use crate::{EmbedError, HardwareGraph};
+
+/// FNV-1a, the canonical-form hasher for cache keys (stable across runs,
+/// unlike `DefaultHasher`, whose seeds are unspecified).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// Canonical hash of one embedding problem: logical interaction graph
+/// (edges normalized, sorted, deduplicated) + [`EmbedOptions`] + hardware
+/// graph (node count, active set, couplers).
+///
+/// The edge *weights* of the logical model are deliberately excluded —
+/// an embedding depends only on which interactions exist, so models that
+/// differ only in coefficients (e.g. different pin biases) share a cache
+/// entry.
+pub fn embedding_key(
+    edges: &[(usize, usize)],
+    num_vars: usize,
+    options: &EmbedOptions,
+    hardware: &HardwareGraph,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write_usize(num_vars);
+
+    let mut canonical: Vec<(usize, usize)> =
+        edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+    canonical.sort_unstable();
+    canonical.dedup();
+    h.write_usize(canonical.len());
+    for (a, b) in canonical {
+        h.write_usize(a);
+        h.write_usize(b);
+    }
+
+    h.write_u64(options.seed);
+    h.write_usize(options.tries);
+    h.write_usize(options.rounds);
+    h.write_u64(options.penalty_base.to_bits());
+
+    h.write_usize(hardware.num_nodes());
+    for node in 0..hardware.num_nodes() {
+        if !hardware.is_active(node) {
+            h.write_usize(node);
+        }
+    }
+    h.write_usize(hardware.num_edges());
+    for (a, b) in hardware.edges() {
+        h.write_usize(a);
+        h.write_usize(b);
+    }
+    h.0
+}
+
+/// Memoizes minor embeddings by [`embedding_key`], with hit/miss
+/// counters.
+#[derive(Default)]
+pub struct EmbeddingCache {
+    entries: Mutex<HashMap<u64, Embedding>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl fmt::Debug for EmbeddingCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EmbeddingCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl EmbeddingCache {
+    /// An empty cache.
+    pub fn new() -> EmbeddingCache {
+        EmbeddingCache::default()
+    }
+
+    /// Returns the cached embedding for this problem, or computes one with
+    /// `embed`, stores it, and returns it. Hits report
+    /// [`EmbedStats::cache_hit`] with zero route iterations; failures are
+    /// not cached (a later call with more tries may succeed).
+    ///
+    /// # Errors
+    /// Whatever `embed` returns on a miss.
+    pub fn get_or_embed<F>(
+        &self,
+        edges: &[(usize, usize)],
+        num_vars: usize,
+        options: &EmbedOptions,
+        hardware: &HardwareGraph,
+        embed: F,
+    ) -> Result<(Embedding, EmbedStats), EmbedError>
+    where
+        F: FnOnce() -> Result<(Embedding, EmbedStats), EmbedError>,
+    {
+        let key = embedding_key(edges, num_vars, options, hardware);
+        if let Some(found) = self.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let stats = EmbedStats {
+                route_iterations: 0,
+                restarts: 0,
+                cache_hit: true,
+            };
+            return Ok((found, stats));
+        }
+        // The lock is NOT held while embedding (it can take seconds);
+        // concurrent misses on the same key both embed and one insert
+        // wins, which costs duplicated work but never blocks other keys.
+        let (embedding, stats) = embed()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.lock().entry(key).or_insert_with(|| embedding.clone());
+        Ok((embedding, stats))
+    }
+
+    /// Number of cached embeddings.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to embed.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Embedding>> {
+        // A poisoned mutex means another thread panicked mid-insert; the
+        // map itself is always in a consistent state.
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_embedding_with_stats, Chimera};
+
+    fn triangle() -> Vec<(usize, usize)> {
+        vec![(0, 1), (1, 2), (0, 2)]
+    }
+
+    fn embed_triangle(
+        cache: &EmbeddingCache,
+        hw: &HardwareGraph,
+        options: &EmbedOptions,
+    ) -> (Embedding, EmbedStats) {
+        cache
+            .get_or_embed(&triangle(), 3, options, hw, || {
+                find_embedding_with_stats(&triangle(), 3, hw, options)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn warm_lookup_is_a_hit_with_zero_route_iterations() {
+        let hw = Chimera::new(2).graph();
+        let options = EmbedOptions::default();
+        let cache = EmbeddingCache::new();
+
+        let (cold, cold_stats) = embed_triangle(&cache, &hw, &options);
+        assert!(!cold_stats.cache_hit);
+        assert!(cold_stats.route_iterations > 0);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let (warm, warm_stats) = embed_triangle(&cache, &hw, &options);
+        assert!(warm_stats.cache_hit);
+        assert_eq!(warm_stats.route_iterations, 0);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cold, warm, "hit returns the identical embedding");
+        assert!(
+            warm.validate(&triangle(), &hw),
+            "cached embedding stays valid"
+        );
+    }
+
+    #[test]
+    fn key_distinguishes_problem_options_and_hardware() {
+        let hw2 = Chimera::new(2).graph();
+        let hw3 = Chimera::new(3).graph();
+        let mut dropped = Chimera::new(2).graph();
+        dropped.deactivate(0);
+        let base = EmbedOptions::default();
+        let key =
+            |edges: &[(usize, usize)], n, o: &EmbedOptions, hw| embedding_key(edges, n, o, hw);
+
+        let k0 = key(&triangle(), 3, &base, &hw2);
+        // Edge order and duplicates do not matter.
+        assert_eq!(k0, key(&[(2, 1), (0, 2), (1, 0), (1, 2)], 3, &base, &hw2));
+        // Everything else does.
+        assert_ne!(k0, key(&[(0, 1), (1, 2)], 3, &base, &hw2));
+        assert_ne!(k0, key(&triangle(), 4, &base, &hw2));
+        assert_ne!(
+            k0,
+            key(
+                &triangle(),
+                3,
+                &EmbedOptions {
+                    seed: 1,
+                    ..base.clone()
+                },
+                &hw2
+            )
+        );
+        assert_ne!(
+            k0,
+            key(
+                &triangle(),
+                3,
+                &EmbedOptions {
+                    rounds: 7,
+                    ..base.clone()
+                },
+                &hw2
+            )
+        );
+        assert_ne!(k0, key(&triangle(), 3, &base, &hw3));
+        assert_ne!(k0, key(&triangle(), 3, &base, &dropped));
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let hw = Chimera::new(1).graph();
+        let cache = EmbeddingCache::new();
+        let options = EmbedOptions {
+            tries: 1,
+            rounds: 4,
+            ..Default::default()
+        };
+        // K9 in one unit cell: impossible.
+        let edges: Vec<(usize, usize)> = (0..9)
+            .flat_map(|i| ((i + 1)..9).map(move |j| (i, j)))
+            .collect();
+        let attempt = |cache: &EmbeddingCache| {
+            cache.get_or_embed(&edges, 9, &options, &hw, || {
+                find_embedding_with_stats(&edges, 9, &hw, &options)
+            })
+        };
+        assert!(attempt(&cache).is_err());
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        // Still a miss (not a poisoned hit) the second time.
+        assert!(attempt(&cache).is_err());
+    }
+
+    #[test]
+    fn clear_forces_recomputation() {
+        let hw = Chimera::new(2).graph();
+        let options = EmbedOptions::default();
+        let cache = EmbeddingCache::new();
+        embed_triangle(&cache, &hw, &options);
+        cache.clear();
+        let (_, stats) = embed_triangle(&cache, &hw, &options);
+        assert!(!stats.cache_hit);
+        assert_eq!(cache.misses(), 2);
+    }
+}

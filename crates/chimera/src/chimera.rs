@@ -88,7 +88,6 @@ impl Chimera {
         g
     }
 
-
     /// The deterministic "triangle" clique embedding: chains for a
     /// complete graph K_n, n ≤ 4m, each an L of one vertical and one
     /// horizontal wire meeting on the diagonal. This is the template

@@ -31,11 +31,17 @@
 #![warn(missing_docs)]
 
 mod apply;
+mod cache;
 mod chimera;
 mod embed;
 mod graph;
 
 pub use apply::{embed_ising, unembed, ChainBreakStats, EmbeddedIsing};
+pub use cache::{embedding_key, EmbeddingCache};
 pub use chimera::Chimera;
-pub use embed::{find_embedding, find_embedding_or_clique, EmbedError, EmbedOptions, Embedding};
+pub use embed::{
+    find_embedding, find_embedding_or_clique, find_embedding_or_clique_with_stats,
+    find_embedding_portfolio, find_embedding_with_stats, EmbedError, EmbedOptions, EmbedStats,
+    Embedding,
+};
 pub use graph::HardwareGraph;

@@ -51,10 +51,14 @@ mod error;
 mod pipeline;
 mod qmasm_gen;
 mod run;
+mod stage;
+mod trace;
 
 pub use error::CompileError;
-pub use pipeline::{compile, compile_netlist, Compiled, CompileOptions, PipelineStats};
+pub use pipeline::{compile, compile_netlist, CompileOptions, Compiled, PipelineStats};
 pub use qmasm_gen::netlist_to_qmasm;
-pub use run::{RunOptions, RunOutcome, SolvedSample, SolverChoice};
+pub use run::{HardwareStats, PinRealization, RunOptions, RunOutcome, SolvedSample, SolverChoice};
+pub use stage::{Session, Stage};
+pub use trace::{StageTrace, Trace};
 
 pub use qac_netlist::unroll::InitialState;

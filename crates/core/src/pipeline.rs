@@ -1,18 +1,23 @@
 //! The compile pipeline: Verilog → netlist → EDIF → QMASM → logical
 //! Ising model, with every intermediate artifact retained (the §6.1
 //! static-properties experiment measures them).
+//!
+//! The pipeline is an explicit sequence of [`Stage`]s executed by a
+//! [`Session`]: each step — unroll, optimize, the EDIF round trip,
+//! QMASM generation, parsing, assembly — is a named stage whose wall
+//! time and artifact sizes are recorded into the [`Trace`] carried on
+//! [`Compiled`].
 
 use qac_chimera::EmbedOptions;
 use qac_edif::{from_edif, to_edif};
 use qac_gatesynth::CellLibrary;
 use qac_netlist::unroll::{unroll, InitialState};
 use qac_netlist::{opt, Netlist, NetlistStats};
-use qac_qmasm::{
-    assemble, parse, stdcell_qmasm, AssembleOptions, Assembled, MapIncludes,
-};
-use qac_verilog;
+use qac_qmasm::{assemble, parse, stdcell_qmasm, AssembleOptions, Assembled, MapIncludes, Program};
 
 use crate::qmasm_gen::netlist_to_qmasm;
+use crate::stage::{Session, Stage};
+use crate::trace::Trace;
 use crate::CompileError;
 
 /// Options controlling compilation.
@@ -81,13 +86,218 @@ pub struct Compiled {
     pub assembled: Assembled,
     /// The energy every valid (relation-satisfying) assignment reaches:
     /// the sum of the instantiated cells' ground energies plus constant
-    /// pin contributions. Samples above this energy violate the program.
+    /// pin contributions (and, with `merge_chains: false`, the chain
+    /// couplings). Samples above this energy violate the program.
     pub expected_ground_energy: f64,
     /// Static measurements.
     pub stats: PipelineStats,
+    /// Per-stage wall time and artifact sizes of this compilation.
+    pub trace: Trace,
     /// The options used (downstream runs reuse the embed settings).
     pub options: CompileOptions,
 }
+
+// ---------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------
+
+/// Verilog source → netlist (the Yosys role).
+struct VerilogStage<'a> {
+    source: &'a str,
+    top: &'a str,
+}
+
+impl Stage for VerilogStage<'_> {
+    type Input = ();
+    type Output = Netlist;
+    fn name(&self) -> &'static str {
+        "verilog-parse"
+    }
+    fn run(&self, (): ()) -> Result<Netlist, CompileError> {
+        Ok(qac_verilog::compile(self.source, self.top)?)
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.source.len()
+    }
+    fn output_size(&self, netlist: &Netlist) -> usize {
+        netlist.cells().len()
+    }
+}
+
+/// Time-unrolls sequential logic (§4.3.3); identity when no step count
+/// was requested.
+struct UnrollStage {
+    steps: Option<usize>,
+    initial: InitialState,
+}
+
+impl Stage for UnrollStage {
+    type Input = Netlist;
+    type Output = Netlist;
+    fn name(&self) -> &'static str {
+        "unroll"
+    }
+    fn run(&self, netlist: Netlist) -> Result<Netlist, CompileError> {
+        match self.steps {
+            Some(0) => Err(CompileError::Pipeline(
+                "unroll_steps must be at least 1".into(),
+            )),
+            Some(steps) => Ok(unroll(&netlist, steps, self.initial)),
+            None => Ok(netlist),
+        }
+    }
+    fn input_size(&self, netlist: &Netlist) -> usize {
+        netlist.cells().len()
+    }
+    fn output_size(&self, netlist: &Netlist) -> usize {
+        netlist.cells().len()
+    }
+}
+
+/// Gate-level optimization (the ABC role) plus validation.
+struct OptimizeStage {
+    opt_level: u8,
+}
+
+impl Stage for OptimizeStage {
+    type Input = Netlist;
+    type Output = Netlist;
+    fn name(&self) -> &'static str {
+        "optimize"
+    }
+    fn run(&self, mut netlist: Netlist) -> Result<Netlist, CompileError> {
+        if self.opt_level >= 2 {
+            opt::optimize(&mut netlist);
+        } else if self.opt_level == 1 {
+            opt::merge_buffers(&mut netlist);
+            opt::eliminate_dead(&mut netlist);
+        }
+        netlist.validate()?;
+        Ok(netlist)
+    }
+    fn input_size(&self, netlist: &Netlist) -> usize {
+        netlist.cells().len()
+    }
+    fn output_size(&self, netlist: &Netlist) -> usize {
+        netlist.cells().len()
+    }
+}
+
+/// Netlist → EDIF text.
+struct EdifWriteStage;
+
+impl Stage for EdifWriteStage {
+    type Input = Netlist;
+    type Output = String;
+    fn name(&self) -> &'static str {
+        "edif-write"
+    }
+    fn run(&self, netlist: Netlist) -> Result<String, CompileError> {
+        Ok(to_edif(&netlist))
+    }
+    fn input_size(&self, netlist: &Netlist) -> usize {
+        netlist.cells().len()
+    }
+    fn output_size(&self, edif: &String) -> usize {
+        edif.len()
+    }
+}
+
+/// EDIF text → netlist (the round trip the original toolchain takes).
+struct EdifReadStage<'a> {
+    edif: &'a str,
+}
+
+impl Stage for EdifReadStage<'_> {
+    type Input = ();
+    type Output = Netlist;
+    fn name(&self) -> &'static str {
+        "edif-read"
+    }
+    fn run(&self, (): ()) -> Result<Netlist, CompileError> {
+        Ok(from_edif(self.edif)?)
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.edif.len()
+    }
+    fn output_size(&self, netlist: &Netlist) -> usize {
+        netlist.cells().len()
+    }
+}
+
+/// Netlist → QMASM program text + standard-cell library text (the
+/// `edif2qmasm` role).
+struct QmasmGenStage<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+}
+
+impl Stage for QmasmGenStage<'_> {
+    type Input = ();
+    type Output = (String, String);
+    fn name(&self) -> &'static str {
+        "qmasm-gen"
+    }
+    fn run(&self, (): ()) -> Result<(String, String), CompileError> {
+        Ok((netlist_to_qmasm(self.netlist), stdcell_qmasm(self.library)))
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.netlist.cells().len()
+    }
+    fn output_size(&self, (qmasm, stdcell): &(String, String)) -> usize {
+        qmasm.len() + stdcell.len()
+    }
+}
+
+/// QMASM text → parsed program.
+struct QmasmParseStage<'a> {
+    qmasm: &'a str,
+    includes: &'a MapIncludes,
+}
+
+impl Stage for QmasmParseStage<'_> {
+    type Input = ();
+    type Output = Program;
+    fn name(&self) -> &'static str {
+        "qmasm-parse"
+    }
+    fn run(&self, (): ()) -> Result<Program, CompileError> {
+        Ok(parse(self.qmasm, self.includes)?)
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.qmasm.len()
+    }
+    fn output_size(&self, program: &Program) -> usize {
+        program.statements.len()
+    }
+}
+
+/// Parsed program → assembled logical Ising model.
+struct AssembleStage<'a> {
+    program: &'a Program,
+    options: AssembleOptions,
+}
+
+impl Stage for AssembleStage<'_> {
+    type Input = ();
+    type Output = Assembled;
+    fn name(&self) -> &'static str {
+        "assemble"
+    }
+    fn run(&self, (): ()) -> Result<Assembled, CompileError> {
+        Ok(assemble(self.program, &self.options)?)
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.program.statements.len()
+    }
+    fn output_size(&self, assembled: &Assembled) -> usize {
+        assembled.ising.num_terms(1e-12)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
 
 /// Compiles Verilog source to a logical Ising program.
 ///
@@ -98,9 +308,10 @@ pub fn compile(
     top: &str,
     options: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
-    let netlist = qac_verilog::compile(source, top)?;
+    let mut session = Session::new();
+    let netlist = session.run(&VerilogStage { source, top }, ())?;
     let verilog_lines = source.lines().filter(|l| !l.trim().is_empty()).count();
-    compile_netlist_with_lines(netlist, verilog_lines, options)
+    compile_netlist_in_session(session, netlist, verilog_lines, options)
 }
 
 /// Compiles an already-built netlist (skipping the Verilog frontend).
@@ -111,50 +322,67 @@ pub fn compile_netlist(
     netlist: Netlist,
     options: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
-    compile_netlist_with_lines(netlist, 0, options)
+    compile_netlist_in_session(Session::new(), netlist, 0, options)
 }
 
-fn compile_netlist_with_lines(
-    mut netlist: Netlist,
+fn compile_netlist_in_session(
+    mut session: Session,
+    netlist: Netlist,
     verilog_lines: usize,
     options: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
-    // Unroll sequential logic if requested (§4.3.3).
-    if let Some(steps) = options.unroll_steps {
-        if steps == 0 {
-            return Err(CompileError::Pipeline("unroll_steps must be at least 1".into()));
-        }
-        netlist = unroll(&netlist, steps, options.unroll_initial);
-    }
-
-    // Optimize (the ABC role).
-    if options.opt_level >= 2 {
-        opt::optimize(&mut netlist);
-    } else if options.opt_level == 1 {
-        opt::merge_buffers(&mut netlist);
-        opt::eliminate_dead(&mut netlist);
-    }
-    netlist.validate()?;
+    // Unroll sequential logic if requested (§4.3.3), then optimize (the
+    // ABC role).
+    let netlist = session.run(
+        &UnrollStage {
+            steps: options.unroll_steps,
+            initial: options.unroll_initial,
+        },
+        netlist,
+    )?;
+    let netlist = session.run(
+        &OptimizeStage {
+            opt_level: options.opt_level,
+        },
+        netlist,
+    )?;
 
     // Round-trip through EDIF text, as the original pipeline does.
-    let edif = to_edif(&netlist);
-    let netlist = from_edif(&edif)?;
+    let edif = session.run(&EdifWriteStage, netlist)?;
+    let netlist = session.run(&EdifReadStage { edif: &edif }, ())?;
 
     // EDIF → QMASM.
     let library = CellLibrary::table5();
-    let stdcell = stdcell_qmasm(&library);
-    let qmasm = netlist_to_qmasm(&netlist);
+    let (qmasm, stdcell) = session.run(
+        &QmasmGenStage {
+            netlist: &netlist,
+            library: &library,
+        },
+        (),
+    )?;
     let mut includes = MapIncludes::new();
     includes.insert("stdcell.qmasm", stdcell.clone());
 
     // QMASM → logical Ising.
-    let program = parse(&qmasm, &includes)?;
+    let program = session.run(
+        &QmasmParseStage {
+            qmasm: &qmasm,
+            includes: &includes,
+        },
+        (),
+    )?;
     let assemble_options = AssembleOptions {
         merge_chains: options.merge_chains,
         chain_strength: options.chain_strength,
         pin_weight: None,
     };
-    let assembled = assemble(&program, &assemble_options)?;
+    let assembled = session.run(
+        &AssembleStage {
+            program: &program,
+            options: assemble_options,
+        },
+        (),
+    )?;
 
     // Expected ground energy: Σ instantiated-cell ground energies, plus
     // −1 per ground/power tie (H_GND/H_VCC reach −1 when satisfied).
@@ -166,13 +394,10 @@ fn compile_netlist_with_lines(
         expected += lib_cell.ground_energy();
     }
     expected -= netlist.constants().len() as f64;
-    // Unmerged chains contribute −chain_strength per satisfied chain; with
-    // merging (the default) they contribute nothing.
-    if !options.merge_chains {
-        // One chain statement per cell pin plus aliases; recompute from the
-        // model is complex, so note the caveat: expected energy is only
-        // exact with merged chains.
-    }
+    // With merging disabled, every emitted chain coupling `J = −strength`
+    // reaches −strength when the chain is satisfied, so valid executions
+    // sit that much lower.
+    expected -= assembled.num_chain_couplings as f64 * assembled.chain_strength;
 
     let stats = PipelineStats {
         verilog_lines,
@@ -192,6 +417,7 @@ fn compile_netlist_with_lines(
         assembled,
         expected_ground_energy: expected,
         stats,
+        trace: session.finish(),
         options: options.clone(),
     })
 }
@@ -220,14 +446,58 @@ mod tests {
     }
 
     #[test]
+    fn trace_names_every_stage_in_order() {
+        let compiled = compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap();
+        let names: Vec<&str> = compiled
+            .trace
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "verilog-parse",
+                "unroll",
+                "optimize",
+                "edif-write",
+                "edif-read",
+                "qmasm-gen",
+                "qmasm-parse",
+                "assemble"
+            ]
+        );
+        // Artifact sizes are populated: source bytes in, cells out, etc.
+        let verilog = compiled.trace.get("verilog-parse").unwrap();
+        assert_eq!(verilog.input_size, MUX_ADD_SUB.len());
+        assert!(verilog.output_size > 0);
+        let edif_write = compiled.trace.get("edif-write").unwrap();
+        assert_eq!(edif_write.output_size, compiled.edif.len());
+        let assemble = compiled.trace.get("assemble").unwrap();
+        assert_eq!(assemble.output_size, compiled.stats.logical_terms);
+    }
+
+    #[test]
+    fn netlist_entry_point_skips_the_verilog_stage() {
+        let compiled = compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap();
+        let recompiled =
+            compile_netlist(compiled.netlist.clone(), &CompileOptions::default()).unwrap();
+        assert!(recompiled.trace.get("verilog-parse").is_none());
+        assert_eq!(recompiled.trace.stages()[0].name, "unroll");
+    }
+
+    #[test]
     fn ground_states_match_circuit_semantics() {
         // Every ground state of the logical model is a valid (s,a,b,c)
         // relation of the paper's Figure 2 circuit.
         let compiled = compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap();
         let model = &compiled.assembled.ising;
-        assert!(model.num_vars() <= 24, "model should be small: {}", model.num_vars());
-        let (energy, minima) =
-            ExactSolver::new().ground_states(model, 1e-6);
+        assert!(
+            model.num_vars() <= 24,
+            "model should be small: {}",
+            model.num_vars()
+        );
+        let (energy, minima) = ExactSolver::new().ground_states(model, 1e-6);
         assert!(
             (energy - compiled.expected_ground_energy).abs() < 1e-6,
             "ground {energy} vs expected {}",
@@ -240,14 +510,65 @@ mod tests {
             let a = sol.get("a").unwrap();
             let b = sol.get("b").unwrap();
             let c = sol.get("c").unwrap();
-            let expect = if s == 1 { a + b } else { a.wrapping_sub(b) & 0b11 };
+            let expect = if s == 1 {
+                a + b
+            } else {
+                a.wrapping_sub(b) & 0b11
+            };
             assert_eq!(c, expect, "s={s} a={a} b={b}");
         }
     }
 
     #[test]
+    fn unmerged_chains_reach_the_expected_ground_energy() {
+        // With merge_chains: false every `=` chain stays a ferromagnetic
+        // coupling; expected_ground_energy must account for them (it used
+        // to silently ignore them and mark every sample invalid).
+        let src = r#"
+            module tiny (a, b, c);
+              input a, b;
+              output c;
+              assign c = a & b;
+            endmodule
+        "#;
+        let options = CompileOptions {
+            merge_chains: false,
+            ..Default::default()
+        };
+        let compiled = compile(src, "tiny", &options).unwrap();
+        assert!(
+            compiled.assembled.num_chain_couplings > 0,
+            "unmerged compile should emit chain couplings"
+        );
+        let model = &compiled.assembled.ising;
+        assert!(
+            model.num_vars() <= 24,
+            "model too big for exact: {}",
+            model.num_vars()
+        );
+        let ground = ExactSolver::new().minimum_energy(model);
+        assert!(
+            (ground - compiled.expected_ground_energy).abs() < 1e-6,
+            "ground {ground} vs expected {}",
+            compiled.expected_ground_energy
+        );
+        // And the merged compile of the same source agrees once the chain
+        // contribution is removed.
+        let merged = compile(src, "tiny", &CompileOptions::default()).unwrap();
+        let chain_part =
+            compiled.assembled.num_chain_couplings as f64 * compiled.assembled.chain_strength;
+        assert!(
+            (compiled.expected_ground_energy + chain_part - merged.expected_ground_energy).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
     fn opt_level_zero_keeps_buffers() {
-        let o0 = CompileOptions { opt_level: 0, ..Default::default() };
+        let o0 = CompileOptions {
+            opt_level: 0,
+            ..Default::default()
+        };
         let compiled0 = compile(MUX_ADD_SUB, "circuit", &o0).unwrap();
         let compiled2 = compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap();
         assert!(
@@ -268,12 +589,18 @@ mod tests {
             endmodule
         "#;
         // Unrolled: pure combinational model over 2 steps.
-        let opts = CompileOptions { unroll_steps: Some(2), ..Default::default() };
+        let opts = CompileOptions {
+            unroll_steps: Some(2),
+            ..Default::default()
+        };
         let compiled = compile(counter, "count", &opts).unwrap();
         assert!(!compiled.netlist.is_sequential());
         assert!(compiled.assembled.symbols.resolve("out@0[0]").is_some());
         // Zero steps rejected.
-        let bad = CompileOptions { unroll_steps: Some(0), ..Default::default() };
+        let bad = CompileOptions {
+            unroll_steps: Some(0),
+            ..Default::default()
+        };
         assert!(matches!(
             compile(counter, "count", &bad),
             Err(CompileError::Pipeline(_))

@@ -16,7 +16,10 @@ use qac_netlist::Netlist;
 /// [`qac_qmasm::stdcell_qmasm`]).
 pub fn netlist_to_qmasm(netlist: &Netlist) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# QMASM program generated from module `{}`\n", netlist.name()));
+    out.push_str(&format!(
+        "# QMASM program generated from module `{}`\n",
+        netlist.name()
+    ));
     out.push_str("!include \"stdcell.qmasm\"\n\n");
 
     // Symbols for each net: port bits keep their names (a net aliased by
@@ -34,7 +37,10 @@ pub fn netlist_to_qmasm(netlist: &Netlist) -> String {
         }
     }
     let net_symbol = |net: usize| -> String {
-        port_syms[net].first().cloned().unwrap_or_else(|| format!("$net{net}"))
+        port_syms[net]
+            .first()
+            .cloned()
+            .unwrap_or_else(|| format!("$net{net}"))
     };
 
     // Instances.
@@ -84,8 +90,7 @@ pub fn netlist_to_qmasm(netlist: &Netlist) -> String {
 
     // Port aliases: a net carrying several port names needs the extra
     // names chained so every symbol is reportable and pinnable.
-    let aliased: Vec<&Vec<String>> =
-        port_syms.iter().filter(|syms| syms.len() > 1).collect();
+    let aliased: Vec<&Vec<String>> = port_syms.iter().filter(|syms| syms.len() > 1).collect();
     if !aliased.is_empty() {
         out.push_str("\n# Port aliases\n");
         for syms in aliased {
@@ -117,7 +122,10 @@ mod tests {
 
     fn includes() -> MapIncludes {
         let mut inc = MapIncludes::new();
-        inc.insert("stdcell.qmasm", qac_qmasm::stdcell_qmasm(&CellLibrary::table5()));
+        inc.insert(
+            "stdcell.qmasm",
+            qac_qmasm::stdcell_qmasm(&CellLibrary::table5()),
+        );
         inc
     }
 
@@ -185,6 +193,9 @@ mod tests {
         let a = b.input("a", 2);
         b.output("y", &a);
         let text = netlist_to_qmasm(&b.finish());
-        assert!(text.contains("a[0]") || text.contains("a[1]"), "expected indexed symbols");
+        assert!(
+            text.contains("a[0]") || text.contains("a[1]"),
+            "expected indexed symbols"
+        );
     }
 }

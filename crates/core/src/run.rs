@@ -1,13 +1,20 @@
 //! Executing compiled programs — forward or backward (§4.3.6, §5).
+//!
+//! A run is a three-stage pipeline executed by a [`Session`]: realize
+//! pins (`pin`), sample (`sample`, with the hardware model's internal
+//! phases recorded as `sample:*` sub-entries), and decode (`interpret`).
+//! The per-stage [`Trace`] rides on [`RunOutcome`].
 
-use qac_pbf::Spin;
+use qac_pbf::{Ising, Spin};
 use qac_qmasm::pin::parse_pins;
 use qac_qmasm::Solution;
 use qac_solvers::{
-    DWaveSim, DWaveSimOptions, ExactSolver, QbsolvStyle, Sampler, SimulatedAnnealing, Sqa,
-    TabuSearch,
+    DWaveSim, DWaveSimOptions, ExactSolver, PhaseTiming, QbsolvStyle, SampleSet, Sampler,
+    SimulatedAnnealing, Sqa, TabuSearch,
 };
 
+use crate::stage::{Session, Stage};
+use crate::trace::{StageTrace, Trace};
 use crate::{CompileError, Compiled};
 
 /// Which sampler executes the program.
@@ -90,6 +97,10 @@ impl RunOptions {
     }
 
     /// Sets the read count.
+    ///
+    /// Clamped to at least 1: a 0-read run would produce no samples at
+    /// all and make every program look UNSAT, so 0 silently behaves
+    /// as 1 (matching the samplers' own clamps).
     pub fn num_reads(mut self, num_reads: usize) -> RunOptions {
         self.num_reads = num_reads.max(1);
         self
@@ -161,6 +172,9 @@ pub struct RunOutcome {
     pub expected_energy: f64,
     /// Hardware statistics, if the D-Wave model ran.
     pub hardware: Option<HardwareStats>,
+    /// Per-stage wall time of this run (`pin`, `sample`, `sample:*`
+    /// sub-phases when the hardware model ran, `interpret`).
+    pub trace: Trace,
 }
 
 impl RunOutcome {
@@ -180,9 +194,177 @@ impl RunOutcome {
         if total == 0 {
             return 0.0;
         }
-        let valid: usize =
-            self.samples.iter().filter(|s| s.valid).map(|s| s.occurrences).sum();
+        let valid: usize = self
+            .samples
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| s.occurrences)
+            .sum();
         valid as f64 / total as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------
+
+/// Realizes compile-time and run-time pins into a runnable model.
+struct PinStage<'a> {
+    compiled: &'a Compiled,
+    extra_pins: &'a [(String, bool)],
+    style: qac_qmasm::PinStyle,
+}
+
+impl Stage for PinStage<'_> {
+    type Input = ();
+    type Output = Ising;
+    fn name(&self) -> &'static str {
+        "pin"
+    }
+    fn run(&self, (): ()) -> Result<Ising, CompileError> {
+        Ok(self
+            .compiled
+            .assembled
+            .pinned_model(self.extra_pins, self.style)?)
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.compiled.assembled.pins.len() + self.extra_pins.len()
+    }
+    fn output_size(&self, model: &Ising) -> usize {
+        model.num_terms(1e-12)
+    }
+}
+
+/// What the sample stage hands forward.
+struct Sampled {
+    set: SampleSet,
+    hardware: Option<HardwareStats>,
+    /// Internal phases of the hardware model (empty for software
+    /// samplers).
+    phases: Vec<PhaseTiming>,
+}
+
+/// Draws samples from the pinned model with the chosen solver.
+struct SampleStage<'a> {
+    solver: &'a SolverChoice,
+    seed: u64,
+    num_reads: usize,
+}
+
+impl Stage for SampleStage<'_> {
+    type Input = Ising;
+    type Output = Sampled;
+    fn name(&self) -> &'static str {
+        "sample"
+    }
+    fn run(&self, model: Ising) -> Result<Sampled, CompileError> {
+        let mut hardware = None;
+        let mut phases = Vec::new();
+        let set = match self.solver {
+            SolverChoice::Exact => ExactSolver::new().sample(&model, self.num_reads),
+            SolverChoice::Sa { sweeps } => SimulatedAnnealing::new(self.seed)
+                .with_sweeps(*sweeps)
+                .sample(&model, self.num_reads),
+            SolverChoice::Sqa { sweeps, slices } => Sqa::new(self.seed)
+                .with_sweeps(*sweeps)
+                .with_slices(*slices)
+                .sample(&model, self.num_reads),
+            SolverChoice::Tabu => TabuSearch::new(self.seed).sample(&model, self.num_reads),
+            SolverChoice::Qbsolv { subproblem } => QbsolvStyle::new(self.seed)
+                .with_subproblem_size(*subproblem)
+                .sample(&model, self.num_reads),
+            SolverChoice::DWave(sim_options) => {
+                let sim = DWaveSim::new((**sim_options).clone());
+                let result = sim.run(&model, self.num_reads)?;
+                hardware = Some(HardwareStats {
+                    physical_qubits: result.physical_qubits,
+                    physical_terms: result.physical_terms,
+                    chain_breaks: result.mean_chain_breaks,
+                    time_us: result.estimated_time_us,
+                });
+                phases = result.phases;
+                result.logical
+            }
+        };
+        Ok(Sampled {
+            set,
+            hardware,
+            phases,
+        })
+    }
+    fn input_size(&self, model: &Ising) -> usize {
+        model.num_terms(1e-12)
+    }
+    fn output_size(&self, sampled: &Sampled) -> usize {
+        sampled.set.total_reads()
+    }
+    fn retries(&self, sampled: &Sampled) -> usize {
+        sampled.phases.iter().map(|p| p.retries).sum()
+    }
+}
+
+/// Decodes raw samples into symbol-level solutions, checking pins,
+/// asserts, and the expected energy.
+struct InterpretStage<'a> {
+    compiled: &'a Compiled,
+    pin_targets: &'a [(usize, Spin, String, bool)],
+    /// Force pinned spins to their targets before decoding (Fix-style
+    /// pins leave the fixed variables inert in the model).
+    force_pins: bool,
+}
+
+impl Stage for InterpretStage<'_> {
+    type Input = SampleSet;
+    type Output = Vec<SolvedSample>;
+    fn name(&self) -> &'static str {
+        "interpret"
+    }
+    fn run(&self, set: SampleSet) -> Result<Vec<SolvedSample>, CompileError> {
+        let logical = &self.compiled.assembled.ising;
+        let mut samples = Vec::new();
+        for sample in set.iter() {
+            let mut spins = sample.spins.clone();
+            if self.force_pins {
+                for &(var, target, ..) in self.pin_targets {
+                    spins[var] = target;
+                }
+            }
+            let energy = logical.energy(&spins);
+            let pins_ok = self
+                .pin_targets
+                .iter()
+                .all(|&(var, target, ..)| spins[var] == target);
+            let asserts_ok = self
+                .compiled
+                .assembled
+                .check_asserts(&spins)
+                .iter()
+                .all(|(_, ok)| *ok);
+            let valid = pins_ok
+                && asserts_ok
+                && (energy - self.compiled.expected_ground_energy).abs() < 1e-6;
+            samples.push(SolvedSample {
+                values: self.compiled.assembled.interpret(&spins),
+                energy,
+                spins,
+                occurrences: sample.occurrences,
+                valid,
+            });
+        }
+        samples.sort_by(|a, b| {
+            b.valid.cmp(&a.valid).then(
+                a.energy
+                    .partial_cmp(&b.energy)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        Ok(samples)
+    }
+    fn input_size(&self, set: &SampleSet) -> usize {
+        set.total_reads()
+    }
+    fn output_size(&self, samples: &Vec<SolvedSample>) -> usize {
+        samples.len()
     }
 }
 
@@ -196,6 +378,7 @@ impl Compiled {
     /// symbols; [`CompileError::Embed`] if the hardware model cannot embed
     /// the program.
     pub fn run(&self, options: &RunOptions) -> Result<RunOutcome, CompileError> {
+        let mut session = Session::new();
         let pin_specs: Vec<&str> = options.pins.iter().map(String::as_str).collect();
         let extra_pins = parse_pins(pin_specs)?;
 
@@ -209,46 +392,41 @@ impl Compiled {
             Some(w) => qac_qmasm::PinStyle::Bias(w),
             None => qac_qmasm::PinStyle::Fix,
         };
-        let model = self.assembled.pinned_model(&extra_pins, style)?;
+        let model = session.run(
+            &PinStage {
+                compiled: self,
+                extra_pins: &extra_pins,
+                style,
+            },
+            (),
+        )?;
 
-        // Sample.
-        let mut hardware = None;
-        let sample_set = match &options.solver {
-            SolverChoice::Exact => ExactSolver::new().sample(&model, options.num_reads),
-            SolverChoice::Sa { sweeps } => SimulatedAnnealing::new(options.seed)
-                .with_sweeps(*sweeps)
-                .sample(&model, options.num_reads),
-            SolverChoice::Sqa { sweeps, slices } => Sqa::new(options.seed)
-                .with_sweeps(*sweeps)
-                .with_slices(*slices)
-                .sample(&model, options.num_reads),
-            SolverChoice::Tabu => {
-                TabuSearch::new(options.seed).sample(&model, options.num_reads)
-            }
-            SolverChoice::Qbsolv { subproblem } => QbsolvStyle::new(options.seed)
-                .with_subproblem_size(*subproblem)
-                .sample(&model, options.num_reads),
-            SolverChoice::DWave(sim_options) => {
-                let sim = DWaveSim::new((**sim_options).clone());
-                let result = sim.run(&model, options.num_reads)?;
-                hardware = Some(HardwareStats {
-                    physical_qubits: result.physical_qubits,
-                    physical_terms: result.physical_terms,
-                    chain_breaks: result.mean_chain_breaks,
-                    time_us: result.estimated_time_us,
-                });
-                result.logical
-            }
-        };
+        // Sample, surfacing the hardware model's internal phases as
+        // sample:* sub-entries of the trace.
+        let sampled = session.run(
+            &SampleStage {
+                solver: &options.solver,
+                seed: options.seed,
+                num_reads: options.num_reads,
+            },
+            model,
+        )?;
+        for phase in &sampled.phases {
+            session.record(StageTrace {
+                name: format!("sample:{}", phase.name),
+                duration: phase.duration,
+                input_size: 0,
+                output_size: 0,
+                retries: phase.retries,
+            });
+        }
 
         // Pin targets in spin form, for forcing (Fix style) and checking.
         let mut pin_targets: Vec<(usize, Spin, String, bool)> = Vec::new();
         for (name, value) in self.assembled.pins.iter().chain(extra_pins.iter()) {
-            let (var, parity) = self
-                .assembled
-                .symbols
-                .resolve(name)
-                .ok_or_else(|| CompileError::Qmasm(qac_qmasm::QmasmError::UnknownSymbol(name.clone())))?;
+            let (var, parity) = self.assembled.symbols.resolve(name).ok_or_else(|| {
+                CompileError::Qmasm(qac_qmasm::QmasmError::UnknownSymbol(name.clone()))
+            })?;
             let target = match parity {
                 Spin::Up => Spin::from(*value),
                 Spin::Down => Spin::from(!*value),
@@ -257,39 +435,21 @@ impl Compiled {
         }
 
         // Decode.
-        let logical = &self.assembled.ising;
-        let mut samples = Vec::new();
-        for sample in sample_set.iter() {
-            let mut spins = sample.spins.clone();
-            if bias_weight.is_none() {
-                // Fixed variables are inert in the model; force their
-                // sampled values to the pinned targets before decoding.
-                for &(var, target, ..) in &pin_targets {
-                    spins[var] = target;
-                }
-            }
-            let energy = logical.energy(&spins);
-            let pins_ok = pin_targets.iter().all(|&(var, target, ..)| spins[var] == target);
-            let asserts_ok =
-                self.assembled.check_asserts(&spins).iter().all(|(_, ok)| *ok);
-            let valid = pins_ok
-                && asserts_ok
-                && (energy - self.expected_ground_energy).abs() < 1e-6;
-            samples.push(SolvedSample {
-                values: self.assembled.interpret(&spins),
-                energy,
-                spins,
-                occurrences: sample.occurrences,
-                valid,
-            });
-        }
-        samples.sort_by(|a, b| {
-            b.valid
-                .cmp(&a.valid)
-                .then(a.energy.partial_cmp(&b.energy).unwrap_or(std::cmp::Ordering::Equal))
-        });
+        let samples = session.run(
+            &InterpretStage {
+                compiled: self,
+                pin_targets: &pin_targets,
+                force_pins: bias_weight.is_none(),
+            },
+            sampled.set,
+        )?;
 
-        Ok(RunOutcome { samples, expected_energy: self.expected_ground_energy, hardware })
+        Ok(RunOutcome {
+            samples,
+            expected_energy: self.expected_ground_energy,
+            hardware: sampled.hardware,
+            trace: session.finish(),
+        })
     }
 }
 
@@ -327,7 +487,11 @@ mod tests {
                     let best = outcome.best().unwrap();
                     assert!(best.valid, "s={s} a={a} b={b}: {best:?}");
                     let c = best.values.get("c").unwrap();
-                    let expect = if s == 1 { a + b } else { a.wrapping_sub(b) & 0b11 };
+                    let expect = if s == 1 {
+                        a + b
+                    } else {
+                        a.wrapping_sub(b) & 0b11
+                    };
                     assert_eq!(c, expect, "s={s} a={a} b={b}");
                 }
             }
@@ -347,6 +511,85 @@ mod tests {
         assert!(best.valid);
         assert_eq!(best.values.get("a"), Some(1));
         assert_eq!(best.values.get("b"), Some(1));
+    }
+
+    #[test]
+    fn run_trace_covers_pin_sample_interpret() {
+        let program = compiled();
+        let run = RunOptions::new().pin("s := 1").solver(SolverChoice::Exact);
+        let outcome = program.run(&run).unwrap();
+        let names: Vec<&str> = outcome
+            .trace
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, ["pin", "sample", "interpret"]);
+        let sample = outcome.trace.get("sample").unwrap();
+        assert!(sample.output_size > 0, "reads recorded");
+        let interpret = outcome.trace.get("interpret").unwrap();
+        assert_eq!(interpret.input_size, sample.output_size);
+        assert_eq!(interpret.output_size, outcome.samples.len());
+    }
+
+    #[test]
+    fn dwave_run_records_sampler_phases() {
+        use qac_solvers::DWaveSimOptions;
+        let program = compiled();
+        let sim = DWaveSimOptions {
+            chimera_size: 4,
+            anneal_sweeps: 40,
+            ..Default::default()
+        };
+        let run = RunOptions::new()
+            .pin("s := 1")
+            .pin("a := 1")
+            .pin("b := 0")
+            .solver(SolverChoice::DWave(Box::new(sim)))
+            .num_reads(20);
+        let outcome = program.run(&run).unwrap();
+        assert!(outcome.hardware.is_some());
+        let names: Vec<&str> = outcome
+            .trace
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "pin",
+                "sample",
+                "sample:scale",
+                "sample:embed",
+                "sample:distort",
+                "sample:anneal",
+                "sample:unembed",
+                "interpret"
+            ]
+        );
+        // Embedding restarts surface both on the sub-phase and the
+        // aggregate sample entry.
+        let embed = outcome.trace.get("sample:embed").unwrap();
+        assert!(embed.retries >= 1);
+        assert_eq!(outcome.trace.get("sample").unwrap().retries, embed.retries);
+    }
+
+    #[test]
+    fn zero_reads_clamp_to_one() {
+        // num_reads(0) behaves exactly like num_reads(1): one read, one
+        // sample — never an empty (spuriously UNSAT) outcome.
+        let program = compiled();
+        let run = RunOptions::new()
+            .pin("s := 1")
+            .pin("a := 1")
+            .pin("b := 1")
+            .solver(SolverChoice::Sa { sweeps: 50 })
+            .num_reads(0);
+        let outcome = program.run(&run).unwrap();
+        let total: usize = outcome.samples.iter().map(|s| s.occurrences).sum();
+        assert_eq!(total, 1);
+        assert_eq!(outcome.trace.get("sample").unwrap().output_size, 1);
     }
 
     #[test]
@@ -413,7 +656,9 @@ mod tests {
     #[test]
     fn unknown_pin_symbol_is_an_error() {
         let program = compiled();
-        let run = RunOptions::new().pin("ghost := 1").solver(SolverChoice::Exact);
+        let run = RunOptions::new()
+            .pin("ghost := 1")
+            .solver(SolverChoice::Exact);
         assert!(program.run(&run).is_err());
     }
 }

@@ -1,0 +1,155 @@
+//! Per-stage instrumentation of the compile and run pipelines.
+//!
+//! Every stage a [`crate::Session`] executes leaves a [`StageTrace`]
+//! behind: what ran, how long it took, how big its input and output
+//! artifacts were, and how often it had to retry. The collected
+//! [`Trace`] rides on [`crate::Compiled`] and [`crate::RunOutcome`], so
+//! experiments can report where compilation and execution time goes
+//! without re-running anything.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The record one stage leaves behind.
+///
+/// Artifact sizes are in stage-specific units — bytes for text stages,
+/// cells for netlist stages, statements for the QMASM parser, nonzero
+/// terms for models, reads for sample sets. The point is comparing a
+/// stage against itself across runs, not stages against each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTrace {
+    /// Stage name (e.g. `"edif-write"`; `"sample:embed"` for sampler
+    /// sub-phases).
+    pub name: String,
+    /// Wall-clock time the stage spent.
+    pub duration: Duration,
+    /// Size of the input artifact, in the stage's own units.
+    pub input_size: usize,
+    /// Size of the output artifact, in the stage's own units.
+    pub output_size: usize,
+    /// Internal retries/restarts the stage needed (embedding restarts;
+    /// 0 for deterministic stages).
+    pub retries: usize,
+}
+
+/// An ordered collection of [`StageTrace`]s — the execution history of
+/// one compile or run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    stages: Vec<StageTrace>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a stage record.
+    pub fn record(&mut self, stage: StageTrace) {
+        self.stages.push(stage);
+    }
+
+    /// The recorded stages, in execution order.
+    pub fn stages(&self) -> &[StageTrace] {
+        &self.stages
+    }
+
+    /// The first stage with the given name, if it ran.
+    pub fn get(&self, name: &str) -> Option<&StageTrace> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Total wall-clock across all recorded stages.
+    pub fn total_duration(&self) -> Duration {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
+
+    /// Number of recorded stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Renders an aligned table: stage, time, sizes, retries.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name_width = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        writeln!(
+            f,
+            "{:<name_width$}  {:>10}  {:>9}  {:>9}  {:>7}",
+            "stage", "time", "in", "out", "retries"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<name_width$}  {:>8.1}µs  {:>9}  {:>9}  {:>7}",
+                s.name,
+                s.duration.as_secs_f64() * 1e6,
+                s.input_size,
+                s.output_size,
+                s.retries
+            )?;
+        }
+        write!(
+            f,
+            "{:<name_width$}  {:>8.1}µs",
+            "total",
+            self.total_duration().as_secs_f64() * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, us: u64) -> StageTrace {
+        StageTrace {
+            name: name.to_string(),
+            duration: Duration::from_micros(us),
+            input_size: 10,
+            output_size: 20,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_sums_time() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.record(stage("unroll", 5));
+        trace.record(stage("optimize", 7));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.stages()[0].name, "unroll");
+        assert_eq!(
+            trace.get("optimize").unwrap().duration,
+            Duration::from_micros(7)
+        );
+        assert!(trace.get("missing").is_none());
+        assert_eq!(trace.total_duration(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn display_is_a_table_with_all_stages() {
+        let mut trace = Trace::new();
+        trace.record(stage("edif-write", 3));
+        trace.record(stage("assemble", 4));
+        let text = trace.to_string();
+        assert!(text.contains("edif-write"));
+        assert!(text.contains("assemble"));
+        assert!(text.lines().count() >= 4, "header + 2 stages + total");
+        assert!(text.lines().last().unwrap().starts_with("total"));
+    }
+}

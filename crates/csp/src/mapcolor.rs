@@ -35,8 +35,12 @@ pub fn map_coloring(regions: &[&str], adjacency: &[(&str, &str)], num_colors: us
         model.add_var_range(r, 1, num_colors as i64);
     }
     for &(a, b) in adjacency {
-        let va = model.var_by_name(a).unwrap_or_else(|| panic!("unknown region `{a}`"));
-        let vb = model.var_by_name(b).unwrap_or_else(|| panic!("unknown region `{b}`"));
+        let va = model
+            .var_by_name(a)
+            .unwrap_or_else(|| panic!("unknown region `{a}`"));
+        let vb = model
+            .var_by_name(b)
+            .unwrap_or_else(|| panic!("unknown region `{b}`"));
         model.add_constraint(Constraint::NotEqual(va, vb));
     }
     model

@@ -71,7 +71,10 @@ impl Model {
     pub fn add_var(&mut self, name: impl Into<String>, domain: Vec<i64>) -> VarId {
         let name = name.into();
         assert!(!domain.is_empty(), "domain of `{name}` is empty");
-        assert!(!self.by_name.contains_key(&name), "duplicate variable `{name}`");
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate variable `{name}`"
+        );
         let id = self.names.len();
         self.by_name.insert(name.clone(), id);
         self.names.push(name);
@@ -95,7 +98,10 @@ impl Model {
     /// Panics if a referenced variable does not exist.
     pub fn add_constraint(&mut self, constraint: Constraint) {
         for v in constraint.vars() {
-            assert!(v < self.names.len(), "constraint references unknown variable {v}");
+            assert!(
+                v < self.names.len(),
+                "constraint references unknown variable {v}"
+            );
         }
         self.constraints.push(constraint);
     }
@@ -161,11 +167,13 @@ impl Model {
                 }
                 Constraint::AllDifferent(vs) => {
                     let names: Vec<&str> = vs.iter().map(|&v| self.names[v].as_str()).collect();
-                    out.push_str(&format!("constraint alldifferent([{}]);\n", names.join(",")));
+                    out.push_str(&format!(
+                        "constraint alldifferent([{}]);\n",
+                        names.join(",")
+                    ));
                 }
                 Constraint::Table { vars, .. } => {
-                    let names: Vec<&str> =
-                        vars.iter().map(|&v| self.names[v].as_str()).collect();
+                    let names: Vec<&str> = vars.iter().map(|&v| self.names[v].as_str()).collect();
                     out.push_str(&format!("% table constraint over [{}]\n", names.join(",")));
                 }
             }
@@ -200,7 +208,10 @@ mod tests {
 
     #[test]
     fn table_constraint() {
-        let c = Constraint::Table { vars: vec![0, 1], allowed: vec![vec![1, 2], vec![2, 1]] };
+        let c = Constraint::Table {
+            vars: vec![0, 1],
+            allowed: vec![vec![1, 2], vec![2, 1]],
+        };
         assert!(c.satisfied(&[1, 2]));
         assert!(!c.satisfied(&[1, 1]));
     }

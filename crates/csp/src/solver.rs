@@ -108,13 +108,14 @@ impl<'a> Solutions<'a> {
             match constraint {
                 Constraint::NotEqual(a, b) => {
                     let (x, y) = (*a, *b);
-                    let (assigned, other) = if self.assignment[x].is_some() && self.assignment[y].is_none() {
-                        (x, y)
-                    } else if self.assignment[y].is_some() && self.assignment[x].is_none() {
-                        (y, x)
-                    } else {
-                        continue;
-                    };
+                    let (assigned, other) =
+                        if self.assignment[x].is_some() && self.assignment[y].is_none() {
+                            (x, y)
+                        } else if self.assignment[y].is_some() && self.assignment[x].is_none() {
+                            (y, x)
+                        } else {
+                            continue;
+                        };
                     let val = self.assignment[assigned].unwrap();
                     self.domains[other].retain(|&v| v != val);
                     if self.domains[other].is_empty() {
@@ -123,13 +124,14 @@ impl<'a> Solutions<'a> {
                 }
                 Constraint::Equal(a, b) => {
                     let (x, y) = (*a, *b);
-                    let (assigned, other) = if self.assignment[x].is_some() && self.assignment[y].is_none() {
-                        (x, y)
-                    } else if self.assignment[y].is_some() && self.assignment[x].is_none() {
-                        (y, x)
-                    } else {
-                        continue;
-                    };
+                    let (assigned, other) =
+                        if self.assignment[x].is_some() && self.assignment[y].is_none() {
+                            (x, y)
+                        } else if self.assignment[y].is_some() && self.assignment[x].is_none() {
+                            (y, x)
+                        } else {
+                            continue;
+                        };
                     let val = self.assignment[assigned].unwrap();
                     self.domains[other].retain(|&v| v == val);
                     if self.domains[other].is_empty() {
@@ -210,14 +212,22 @@ impl<'a> Solutions<'a> {
                 Some(f) => self.assignment[f.var].is_some(),
             };
             if need_new_frame {
-                let Some(var) = self.pick_var() else { return false };
+                let Some(var) = self.pick_var() else {
+                    return false;
+                };
                 let remaining = self.domains[var].clone();
                 let saved = self.domains.clone();
-                self.stack.push(Frame { var, remaining, saved_domains: saved });
+                self.stack.push(Frame {
+                    var,
+                    remaining,
+                    saved_domains: saved,
+                });
             }
             // Try values in the top frame.
             loop {
-                let Some(frame) = self.stack.last_mut() else { return false };
+                let Some(frame) = self.stack.last_mut() else {
+                    return false;
+                };
                 let var = frame.var;
                 match frame.remaining.pop() {
                     Some(value) => {
@@ -272,8 +282,11 @@ impl<'a> Iterator for Solutions<'a> {
             self.domains = top.saved_domains.clone();
         }
         if self.advance() {
-            let solution: Vec<i64> =
-                self.assignment.iter().map(|a| a.expect("complete")).collect();
+            let solution: Vec<i64> = self
+                .assignment
+                .iter()
+                .map(|a| a.expect("complete"))
+                .collect();
             debug_assert!(self.model.check(&solution));
             Some(solution)
         } else {
@@ -330,12 +343,16 @@ mod tests {
     fn all_different_pigeonhole() {
         // 4 pigeons, 3 holes: unsatisfiable.
         let mut m = Model::new();
-        let vars: Vec<_> = (0..4).map(|i| m.add_var_range(format!("p{i}"), 1, 3)).collect();
+        let vars: Vec<_> = (0..4)
+            .map(|i| m.add_var_range(format!("p{i}"), 1, 3))
+            .collect();
         m.add_constraint(Constraint::AllDifferent(vars));
         assert_eq!(m.solve(), None);
         // 3 pigeons, 3 holes: 3! solutions.
         let mut m2 = Model::new();
-        let vars2: Vec<_> = (0..3).map(|i| m2.add_var_range(format!("p{i}"), 1, 3)).collect();
+        let vars2: Vec<_> = (0..3)
+            .map(|i| m2.add_var_range(format!("p{i}"), 1, 3))
+            .collect();
         m2.add_constraint(Constraint::AllDifferent(vars2));
         assert_eq!(m2.count_solutions(100), 6);
     }

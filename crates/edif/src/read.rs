@@ -77,15 +77,15 @@ struct PortRef {
 }
 
 fn parse_port_ref(s: &Sexp) -> Result<PortRef, EdifError> {
-    let items = s.as_list().ok_or_else(|| structure("portRef is not a list"))?;
+    let items = s
+        .as_list()
+        .ok_or_else(|| structure("portRef is not a list"))?;
     if items.first().and_then(Sexp::as_atom) != Some("portRef") {
         return Err(structure("expected portRef"));
     }
     let (port, member) = match &items[1] {
         Sexp::Atom(a) => (a.clone(), None),
-        Sexp::List(inner)
-            if inner.len() == 3 && inner[0].as_atom() == Some("member") =>
-        {
+        Sexp::List(inner) if inner.len() == 3 && inner[0].as_atom() == Some("member") => {
             let name = inner[1]
                 .as_atom()
                 .ok_or_else(|| structure("member without name"))?
@@ -107,7 +107,11 @@ fn parse_port_ref(s: &Sexp) -> Result<PortRef, EdifError> {
                 .ok_or_else(|| structure("instanceRef without name"))
         })
         .transpose()?;
-    Ok(PortRef { port, member, instance })
+    Ok(PortRef {
+        port,
+        member,
+        instance,
+    })
 }
 
 /// Parses EDIF text into a [`Netlist`].
@@ -132,10 +136,15 @@ pub fn from_edif(text: &str) -> Result<Netlist, EdifError> {
         .ok_or_else(|| structure("library has no cell"))?;
     let cell_items = cell.as_list().unwrap();
     let (_, design_name) = resolve_name(&cell_items[1])?;
-    let view = cell.child("view").ok_or_else(|| structure("cell has no view"))?;
-    let interface =
-        view.child("interface").ok_or_else(|| structure("view has no interface"))?;
-    let contents = view.child("contents").ok_or_else(|| structure("view has no contents"))?;
+    let view = cell
+        .child("view")
+        .ok_or_else(|| structure("cell has no view"))?;
+    let interface = view
+        .child("interface")
+        .ok_or_else(|| structure("view has no interface"))?;
+    let contents = view
+        .child("contents")
+        .ok_or_else(|| structure("view has no contents"))?;
 
     let mut netlist = Netlist::new(design_name);
 
@@ -277,16 +286,17 @@ pub fn from_edif(text: &str) -> Result<Netlist, EdifError> {
                     .input_names()
                     .iter()
                     .map(|pin| {
-                        pin_nets.get(&(inst.clone(), pin.to_string())).copied().ok_or_else(
-                            || structure(format!("instance `{inst}` pin `{pin}` unconnected")),
-                        )
+                        pin_nets
+                            .get(&(inst.clone(), pin.to_string()))
+                            .copied()
+                            .ok_or_else(|| {
+                                structure(format!("instance `{inst}` pin `{pin}` unconnected"))
+                            })
                     })
                     .collect();
                 let output = *pin_nets
                     .get(&(inst.clone(), kind.output_name().to_string()))
-                    .ok_or_else(|| {
-                        structure(format!("instance `{inst}` output unconnected"))
-                    })?;
+                    .ok_or_else(|| structure(format!("instance `{inst}` output unconnected")))?;
                 netlist.add_cell(kind, inputs?, output);
             }
         }
@@ -302,7 +312,9 @@ pub fn from_edif(text: &str) -> Result<Netlist, EdifError> {
         debug_assert_eq!(p.width, p.bits.len());
     }
 
-    netlist.validate().map_err(|e| EdifError::Malformed(e.to_string()))?;
+    netlist
+        .validate()
+        .map_err(|e| EdifError::Malformed(e.to_string()))?;
     Ok(netlist)
 }
 

@@ -50,9 +50,7 @@ impl Sexp {
     /// Finds the first child list with the given head, e.g.
     /// `(interface …)` inside a `(view …)`.
     pub fn child(&self, head: &str) -> Option<&Sexp> {
-        self.as_list()?
-            .iter()
-            .find(|s| s.head() == Some(head))
+        self.as_list()?.iter().find(|s| s.head() == Some(head))
     }
 
     /// Iterates over all child lists with the given head.
@@ -80,7 +78,10 @@ fn is_simple(s: &Sexp) -> bool {
     match s {
         Sexp::Atom(_) | Sexp::Str(_) => true,
         Sexp::List(items) => {
-            items.len() <= 4 && items.iter().all(|i| matches!(i, Sexp::Atom(_) | Sexp::Str(_)))
+            items.len() <= 4
+                && items
+                    .iter()
+                    .all(|i| matches!(i, Sexp::Atom(_) | Sexp::Str(_)))
         }
     }
 }
@@ -146,7 +147,11 @@ pub struct SexpError {
 
 impl fmt::Display for SexpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "s-expression error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "s-expression error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -163,7 +168,10 @@ pub fn parse(input: &str) -> Result<Sexp, SexpError> {
     let sexp = parse_at(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(SexpError { position: pos, message: "trailing input".into() });
+        return Err(SexpError {
+            position: pos,
+            message: "trailing input".into(),
+        });
     }
     Ok(sexp)
 }
@@ -187,7 +195,10 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
 fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Sexp, SexpError> {
     skip_ws(bytes, pos);
     if *pos >= bytes.len() {
-        return Err(SexpError { position: *pos, message: "unexpected end of input".into() });
+        return Err(SexpError {
+            position: *pos,
+            message: "unexpected end of input".into(),
+        });
     }
     match bytes[*pos] {
         b'(' => {
@@ -196,7 +207,10 @@ fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Sexp, SexpError> {
             loop {
                 skip_ws(bytes, pos);
                 if *pos >= bytes.len() {
-                    return Err(SexpError { position: *pos, message: "unclosed list".into() });
+                    return Err(SexpError {
+                        position: *pos,
+                        message: "unclosed list".into(),
+                    });
                 }
                 if bytes[*pos] == b')' {
                     *pos += 1;
@@ -205,7 +219,10 @@ fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Sexp, SexpError> {
                 items.push(parse_at(bytes, pos)?);
             }
         }
-        b')' => Err(SexpError { position: *pos, message: "unexpected `)`".into() }),
+        b')' => Err(SexpError {
+            position: *pos,
+            message: "unexpected `)`".into(),
+        }),
         b'"' => {
             *pos += 1;
             let mut s = String::new();
@@ -225,7 +242,10 @@ fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Sexp, SexpError> {
                     }
                 }
             }
-            Err(SexpError { position: *pos, message: "unterminated string".into() })
+            Err(SexpError {
+                position: *pos,
+                message: "unterminated string".into(),
+            })
         }
         _ => {
             let start = *pos;
@@ -236,8 +256,10 @@ fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Sexp, SexpError> {
                 }
                 *pos += 1;
             }
-            let text = std::str::from_utf8(&bytes[start..*pos])
-                .map_err(|_| SexpError { position: start, message: "invalid UTF-8".into() })?;
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| SexpError {
+                position: start,
+                message: "invalid UTF-8".into(),
+            })?;
             Ok(Sexp::Atom(text.to_string()))
         }
     }

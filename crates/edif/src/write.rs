@@ -25,7 +25,11 @@ struct Writer<'a> {
 
 impl<'a> Writer<'a> {
     fn new(netlist: &'a Netlist) -> Writer<'a> {
-        Writer { netlist, renames: HashMap::new(), used: HashMap::new() }
+        Writer {
+            netlist,
+            renames: HashMap::new(),
+            used: HashMap::new(),
+        }
     }
 
     /// EDIF identifiers: letter first, then alphanumerics/underscore.
@@ -35,7 +39,13 @@ impl<'a> Writer<'a> {
         }
         let mut safe: String = name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         if safe.is_empty() || !safe.chars().next().unwrap().is_ascii_alphabetic() {
             safe.insert_str(0, "id_");
@@ -56,12 +66,16 @@ impl<'a> Writer<'a> {
         if safe == name {
             Sexp::atom(safe)
         } else {
-            Sexp::list(vec![Sexp::atom("rename"), Sexp::atom(safe), Sexp::Str(name.to_string())])
+            Sexp::list(vec![
+                Sexp::atom("rename"),
+                Sexp::atom(safe),
+                Sexp::Str(name.to_string()),
+            ])
         }
     }
 
     fn build(mut self) -> Sexp {
-        let design_name = self.sanitize(&self.netlist.name().to_string());
+        let design_name = self.sanitize(self.netlist.name());
 
         let mut top = vec![
             Sexp::atom("edif"),
@@ -186,7 +200,11 @@ impl<'a> Writer<'a> {
         for (idx, &(_, value)) in self.netlist.constants().iter().enumerate() {
             let kind = if value { "VCC" } else { "GND" };
             let inst = self.name_ref(&format!("const${idx}"));
-            contents.push(Sexp::list(vec![Sexp::atom("instance"), inst, view_ref(kind)]));
+            contents.push(Sexp::list(vec![
+                Sexp::atom("instance"),
+                inst,
+                view_ref(kind),
+            ]));
         }
 
         // Group endpoints per net.
@@ -200,20 +218,32 @@ impl<'a> Writer<'a> {
                     None,
                 ));
             }
-            endpoints
-                .entry(cell.output)
-                .or_default()
-                .push(port_ref(cell.kind.output_name(), Some(&inst), None));
+            endpoints.entry(cell.output).or_default().push(port_ref(
+                cell.kind.output_name(),
+                Some(&inst),
+                None,
+            ));
         }
         for (idx, &(net, _)) in self.netlist.constants().iter().enumerate() {
             let inst = self.sanitize(&format!("const${idx}"));
-            endpoints.entry(net).or_default().push(port_ref("Y", Some(&inst), None));
+            endpoints
+                .entry(net)
+                .or_default()
+                .push(port_ref("Y", Some(&inst), None));
         }
-        for port in self.netlist.input_ports().iter().chain(self.netlist.output_ports()) {
+        for port in self
+            .netlist
+            .input_ports()
+            .iter()
+            .chain(self.netlist.output_ports())
+        {
             let safe = self.sanitize(&port.name.clone());
             for (i, &net) in port.bits.iter().enumerate() {
                 let member = if port.width() == 1 { None } else { Some(i) };
-                endpoints.entry(net).or_default().push(port_ref(&safe, None, member));
+                endpoints
+                    .entry(net)
+                    .or_default()
+                    .push(port_ref(&safe, None, member));
             }
         }
 
@@ -224,12 +254,16 @@ impl<'a> Writer<'a> {
             // emitted so the reader can reconnect every instance pin.
             let eps = &endpoints[&net];
             let label = match self.netlist.net_name(net) {
-                Some(n) => self.name_ref(&n.to_string()),
+                Some(n) => self.name_ref(n),
                 None => Sexp::atom(format!("net_{net}")),
             };
             let mut joined = vec![Sexp::atom("joined")];
             joined.extend(eps.iter().cloned());
-            contents.push(Sexp::list(vec![Sexp::atom("net"), label, Sexp::list(joined)]));
+            contents.push(Sexp::list(vec![
+                Sexp::atom("net"),
+                label,
+                Sexp::list(joined),
+            ]));
         }
 
         let view = Sexp::list(vec![

@@ -50,7 +50,13 @@ impl CellHamiltonian {
             pins.len() + num_ancillas,
             "model size must equal pins + ancillas"
         );
-        CellHamiltonian { name: name.into(), pins, num_ancillas, ising, ground_energy }
+        CellHamiltonian {
+            name: name.into(),
+            pins,
+            num_ancillas,
+            ising,
+            ground_energy,
+        }
     }
 
     /// The cell's name (e.g. `"AND"`).
@@ -115,7 +121,13 @@ impl CellHamiltonian {
         let ground_rows: Vec<u64> = energies
             .iter()
             .enumerate()
-            .filter_map(|(r, &e)| if (e - k).abs() < eps { Some(r as u64) } else { None })
+            .filter_map(|(r, &e)| {
+                if (e - k).abs() < eps {
+                    Some(r as u64)
+                } else {
+                    None
+                }
+            })
             .collect();
         let matches = ground_rows == truth.valid_rows();
         let gap = energies
@@ -124,7 +136,12 @@ impl CellHamiltonian {
             .filter(|(r, _)| !truth.is_valid(*r as u64))
             .map(|(_, &e)| e - k)
             .fold(f64::INFINITY, f64::min);
-        VerifyReport { matches, k, gap, ground_rows }
+        VerifyReport {
+            matches,
+            k,
+            gap,
+            ground_rows,
+        }
     }
 
     /// Builds a larger cell by composition (paper §4.3.5): the sum of
@@ -149,7 +166,12 @@ impl CellHamiltonian {
         let mut ising = Ising::new(num_vars);
         let mut ground = 0.0;
         for (cell, map) in components {
-            assert_eq!(map.len(), cell.num_vars(), "mapping arity mismatch for {}", cell.name);
+            assert_eq!(
+                map.len(),
+                cell.num_vars(),
+                "mapping arity mismatch for {}",
+                cell.name
+            );
             for &g in map {
                 assert!(g < num_vars, "mapped variable {g} out of range");
             }
@@ -169,7 +191,13 @@ impl CellHamiltonian {
             ground += cell.ground_energy;
         }
         let num_ancillas = num_vars - pins.len();
-        CellHamiltonian { name: name.into(), pins, num_ancillas, ising, ground_energy: ground }
+        CellHamiltonian {
+            name: name.into(),
+            pins,
+            num_ancillas,
+            ising,
+            ground_energy: ground,
+        }
     }
 }
 

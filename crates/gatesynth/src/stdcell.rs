@@ -154,7 +154,12 @@ const TABLE5: &[Published] = &[
         ancillas: 1,
         // H = −⅓B + ⅓C + ⅔Y − ⅔a + ⅓AB + ⅓AC + ⅓AY + ⅓Aa − ⅓BY + Ba
         //     + CY − ⅓Ca − Ya
-        linear: &[(2, -1.0 / 3.0), (3, 1.0 / 3.0), (0, 2.0 / 3.0), (4, -2.0 / 3.0)],
+        linear: &[
+            (2, -1.0 / 3.0),
+            (3, 1.0 / 3.0),
+            (0, 2.0 / 3.0),
+            (4, -2.0 / 3.0),
+        ],
         quadratic: &[
             (1, 2, 1.0 / 3.0),
             (1, 3, 1.0 / 3.0),
@@ -329,7 +334,9 @@ impl CellLibrary {
     /// Panics if any cell cannot be realized at all (which would indicate a
     /// bug in the synthesizer, not bad input).
     pub fn table5() -> CellLibrary {
-        let mut lib = CellLibrary { cells: BTreeMap::new() };
+        let mut lib = CellLibrary {
+            cells: BTreeMap::new(),
+        };
 
         // BUF first: used by fallbacks and by netlists.
         let buf_truth = truth_for("BUF");
@@ -345,7 +352,11 @@ impl CellLibrary {
         debug_assert!(buf.verify(&buf_truth).matches);
         lib.cells.insert(
             "BUF".to_string(),
-            LibraryEntry { cell: buf, source: CellSource::Published, truth: buf_truth },
+            LibraryEntry {
+                cell: buf,
+                source: CellSource::Published,
+                truth: buf_truth,
+            },
         );
 
         for p in TABLE5 {
@@ -361,10 +372,18 @@ impl CellLibrary {
                     published.ising().clone(),
                     report.k,
                 );
-                LibraryEntry { cell, source: CellSource::Published, truth }
+                LibraryEntry {
+                    cell,
+                    source: CellSource::Published,
+                    truth,
+                }
             } else {
                 let (cell, source) = lib.fallback(p.name, &truth, p.ancillas);
-                LibraryEntry { cell, source, truth }
+                LibraryEntry {
+                    cell,
+                    source,
+                    truth,
+                }
             };
             lib.cells.insert(p.name.to_string(), entry);
         }
@@ -372,7 +391,12 @@ impl CellLibrary {
     }
 
     /// Builds a replacement for a published cell that failed verification.
-    fn fallback(&self, name: &str, truth: &TruthTable, ancillas: usize) -> (CellHamiltonian, CellSource) {
+    fn fallback(
+        &self,
+        name: &str,
+        truth: &TruthTable,
+        ancillas: usize,
+    ) -> (CellHamiltonian, CellSource) {
         // Compositional recipes over already-inserted cells (§4.3.5).
         let get = |n: &str| &self.cells[n].cell;
         let composed: Option<CellHamiltonian> = match name {
@@ -486,7 +510,9 @@ mod tests {
     #[test]
     fn simple_cells_are_published() {
         let lib = CellLibrary::table5();
-        for name in ["NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR", "DFF_P", "DFF_N"] {
+        for name in [
+            "NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR", "DFF_P", "DFF_N",
+        ] {
             assert_eq!(
                 lib.source(name),
                 Some(CellSource::Published),

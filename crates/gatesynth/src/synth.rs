@@ -67,7 +67,10 @@ pub enum SynthError {
 impl std::fmt::Display for SynthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SynthError::Unrealizable { num_ancillas, tried } => write!(
+            SynthError::Unrealizable {
+                num_ancillas,
+                tried,
+            } => write!(
                 f,
                 "no quadratic pseudo-Boolean function found with {num_ancillas} ancillas \
                  ({tried} augmentations examined)"
@@ -99,7 +102,11 @@ pub fn synthesize(
     num_ancillas: usize,
     opts: &SynthOptions,
 ) -> Result<CellHamiltonian, SynthError> {
-    assert_eq!(pins.len(), truth.num_pins(), "pin name count must match truth table");
+    assert_eq!(
+        pins.len(),
+        truth.num_pins(),
+        "pin name count must match truth table"
+    );
     let p = truth.num_pins();
     let a = num_ancillas;
     if p + a > 16 {
@@ -115,7 +122,7 @@ pub fn synthesize(
 
     let consider = |assignment: &[u64], best: &mut Option<(f64, Vec<f64>, f64)>| {
         if let Some((gap, coeffs, k)) = solve_augmentation(truth, a, assignment, opts) {
-            if gap >= opts.min_gap && best.as_ref().map_or(true, |(bg, _, _)| gap > *bg) {
+            if gap >= opts.min_gap && best.as_ref().is_none_or(|(bg, _, _)| gap > *bg) {
                 *best = Some((gap, coeffs, k));
             }
         }
@@ -163,7 +170,10 @@ pub fn synthesize(
     }
 
     let Some((_gap, coeffs, k)) = best else {
-        return Err(SynthError::Unrealizable { num_ancillas: a, tried });
+        return Err(SynthError::Unrealizable {
+            num_ancillas: a,
+            tried,
+        });
     };
 
     // Unpack the LP solution into an Ising model.
@@ -204,7 +214,9 @@ fn solve_augmentation(
     let n = p + a;
 
     let mut lp = Lp::new();
-    let h_vars: Vec<_> = (0..n).map(|_| lp.add_var(opts.h_range.0, opts.h_range.1)).collect();
+    let h_vars: Vec<_> = (0..n)
+        .map(|_| lp.add_var(opts.h_range.0, opts.h_range.1))
+        .collect();
     let mut j_vars = Vec::with_capacity(n * (n - 1) / 2);
     for _i in 0..n {
         for _j in (_i + 1)..n {
@@ -222,14 +234,18 @@ fn solve_augmentation(
     };
 
     // Map valid pin rows to their position in `assignment`.
-    let valid_pos: std::collections::HashMap<u64, usize> =
-        truth.valid_rows().iter().enumerate().map(|(idx, &r)| (r, idx)).collect();
+    let valid_pos: std::collections::HashMap<u64, usize> = truth
+        .valid_rows()
+        .iter()
+        .enumerate()
+        .map(|(idx, &r)| (r, idx))
+        .collect();
 
     for full in 0..(1u64 << n) {
         let spin = |i: usize| if (full >> i) & 1 == 1 { 1.0 } else { -1.0 };
         let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(n + n * (n - 1) / 2 + 2);
-        for i in 0..n {
-            coeffs.push((h_vars[i], spin(i)));
+        for (i, &hv) in h_vars.iter().enumerate() {
+            coeffs.push((hv, spin(i)));
         }
         for i in 0..n {
             for j in (i + 1)..n {
@@ -287,10 +303,15 @@ mod tests {
         let cell = synthesize("AND", &["Y", "A", "B"], &truth, 0, &opts()).unwrap();
         let report = cell.verify(&truth);
         assert!(report.matches);
-        assert!(report.gap >= 1.0, "AND admits gap ≥ 1 in D-Wave ranges, got {}", report.gap);
+        assert!(
+            report.gap >= 1.0,
+            "AND admits gap ≥ 1 in D-Wave ranges, got {}",
+            report.gap
+        );
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn or_nand_nor_without_ancillas() {
         let gates: [(&str, fn(&[bool]) -> bool); 3] = [
             ("OR", |i| i[0] || i[1]),
@@ -310,14 +331,26 @@ mod tests {
         // an unsolvable system of inequalities with no ancillas.
         let truth = TruthTable::from_gate(2, |i| i[0] ^ i[1]);
         let err = synthesize("XOR", &["Y", "A", "B"], &truth, 0, &opts()).unwrap_err();
-        assert!(matches!(err, SynthError::Unrealizable { num_ancillas: 0, .. }));
+        assert!(matches!(
+            err,
+            SynthError::Unrealizable {
+                num_ancillas: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn xnor_unrealizable_without_ancillas() {
         let truth = TruthTable::from_gate(2, |i| !(i[0] ^ i[1]));
         let err = synthesize("XNOR", &["Y", "A", "B"], &truth, 0, &opts()).unwrap_err();
-        assert!(matches!(err, SynthError::Unrealizable { num_ancillas: 0, .. }));
+        assert!(matches!(
+            err,
+            SynthError::Unrealizable {
+                num_ancillas: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -365,7 +398,7 @@ mod tests {
         let truth = TruthTable::from_gate(2, |i| i[0] ^ i[1]);
         let cell = synthesize("XOR", &["Y", "A", "B"], &truth, 1, &opts()).unwrap();
         for (_, h) in cell.ising().h_iter() {
-            assert!(h >= -2.0 - 1e-9 && h <= 2.0 + 1e-9);
+            assert!((-2.0 - 1e-9..=2.0 + 1e-9).contains(&h));
         }
         for t in cell.ising().j_iter() {
             assert!(t.value >= -2.0 - 1e-9 && t.value <= 1.0 + 1e-9);

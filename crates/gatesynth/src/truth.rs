@@ -41,7 +41,10 @@ impl TruthTable {
             valid.push((combo << 1) | u64::from(y));
         }
         valid.sort_unstable();
-        TruthTable { num_pins: num_inputs + 1, valid }
+        TruthTable {
+            num_pins: num_inputs + 1,
+            valid,
+        }
     }
 
     /// Builds a table directly from a set of valid rows over `num_pins`
@@ -55,9 +58,15 @@ impl TruthTable {
         assert!(num_pins <= 24, "relation too wide");
         let set: BTreeSet<u64> = rows.iter().copied().collect();
         for &r in &set {
-            assert!(r < (1u64 << num_pins), "row {r:#b} out of range for {num_pins} pins");
+            assert!(
+                r < (1u64 << num_pins),
+                "row {r:#b} out of range for {num_pins} pins"
+            );
         }
-        TruthTable { num_pins, valid: set.into_iter().collect() }
+        TruthTable {
+            num_pins,
+            valid: set.into_iter().collect(),
+        }
     }
 
     /// Number of pins (output + inputs).

@@ -17,7 +17,10 @@ pub struct Builder {
 impl Builder {
     /// Starts building a netlist named `name`.
     pub fn new(name: impl Into<String>) -> Builder {
-        Builder { netlist: Netlist::new(name), const_nets: HashMap::new() }
+        Builder {
+            netlist: Netlist::new(name),
+            const_nets: HashMap::new(),
+        }
     }
 
     /// Access to the netlist under construction.
@@ -76,7 +79,9 @@ impl Builder {
 
     /// A constant word of the given width holding `value` (LSB first).
     pub fn constant_word(&mut self, value: u64, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.constant((value >> i) & 1 == 1)).collect()
+        (0..width)
+            .map(|i| self.constant((value >> i) & 1 == 1))
+            .collect()
     }
 
     fn unary(&mut self, kind: CellKind, a: NetId) -> NetId {
@@ -401,7 +406,9 @@ impl Builder {
     /// Zero-extends or truncates a word to `width`.
     pub fn resize(&mut self, a: &[NetId], width: usize) -> Vec<NetId> {
         let zero = self.constant(false);
-        (0..width).map(|i| a.get(i).copied().unwrap_or(zero)).collect()
+        (0..width)
+            .map(|i| a.get(i).copied().unwrap_or(zero))
+            .collect()
     }
 }
 
@@ -427,7 +434,11 @@ mod tests {
         let netlist = b.finish();
         netlist.validate().unwrap();
         let sim = CombSim::new(&netlist).unwrap();
-        let mask = if out_width >= 64 { u64::MAX } else { (1u64 << out_width) - 1 };
+        let mask = if out_width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << out_width) - 1
+        };
         for av in 0..(1u64 << width_a) {
             for bv in 0..(1u64 << width_b) {
                 let got = sim.eval_words(&[("a", av), ("b", bv)]).unwrap()["y"];
@@ -454,10 +465,34 @@ mod tests {
 
     #[test]
     fn comparators_exhaustive() {
-        check_binop(3, 3, 1, |b, x, y| vec![b.lt_unsigned(x, y)], |a, c| u64::from(a < c));
-        check_binop(3, 3, 1, |b, x, y| vec![b.le_unsigned(x, y)], |a, c| u64::from(a <= c));
-        check_binop(3, 3, 1, |b, x, y| vec![b.eq(x, y)], |a, c| u64::from(a == c));
-        check_binop(3, 3, 1, |b, x, y| vec![b.ne(x, y)], |a, c| u64::from(a != c));
+        check_binop(
+            3,
+            3,
+            1,
+            |b, x, y| vec![b.lt_unsigned(x, y)],
+            |a, c| u64::from(a < c),
+        );
+        check_binop(
+            3,
+            3,
+            1,
+            |b, x, y| vec![b.le_unsigned(x, y)],
+            |a, c| u64::from(a <= c),
+        );
+        check_binop(
+            3,
+            3,
+            1,
+            |b, x, y| vec![b.eq(x, y)],
+            |a, c| u64::from(a == c),
+        );
+        check_binop(
+            3,
+            3,
+            1,
+            |b, x, y| vec![b.ne(x, y)],
+            |a, c| u64::from(a != c),
+        );
     }
 
     #[test]
@@ -467,9 +502,27 @@ mod tests {
 
     #[test]
     fn bitwise_words() {
-        check_binop(3, 3, 3, |b, x, y| b.bitwise(CellKind::And, x, y), |a, c| a & c);
-        check_binop(3, 3, 3, |b, x, y| b.bitwise(CellKind::Or, x, y), |a, c| a | c);
-        check_binop(3, 3, 3, |b, x, y| b.bitwise(CellKind::Xor, x, y), |a, c| a ^ c);
+        check_binop(
+            3,
+            3,
+            3,
+            |b, x, y| b.bitwise(CellKind::And, x, y),
+            |a, c| a & c,
+        );
+        check_binop(
+            3,
+            3,
+            3,
+            |b, x, y| b.bitwise(CellKind::Or, x, y),
+            |a, c| a | c,
+        );
+        check_binop(
+            3,
+            3,
+            3,
+            |b, x, y| b.bitwise(CellKind::Xor, x, y),
+            |a, c| a ^ c,
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl CellKind {
     pub fn from_name(name: &str) -> Option<CellKind> {
         let trimmed = name.trim_matches(|c| c == '$' || c == '_');
         let upper = trimmed.to_ascii_uppercase();
-        CellKind::ALL.into_iter().find(|k| k.name() == upper)
+        CellKind::ALL
+            .into_iter()
+            .find(|k| k.name() == upper)
             .or(match upper.as_str() {
                 "DFF" | "DFFP" => Some(CellKind::DffP),
                 "DFFN" => Some(CellKind::DffN),
@@ -145,7 +147,12 @@ impl CellKind {
     /// # Panics
     /// Panics if `inputs.len() != num_inputs()`.
     pub fn eval(self, inputs: &[bool]) -> bool {
-        assert_eq!(inputs.len(), self.num_inputs(), "arity mismatch for {}", self.name());
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "arity mismatch for {}",
+            self.name()
+        );
         match self {
             CellKind::Buf => inputs[0],
             CellKind::Not => !inputs[0],

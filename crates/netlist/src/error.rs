@@ -45,14 +45,21 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Undriven { net } => write!(f, "net {net} is read but never driven"),
             NetlistError::CombinationalCycle => {
-                write!(f, "combinational cycle detected (add a flip-flop to break the loop)")
+                write!(
+                    f,
+                    "combinational cycle detected (add a flip-flop to break the loop)"
+                )
             }
             NetlistError::UnknownPort(name) => write!(f, "unknown port `{name}`"),
             NetlistError::ValueTooWide { port, width } => {
                 write!(f, "value does not fit the {width}-bit port `{port}`")
             }
             NetlistError::NetOutOfRange(net) => write!(f, "net index {net} out of range"),
-            NetlistError::ArityMismatch { cell, expected, got } => {
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                got,
+            } => {
                 write!(f, "cell `{cell}` expects {expected} inputs, got {got}")
             }
         }

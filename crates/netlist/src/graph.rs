@@ -107,7 +107,12 @@ impl Netlist {
             assert!(n < self.num_nets, "net {n} out of range");
         }
         let name = format!("{}${}", kind.name().to_ascii_lowercase(), self.cells.len());
-        self.cells.push(Cell { kind, inputs, output, name });
+        self.cells.push(Cell {
+            kind,
+            inputs,
+            output,
+            name,
+        });
         self.cells.len() - 1
     }
 
@@ -119,12 +124,18 @@ impl Netlist {
 
     /// Declares an input port over existing nets (LSB first).
     pub fn add_input_port(&mut self, name: impl Into<String>, bits: Vec<NetId>) {
-        self.inputs.push(Port { name: name.into(), bits });
+        self.inputs.push(Port {
+            name: name.into(),
+            bits,
+        });
     }
 
     /// Declares an output port over existing nets (LSB first).
     pub fn add_output_port(&mut self, name: impl Into<String>, bits: Vec<NetId>) {
-        self.outputs.push(Port { name: name.into(), bits });
+        self.outputs.push(Port {
+            name: name.into(),
+            bits,
+        });
     }
 
     /// The cells in insertion order.
@@ -159,7 +170,10 @@ impl Netlist {
 
     /// Finds a port (input or output) by name.
     pub fn port(&self, name: &str) -> Option<&Port> {
-        self.inputs.iter().chain(self.outputs.iter()).find(|p| p.name == name)
+        self.inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .find(|p| p.name == name)
     }
 
     /// Rewrites every net reference through `map` (cell inputs/outputs,
@@ -280,8 +294,8 @@ impl Netlist {
         let mut queue: std::collections::VecDeque<CellId> = (0..n)
             .filter(|&id| self.cells[id].kind.is_sequential())
             .collect();
-        for id in 0..n {
-            if !self.cells[id].kind.is_sequential() && indegree[id] == 0 {
+        for (id, &deg) in indegree.iter().enumerate().take(n) {
+            if !self.cells[id].kind.is_sequential() && deg == 0 {
                 queue.push_back(id);
             }
         }
@@ -357,7 +371,10 @@ mod tests {
         let b = n.input_ports()[1].bits[0];
         let y = n.output_ports()[0].bits[0];
         n.add_cell(CellKind::Or, vec![a, b], y); // second driver on y
-        assert!(matches!(n.validate(), Err(NetlistError::MultipleDrivers { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
     }
 
     #[test]
@@ -377,7 +394,10 @@ mod tests {
         let b = n.add_net();
         n.add_cell(CellKind::Not, vec![a], b);
         n.add_cell(CellKind::Not, vec![b], a);
-        assert!(matches!(n.topo_order(), Err(NetlistError::CombinationalCycle)));
+        assert!(matches!(
+            n.topo_order(),
+            Err(NetlistError::CombinationalCycle)
+        ));
     }
 
     #[test]
@@ -410,7 +430,9 @@ mod tests {
     #[test]
     fn substitute_nets_rewrites_everything() {
         let mut n = and_netlist();
-        let map: Vec<NetId> = (0..n.num_nets()).map(|i| if i == 2 { 0 } else { i }).collect();
+        let map: Vec<NetId> = (0..n.num_nets())
+            .map(|i| if i == 2 { 0 } else { i })
+            .collect();
         n.substitute_nets(&map);
         assert_eq!(n.output_ports()[0].bits[0], 0);
         assert_eq!(n.cells()[0].output, 0);

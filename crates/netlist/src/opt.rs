@@ -60,7 +60,9 @@ pub fn optimize(netlist: &mut Netlist) -> OptReport {
 pub fn constant_fold(netlist: &mut Netlist) -> usize {
     // Net-level constant knowledge.
     let mut known: HashMap<NetId, bool> = netlist.constants().iter().copied().collect();
-    let Ok(order) = netlist.topo_order() else { return 0 };
+    let Ok(order) = netlist.topo_order() else {
+        return 0;
+    };
     let mut simplified = 0usize;
 
     // First pass: compute which cell outputs are constant, and which cells
@@ -71,8 +73,7 @@ pub fn constant_fold(netlist: &mut Netlist) -> usize {
         if cell.kind.is_sequential() {
             continue;
         }
-        let vals: Vec<Option<bool>> =
-            cell.inputs.iter().map(|n| known.get(n).copied()).collect();
+        let vals: Vec<Option<bool>> = cell.inputs.iter().map(|n| known.get(n).copied()).collect();
         let action = simplify_cell(cell.kind, &cell.inputs, &vals);
         if let Action::Const(v) = action {
             known.insert(cell.output, v);
@@ -121,7 +122,6 @@ pub fn constant_fold(netlist: &mut Netlist) -> usize {
     simplified
 }
 
-
 /// How a partially-constant cell simplifies.
 enum Action {
     /// Output is the given constant.
@@ -148,7 +148,11 @@ fn simplify_cell(kind: CellKind, inputs: &[NetId], vals: &[Option<bool>]) -> Act
                     Some(false) => return Action::Const(neg),
                     Some(true) => {
                         let other = inputs[1 - i];
-                        return if neg { Action::Invert(other) } else { Action::Alias(other) };
+                        return if neg {
+                            Action::Invert(other)
+                        } else {
+                            Action::Alias(other)
+                        };
                     }
                     None => {}
                 }
@@ -162,7 +166,11 @@ fn simplify_cell(kind: CellKind, inputs: &[NetId], vals: &[Option<bool>]) -> Act
                     Some(true) => return Action::Const(!neg),
                     Some(false) => {
                         let other = inputs[1 - i];
-                        return if neg { Action::Invert(other) } else { Action::Alias(other) };
+                        return if neg {
+                            Action::Invert(other)
+                        } else {
+                            Action::Alias(other)
+                        };
                     }
                     None => {}
                 }
@@ -175,7 +183,11 @@ fn simplify_cell(kind: CellKind, inputs: &[NetId], vals: &[Option<bool>]) -> Act
                 if let Some(c) = v {
                     let other = inputs[1 - i];
                     let inverted = *c != neg;
-                    return if inverted { Action::Invert(other) } else { Action::Alias(other) };
+                    return if inverted {
+                        Action::Invert(other)
+                    } else {
+                        Action::Alias(other)
+                    };
                 }
             }
             Action::Keep
@@ -206,7 +218,7 @@ pub fn merge_buffers(netlist: &mut Netlist) -> usize {
     let num_nets = netlist.num_nets();
     // Union-find over nets for BUF merging.
     let mut parent: Vec<NetId> = (0..num_nets).collect();
-    fn find(parent: &mut Vec<NetId>, mut x: NetId) -> NetId {
+    fn find(parent: &mut [NetId], mut x: NetId) -> NetId {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -282,13 +294,18 @@ pub fn structural_hash(netlist: &mut Netlist) -> usize {
     let mut seen: HashMap<(CellKind, Vec<NetId>), NetId> = HashMap::new();
     let mut map: Vec<NetId> = (0..num_nets).collect();
     let mut removed: Vec<usize> = Vec::new();
-    let Ok(order) = netlist.topo_order() else { return 0 };
+    let Ok(order) = netlist.topo_order() else {
+        return 0;
+    };
     for &id in &order {
         let cell = &netlist.cells()[id];
         if cell.kind.is_sequential() {
             continue;
         }
-        let key = (cell.kind, cell.inputs.iter().map(|&n| map[n]).collect::<Vec<_>>());
+        let key = (
+            cell.kind,
+            cell.inputs.iter().map(|&n| map[n]).collect::<Vec<_>>(),
+        );
         match seen.get(&key) {
             Some(&canonical) => {
                 map[cell.output] = canonical;

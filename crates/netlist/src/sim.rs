@@ -103,7 +103,11 @@ impl<'a> SeqSim<'a> {
             .filter(|(_, c)| c.kind.is_sequential())
             .map(|(id, _)| (id, false))
             .collect();
-        Ok(SeqSim { netlist, order, state })
+        Ok(SeqSim {
+            netlist,
+            order,
+            state,
+        })
     }
 
     /// Resets every flip-flop to 0.
@@ -165,7 +169,10 @@ fn apply_inputs(
             .ok_or_else(|| NetlistError::UnknownPort(name.to_string()))?;
         let width = port.width();
         if width < 64 && value >> width != 0 {
-            return Err(NetlistError::ValueTooWide { port: name.to_string(), width });
+            return Err(NetlistError::ValueTooWide {
+                port: name.to_string(),
+                width,
+            });
         }
         for (i, &net) in port.bits.iter().enumerate() {
             values[net] = (value >> i) & 1 == 1;
@@ -219,8 +226,11 @@ mod tests {
             for av in 0..2u64 {
                 for bv in 0..2u64 {
                     let got = sim.eval_words(&[("s", sv), ("a", av), ("b", bv)]).unwrap()["c"];
-                    let want =
-                        if sv == 1 { av + bv } else { av.wrapping_sub(bv) & 0b11 };
+                    let want = if sv == 1 {
+                        av + bv
+                    } else {
+                        av.wrapping_sub(bv) & 0b11
+                    };
                     assert_eq!(got, want, "s={sv} a={av} b={bv}");
                 }
             }
@@ -280,7 +290,7 @@ mod tests {
         // Cycle 1: reset.
         let o = sim.step(&[("inc", 0), ("reset", 1)]).unwrap();
         assert_eq!(o["out"], 0); // outputs reflect pre-edge state (reset at t=0 anyway)
-        // Increment three times.
+                                 // Increment three times.
         for expect in [0u64, 1, 2] {
             let o = sim.step(&[("inc", 1), ("reset", 0)]).unwrap();
             assert_eq!(o["out"], expect);

@@ -11,6 +11,9 @@
 //! `p@0, p@1, …` in the unrolled module. Initial flip-flop state is either
 //! tied to zero or exposed as an input port `ff_init`.
 
+// Indexing `net_map[t][n]` by time step is the natural spelling throughout.
+#![allow(clippy::needless_range_loop)]
+
 use crate::{CellKind, NetId, Netlist};
 
 /// Where flip-flops start at time 0.
@@ -112,8 +115,10 @@ pub fn unroll(netlist: &Netlist, steps: usize, initial: InitialState) -> Netlist
             }
         }
         InitialState::Free => {
-            let bits: Vec<NetId> =
-                ff_cells.iter().map(|&id| net_map[0][netlist.cells()[id].output]).collect();
+            let bits: Vec<NetId> = ff_cells
+                .iter()
+                .map(|&id| net_map[0][netlist.cells()[id].output])
+                .collect();
             if !bits.is_empty() {
                 out.add_input_port("ff_init", bits);
             }
@@ -122,8 +127,10 @@ pub fn unroll(netlist: &Netlist, steps: usize, initial: InitialState) -> Netlist
 
     // Final D values: expose as an output so the "state after the last
     // step" is observable (and pinnable).
-    let final_bits: Vec<NetId> =
-        ff_cells.iter().map(|&id| net_map[steps - 1][netlist.cells()[id].inputs[0]]).collect();
+    let final_bits: Vec<NetId> = ff_cells
+        .iter()
+        .map(|&id| net_map[steps - 1][netlist.cells()[id].inputs[0]])
+        .collect();
     if !final_bits.is_empty() {
         out.add_output_port("ff_final", final_bits);
     }
@@ -186,8 +193,11 @@ mod tests {
         let comb = CombSim::new(&unrolled).unwrap();
         let pattern = [1u64, 0, 1, 1, 0];
         let names: Vec<String> = (0..steps).map(|t| format!("inc@{t}")).collect();
-        let inputs: Vec<(&str, u64)> =
-            names.iter().zip(pattern.iter()).map(|(n, &v)| (n.as_str(), v)).collect();
+        let inputs: Vec<(&str, u64)> = names
+            .iter()
+            .zip(pattern.iter())
+            .map(|(n, &v)| (n.as_str(), v))
+            .collect();
         let out = comb.eval_words(&inputs).unwrap();
         let mut seq = SeqSim::new(&seq_netlist).unwrap();
         for t in 0..steps {

@@ -14,7 +14,10 @@ struct Recipe {
 }
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (2usize..=5, proptest::collection::vec((0u8..13, proptest::array::uniform4(any::<u8>())), 1..24))
+    (
+        2usize..=5,
+        proptest::collection::vec((0u8..13, proptest::array::uniform4(any::<u8>())), 1..24),
+    )
         .prop_map(|(inputs, gates)| Recipe { inputs, gates })
 }
 
@@ -44,8 +47,7 @@ fn build(recipe: &Recipe) -> Netlist {
     for &(kind_idx, sel) in &recipe.gates {
         let kind = KINDS[kind_idx as usize % KINDS.len()];
         let pick = |s: u8| signals[s as usize % signals.len()];
-        let inputs: Vec<NetId> =
-            (0..kind.num_inputs()).map(|i| pick(sel[i])).collect();
+        let inputs: Vec<NetId> = (0..kind.num_inputs()).map(|i| pick(sel[i])).collect();
         let y = b.fresh();
         // Builder has no generic gate helper; use the specific ones.
         let out = match kind {

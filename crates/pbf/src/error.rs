@@ -27,7 +27,10 @@ impl fmt::Display for PbfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PbfError::VariableOutOfRange { index, num_vars } => {
-                write!(f, "variable index {index} out of range for {num_vars} variables")
+                write!(
+                    f,
+                    "variable index {index} out of range for {num_vars} variables"
+                )
             }
             PbfError::SelfCoupling(i) => {
                 write!(f, "self-coupling requested on variable {i}")
@@ -36,7 +39,10 @@ impl fmt::Display for PbfError {
                 write!(f, "coefficient {c} is not finite")
             }
             PbfError::AssignmentLength { got, expected } => {
-                write!(f, "assignment has {got} entries but model has {expected} variables")
+                write!(
+                    f,
+                    "assignment has {got} entries but model has {expected} variables"
+                )
             }
         }
     }

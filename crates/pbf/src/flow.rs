@@ -32,7 +32,11 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates an empty network over `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> FlowNetwork {
-        FlowNetwork { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); num_nodes] }
+        FlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); num_nodes],
+        }
     }
 
     /// Number of nodes.
@@ -47,7 +51,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if a node index is out of range or `cap < 0`.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> usize {
-        assert!(from < self.head.len() && to < self.head.len(), "node index in range");
+        assert!(
+            from < self.head.len() && to < self.head.len(),
+            "node index in range"
+        );
         assert!(cap >= 0, "capacity must be nonnegative");
         let idx = self.to.len();
         self.to.push(to);

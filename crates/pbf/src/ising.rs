@@ -117,7 +117,10 @@ impl Ising {
     /// [`PbfError::NonFiniteCoefficient`] for NaN/infinite deltas.
     pub fn try_add_h(&mut self, i: usize, delta: f64) -> Result<(), PbfError> {
         if i >= self.num_vars {
-            return Err(PbfError::VariableOutOfRange { index: i, num_vars: self.num_vars });
+            return Err(PbfError::VariableOutOfRange {
+                index: i,
+                num_vars: self.num_vars,
+            });
         }
         if !delta.is_finite() {
             return Err(PbfError::NonFiniteCoefficient(delta));
@@ -147,7 +150,10 @@ impl Ising {
         }
         let (a, b) = if i < j { (i, j) } else { (j, i) };
         if b >= self.num_vars {
-            return Err(PbfError::VariableOutOfRange { index: b, num_vars: self.num_vars });
+            return Err(PbfError::VariableOutOfRange {
+                index: b,
+                num_vars: self.num_vars,
+            });
         }
         if !delta.is_finite() {
             return Err(PbfError::NonFiniteCoefficient(delta));
@@ -189,7 +195,8 @@ impl Ising {
     /// Panics if `spins.len() != num_vars`. Use [`Ising::try_energy`] for a
     /// fallible variant.
     pub fn energy(&self, spins: &[Spin]) -> f64 {
-        self.try_energy(spins).expect("assignment length matches model")
+        self.try_energy(spins)
+            .expect("assignment length matches model")
     }
 
     /// Fallible version of [`Ising::energy`].
@@ -198,7 +205,10 @@ impl Ising {
     /// Returns [`PbfError::AssignmentLength`] on a length mismatch.
     pub fn try_energy(&self, spins: &[Spin]) -> Result<f64, PbfError> {
         if spins.len() != self.num_vars {
-            return Err(PbfError::AssignmentLength { got: spins.len(), expected: self.num_vars });
+            return Err(PbfError::AssignmentLength {
+                got: spins.len(),
+                expected: self.num_vars,
+            });
         }
         let mut e = self.offset;
         for (i, &hi) in self.h.iter().enumerate() {
@@ -283,14 +293,21 @@ impl Ising {
     /// Panics if `a == b` or either index is out of range.
     pub fn merge_variable(&mut self, a: usize, b: usize, parity: Spin) {
         assert!(a != b, "cannot merge a variable into itself");
-        assert!(a < self.num_vars && b < self.num_vars, "merge indices in range");
+        assert!(
+            a < self.num_vars && b < self.num_vars,
+            "merge indices in range"
+        );
         let p = parity.value();
         // Linear: h_b σ_b = h_b p σ_a
         let hb = std::mem::replace(&mut self.h[b], 0.0);
         self.h[a] += p * hb;
         // Quadratic terms touching b.
-        let touching: Vec<(usize, usize)> =
-            self.j.keys().copied().filter(|&(i, j)| i == b || j == b).collect();
+        let touching: Vec<(usize, usize)> = self
+            .j
+            .keys()
+            .copied()
+            .filter(|&(i, j)| i == b || j == b)
+            .collect();
         for key in touching {
             let v = self.j.remove(&key).unwrap();
             let other = if key.0 == b { key.1 } else { key.0 };
@@ -313,8 +330,12 @@ impl Ising {
         let s = value.value();
         let hi = std::mem::replace(&mut self.h[i], 0.0);
         self.offset += hi * s;
-        let touching: Vec<(usize, usize)> =
-            self.j.keys().copied().filter(|&(a, b)| a == i || b == i).collect();
+        let touching: Vec<(usize, usize)> = self
+            .j
+            .keys()
+            .copied()
+            .filter(|&(a, b)| a == i || b == i)
+            .collect();
         for key in touching {
             let v = self.j.remove(&key).unwrap();
             let other = if key.0 == i { key.1 } else { key.0 };
@@ -346,7 +367,12 @@ impl Ising {
 
 impl fmt::Display for Ising {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# Ising model: {} variables, {} couplings", self.num_vars, self.j.len())?;
+        writeln!(
+            f,
+            "# Ising model: {} variables, {} couplings",
+            self.num_vars,
+            self.j.len()
+        )?;
         if self.offset != 0.0 {
             writeln!(f, "offset {}", self.offset)?;
         }
@@ -400,10 +426,22 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut m = Ising::new(2);
-        assert!(matches!(m.try_add_h(2, 1.0), Err(PbfError::VariableOutOfRange { .. })));
-        assert!(matches!(m.try_add_j(0, 2, 1.0), Err(PbfError::VariableOutOfRange { .. })));
-        assert!(matches!(m.try_add_j(1, 1, 1.0), Err(PbfError::SelfCoupling(1))));
-        assert!(matches!(m.try_add_h(0, f64::NAN), Err(PbfError::NonFiniteCoefficient(_))));
+        assert!(matches!(
+            m.try_add_h(2, 1.0),
+            Err(PbfError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.try_add_j(0, 2, 1.0),
+            Err(PbfError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.try_add_j(1, 1, 1.0),
+            Err(PbfError::SelfCoupling(1))
+        ));
+        assert!(matches!(
+            m.try_add_h(0, f64::NAN),
+            Err(PbfError::NonFiniteCoefficient(_))
+        ));
     }
 
     #[test]
@@ -411,7 +449,10 @@ mod tests {
         let m = Ising::new(3);
         assert!(matches!(
             m.try_energy(&[Spin::Up]),
-            Err(PbfError::AssignmentLength { got: 1, expected: 3 })
+            Err(PbfError::AssignmentLength {
+                got: 1,
+                expected: 3
+            })
         ));
     }
 

@@ -104,7 +104,8 @@ impl Qubo {
     /// # Panics
     /// Panics if `bits.len() != num_vars`. See [`Qubo::try_energy`].
     pub fn energy(&self, bits: &[bool]) -> f64 {
-        self.try_energy(bits).expect("assignment length matches model")
+        self.try_energy(bits)
+            .expect("assignment length matches model")
     }
 
     /// Fallible version of [`Qubo::energy`].
@@ -113,7 +114,10 @@ impl Qubo {
     /// Returns [`PbfError::AssignmentLength`] on a length mismatch.
     pub fn try_energy(&self, bits: &[bool]) -> Result<f64, PbfError> {
         if bits.len() != self.num_vars {
-            return Err(PbfError::AssignmentLength { got: bits.len(), expected: self.num_vars });
+            return Err(PbfError::AssignmentLength {
+                got: bits.len(),
+                expected: self.num_vars,
+            });
         }
         let mut e = self.offset;
         for (i, &q) in self.linear.iter().enumerate() {

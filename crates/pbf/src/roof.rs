@@ -60,7 +60,10 @@ pub fn roof_duality(model: &Ising) -> RoofDuality {
     let qubo = model.to_qubo();
     let n = qubo.num_vars();
     if n == 0 {
-        return RoofDuality { fixed: Vec::new(), lower_bound: qubo.offset() };
+        return RoofDuality {
+            fixed: Vec::new(),
+            lower_bound: qubo.offset(),
+        };
     }
 
     // --- Build the posiform. ---
@@ -131,7 +134,7 @@ pub fn roof_duality(model: &Ising) -> RoofDuality {
     let from_source = net.min_cut_side(source);
     let to_sink = net.reaches_sink(sink);
     let mut fixed: Vec<Option<Spin>> = vec![None; n];
-    for i in 0..n {
+    for (i, slot) in fixed.iter_mut().enumerate() {
         let pos = 2 * i;
         let neg = 2 * i + 1;
         // Literal reachable from the true-source in the residual graph must
@@ -150,7 +153,7 @@ pub fn roof_duality(model: &Ising) -> RoofDuality {
         if to_sink[neg] {
             vote_true = true;
         }
-        fixed[i] = match (vote_true, vote_false) {
+        *slot = match (vote_true, vote_false) {
             (true, false) => Some(Spin::Up),
             (false, true) => Some(Spin::Down),
             _ => None,
@@ -301,9 +304,13 @@ mod tests {
                 rd.fixed
                     .iter()
                     .enumerate()
-                    .all(|(i, f)| f.map_or(true, |s| assign[i] == s))
+                    .all(|(i, f)| f.is_none_or(|s| assign[i] == s))
             });
-            assert!(consistent, "case {case}: fixes {:?} not in any optimum", rd.fixed);
+            assert!(
+                consistent,
+                "case {case}: fixes {:?} not in any optimum",
+                rd.fixed
+            );
         }
     }
 

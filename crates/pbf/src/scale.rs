@@ -25,12 +25,20 @@ pub struct CoefficientRange {
 
 impl CoefficientRange {
     /// The D-Wave 2000Q ranges from the paper: `h ∈ [−2, 2]`, `J ∈ [−2, 1]`.
-    pub const DWAVE_2000Q: CoefficientRange =
-        CoefficientRange { h_min: -2.0, h_max: 2.0, j_min: -2.0, j_max: 1.0 };
+    pub const DWAVE_2000Q: CoefficientRange = CoefficientRange {
+        h_min: -2.0,
+        h_max: 2.0,
+        j_min: -2.0,
+        j_max: 1.0,
+    };
 
     /// A symmetric unit range `[−1, 1]` for both h and J.
-    pub const UNIT: CoefficientRange =
-        CoefficientRange { h_min: -1.0, h_max: 1.0, j_min: -1.0, j_max: 1.0 };
+    pub const UNIT: CoefficientRange = CoefficientRange {
+        h_min: -1.0,
+        h_max: 1.0,
+        j_min: -1.0,
+        j_max: 1.0,
+    };
 
     /// Checks that every coefficient of `model` lies inside the range
     /// (within `eps` slack).
@@ -105,7 +113,10 @@ pub fn scale_to_range(model: &Ising, range: CoefficientRange) -> ScaledIsing {
         }
     }
     scaled.add_offset(model.offset() * factor);
-    ScaledIsing { model: scaled, scale: factor }
+    ScaledIsing {
+        model: scaled,
+        scale: factor,
+    }
 }
 
 /// Quantizes every coefficient of `model` to `bits` bits of precision over
@@ -118,7 +129,7 @@ pub fn scale_to_range(model: &Ising, range: CoefficientRange) -> ScaledIsing {
 /// # Panics
 /// Panics if `bits` is 0 or greater than 52.
 pub fn quantize(model: &Ising, range: CoefficientRange, bits: u32) -> Ising {
-    assert!(bits >= 1 && bits <= 52, "bits must be in 1..=52");
+    assert!((1..=52).contains(&bits), "bits must be in 1..=52");
     let steps = (1u64 << bits) as f64 - 1.0;
     let snap = |v: f64, lo: f64, hi: f64| -> f64 {
         let step = (hi - lo) / steps;

@@ -8,8 +8,9 @@ use qac_pbf::{bits_to_spins, roof, spins_to_bits, spins_to_index, Ising, Spin};
 fn arb_ising() -> impl Strategy<Value = Ising> {
     (1usize..=6).prop_flat_map(|n| {
         let h = proptest::collection::vec(-4.0f64..4.0, n);
-        let pairs: Vec<(usize, usize)> =
-            (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
         let j = proptest::collection::vec(-4.0f64..4.0, pairs.len());
         (Just(n), h, Just(pairs), j).prop_map(|(n, h, pairs, j)| {
             let mut m = Ising::new(n);
@@ -103,7 +104,7 @@ proptest! {
         }
         let rd = roof::roof_duality(&m);
         let ok = minima.iter().any(|assign| {
-            rd.fixed.iter().enumerate().all(|(i, f)| f.map_or(true, |v| assign[i] == v))
+            rd.fixed.iter().enumerate().all(|(i, f)| f.is_none_or(|v| assign[i] == v))
         });
         prop_assert!(ok, "persistency {:?} not extendable to an optimum", rd.fixed);
     }

@@ -30,7 +30,11 @@ pub struct AssembleOptions {
 
 impl Default for AssembleOptions {
     fn default() -> AssembleOptions {
-        AssembleOptions { merge_chains: true, chain_strength: None, pin_weight: None }
+        AssembleOptions {
+            merge_chains: true,
+            chain_strength: None,
+            pin_weight: None,
+        }
     }
 }
 
@@ -172,6 +176,10 @@ pub struct Assembled {
     pub asserts: Vec<AssertExpr>,
     /// The chain/pin strength that was used or derived.
     pub chain_strength: f64,
+    /// Chain couplings emitted because merging was disabled (0 when
+    /// `merge_chains` is on). Each contributes −`chain_strength` to the
+    /// energy of every chain-satisfying assignment.
+    pub num_chain_couplings: usize,
 }
 
 impl Assembled {
@@ -314,6 +322,7 @@ pub fn assemble(program: &Program, options: &AssembleOptions) -> Result<Assemble
         }
     }
     // Unmerged chains become explicit couplings.
+    let mut num_chain_couplings = 0usize;
     for (ia, ib, rel) in deferred_chains {
         let (va, pa) = {
             let name = symbols.names[ia].clone();
@@ -328,6 +337,7 @@ pub fn assemble(program: &Program, options: &AssembleOptions) -> Result<Assemble
         }
         let sign = f64::from(rel) * f64::from(pa.sign()) * f64::from(pb.sign());
         ising.add_j(va, vb, -chain_strength * sign);
+        num_chain_couplings += 1;
     }
 
     // --- Pins and asserts. ---
@@ -341,7 +351,14 @@ pub fn assemble(program: &Program, options: &AssembleOptions) -> Result<Assemble
         }
     }
 
-    Ok(Assembled { ising, symbols, pins, asserts, chain_strength })
+    Ok(Assembled {
+        ising,
+        symbols,
+        pins,
+        asserts,
+        chain_strength,
+        num_chain_couplings,
+    })
 }
 
 /// Expands `statements` (possibly a macro body) with `prefix` applied to
@@ -366,19 +383,26 @@ fn expand_into(
     for stmt in statements {
         match stmt {
             Statement::Weight { symbol, value } => {
-                out.push(Statement::Weight { symbol: apply(symbol), value: *value });
+                out.push(Statement::Weight {
+                    symbol: apply(symbol),
+                    value: *value,
+                });
             }
             Statement::Coupling { a, b, value } => {
-                out.push(Statement::Coupling { a: apply(a), b: apply(b), value: *value });
+                out.push(Statement::Coupling {
+                    a: apply(a),
+                    b: apply(b),
+                    value: *value,
+                });
             }
             Statement::Equal(a, b) => out.push(Statement::Equal(apply(a), apply(b))),
             Statement::NotEqual(a, b) => out.push(Statement::NotEqual(apply(a), apply(b))),
             Statement::Pin { bits } => out.push(Statement::Pin {
                 bits: bits.iter().map(|(n, v)| (apply(n), *v)).collect(),
             }),
-            Statement::Assert(text) => {
-                out.push(Statement::Assert(crate::assert::prefix_symbols(text, prefix)))
-            }
+            Statement::Assert(text) => out.push(Statement::Assert(crate::assert::prefix_symbols(
+                text, prefix,
+            ))),
             Statement::UseMacro { name, instances } => {
                 let body = program
                     .macros
@@ -467,7 +491,10 @@ mod tests {
     #[test]
     fn unmerged_chains_emit_couplings() {
         let program = parse("A 1\nB 1\nA = B\nA B -0.5\n", &NoIncludes).unwrap();
-        let opts = AssembleOptions { merge_chains: false, ..Default::default() };
+        let opts = AssembleOptions {
+            merge_chains: false,
+            ..Default::default()
+        };
         let a = assemble(&program, &opts).unwrap();
         assert_eq!(a.ising.num_vars(), 2);
         let (va, _) = a.symbols.resolve("A").unwrap();
@@ -476,6 +503,21 @@ mod tests {
         // the explicit −0.5.
         assert_eq!(a.ising.j(va, vb), -1.5);
         assert_eq!(a.chain_strength, 1.0);
+        assert_eq!(a.num_chain_couplings, 1);
+    }
+
+    #[test]
+    fn chain_coupling_count_zero_when_merged() {
+        let a = assemble_src("A 1\nB 1\nA = B\n");
+        assert_eq!(a.num_chain_couplings, 0);
+        // Self-chains never emit a coupling even unmerged.
+        let program = parse("A 1\nA = A\n", &NoIncludes).unwrap();
+        let opts = AssembleOptions {
+            merge_chains: false,
+            ..Default::default()
+        };
+        let a = assemble(&program, &opts).unwrap();
+        assert_eq!(a.num_chain_couplings, 0);
     }
 
     #[test]
@@ -571,7 +613,11 @@ B Y -1
             let (vb, pb) = a.symbols.resolve("g.B").unwrap();
             let (vy, py) = a.symbols.resolve("g.Y").unwrap();
             let set = |spins: &mut Vec<Spin>, var: usize, parity: Spin, val: bool| {
-                spins[var] = if parity == Spin::Up { Spin::from(val) } else { Spin::from(!val) };
+                spins[var] = if parity == Spin::Up {
+                    Spin::from(val)
+                } else {
+                    Spin::from(!val)
+                };
             };
             set(&mut spins, va, pa, av);
             set(&mut spins, vb, pb, bv);

@@ -124,9 +124,11 @@ fn tokenize(text: &str) -> Result<Vec<Tok>, QmasmError> {
                     i += 2;
                     continue;
                 }
-                let one = ["|", "^", "&", "<", ">", "+", "-", "*", "/", "%", "~", "!", "="]
-                    .iter()
-                    .find(|op| rest.starts_with(**op));
+                let one = [
+                    "|", "^", "&", "<", ">", "+", "-", "*", "/", "%", "~", "!", "=",
+                ]
+                .iter()
+                .find(|op| rest.starts_with(**op));
                 match one {
                     // QMASM historically wrote equality as a single `=`.
                     Some(&"=") => {
@@ -175,9 +177,10 @@ impl<'a> Parser<'a> {
     /// Precedence-climbing over a table.
     fn expr(&mut self, min_prec: u8) -> Result<Node, QmasmError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some(op) = self.peek_op() else { break };
-            let Some((prec, bop)) = prec_of(op) else { break };
+        while let Some(op) = self.peek_op() {
+            let Some((prec, bop)) = prec_of(op) else {
+                break;
+            };
             if prec < min_prec {
                 break;
             }
@@ -252,12 +255,19 @@ impl AssertExpr {
     /// [`QmasmError::BadAssert`] on malformed input.
     pub fn parse(text: &str) -> Result<AssertExpr, QmasmError> {
         let toks = tokenize(text)?;
-        let mut parser = Parser { toks: &toks, pos: 0, text };
+        let mut parser = Parser {
+            toks: &toks,
+            pos: 0,
+            text,
+        };
         let root = parser.expr(0)?;
         if parser.pos != toks.len() {
             return Err(parser.bad("trailing tokens"));
         }
-        Ok(AssertExpr { text: text.to_string(), root })
+        Ok(AssertExpr {
+            text: text.to_string(),
+            root,
+        })
     }
 
     /// The original source text.
@@ -390,7 +400,9 @@ mod tests {
 
     fn eval(text: &str, pairs: &[(&str, u64)]) -> Option<u64> {
         let e = env(pairs);
-        AssertExpr::parse(text).unwrap().eval(&|name| e.get(name).copied())
+        AssertExpr::parse(text)
+            .unwrap()
+            .eval(&|name| e.get(name).copied())
     }
 
     #[test]

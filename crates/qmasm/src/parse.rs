@@ -125,7 +125,9 @@ fn parse_into(
     depth: usize,
 ) -> Result<(), QmasmError> {
     if depth > 16 {
-        return Err(QmasmError::UnknownInclude("include nesting too deep".into()));
+        return Err(QmasmError::UnknownInclude(
+            "include nesting too deep".into(),
+        ));
     }
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
@@ -229,11 +231,19 @@ fn parse_into(
         }
         // Chains.
         if tokens.len() == 3 && tokens[1] == "=" {
-            push(program, in_macro, Statement::Equal(tokens[0].into(), tokens[2].into()));
+            push(
+                program,
+                in_macro,
+                Statement::Equal(tokens[0].into(), tokens[2].into()),
+            );
             continue;
         }
         if tokens.len() == 3 && tokens[1] == "!=" {
-            push(program, in_macro, Statement::NotEqual(tokens[0].into(), tokens[2].into()));
+            push(
+                program,
+                in_macro,
+                Statement::NotEqual(tokens[0].into(), tokens[2].into()),
+            );
             continue;
         }
         // Weight / coupling.
@@ -246,7 +256,10 @@ fn parse_into(
                 push(
                     program,
                     in_macro,
-                    Statement::Weight { symbol: tokens[0].to_string(), value },
+                    Statement::Weight {
+                        symbol: tokens[0].to_string(),
+                        value,
+                    },
                 );
             }
             3 => {
@@ -275,11 +288,7 @@ fn parse_into(
     Ok(())
 }
 
-fn push(
-    program: &mut Program,
-    in_macro: &mut Option<(String, Vec<Statement>)>,
-    stmt: Statement,
-) {
+fn push(program: &mut Program, in_macro: &mut Option<(String, Vec<Statement>)>, stmt: Statement) {
     match in_macro {
         Some((_, body)) => body.push(stmt),
         None => program.statements.push(stmt),
@@ -350,9 +359,13 @@ and2.A = $x
     #[test]
     fn pins_single_and_multi_bit() {
         let p = parse("valid := true\nC[3:0] := 1010\n", &NoIncludes).unwrap();
-        let Statement::Pin { bits } = &p.statements[0] else { panic!() };
+        let Statement::Pin { bits } = &p.statements[0] else {
+            panic!()
+        };
         assert_eq!(bits, &vec![("valid".to_string(), true)]);
-        let Statement::Pin { bits } = &p.statements[1] else { panic!() };
+        let Statement::Pin { bits } = &p.statements[1] else {
+            panic!()
+        };
         assert_eq!(
             bits,
             &vec![
@@ -367,7 +380,10 @@ and2.A = $x
     #[test]
     fn nested_macro_rejected() {
         let src = "!begin_macro A\n!begin_macro B\n!end_macro B\n!end_macro A\n";
-        assert!(matches!(parse(src, &NoIncludes), Err(QmasmError::MacroNesting { .. })));
+        assert!(matches!(
+            parse(src, &NoIncludes),
+            Err(QmasmError::MacroNesting { .. })
+        ));
     }
 
     #[test]

@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn single_bit_forms() {
-        assert_eq!(parse_pin("valid := true").unwrap(), vec![("valid".into(), true)]);
+        assert_eq!(
+            parse_pin("valid := true").unwrap(),
+            vec![("valid".into(), true)]
+        );
         assert_eq!(parse_pin("x := 0").unwrap(), vec![("x".into(), false)]);
         assert_eq!(parse_pin("q[2] := 1").unwrap(), vec![("q[2]".into(), true)]);
     }
@@ -134,14 +137,18 @@ mod tests {
     #[test]
     fn decimal_value() {
         let bits = parse_pin("C[7:0] := 143").unwrap();
-        let value = bits.iter().fold(0u64, |acc, (_, b)| (acc << 1) | u64::from(*b));
+        let value = bits
+            .iter()
+            .fold(0u64, |acc, (_, b)| (acc << 1) | u64::from(*b));
         assert_eq!(value, 143);
     }
 
     #[test]
     fn hex_value() {
         let bits = parse_pin("A[3:0] := 0xD").unwrap();
-        let value = bits.iter().fold(0u64, |acc, (_, b)| (acc << 1) | u64::from(*b));
+        let value = bits
+            .iter()
+            .fold(0u64, |acc, (_, b)| (acc << 1) | u64::from(*b));
         assert_eq!(value, 13);
     }
 
@@ -167,8 +174,7 @@ mod tests {
 
     #[test]
     fn multiple_specs() {
-        let bits =
-            parse_pins(["A[1:0] := 10", "valid := true"]).unwrap();
+        let bits = parse_pins(["A[1:0] := 10", "valid := true"]).unwrap();
         assert_eq!(bits.len(), 3);
     }
 }

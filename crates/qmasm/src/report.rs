@@ -52,7 +52,9 @@ impl Assembled {
             if name.contains('$') {
                 continue;
             }
-            let Some(value) = self.symbols.value_of(name, spins) else { continue };
+            let Some(value) = self.symbols.value_of(name, spins) else {
+                continue;
+            };
             // Grouped bit?
             if let Some((base, index)) = split_indexed(name) {
                 let entry = solution
@@ -66,7 +68,9 @@ impl Assembled {
                     *width = (*width).max(index + 1);
                 }
             } else {
-                solution.values.insert(name.to_string(), SymbolValue::Bit(value));
+                solution
+                    .values
+                    .insert(name.to_string(), SymbolValue::Bit(value));
             }
         }
         solution
@@ -90,7 +94,10 @@ pub fn format_solution(solution: &Solution) -> String {
     for (name, value) in &solution.values {
         match value {
             SymbolValue::Bit(b) => {
-                out.push_str(&format!("{name:<10} {}\n", if *b { "True" } else { "False" }));
+                out.push_str(&format!(
+                    "{name:<10} {}\n",
+                    if *b { "True" } else { "False" }
+                ));
             }
             SymbolValue::Word { value, width } => {
                 out.push_str(&format!("{name:<10} {value} ({width} bits)\n"));
@@ -138,7 +145,10 @@ mod tests {
         assert_eq!(sol.get("X"), Some(0b1001));
         assert_eq!(
             sol.values["X"],
-            SymbolValue::Word { value: 0b1001, width: 4 }
+            SymbolValue::Word {
+                value: 0b1001,
+                width: 4
+            }
         );
     }
 

@@ -35,17 +35,13 @@ impl RandomProgram {
 fn arb_program() -> impl Strategy<Value = RandomProgram> {
     (2usize..=6).prop_flat_map(|n| {
         let weights = proptest::collection::vec((0..n, -2.0f64..2.0), 0..4);
-        let couplings =
-            proptest::collection::vec((0..n, 0..n, -2.0f64..2.0), 0..6);
+        let couplings = proptest::collection::vec((0..n, 0..n, -2.0f64..2.0), 0..6);
         let chains = proptest::collection::vec((0..n, 0..n, any::<bool>()), 0..3);
         (Just(n), weights, couplings, chains).prop_map(|(n, weights, couplings, chains)| {
             RandomProgram {
                 n,
                 weights,
-                couplings: couplings
-                    .into_iter()
-                    .filter(|&(a, b, _)| a != b)
-                    .collect(),
+                couplings: couplings.into_iter().filter(|&(a, b, _)| a != b).collect(),
                 chains: chains.into_iter().filter(|&(a, b, _)| a != b).collect(),
             }
         })

@@ -107,7 +107,11 @@ impl Lp {
             assert!(v < self.num_vars(), "unknown variable {v}");
             assert!(!c.is_nan(), "coefficient must not be NaN");
         }
-        self.constraints.push(RawConstraint { coeffs: coeffs.to_vec(), rel, rhs });
+        self.constraints.push(RawConstraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
     }
 
     /// Solves the LP with two-phase primal simplex.
@@ -121,9 +125,9 @@ impl Lp {
         //   free:          x = x⁺ − x⁻
         #[derive(Clone, Copy)]
         enum VarMap {
-            Shifted { col: usize, shift: f64 },   // x = shift + x'
-            Mirrored { col: usize, shift: f64 },  // x = shift − x'
-            Split { pos: usize, neg: usize },     // x = x⁺ − x⁻
+            Shifted { col: usize, shift: f64 },  // x = shift + x'
+            Mirrored { col: usize, shift: f64 }, // x = shift − x'
+            Split { pos: usize, neg: usize },    // x = x⁺ − x⁻
         }
         let mut maps: Vec<VarMap> = Vec::with_capacity(n_user);
         let mut n_cols = 0usize;
@@ -252,8 +256,8 @@ impl Lp {
 
         // --- Phase 1: maximize −Σ artificials. ---
         let mut phase1_obj = vec![0.0; total + 1];
-        for a in total_struct..total {
-            phase1_obj[a] = -1.0;
+        for obj in &mut phase1_obj[total_struct..total] {
+            *obj = -1.0;
         }
         let mut t = Tableau::new(rows, phase1_obj, basis, total);
         t.price_out();
@@ -297,7 +301,10 @@ impl Lp {
                 VarMap::Split { pos, neg } => x[pos] - x[neg],
             };
         }
-        LpOutcome::Optimal(Solution { objective: t.objective_value() + obj_const, values })
+        LpOutcome::Optimal(Solution {
+            objective: t.objective_value() + obj_const,
+            values,
+        })
     }
 }
 
@@ -319,7 +326,9 @@ mod tests {
         lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
         lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
         lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.objective, 36.0);
         assert_near(sol.values[x], 2.0);
         assert_near(sol.values[y], 6.0);
@@ -335,7 +344,9 @@ mod tests {
         lp.set_objective_coeff(y, 1.0);
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
         lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.objective, 3.0);
         assert_near(sol.values[x], 2.0);
         assert_near(sol.values[y], 1.0);
@@ -365,7 +376,9 @@ mod tests {
         let x = lp.add_free_var();
         lp.set_objective_coeff(x, -1.0);
         lp.add_constraint(&[(x, 1.0)], Relation::Ge, -3.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.values[x], -3.0);
         assert_near(sol.objective, 3.0);
     }
@@ -378,7 +391,9 @@ mod tests {
         let y = lp.add_var(-2.0, 1.0);
         lp.set_objective_coeff(x, 1.0);
         lp.set_objective_coeff(y, 1.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.objective, 3.0);
         assert_near(sol.values[x], 2.0);
         assert_near(sol.values[y], 1.0);
@@ -390,7 +405,9 @@ mod tests {
         let mut lp = Lp::new();
         let x = lp.add_var(f64::NEG_INFINITY, 5.0);
         lp.set_objective_coeff(x, 1.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.values[x], 5.0);
     }
 
@@ -403,7 +420,9 @@ mod tests {
         lp.set_objective_coeff(x, -1.0);
         lp.set_objective_coeff(y, -1.0);
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(-sol.objective, 2.0);
     }
 
@@ -415,7 +434,9 @@ mod tests {
         lp.set_objective_coeff(x, -1.0);
         lp.add_constraint(&[(x, -1.0)], Relation::Ge, -4.0);
         lp.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.values[x], 1.0);
     }
 
@@ -432,7 +453,9 @@ mod tests {
         lp.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5)], Relation::Le, 0.0);
         lp.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], Relation::Le, 0.0);
         lp.add_constraint(&[(x1, 1.0)], Relation::Le, 1.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.values[x1], 1.0);
     }
 
@@ -444,7 +467,9 @@ mod tests {
         lp.set_objective_coeff(x, 1.0);
         lp.add_constraint(&[(x, 1.0)], Relation::Eq, 1.0);
         lp.add_constraint(&[(x, 1.0)], Relation::Eq, 1.0);
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert_near(sol.values[x], 1.0);
     }
 
@@ -486,7 +511,9 @@ mod tests {
                 lp.add_constraint(&with_gap, Relation::Ge, 0.0);
             }
         }
-        let LpOutcome::Optimal(sol) = lp.solve() else { panic!("expected optimal") };
+        let LpOutcome::Optimal(sol) = lp.solve() else {
+            panic!("expected optimal")
+        };
         assert!(sol.objective > 0.5, "AND gate should admit a healthy gap");
         // Verify the solution actually separates valid from invalid rows.
         let eval = |y: f64, a: f64, b: f64| {

@@ -29,7 +29,12 @@ impl Tableau {
         debug_assert!(rows.iter().all(|r| r.len() == num_vars + 1));
         debug_assert_eq!(obj.len(), num_vars + 1);
         debug_assert_eq!(basis.len(), rows.len());
-        Tableau { rows, obj, basis, num_vars }
+        Tableau {
+            rows,
+            obj,
+            basis,
+            num_vars,
+        }
     }
 
     /// Subtracts multiples of the constraint rows from the objective row so

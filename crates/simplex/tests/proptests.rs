@@ -40,7 +40,7 @@ proptest! {
         };
         // Feasibility of the reported solution.
         for (i, &v) in sol.values.iter().enumerate() {
-            prop_assert!(v >= -1e-7 && v <= 10.0 + 1e-7, "bound violated on x{i}: {v}");
+            prop_assert!((-1e-7..=10.0 + 1e-7).contains(&v), "bound violated on x{i}: {v}");
         }
         for (coeffs, rhs) in &rlp.rows {
             let lhs: f64 = coeffs.iter().zip(&sol.values).map(|(c, v)| c * v).sum();

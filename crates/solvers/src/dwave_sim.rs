@@ -14,11 +14,15 @@
 //! 6. account wall-clock time with a programming/anneal/readout model so
 //!    §6.2-style per-solution costs can be reported.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use qac_chimera::{
-    embed_ising, find_embedding_or_clique, Chimera, EmbedError, EmbedOptions, Embedding,
+    embed_ising, find_embedding_or_clique_with_stats, find_embedding_portfolio, Chimera,
+    EmbedError, EmbedOptions, EmbedStats, Embedding, EmbeddingCache,
 };
 use qac_pbf::scale::{quantize, scale_to_range, CoefficientRange};
 use qac_pbf::Ising;
@@ -46,15 +50,19 @@ pub struct TimingModel {
 
 impl Default for TimingModel {
     fn default() -> TimingModel {
-        TimingModel { programming_us: 10_000.0, anneal_us: 20.0, readout_us: 123.0, delay_us: 21.0 }
+        TimingModel {
+            programming_us: 10_000.0,
+            anneal_us: 20.0,
+            readout_us: 123.0,
+            delay_us: 21.0,
+        }
     }
 }
 
 impl TimingModel {
     /// Total wall-clock for a job of `num_reads` anneals.
     pub fn total_us(&self, num_reads: usize) -> f64 {
-        self.programming_us
-            + num_reads as f64 * (self.anneal_us + self.readout_us + self.delay_us)
+        self.programming_us + num_reads as f64 * (self.anneal_us + self.readout_us + self.delay_us)
     }
 }
 
@@ -80,6 +88,13 @@ pub struct DWaveSimOptions {
     pub anneal_sweeps: usize,
     /// Embedding heuristic options.
     pub embed: EmbedOptions,
+    /// Parallel embedding attempts; the cheapest result (by physical
+    /// qubits, then max chain length) wins. 1 = plain single search.
+    pub embed_attempts: usize,
+    /// Shared embedding cache. When set, a repeated (problem, options,
+    /// hardware) combination reuses the stored embedding and does zero
+    /// routing work.
+    pub embedding_cache: Option<Arc<EmbeddingCache>>,
     /// The timing model used for cost accounting.
     pub timing: TimingModel,
 }
@@ -89,15 +104,29 @@ impl Default for DWaveSimOptions {
         DWaveSimOptions {
             chimera_size: 16,
             dropout: 0.0,
-            seed: 0xd3ca_f,
+            seed: 0xd_3caf,
             chain_strength: None,
             precision_bits: 5,
             noise_sigma: 0.01,
             anneal_sweeps: 64,
             embed: EmbedOptions::default(),
+            embed_attempts: 1,
+            embedding_cache: None,
             timing: TimingModel::default(),
         }
     }
+}
+
+/// Wall-clock of one internal phase of a simulated job ("scale",
+/// "embed", "distort", "anneal", "unembed").
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Phase name.
+    pub name: &'static str,
+    /// Time spent in the phase.
+    pub duration: Duration,
+    /// Retries the phase needed (embedding restarts; 0 elsewhere).
+    pub retries: usize,
 }
 
 /// The result of one simulated hardware job.
@@ -117,6 +146,11 @@ pub struct DWaveSimResult {
     pub scale: f64,
     /// Estimated wall-clock of the job.
     pub estimated_time_us: f64,
+    /// Routing-work counters of the embedding step (all zero with
+    /// `cache_hit` set when the embedding came from the cache).
+    pub embed_stats: EmbedStats,
+    /// Measured wall-clock of each internal phase, in execution order.
+    pub phases: Vec<PhaseTiming>,
 }
 
 /// The simulated D-Wave annealer.
@@ -150,20 +184,54 @@ impl DWaveSim {
             chimera.graph()
         };
 
+        let mut phases: Vec<PhaseTiming> = Vec::with_capacity(5);
+        let mut phase_start = Instant::now();
+        let mut phase_done = |phases: &mut Vec<PhaseTiming>, name, retries| {
+            let now = Instant::now();
+            phases.push(PhaseTiming {
+                name,
+                duration: now - phase_start,
+                retries,
+            });
+            phase_start = now;
+        };
+
         // 1. Scale the logical model into hardware range.
         let range = CoefficientRange::DWAVE_2000Q;
         let scaled = scale_to_range(logical, range);
+        phase_done(&mut phases, "scale", 0);
 
-        // 2. Embed.
-        let edges: Vec<(usize, usize)> =
-            scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
-        let embedding = find_embedding_or_clique(
-            &edges,
-            scaled.model.num_vars(),
-            &chimera,
-            &hardware,
-            &o.embed,
-        )?;
+        // 2. Embed — optionally through the shared cache, optionally as a
+        // portfolio of parallel attempts. A failed portfolio falls back to
+        // the same clique template the single-attempt path uses.
+        let edges: Vec<(usize, usize)> = scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
+        let num_vars = scaled.model.num_vars();
+        let search = || -> Result<(Embedding, EmbedStats), EmbedError> {
+            if o.embed_attempts > 1 {
+                find_embedding_portfolio(&edges, num_vars, &hardware, &o.embed, o.embed_attempts)
+                    .or_else(|err| {
+                        if let Some(embedding) = chimera.clique_embedding(num_vars) {
+                            if embedding.validate(&edges, &hardware) {
+                                let stats = EmbedStats {
+                                    route_iterations: o.embed.tries * o.embed.rounds,
+                                    restarts: o.embed.tries,
+                                    cache_hit: false,
+                                };
+                                return Ok((embedding, stats));
+                            }
+                        }
+                        Err(err)
+                    })
+            } else {
+                find_embedding_or_clique_with_stats(&edges, num_vars, &chimera, &hardware, &o.embed)
+            }
+        };
+        let (embedding, embed_stats) = match &o.embedding_cache {
+            Some(cache) => cache.get_or_embed(&edges, num_vars, &o.embed, &hardware, search)?,
+            None => search()?,
+        };
+        phase_done(&mut phases, "embed", embed_stats.restarts);
+
         let chain_strength = o
             .chain_strength
             .unwrap_or_else(|| (2.0 * scaled.model.max_abs_j()).max(1.0))
@@ -180,7 +248,7 @@ impl DWaveSim {
             physical.clone()
         };
         if o.noise_sigma > 0.0 {
-            let mut rng = StdRng::seed_from_u64(o.seed ^ 0x6e01_5e);
+            let mut rng = StdRng::seed_from_u64(o.seed ^ 0x6e_015e);
             let mut noisy = Ising::new(distorted.num_vars());
             for (i, h) in distorted.h_iter() {
                 if h != 0.0 {
@@ -197,6 +265,7 @@ impl DWaveSim {
             noisy.add_offset(distorted.offset());
             distorted = noisy;
         }
+        phase_done(&mut phases, "distort", 0);
 
         // 4. Stochastic sampling. Plain single-flip annealing cannot cross
         // the energy barrier of a long intact chain (the physical device
@@ -211,6 +280,7 @@ impl DWaveSim {
             o.seed ^ 0xa1_ea1,
             num_reads,
         );
+        phase_done(&mut phases, "anneal", 0);
 
         // 5. Decode with majority vote; re-evaluate energies logically.
         let mut decoded: Vec<Sample> = Vec::new();
@@ -229,15 +299,22 @@ impl DWaveSim {
         }
         let logical_set = SampleSet::from_samples(decoded);
         let physical_terms = embedded.physical.num_terms(1e-12);
+        phase_done(&mut phases, "unembed", 0);
 
         Ok(DWaveSimResult {
             logical: logical_set,
-            mean_chain_breaks: if reads > 0 { breaks / reads as f64 } else { 0.0 },
+            mean_chain_breaks: if reads > 0 {
+                breaks / reads as f64
+            } else {
+                0.0
+            },
             embedding,
             physical_qubits: embedded.embedding.num_physical_qubits(),
             physical_terms,
             scale: scaled.scale,
             estimated_time_us: o.timing.total_us(num_reads),
+            embed_stats,
+            phases,
         })
     }
 }
@@ -249,10 +326,11 @@ impl Sampler for DWaveSim {
     /// Panics if the model cannot be embedded; use [`DWaveSim::run`] to
     /// handle embedding failure.
     fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
-        self.run(model, num_reads).expect("model embeds on the configured hardware").logical
+        self.run(model, num_reads)
+            .expect("model embeds on the configured hardware")
+            .logical
     }
 }
-
 
 /// Annealing over an embedded model with chain-block moves.
 ///
@@ -280,15 +358,15 @@ fn anneal_embedded(
     }
     // β schedule bounds from the physical scale.
     let mut max_local = 0.0f64;
-    for i in 0..n {
-        let local: f64 = model.h(i).abs() + adj[i].iter().map(|(_, j)| j.abs()).sum::<f64>();
+    for (i, nbrs) in adj.iter().enumerate().take(n) {
+        let local: f64 = model.h(i).abs() + nbrs.iter().map(|(_, j)| j.abs()).sum::<f64>();
         max_local = max_local.max(2.0 * local);
     }
     if max_local == 0.0 {
         max_local = 1.0;
     }
     let beta_min = 0.7 / max_local;
-    let beta_max = 50.0 / max_local.min(8.0).max(1e-9);
+    let beta_max = 50.0 / max_local.clamp(1e-9, 8.0);
 
     let mut reads = Vec::with_capacity(num_reads);
     for r in 0..num_reads {
@@ -444,7 +522,10 @@ mod tests {
             ..small_options()
         };
         let result = DWaveSim::new(opts).run(&m, 20).unwrap();
-        assert_eq!(result.logical.best().unwrap().spins, vec![Spin::Up, Spin::Up]);
+        assert_eq!(
+            result.logical.best().unwrap().spins,
+            vec![Spin::Up, Spin::Up]
+        );
     }
 
     #[test]
@@ -456,6 +537,61 @@ mod tests {
         // Per-read marginal cost equals anneal + readout + delay.
         let marginal = (many - single) / 999.0;
         assert!((marginal - (20.0 + 123.0 + 21.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_cover_the_whole_job() {
+        let mut m = Ising::new(3);
+        m.add_j(0, 1, -1.0);
+        m.add_j(1, 2, -1.0);
+        let result = DWaveSim::new(small_options()).run(&m, 10).unwrap();
+        let names: Vec<&str> = result.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["scale", "embed", "distort", "anneal", "unembed"]);
+        assert!(result.embed_stats.restarts >= 1);
+        assert!(!result.embed_stats.cache_hit);
+        assert_eq!(result.phases[1].retries, result.embed_stats.restarts);
+    }
+
+    #[test]
+    fn cache_makes_the_second_run_a_hit() {
+        let mut m = Ising::new(4);
+        for i in 0..3 {
+            m.add_j(i, i + 1, -1.0);
+        }
+        let cache = Arc::new(EmbeddingCache::new());
+        let opts = DWaveSimOptions {
+            embedding_cache: Some(Arc::clone(&cache)),
+            ..small_options()
+        };
+        let sim = DWaveSim::new(opts);
+        let cold = sim.run(&m, 10).unwrap();
+        let warm = sim.run(&m, 10).unwrap();
+        assert!(!cold.embed_stats.cache_hit);
+        assert!(warm.embed_stats.cache_hit);
+        assert_eq!(warm.embed_stats.route_iterations, 0);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // Identical embedding and identical decoded samples either way.
+        assert_eq!(cold.embedding.chains(), warm.embedding.chains());
+        assert_eq!(cold.logical, warm.logical);
+    }
+
+    #[test]
+    fn portfolio_attempts_accumulate_restarts() {
+        let mut m = Ising::new(4);
+        for i in 0..3 {
+            m.add_j(i, i + 1, -1.0);
+        }
+        let single = DWaveSim::new(small_options()).run(&m, 5).unwrap();
+        let opts = DWaveSimOptions {
+            embed_attempts: 4,
+            ..small_options()
+        };
+        let quad = DWaveSim::new(opts).run(&m, 5).unwrap();
+        assert!(quad.embed_stats.restarts >= 4 * single.embed_stats.restarts);
+        // The portfolio winner is never larger than the single attempt
+        // (arm 0 *is* the single attempt).
+        assert!(quad.physical_qubits <= single.physical_qubits);
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl ExactSolver {
     /// Panics if the model exceeds the variable cap.
     pub fn ground_states(&self, model: &Ising, eps: f64) -> (f64, Vec<Vec<Spin>>) {
         let n = model.num_vars();
-        assert!(n <= self.max_vars, "model has {n} variables, cap is {}", self.max_vars);
+        assert!(
+            n <= self.max_vars,
+            "model has {n} variables, cap is {}",
+            self.max_vars
+        );
         if n == 0 {
             return (model.offset(), vec![Vec::new()]);
         }
@@ -83,7 +87,11 @@ impl Sampler for ExactSolver {
         SampleSet::from_samples(
             minima
                 .into_iter()
-                .map(|spins| Sample { spins, energy, occurrences: per })
+                .map(|spins| Sample {
+                    spins,
+                    energy,
+                    occurrences: per,
+                })
                 .collect(),
         )
     }

@@ -15,6 +15,8 @@
 //!   core move of D-Wave's classical `qbsolv`;
 //! * [`QbsolvStyle`] — qbsolv-style decomposition: splits problems larger
 //!   than a sub-solver budget into impact-selected subproblems;
+//! * [`Portfolio`] — wraps any reseedable sampler and splits the read
+//!   budget across N differently-seeded parallel copies;
 //! * [`DWaveSim`] — an end-to-end hardware model: Chimera embedding,
 //!   coefficient scaling and quantization, analog noise, stochastic
 //!   sampling, majority-vote unembedding, chain-break accounting, and a
@@ -45,14 +47,16 @@
 
 mod dwave_sim;
 mod exact;
+mod portfolio;
 mod qbsolv;
 mod sa;
 mod sample;
 mod sqa;
 mod tabu;
 
-pub use dwave_sim::{DWaveSim, DWaveSimOptions, DWaveSimResult, TimingModel};
+pub use dwave_sim::{DWaveSim, DWaveSimOptions, DWaveSimResult, PhaseTiming, TimingModel};
 pub use exact::ExactSolver;
+pub use portfolio::{Portfolio, Reseed};
 pub use qbsolv::QbsolvStyle;
 pub use sa::SimulatedAnnealing;
 pub use sample::{Sample, SampleSet, Sampler};

@@ -28,16 +28,34 @@ impl QbsolvStyle {
     /// A decomposer with qbsolv-like defaults (subproblems of 40
     /// variables).
     pub fn new(seed: u64) -> QbsolvStyle {
-        QbsolvStyle { seed, subproblem_size: 40, patience: 12, max_iterations: 200 }
+        QbsolvStyle {
+            seed,
+            subproblem_size: 40,
+            patience: 12,
+            max_iterations: 200,
+        }
+    }
+
+    /// Replaces the base seed (used by portfolio runners to diversify
+    /// otherwise-identical arms).
+    pub fn with_seed(mut self, seed: u64) -> QbsolvStyle {
+        self.seed = seed;
+        self
     }
 
     /// Sets the subproblem size (the "hardware capacity").
+    ///
+    /// Clamped to at least 2: a 1-variable subproblem cannot carry any
+    /// coupling, so 0 and 1 silently behave as 2.
     pub fn with_subproblem_size(mut self, size: usize) -> QbsolvStyle {
         self.subproblem_size = size.max(2);
         self
     }
 
     /// Sets the no-improvement patience.
+    ///
+    /// Clamped to at least 1 so the outer loop always tolerates one stale
+    /// iteration; 0 silently behaves as 1.
     pub fn with_patience(mut self, patience: usize) -> QbsolvStyle {
         self.patience = patience.max(1);
         self
@@ -66,13 +84,10 @@ impl QbsolvStyle {
                 let mut impact: Vec<(f64, usize)> = (0..n)
                     .map(|i| (model.flip_delta(&spins, i, &adj[i]), i))
                     .collect();
-                impact
-                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                impact.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 let core = self.subproblem_size * 3 / 4;
-                let mut selected: Vec<usize> =
-                    impact.iter().take(core).map(|&(_, i)| i).collect();
-                let mut rest: Vec<usize> =
-                    impact.iter().skip(core).map(|&(_, i)| i).collect();
+                let mut selected: Vec<usize> = impact.iter().take(core).map(|&(_, i)| i).collect();
+                let mut rest: Vec<usize> = impact.iter().skip(core).map(|&(_, i)| i).collect();
                 rest.shuffle(&mut rng);
                 selected.extend(rest.into_iter().take(self.subproblem_size - core));
                 selected
@@ -82,12 +97,8 @@ impl QbsolvStyle {
                 all.truncate(self.subproblem_size);
                 all
             };
-            let new_spins = self.solve_sub(
-                model,
-                &spins,
-                &selected,
-                seed.wrapping_add(1 + iter as u64),
-            );
+            let new_spins =
+                self.solve_sub(model, &spins, &selected, seed.wrapping_add(1 + iter as u64));
             let new_energy = model.energy(&new_spins);
             if new_energy < energy - 1e-12 {
                 energy = new_energy;
@@ -105,13 +116,7 @@ impl QbsolvStyle {
 
     /// Solves the subproblem over `selected` with all other spins clamped,
     /// returning the full updated assignment.
-    fn solve_sub(
-        &self,
-        model: &Ising,
-        spins: &[Spin],
-        selected: &[usize],
-        seed: u64,
-    ) -> Vec<Spin> {
+    fn solve_sub(&self, model: &Ising, spins: &[Spin], selected: &[usize], seed: u64) -> Vec<Spin> {
         let k = selected.len();
         let mut position = vec![usize::MAX; model.num_vars()];
         for (pos, &v) in selected.iter().enumerate() {
@@ -183,7 +188,10 @@ mod tests {
             let exact = ExactSolver::new().minimum_energy(&m);
             let q = QbsolvStyle::new(1).with_subproblem_size(8);
             let best = q.sample(&m, 6).best().unwrap().energy;
-            assert!((best - exact).abs() < 1e-9, "seed {seed}: {best} vs {exact}");
+            assert!(
+                (best - exact).abs() < 1e-9,
+                "seed {seed}: {best} vs {exact}"
+            );
         }
     }
 

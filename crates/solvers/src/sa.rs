@@ -27,10 +27,26 @@ impl SimulatedAnnealing {
     /// A sampler with the given seed and default schedule (256 sweeps,
     /// automatic β range).
     pub fn new(seed: u64) -> SimulatedAnnealing {
-        SimulatedAnnealing { seed, sweeps: 256, beta_range: None, threads: 4 }
+        SimulatedAnnealing {
+            seed,
+            sweeps: 256,
+            beta_range: None,
+            threads: 4,
+        }
+    }
+
+    /// Replaces the base seed (used by portfolio runners to diversify
+    /// otherwise-identical arms).
+    pub fn with_seed(mut self, seed: u64) -> SimulatedAnnealing {
+        self.seed = seed;
+        self
     }
 
     /// Sets the number of full-model sweeps per read.
+    ///
+    /// Clamped to at least 1: zero sweeps would skip the schedule-ratio
+    /// computation's divisor entirely and return unannealed random spins,
+    /// so 0 silently behaves as 1.
     pub fn with_sweeps(mut self, sweeps: usize) -> SimulatedAnnealing {
         self.sweeps = sweeps.max(1);
         self
@@ -38,12 +54,19 @@ impl SimulatedAnnealing {
 
     /// Overrides the automatic β (inverse temperature) range.
     pub fn with_beta_range(mut self, beta_min: f64, beta_max: f64) -> SimulatedAnnealing {
-        assert!(beta_min > 0.0 && beta_max >= beta_min, "need 0 < beta_min <= beta_max");
+        assert!(
+            beta_min > 0.0 && beta_max >= beta_min,
+            "need 0 < beta_min <= beta_max"
+        );
         self.beta_range = Some((beta_min, beta_max));
         self
     }
 
     /// Sets the worker thread count (1 = fully sequential).
+    ///
+    /// Clamped to at least 1; results are identical for every thread
+    /// count (reads are seeded independently), so the clamp cannot change
+    /// observable behavior — only scheduling.
     pub fn with_threads(mut self, threads: usize) -> SimulatedAnnealing {
         self.threads = threads.max(1);
         self
@@ -60,9 +83,8 @@ impl SimulatedAnnealing {
         // Max |ΔE| of a single flip, bounded by 2(|h| + Σ|J|) per site.
         let mut max_delta = 0.0f64;
         let mut min_delta = f64::INFINITY;
-        for i in 0..model.num_vars() {
-            let local: f64 =
-                model.h(i).abs() + adj[i].iter().map(|(_, j)| j.abs()).sum::<f64>();
+        for (i, nbrs) in adj.iter().enumerate().take(model.num_vars()) {
+            let local: f64 = model.h(i).abs() + nbrs.iter().map(|(_, j)| j.abs()).sum::<f64>();
             if local > 0.0 {
                 max_delta = max_delta.max(2.0 * local);
                 min_delta = min_delta.min(2.0 * local);
@@ -89,8 +111,7 @@ impl SimulatedAnnealing {
     ) -> Vec<Spin> {
         let n = model.num_vars();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut spins: Vec<Spin> =
-            (0..n).map(|_| Spin::from(rng.gen::<bool>())).collect();
+        let mut spins: Vec<Spin> = (0..n).map(|_| Spin::from(rng.gen::<bool>())).collect();
         if n == 0 {
             return spins;
         }
@@ -212,9 +233,48 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let m = frustrated_model(4, 12);
-        let a = SimulatedAnnealing::new(7).with_sweeps(40).with_threads(1).sample(&m, 8);
-        let b = SimulatedAnnealing::new(7).with_sweeps(40).with_threads(4).sample(&m, 8);
+        let a = SimulatedAnnealing::new(7)
+            .with_sweeps(40)
+            .with_threads(1)
+            .sample(&m, 8);
+        let b = SimulatedAnnealing::new(7)
+            .with_sweeps(40)
+            .with_threads(4)
+            .sample(&m, 8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_sweeps_and_threads_clamp_to_one() {
+        let m = frustrated_model(6, 8);
+        // with_sweeps(0)/with_threads(0) behave exactly as 1, not as "do
+        // nothing" — pinned here so the clamp stays intentional.
+        let clamped = SimulatedAnnealing::new(5)
+            .with_sweeps(0)
+            .with_threads(0)
+            .sample(&m, 6);
+        let explicit = SimulatedAnnealing::new(5)
+            .with_sweeps(1)
+            .with_threads(1)
+            .sample(&m, 6);
+        assert_eq!(clamped, explicit);
+        assert_eq!(clamped.total_reads(), 6);
+    }
+
+    #[test]
+    fn with_seed_is_equivalent_to_fresh_construction() {
+        // The reseed contract portfolio arms rely on: with_seed(s) is
+        // indistinguishable from building the sampler with seed s.
+        let m = frustrated_model(7, 12);
+        let base = SimulatedAnnealing::new(1).with_sweeps(3);
+        assert_eq!(
+            base.clone().with_seed(2).sample(&m, 4),
+            SimulatedAnnealing::new(2).with_sweeps(3).sample(&m, 4)
+        );
+        assert_eq!(
+            base.sample(&m, 4),
+            SimulatedAnnealing::new(1).with_sweeps(3).sample(&m, 4)
+        );
     }
 
     #[test]
@@ -227,7 +287,9 @@ mod tests {
     #[test]
     fn beta_range_override() {
         let m = frustrated_model(5, 6);
-        let sa = SimulatedAnnealing::new(2).with_beta_range(0.01, 20.0).with_sweeps(100);
+        let sa = SimulatedAnnealing::new(2)
+            .with_beta_range(0.01, 20.0)
+            .with_sweeps(100);
         let set = sa.sample(&m, 10);
         assert!(!set.is_empty());
     }

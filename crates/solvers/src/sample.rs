@@ -33,7 +33,11 @@ impl SampleSet {
                 None => {
                     let energy = model.energy(&spins);
                     index.insert(spins.clone(), samples.len());
-                    samples.push(Sample { spins, energy, occurrences: 1 });
+                    samples.push(Sample {
+                        spins,
+                        energy,
+                        occurrences: 1,
+                    });
                 }
             }
         }
@@ -60,6 +64,13 @@ impl SampleSet {
         let mut set = SampleSet { samples: merged };
         set.sort();
         set
+    }
+
+    /// Merges sample sets into one, re-deduplicating assignments across
+    /// sets (occurrences add). This is how portfolio runners combine the
+    /// reads of their arms.
+    pub fn merge(sets: impl IntoIterator<Item = SampleSet>) -> SampleSet {
+        SampleSet::from_samples(sets.into_iter().flat_map(|s| s.samples).collect())
     }
 
     fn sort(&mut self) {
@@ -168,6 +179,26 @@ mod tests {
         ];
         let set = SampleSet::from_reads(&m, reads);
         assert!((set.ground_fraction(1e-9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_re_deduplicates_across_sets() {
+        let m = model();
+        let a = SampleSet::from_reads(
+            &m,
+            vec![vec![Spin::Down, Spin::Down], vec![Spin::Up, Spin::Up]],
+        );
+        let b = SampleSet::from_reads(
+            &m,
+            vec![vec![Spin::Down, Spin::Down], vec![Spin::Up, Spin::Down]],
+        );
+        let merged = SampleSet::merge([a, b]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.total_reads(), 4);
+        let best = merged.best().unwrap();
+        assert_eq!(best.spins, vec![Spin::Down, Spin::Down]);
+        assert_eq!(best.occurrences, 2);
+        assert_eq!(SampleSet::merge([]), SampleSet::default());
     }
 
     #[test]

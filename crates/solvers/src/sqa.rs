@@ -33,16 +33,35 @@ impl Sqa {
     /// A sampler with the given seed and conventional defaults
     /// (20 slices, 256 sweeps, Γ₀ = 3, T = 0.05).
     pub fn new(seed: u64) -> Sqa {
-        Sqa { seed, slices: 20, sweeps: 256, gamma0: 3.0, temperature: 0.05 }
+        Sqa {
+            seed,
+            slices: 20,
+            sweeps: 256,
+            gamma0: 3.0,
+            temperature: 0.05,
+        }
+    }
+
+    /// Replaces the base seed (used by portfolio runners to diversify
+    /// otherwise-identical arms).
+    pub fn with_seed(mut self, seed: u64) -> Sqa {
+        self.seed = seed;
+        self
     }
 
     /// Sets the number of Trotter slices.
+    ///
+    /// Clamped to at least 2: the Suzuki–Trotter inter-slice coupling is
+    /// undefined for a single replica, so 0 and 1 silently behave as 2.
     pub fn with_slices(mut self, slices: usize) -> Sqa {
         self.slices = slices.max(2);
         self
     }
 
     /// Sets the sweep count.
+    ///
+    /// Clamped to at least 1: zero sweeps would return unannealed random
+    /// replicas, so 0 silently behaves as 1.
     pub fn with_sweeps(mut self, sweeps: usize) -> Sqa {
         self.sweeps = sweeps.max(1);
         self
@@ -113,7 +132,7 @@ impl Sqa {
                 }
             }
             let e = model.energy(&slice);
-            if best.as_ref().map_or(true, |(be, _)| e < *be) {
+            if best.as_ref().is_none_or(|(be, _)| e < *be) {
                 best = Some((e, slice));
             }
         }
@@ -153,7 +172,10 @@ mod tests {
             let exact = ExactSolver::new().minimum_energy(&m);
             let sqa = Sqa::new(5).with_sweeps(150).with_slices(10);
             let best = sqa.sample(&m, 15).best().unwrap().energy;
-            assert!((best - exact).abs() < 1e-9, "case {case}: {best} vs {exact}");
+            assert!(
+                (best - exact).abs() < 1e-9,
+                "case {case}: {best} vs {exact}"
+            );
         }
     }
 

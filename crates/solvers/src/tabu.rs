@@ -23,16 +23,34 @@ pub struct TabuSearch {
 impl TabuSearch {
     /// A tabu sampler with default tenure and step budget.
     pub fn new(seed: u64) -> TabuSearch {
-        TabuSearch { seed, tenure: None, steps: None }
+        TabuSearch {
+            seed,
+            tenure: None,
+            steps: None,
+        }
+    }
+
+    /// Replaces the base seed (used by portfolio runners to diversify
+    /// otherwise-identical arms).
+    pub fn with_seed(mut self, seed: u64) -> TabuSearch {
+        self.seed = seed;
+        self
     }
 
     /// Sets the tabu tenure.
+    ///
+    /// Clamped to at least 1: a tenure of 0 would let the search flip the
+    /// same variable back immediately and cycle, so 0 silently behaves
+    /// as 1.
     pub fn with_tenure(mut self, tenure: usize) -> TabuSearch {
         self.tenure = Some(tenure.max(1));
         self
     }
 
     /// Sets the per-restart step budget.
+    ///
+    /// Clamped to at least 1 so a restart always evaluates at least one
+    /// move; 0 silently behaves as 1.
     pub fn with_steps(mut self, steps: usize) -> TabuSearch {
         self.steps = Some(steps.max(1));
         self
@@ -116,7 +134,10 @@ mod tests {
             }
             let exact = ExactSolver::new().minimum_energy(&m);
             let best = TabuSearch::new(9).sample(&m, 8).best().unwrap().energy;
-            assert!((best - exact).abs() < 1e-9, "case {case}: {best} vs {exact}");
+            assert!(
+                (best - exact).abs() < 1e-9,
+                "case {case}: {best} vs {exact}"
+            );
         }
     }
 

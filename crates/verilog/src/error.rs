@@ -25,11 +25,17 @@ pub enum VerilogError {
 
 impl VerilogError {
     pub(crate) fn lex(line: usize, message: impl Into<String>) -> VerilogError {
-        VerilogError::Lex { line, message: message.into() }
+        VerilogError::Lex {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn parse(line: usize, message: impl Into<String>) -> VerilogError {
-        VerilogError::Parse { line, message: message.into() }
+        VerilogError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn elab(message: impl Into<String>) -> VerilogError {
@@ -40,8 +46,12 @@ impl VerilogError {
 impl fmt::Display for VerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerilogError::Lex { line, message } => write!(f, "line {line}: lexical error: {message}"),
-            VerilogError::Parse { line, message } => write!(f, "line {line}: syntax error: {message}"),
+            VerilogError::Lex { line, message } => {
+                write!(f, "line {line}: lexical error: {message}")
+            }
+            VerilogError::Parse { line, message } => {
+                write!(f, "line {line}: syntax error: {message}")
+            }
             VerilogError::Elab(message) => write!(f, "elaboration error: {message}"),
             VerilogError::UnknownModule(name) => write!(f, "unknown module `{name}`"),
         }

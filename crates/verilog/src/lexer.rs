@@ -128,7 +128,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `source`.
     pub fn new(source: &'a str) -> Lexer<'a> {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     /// Tokenizes the whole input.
@@ -212,7 +216,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia()?;
         let line = self.line;
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, line });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+            });
         };
         let kind = match c {
             b'(' => {
@@ -386,7 +393,10 @@ impl<'a> Lexer<'a> {
             b'0'..=b'9' => self.lex_number(line)?,
             c if c == b'_' || c.is_ascii_alphabetic() || c == b'\\' => self.lex_ident(),
             other => {
-                return Err(VerilogError::lex(line, format!("unexpected character `{}`", other as char)));
+                return Err(VerilogError::lex(
+                    line,
+                    format!("unexpected character `{}`", other as char),
+                ));
             }
         };
         Ok(Token { kind, line })
@@ -438,8 +448,8 @@ impl<'a> Lexer<'a> {
         }
         if self.peek() == Some(b'\'') {
             self.bump();
-            let width = usize::try_from(value)
-                .map_err(|_| VerilogError::lex(line, "width too large"))?;
+            let width =
+                usize::try_from(value).map_err(|_| VerilogError::lex(line, "width too large"))?;
             if width > 64 {
                 return Err(VerilogError::lex(line, "literal width exceeds 64 bits"));
             }
@@ -458,7 +468,10 @@ impl<'a> Lexer<'a> {
             b'd' => 10,
             b'h' => 16,
             other => {
-                return Err(VerilogError::lex(line, format!("unknown base `{}`", other as char)));
+                return Err(VerilogError::lex(
+                    line,
+                    format!("unknown base `{}`", other as char),
+                ));
             }
         };
         let mut value: u64 = 0;
@@ -474,7 +487,10 @@ impl<'a> Lexer<'a> {
                 _ => break,
             };
             if digit >= base {
-                return Err(VerilogError::lex(line, format!("digit `{}` invalid for base {base}", c as char)));
+                return Err(VerilogError::lex(
+                    line,
+                    format!("digit `{}` invalid for base {base}", c as char),
+                ));
             }
             value = value
                 .checked_mul(base)
@@ -501,7 +517,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -525,10 +545,31 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(kinds("42")[0], TokenKind::Number(42));
-        assert_eq!(kinds("4'b1011")[0], TokenKind::BasedNumber { width: 4, value: 11 });
-        assert_eq!(kinds("8'hFF")[0], TokenKind::BasedNumber { width: 8, value: 255 });
-        assert_eq!(kinds("6'd3")[0], TokenKind::BasedNumber { width: 6, value: 3 });
-        assert_eq!(kinds("12'o17")[0], TokenKind::BasedNumber { width: 12, value: 15 });
+        assert_eq!(
+            kinds("4'b1011")[0],
+            TokenKind::BasedNumber {
+                width: 4,
+                value: 11
+            }
+        );
+        assert_eq!(
+            kinds("8'hFF")[0],
+            TokenKind::BasedNumber {
+                width: 8,
+                value: 255
+            }
+        );
+        assert_eq!(
+            kinds("6'd3")[0],
+            TokenKind::BasedNumber { width: 6, value: 3 }
+        );
+        assert_eq!(
+            kinds("12'o17")[0],
+            TokenKind::BasedNumber {
+                width: 12,
+                value: 15
+            }
+        );
         assert_eq!(kinds("1_000")[0], TokenKind::Number(1000));
     }
 
@@ -564,7 +605,11 @@ mod tests {
         let ks = kinds("a // line comment\n /* block\n comment */ b");
         assert_eq!(
             ks,
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -28,9 +28,13 @@ type Word = Vec<NetId>;
 /// [`VerilogError::Elab`] for semantic problems (undeclared signals,
 /// non-constant widths, recursive instantiation, etc.).
 pub fn elaborate(design: &Design, top: &str) -> Result<Netlist, VerilogError> {
-    let module =
-        design.module(top).ok_or_else(|| VerilogError::UnknownModule(top.to_string()))?;
-    let mut elab = Elaborator { design, builder: Builder::new(top) };
+    let module = design
+        .module(top)
+        .ok_or_else(|| VerilogError::UnknownModule(top.to_string()))?;
+    let mut elab = Elaborator {
+        design,
+        builder: Builder::new(top),
+    };
     elab.lower_module(module, &HashMap::new(), None, 0)?;
     let netlist = elab.builder.finish();
     netlist
@@ -64,7 +68,11 @@ impl Signal {
 
     /// Maps a source-level index to a net offset.
     fn offset(&self, index: i64) -> Option<usize> {
-        let off = if self.left >= self.right { index - self.right } else { self.right - index };
+        let off = if self.left >= self.right {
+            index - self.right
+        } else {
+            self.right - index
+        };
         if off < 0 || off as usize >= self.width() {
             None
         } else {
@@ -128,7 +136,11 @@ impl<'a> Elaborator<'a> {
             }
         }
 
-        let mut ctx = ModuleCtx { params, signals: HashMap::new(), module_name: module.name.clone() };
+        let mut ctx = ModuleCtx {
+            params,
+            signals: HashMap::new(),
+            module_name: module.name.clone(),
+        };
 
         // --- Declarations. ---
         for decl in &module.decls {
@@ -163,13 +175,23 @@ impl<'a> Elaborator<'a> {
                     }
                     (SignalKind::Input, Some(b)) => {
                         let bound = b.inputs.get(name).ok_or_else(|| {
-                            self.err(format!("instance is missing a connection for input `{name}`"))
+                            self.err(format!(
+                                "instance is missing a connection for input `{name}`"
+                            ))
                         })?;
                         self.resize(bound, width)
                     }
                     _ => (0..width).map(|_| self.builder.fresh()).collect(),
                 };
-                ctx.signals.insert(name.clone(), Signal { kind: decl.kind, left, right, nets });
+                ctx.signals.insert(
+                    name.clone(),
+                    Signal {
+                        kind: decl.kind,
+                        left,
+                        right,
+                        nets,
+                    },
+                );
             }
         }
         // Ports must all be declared.
@@ -292,11 +314,12 @@ impl<'a> Elaborator<'a> {
                 }
                 sub.ports.iter().cloned().zip(exprs.iter()).collect()
             }
-            Connections::Named(named) => {
-                named.iter().map(|(p, e)| (p.clone(), e)).collect()
-            }
+            Connections::Named(named) => named.iter().map(|(p, e)| (p.clone(), e)).collect(),
         };
-        let mut bindings = PortBindings { inputs: HashMap::new(), outputs: HashMap::new() };
+        let mut bindings = PortBindings {
+            inputs: HashMap::new(),
+            outputs: HashMap::new(),
+        };
         for (port, expr) in pairs {
             match dir_of(&port) {
                 Some(SignalKind::Input) => {
@@ -343,13 +366,21 @@ impl<'a> Elaborator<'a> {
                 }
                 Ok(())
             }
-            Stmt::Assign { lhs, rhs, nonblocking: _ } => {
+            Stmt::Assign {
+                lhs,
+                rhs,
+                nonblocking: _,
+            } => {
                 let width = self.lvalue_width(ctx, lhs)?;
                 let value = self.lower_expr(ctx, env, rhs, Some(width))?;
                 let value = self.resize(&value, width);
                 self.assign_lvalue(ctx, env, lhs, &value)
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cond_word = self.lower_expr(ctx, env, cond, None)?;
                 let cond_bit = self.builder.reduce_or(&cond_word);
                 let mut then_env = env.clone();
@@ -360,7 +391,11 @@ impl<'a> Elaborator<'a> {
                 }
                 self.merge_envs(ctx, env, cond_bit, then_env, else_env)
             }
-            Stmt::Case { selector, arms, default } => {
+            Stmt::Case {
+                selector,
+                arms,
+                default,
+            } => {
                 // Desugar to an if/else chain, last arm first.
                 let sel_word = self.lower_expr(ctx, env, selector, None)?;
                 let mut else_env = env.clone();
@@ -417,8 +452,14 @@ impl<'a> Elaborator<'a> {
                     sig.nets.clone()
                 }
             };
-            let t = then_env.get(name.as_str()).cloned().unwrap_or_else(|| current.clone());
-            let e = else_env.get(name.as_str()).cloned().unwrap_or_else(|| current.clone());
+            let t = then_env
+                .get(name.as_str())
+                .cloned()
+                .unwrap_or_else(|| current.clone());
+            let e = else_env
+                .get(name.as_str())
+                .cloned()
+                .unwrap_or_else(|| current.clone());
             if t == e {
                 env.insert((*name).clone(), t);
             } else {
@@ -560,8 +601,12 @@ impl<'a> Elaborator<'a> {
                 let sig = &ctx.signals[name];
                 let m = eval_const(msb, &ctx.params).map_err(|e| self.err(e))? as i64;
                 let l = eval_const(lsb, &ctx.params).map_err(|e| self.err(e))? as i64;
-                let om = sig.offset(m).ok_or_else(|| self.err("part select out of range"))?;
-                let ol = sig.offset(l).ok_or_else(|| self.err("part select out of range"))?;
+                let om = sig
+                    .offset(m)
+                    .ok_or_else(|| self.err("part select out of range"))?;
+                let ol = sig
+                    .offset(l)
+                    .ok_or_else(|| self.err("part select out of range"))?;
                 let (lo, hi) = (om.min(ol), om.max(ol));
                 let resized = self.resize(value, hi - lo + 1);
                 current[lo..=hi].copy_from_slice(&resized);

@@ -59,7 +59,11 @@ impl Parser {
         } else {
             Err(VerilogError::parse(
                 self.line(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -133,16 +137,14 @@ impl Parser {
             }
             self.expect(&TokenKind::RParen)?;
         }
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
-                loop {
-                    self.header_port(&mut module)?;
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                self.header_port(&mut module)?;
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(&TokenKind::RParen)?;
             }
+            self.expect(&TokenKind::RParen)?;
         }
         self.expect(&TokenKind::Semi)?;
         while !self.at_keyword("endmodule") {
@@ -173,7 +175,10 @@ impl Parser {
                 Some(SignalKind::Output)
             }
         } else if self.at_keyword("inout") {
-            return Err(VerilogError::parse(self.line(), "inout ports are not supported"));
+            return Err(VerilogError::parse(
+                self.line(),
+                "inout ports are not supported",
+            ));
         } else {
             None
         };
@@ -185,7 +190,11 @@ impl Parser {
                 let range = self.opt_range()?;
                 let name = self.ident()?;
                 module.ports.push(name.clone());
-                module.decls.push(Decl { kind, range, names: vec![name] });
+                module.decls.push(Decl {
+                    kind,
+                    range,
+                    names: vec![name],
+                });
             }
             None => {
                 let name = self.ident()?;
@@ -421,7 +430,11 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Stmt::If { cond, then_branch, else_branch });
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.at_keyword("case") {
             self.bump();
@@ -449,7 +462,11 @@ impl Parser {
                 }
             }
             self.keyword("endcase")?;
-            return Ok(Stmt::Case { selector, arms, default });
+            return Ok(Stmt::Case {
+                selector,
+                arms,
+                default,
+            });
         }
         // Assignment.
         let lhs = self.lvalue()?;
@@ -465,7 +482,11 @@ impl Parser {
         };
         let rhs = self.expr()?;
         self.expect(&TokenKind::Semi)?;
-        Ok(Stmt::Assign { lhs, rhs, nonblocking })
+        Ok(Stmt::Assign {
+            lhs,
+            rhs,
+            nonblocking,
+        })
     }
 
     fn lvalue(&mut self) -> Result<LValue, VerilogError> {
@@ -508,7 +529,11 @@ impl Parser {
             let then = self.expr()?;
             self.expect(&TokenKind::Colon)?;
             let else_ = self.expr()?;
-            Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(else_)))
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(else_),
+            ))
         } else {
             Ok(cond)
         }
@@ -703,7 +728,10 @@ impl Parser {
             }
             TokenKind::BasedNumber { width, value } => {
                 self.bump();
-                Ok(Expr::Literal { value, width: if width == 0 { None } else { Some(width) } })
+                Ok(Expr::Literal {
+                    value,
+                    width: if width == 0 { None } else { Some(width) },
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -854,8 +882,12 @@ mod tests {
         "#;
         let design = parse(src).unwrap();
         let m = design.module("m").unwrap();
-        let Stmt::Block(stmts) = &m.always[0].body else { panic!("expected block") };
-        let Stmt::Case { arms, default, .. } = &stmts[0] else { panic!("expected case") };
+        let Stmt::Block(stmts) = &m.always[0].body else {
+            panic!("expected block")
+        };
+        let Stmt::Case { arms, default, .. } = &stmts[0] else {
+            panic!("expected case")
+        };
         assert_eq!(arms.len(), 2);
         assert_eq!(arms[1].0.len(), 2);
         assert!(default.is_some());
@@ -872,17 +904,23 @@ mod tests {
         let design = parse(src).unwrap();
         let m = design.module("top").unwrap();
         assert_eq!(m.instances.len(), 2);
-        assert!(matches!(m.instances[0].connections, Connections::Positional(_)));
+        assert!(matches!(
+            m.instances[0].connections,
+            Connections::Positional(_)
+        ));
         assert!(matches!(m.instances[1].connections, Connections::Named(_)));
         assert_eq!(m.instances[1].param_overrides.len(), 1);
     }
 
     #[test]
     fn concat_and_replication() {
-        let src = "module m (input [3:0] a, output [7:0] y); assign y = {a, {2{a[0]}}, 2'b01}; endmodule";
+        let src =
+            "module m (input [3:0] a, output [7:0] y); assign y = {a, {2{a[0]}}, 2'b01}; endmodule";
         let design = parse(src).unwrap();
         let m = design.module("m").unwrap();
-        let Expr::Concat(parts) = &m.assigns[0].rhs else { panic!("expected concat") };
+        let Expr::Concat(parts) = &m.assigns[0].rhs else {
+            panic!("expected concat")
+        };
         assert_eq!(parts.len(), 3);
         assert!(matches!(parts[1], Expr::Repeat(..)));
     }

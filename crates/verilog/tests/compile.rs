@@ -81,7 +81,11 @@ fn figure2_add_sub() {
         for a in 0..2u64 {
             for b in 0..2u64 {
                 let out = sim.eval_words(&[("s", s), ("a", a), ("b", b)]).unwrap();
-                let expect = if s == 1 { a + b } else { a.wrapping_sub(b) & 0b11 };
+                let expect = if s == 1 {
+                    a + b
+                } else {
+                    a.wrapping_sub(b) & 0b11
+                };
                 assert_eq!(out["c"], expect, "s={s} a={a} b={b}");
             }
         }
@@ -140,8 +144,11 @@ fn australia_verifier_agrees_with_reference() {
     // Sample a spread of colorings (exhaustive would be 4^7 = 16384 — fine).
     for combo in 0..(1u64 << 14) {
         let colors: Vec<u64> = (0..7).map(|i| (combo >> (2 * i)) & 0b11).collect();
-        let inputs: Vec<(&str, u64)> =
-            regions.iter().copied().zip(colors.iter().copied()).collect();
+        let inputs: Vec<(&str, u64)> = regions
+            .iter()
+            .copied()
+            .zip(colors.iter().copied())
+            .collect();
         let out = sim.eval_words(&inputs).unwrap();
         let color_of = |r: &str| colors[regions.iter().position(|&x| x == r).unwrap()];
         let expect = adjacent.iter().all(|&(p, q)| color_of(p) != color_of(q));
@@ -326,7 +333,10 @@ fn optimization_preserves_multiplier() {
     let before = netlist.cells().len();
     let report = opt::optimize(&mut netlist);
     netlist.validate().unwrap();
-    assert!(report.total() > 0, "expected some cleanup of lowering buffers");
+    assert!(
+        report.total() > 0,
+        "expected some cleanup of lowering buffers"
+    );
     assert!(netlist.cells().len() < before);
     let sim = CombSim::new(&netlist).unwrap();
     for a in 0..16u64 {
@@ -378,7 +388,10 @@ fn dynamic_bit_select() {
 #[test]
 fn unknown_module_error() {
     assert!(matches!(
-        compile("module m (input a, output y); assign y = a; endmodule", "nope"),
+        compile(
+            "module m (input a, output y); assign y = a; endmodule",
+            "nope"
+        ),
         Err(qac_verilog::VerilogError::UnknownModule(_))
     ));
 }

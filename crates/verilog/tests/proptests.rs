@@ -17,24 +17,26 @@ enum Node {
     Tern(Box<Node>, Box<Node>, Box<Node>),
 }
 
-const BINOPS: [&str; 14] =
-    ["+", "-", "*", "&", "|", "^", "~^", "&&", "||", "==", "!=", "<", ">", ">="];
+const BINOPS: [&str; 14] = [
+    "+", "-", "*", "&", "|", "^", "~^", "&&", "||", "==", "!=", "<", ">", ">=",
+];
 const UNOPS: [&str; 5] = ["~", "!", "-", "&", "|"];
 
 fn arb_node() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        Just(Node::A),
-        Just(Node::B),
-        (0u8..16).prop_map(Node::Lit),
-    ];
+    let leaf = prop_oneof![Just(Node::A), Just(Node::B), (0u8..16).prop_map(Node::Lit),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (0usize..UNOPS.len(), inner.clone())
-                .prop_map(|(i, n)| Node::Un(UNOPS[i], Box::new(n))),
-            (0usize..BINOPS.len(), inner.clone(), inner.clone())
-                .prop_map(|(i, l, r)| Node::Bin(BINOPS[i], Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Node::Tern(Box::new(c), Box::new(t), Box::new(e))),
+            (0usize..UNOPS.len(), inner.clone()).prop_map(|(i, n)| Node::Un(UNOPS[i], Box::new(n))),
+            (0usize..BINOPS.len(), inner.clone(), inner.clone()).prop_map(|(i, l, r)| Node::Bin(
+                BINOPS[i],
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Node::Tern(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }
@@ -48,7 +50,12 @@ impl Node {
             Node::Un(op, n) => format!("({op}{})", n.to_verilog()),
             Node::Bin(op, l, r) => format!("({} {op} {})", l.to_verilog(), r.to_verilog()),
             Node::Tern(c, t, e) => {
-                format!("({} ? {} : {})", c.to_verilog(), t.to_verilog(), e.to_verilog())
+                format!(
+                    "({} ? {} : {})",
+                    c.to_verilog(),
+                    t.to_verilog(),
+                    e.to_verilog()
+                )
             }
         }
     }
@@ -89,31 +96,29 @@ impl Node {
                 "|" => u64::from(n.eval(a, b, 0) != 0),
                 _ => unreachable!(),
             },
-            Node::Bin(op, l, r) => {
-                match *op {
-                    "&&" => u64::from(l.eval(a, b, 0) != 0 && r.eval(a, b, 0) != 0),
-                    "||" => u64::from(l.eval(a, b, 0) != 0 || r.eval(a, b, 0) != 0),
-                    "==" => u64::from(l.eval(a, b, 0) == r.eval(a, b, 0)),
-                    "!=" => u64::from(l.eval(a, b, 0) != r.eval(a, b, 0)),
-                    "<" => u64::from(l.eval(a, b, 0) < r.eval(a, b, 0)),
-                    ">" => u64::from(l.eval(a, b, 0) > r.eval(a, b, 0)),
-                    ">=" => u64::from(l.eval(a, b, 0) >= r.eval(a, b, 0)),
-                    _ => {
-                        let x = l.eval(a, b, w);
-                        let y = r.eval(a, b, w);
-                        (match *op {
-                            "+" => x + y,
-                            "-" => x.wrapping_sub(y),
-                            "*" => x * y,
-                            "&" => x & y,
-                            "|" => x | y,
-                            "^" => x ^ y,
-                            "~^" => !(x ^ y),
-                            _ => unreachable!(),
-                        }) & mask
-                    }
+            Node::Bin(op, l, r) => match *op {
+                "&&" => u64::from(l.eval(a, b, 0) != 0 && r.eval(a, b, 0) != 0),
+                "||" => u64::from(l.eval(a, b, 0) != 0 || r.eval(a, b, 0) != 0),
+                "==" => u64::from(l.eval(a, b, 0) == r.eval(a, b, 0)),
+                "!=" => u64::from(l.eval(a, b, 0) != r.eval(a, b, 0)),
+                "<" => u64::from(l.eval(a, b, 0) < r.eval(a, b, 0)),
+                ">" => u64::from(l.eval(a, b, 0) > r.eval(a, b, 0)),
+                ">=" => u64::from(l.eval(a, b, 0) >= r.eval(a, b, 0)),
+                _ => {
+                    let x = l.eval(a, b, w);
+                    let y = r.eval(a, b, w);
+                    (match *op {
+                        "+" => x + y,
+                        "-" => x.wrapping_sub(y),
+                        "*" => x * y,
+                        "&" => x & y,
+                        "|" => x | y,
+                        "^" => x ^ y,
+                        "~^" => !(x ^ y),
+                        _ => unreachable!(),
+                    }) & mask
                 }
-            }
+            },
             Node::Tern(c, t, e) => {
                 if c.eval(a, b, 0) != 0 {
                     t.eval(a, b, w)

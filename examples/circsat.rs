@@ -51,8 +51,14 @@ fn main() {
         )
         .expect("run succeeds");
 
-    println!("valid fraction over 200 anneals: {:.2}", outcome.valid_fraction());
-    let solution = outcome.valid_solutions().next().expect("the circuit is satisfiable");
+    println!(
+        "valid fraction over 200 anneals: {:.2}",
+        outcome.valid_fraction()
+    );
+    let solution = outcome
+        .valid_solutions()
+        .next()
+        .expect("the circuit is satisfiable");
     let (a, b, c) = (
         solution.get("a").unwrap(),
         solution.get("b").unwrap(),
@@ -61,7 +67,11 @@ fn main() {
     println!("satisfying assignment: a={a} b={b} c={c}");
 
     // The paper reports a = b = 1, c = 0.
-    assert_eq!((a, b, c), (1, 1, 0), "CLRS's circuit has exactly this satisfying assignment");
+    assert_eq!(
+        (a, b, c),
+        (1, 1, 0),
+        "CLRS's circuit has exactly this satisfying assignment"
+    );
 
     // Forward verification on the gate-level netlist (polynomial time).
     let sim = CombSim::new(&compiled.netlist).expect("combinational");

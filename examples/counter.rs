@@ -43,7 +43,10 @@ fn main() {
     println!("== qubit toll of time-unrolling (§4.3.3) ==");
     println!("{:>6} {:>12} {:>12}", "steps", "gate cells", "logical vars");
     for t in 1..=steps.max(3) {
-        let opts = CompileOptions { unroll_steps: Some(t), ..Default::default() };
+        let opts = CompileOptions {
+            unroll_steps: Some(t),
+            ..Default::default()
+        };
         let c = compile(COUNTER, "count", &opts).expect("counter compiles");
         println!(
             "{t:>6} {:>12} {:>12}",
@@ -51,7 +54,10 @@ fn main() {
         );
     }
 
-    let opts = CompileOptions { unroll_steps: Some(steps), ..Default::default() };
+    let opts = CompileOptions {
+        unroll_steps: Some(steps),
+        ..Default::default()
+    };
     let compiled = compile(COUNTER, "count", &opts).expect("counter compiles");
 
     // Forward: increment on every step; out@t counts 0, 1, 2, …
@@ -64,7 +70,10 @@ fn main() {
             .pin(&format!("clk@{t} := 0"));
     }
     let outcome = compiled.run(&run).expect("run succeeds");
-    let best = outcome.valid_solutions().next().expect("forward run is deterministic");
+    let best = outcome
+        .valid_solutions()
+        .next()
+        .expect("forward run is deterministic");
     for t in 0..steps {
         let out = best.get(&format!("out@{t}")).unwrap();
         println!("out@{t} = {out}");

@@ -60,7 +60,10 @@ fn main() {
         // The paper reports exactly {A=11,B=13} and {A=13,B=11}.
         assert!(factorizations.contains(&(11, 13)) || factorizations.contains(&(13, 11)));
     }
-    assert!(!factorizations.is_empty(), "no factorization found — try more reads");
+    assert!(
+        !factorizations.is_empty(),
+        "no factorization found — try more reads"
+    );
 
     // --- Multiply: pin A and B (forward execution). ---
     println!("\n== multiplying 13 × 11 ==");

@@ -44,20 +44,29 @@ fn main() {
                 .num_reads(500),
         )
         .expect("run succeeds");
-    println!("valid fraction over 500 anneals: {:.2}", outcome.valid_fraction());
+    println!(
+        "valid fraction over 500 anneals: {:.2}",
+        outcome.valid_fraction()
+    );
 
     // Verify every valid sample against the adjacency list and count
     // distinct colorings — "the D-Wave version samples from the space of
     // solutions" (§6.2).
     let mut distinct: BTreeSet<Vec<u64>> = BTreeSet::new();
     for solution in outcome.valid_solutions() {
-        let color =
-            |r: &str| solution.get(r).unwrap_or_else(|| panic!("missing region {r}"));
+        let color = |r: &str| {
+            solution
+                .get(r)
+                .unwrap_or_else(|| panic!("missing region {r}"))
+        };
         for (a, b) in mapcolor::AUSTRALIA_ADJACENCY {
             assert_ne!(color(a), color(b), "{a} and {b} share color");
         }
         distinct.insert(
-            mapcolor::AUSTRALIA_REGIONS.iter().map(|r| color(r)).collect(),
+            mapcolor::AUSTRALIA_REGIONS
+                .iter()
+                .map(|r| color(r))
+                .collect(),
         );
     }
     println!("distinct valid colorings sampled: {}", distinct.len());

@@ -21,8 +21,8 @@ const FIGURE2: &str = r#"
 "#;
 
 fn main() {
-    let compiled = compile(FIGURE2, "circuit", &CompileOptions::default())
-        .expect("Figure 2 compiles");
+    let compiled =
+        compile(FIGURE2, "circuit", &CompileOptions::default()).expect("Figure 2 compiles");
 
     println!("== Pipeline artifacts (paper Figures 2–3) ==");
     println!("Verilog lines:      {}", compiled.stats.verilog_lines);
@@ -80,7 +80,10 @@ fn main() {
             solution.get("b").unwrap()
         );
     }
-    let best = outcome.valid_solutions().next().expect("2 = 1 + 1 is reachable");
+    let best = outcome
+        .valid_solutions()
+        .next()
+        .expect("2 = 1 + 1 is reachable");
     assert_eq!(best.get("a").unwrap() + best.get("b").unwrap(), 2);
 
     // Stochastic run, as on real hardware: simulated annealing samples.
@@ -96,7 +99,14 @@ fn main() {
         .expect("run succeeds");
     println!("valid fraction: {:.2}", outcome.valid_fraction());
     let best = outcome.valid_solutions().next().expect("3 = 0 − 1 mod 4");
-    println!("a = {}, b = {}", best.get("a").unwrap(), best.get("b").unwrap());
-    assert_eq!((best.get("a").unwrap() as i64 - best.get("b").unwrap() as i64).rem_euclid(4), 3);
+    println!(
+        "a = {}, b = {}",
+        best.get("a").unwrap(),
+        best.get("b").unwrap()
+    );
+    assert_eq!(
+        (best.get("a").unwrap() as i64 - best.get("b").unwrap() as i64).rem_euclid(4),
+        3
+    );
     println!("\nquickstart: OK");
 }

@@ -133,11 +133,21 @@ fn circsat_backward_and_forward() {
     "#;
     let compiled = compile(source, "circsat", &CompileOptions::default()).unwrap();
     let outcome = compiled
-        .run(&RunOptions::new().pin("y := true").solver(SolverChoice::Exact))
+        .run(
+            &RunOptions::new()
+                .pin("y := true")
+                .solver(SolverChoice::Exact),
+        )
         .unwrap();
     let solutions: Vec<(u64, u64, u64)> = outcome
         .valid_solutions()
-        .map(|s| (s.get("a").unwrap(), s.get("b").unwrap(), s.get("c").unwrap()))
+        .map(|s| {
+            (
+                s.get("a").unwrap(),
+                s.get("b").unwrap(),
+                s.get("c").unwrap(),
+            )
+        })
         .collect();
     // The paper: the hardware returns a and b True, c False.
     assert!(solutions.contains(&(1, 1, 0)));
@@ -220,10 +230,12 @@ fn csp_and_annealer_agree_on_satisfiability() {
         assert_eq!(model.solve().is_some(), satisfiable, "CSP, {colors} colors");
         // Annealer side: build the ring verifier in Verilog.
         let width = if colors <= 2 { 1 } else { 2 };
-        let decls: Vec<String> =
-            (0..5).map(|i| format!("input [{}:0] R{i};", width - 1)).collect();
-        let mut constraints: Vec<String> =
-            (0..5).map(|i| format!("R{i} != R{}", (i + 1) % 5)).collect();
+        let decls: Vec<String> = (0..5)
+            .map(|i| format!("input [{}:0] R{i};", width - 1))
+            .collect();
+        let mut constraints: Vec<String> = (0..5)
+            .map(|i| format!("R{i} != R{}", (i + 1) % 5))
+            .collect();
         // Domain restriction for 3 colors on 2 bits: R < 3.
         if colors == 3 {
             for i in 0..5 {
@@ -361,7 +373,10 @@ fn sequential_unrolled_counter_runs_backward() {
           assign out = var;
         endmodule
     "#;
-    let options = CompileOptions { unroll_steps: Some(2), ..Default::default() };
+    let options = CompileOptions {
+        unroll_steps: Some(2),
+        ..Default::default()
+    };
     let compiled = compile(source, "count", &options).unwrap();
     // Pin the final state to 2: both steps must increment.
     let outcome = compiled
@@ -374,7 +389,10 @@ fn sequential_unrolled_counter_runs_backward() {
                 .num_reads(40),
         )
         .unwrap();
-    let best = outcome.valid_solutions().next().expect("count of 2 reachable");
+    let best = outcome
+        .valid_solutions()
+        .next()
+        .expect("count of 2 reachable");
     assert_eq!(best.get("inc@0"), Some(1));
     assert_eq!(best.get("inc@1"), Some(1));
     assert_eq!(best.get("reset@0"), Some(0));

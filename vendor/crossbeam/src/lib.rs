@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate: the scoped-thread API the
+//! workspace uses, implemented on `std::thread::scope` (stabilized long
+//! after crossbeam popularized the pattern).
+//!
+//! Semantics difference kept deliberately small: real `crossbeam::scope`
+//! returns `Err` when a child panics; `std::thread::scope` resumes the
+//! panic on the parent. Every call site in this workspace immediately
+//! `.expect(..)`s the result, so the observable behavior (abort the test /
+//! propagate the panic) is identical.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (crossbeam
+    /// convention) so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which spawned threads are joined before returning.
+///
+/// # Errors
+/// Never returns `Err`; child panics propagate to the caller (see the
+/// crate docs for why this matches every call site's expectations).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, for `crossbeam::thread::scope` paths.
+pub mod thread_mod {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let data: Vec<usize> = (0..100).collect();
+        super::scope(|scope| {
+            for chunk in data.chunks(25) {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            let counter = &counter;
+            scope.spawn(move |inner| {
+                inner.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

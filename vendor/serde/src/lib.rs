@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits plus the no-op derive
+//! macros (feature `derive`). The workspace annotates model types for
+//! future serialization but contains no serializer, so empty traits keep
+//! every `use serde::{Serialize, Deserialize}` and `#[derive(..)]` site
+//! compiling without behavioral change.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
