@@ -18,6 +18,15 @@ cargo test -q
 echo "==> cargo test -q --workspace --release"
 cargo test -q --workspace --release
 
+echo "==> telemetry export smoke (JSONL + Prometheus round-trip)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p qac-bench --bin experiments -- \
+    figure2_3 --trace-json "$tmpdir/trace.jsonl" --metrics "$tmpdir/metrics.prom" \
+    > /dev/null
+cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    "$tmpdir/trace.jsonl" "$tmpdir/metrics.prom"
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

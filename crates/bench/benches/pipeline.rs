@@ -28,6 +28,27 @@ fn bench_pipeline(c: &mut Criterion) {
         };
         b.iter(|| std::hint::black_box(compile(COUNTER, "count", &options).unwrap()))
     });
+
+    // Telemetry overhead on the compile path. The disabled variant is the
+    // default state (one relaxed atomic load per would-be span) and must
+    // stay within noise of `compile_figure2` above; the enabled variant
+    // bounds the cost of recording real spans.
+    c.bench_function("compile_figure2_telemetry_disabled", |b| {
+        qac_telemetry::global().disable();
+        b.iter(|| {
+            std::hint::black_box(compile(FIGURE2, "circuit", &CompileOptions::default()).unwrap())
+        })
+    });
+    c.bench_function("compile_figure2_telemetry_enabled", |b| {
+        let recorder = qac_telemetry::global();
+        recorder.enable();
+        recorder.clear();
+        b.iter(|| {
+            std::hint::black_box(compile(FIGURE2, "circuit", &CompileOptions::default()).unwrap())
+        });
+        recorder.disable();
+        recorder.clear();
+    });
 }
 
 criterion_group! {

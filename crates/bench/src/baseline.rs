@@ -1,0 +1,138 @@
+//! Machine-readable perf baseline (BENCH_pr*.json).
+//!
+//! Times the three costs that dominate the pipeline — compile, minor
+//! embedding, and sampling — for the §6-scale workloads, records them as
+//! gauges in a private telemetry [`Recorder`], and renders the metric
+//! snapshot as JSON. Committing the output gives later sessions a
+//! baseline to diff perf changes against.
+
+use std::time::Instant;
+
+use qac_chimera::{find_embedding_or_clique, Chimera, EmbedOptions};
+use qac_pbf::scale::{scale_to_range, CoefficientRange};
+use qac_solvers::{Sampler, SimulatedAnnealing};
+use qac_telemetry::json::Json;
+use qac_telemetry::Recorder;
+
+use crate::{compile_workload, AUSTRALIA, CIRCSAT, FIGURE2};
+
+/// Workloads the baseline covers: Figure 2, the CLRS verifier, and the
+/// §6 map-coloring program.
+const WORKLOADS: &[(&str, &str, &str)] = &[
+    ("figure2", FIGURE2, "circuit"),
+    ("circsat", CIRCSAT, "circsat"),
+    ("australia", AUSTRALIA, "australia"),
+];
+
+/// Reads per sampling measurement.
+const SAMPLE_READS: usize = 200;
+
+/// Measures compile / embed / sample wall time for every baseline
+/// workload and renders the result as a JSON document (the
+/// `BENCH_pr2.json` format). Uses its own recorder, so it neither
+/// requires nor disturbs the global one.
+pub fn bench_baseline_json() -> String {
+    let recorder = Recorder::new();
+    recorder.enable();
+
+    let chimera = Chimera::dwave_2000q();
+    let hardware = chimera.graph();
+    for (name, source, top) in WORKLOADS {
+        let start = Instant::now();
+        let compiled = compile_workload(source, top);
+        let compile_us = start.elapsed().as_secs_f64() * 1e6;
+        recorder.gauge_set(
+            &format!("qac_bench_compile_us{{workload=\"{name}\"}}"),
+            compile_us,
+        );
+
+        let scaled = scale_to_range(&compiled.assembled.ising, CoefficientRange::DWAVE_2000Q);
+        let edges: Vec<(usize, usize)> = scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
+        let start = Instant::now();
+        let embedding = find_embedding_or_clique(
+            &edges,
+            scaled.model.num_vars(),
+            &chimera,
+            &hardware,
+            &EmbedOptions {
+                seed: 11,
+                ..Default::default()
+            },
+        )
+        .expect("baseline workloads embed on a 2000Q");
+        let embed_us = start.elapsed().as_secs_f64() * 1e6;
+        recorder.gauge_set(
+            &format!("qac_bench_embed_us{{workload=\"{name}\"}}"),
+            embed_us,
+        );
+        recorder.gauge_set(
+            &format!("qac_bench_physical_qubits{{workload=\"{name}\"}}"),
+            embedding.num_physical_qubits() as f64,
+        );
+
+        let sampler = SimulatedAnnealing::new(7).with_sweeps(256);
+        let start = Instant::now();
+        let set = sampler.sample(&compiled.assembled.ising, SAMPLE_READS);
+        let sample_us = start.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(set.total_reads(), SAMPLE_READS);
+        recorder.gauge_set(
+            &format!("qac_bench_sample_us{{workload=\"{name}\"}}"),
+            sample_us,
+        );
+    }
+
+    let snapshot = recorder.snapshot();
+    let metrics = Json::Obj(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::Num(*value)))
+            .collect(),
+    );
+    let doc = Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("qac-bench-baseline-v1".to_string()),
+        ),
+        (
+            "description".to_string(),
+            Json::Str(
+                "compile/embed/sample wall times (µs) for the Section 6 workloads".to_string(),
+            ),
+        ),
+        ("sample_reads".to_string(), Json::Num(SAMPLE_READS as f64)),
+        (
+            "workloads".to_string(),
+            Json::Arr(
+                WORKLOADS
+                    .iter()
+                    .map(|(name, ..)| Json::Str((*name).to_string()))
+                    .collect(),
+            ),
+        ),
+        ("metrics".to_string(), metrics),
+    ]);
+    format!("{doc}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_json_parses_and_covers_every_workload() {
+        let text = bench_baseline_json();
+        let doc = qac_telemetry::json::parse(&text).expect("baseline is valid JSON");
+        let metrics = doc.get("metrics").expect("metrics object");
+        for (name, ..) in WORKLOADS {
+            for kind in ["compile", "embed", "sample"] {
+                let key = format!("qac_bench_{kind}_us{{workload=\"{name}\"}}");
+                let value = metrics
+                    .get(&key)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or_else(|| panic!("missing {key}"));
+                assert!(value > 0.0, "{key} must be positive, got {value}");
+            }
+        }
+    }
+}

@@ -5,22 +5,99 @@
 //! cargo run --release -p qac-bench --bin experiments -- sec6_1  # run one
 //! cargo run --release -p qac-bench --bin experiments -- list
 //! ```
+//!
+//! Telemetry flags (any of them enables the global recorder for the
+//! whole invocation; see DESIGN.md "Observability"):
+//!
+//! ```text
+//! --trace-json PATH     write every span and metric as JSONL
+//! --chrome-trace PATH   write a Chrome trace-event file (Perfetto)
+//! --metrics PATH        write Prometheus text exposition
+//! --bench-baseline PATH write the machine-readable perf baseline JSON
+//! ```
 
 use qac_bench::experiments;
 
+struct Cli {
+    names: Vec<String>,
+    trace_json: Option<String>,
+    chrome_trace: Option<String>,
+    metrics: Option<String>,
+    bench_baseline: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        names: Vec::new(),
+        trace_json: None,
+        chrome_trace: None,
+        metrics: None,
+        bench_baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag = |slot: &mut Option<String>| match args.next() {
+            Some(path) => *slot = Some(path),
+            None => {
+                eprintln!("{arg} needs a file path argument");
+                std::process::exit(1);
+            }
+        };
+        match arg.as_str() {
+            "--trace-json" => flag(&mut cli.trace_json),
+            "--chrome-trace" => flag(&mut cli.chrome_trace),
+            "--metrics" => flag(&mut cli.metrics),
+            "--bench-baseline" => flag(&mut cli.bench_baseline),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(1);
+            }
+            name => cli.names.push(name.to_string()),
+        }
+    }
+    cli
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("[telemetry] wrote {what} to {path}"),
+        Err(err) => {
+            eprintln!("cannot write {what} to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "list") {
+    let cli = parse_cli();
+    if cli.names.iter().any(|a| a == "list") {
         println!("available experiments:");
         for (name, _) in experiments::ALL {
             println!("  {name}");
         }
         return;
     }
-    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+
+    let telemetry_on =
+        cli.trace_json.is_some() || cli.chrome_trace.is_some() || cli.metrics.is_some();
+    if telemetry_on {
+        qac_telemetry::global().enable();
+    }
+
+    if let Some(path) = &cli.bench_baseline {
+        // The baseline runs on its own recorder so exported experiment
+        // telemetry is not polluted by the baseline's timing runs.
+        write_or_die(path, &qac_bench::bench_baseline_json(), "perf baseline");
+        if cli.names.is_empty() && !telemetry_on {
+            return;
+        }
+    }
+
+    let selected: Vec<&(&str, fn())> = if cli.names.is_empty() {
         experiments::ALL.iter().collect()
     } else {
-        args.iter()
+        cli.names
+            .iter()
             .map(|arg| {
                 experiments::ALL
                     .iter()
@@ -40,5 +117,37 @@ fn main() {
         let start = std::time::Instant::now();
         run();
         println!("\n[{name} done in {:.1?}]", start.elapsed());
+    }
+
+    if telemetry_on {
+        let snapshot = qac_telemetry::global().snapshot();
+        if let Some(path) = &cli.trace_json {
+            write_or_die(
+                path,
+                &qac_telemetry::export::jsonl(&snapshot),
+                "JSONL trace",
+            );
+        }
+        if let Some(path) = &cli.chrome_trace {
+            write_or_die(
+                path,
+                &qac_telemetry::export::chrome_trace(&snapshot),
+                "Chrome trace",
+            );
+        }
+        if let Some(path) = &cli.metrics {
+            write_or_die(
+                path,
+                &qac_telemetry::export::prometheus(&snapshot),
+                "Prometheus metrics",
+            );
+        }
+        println!(
+            "[telemetry] {} spans, {} counters, {} gauges, {} histograms",
+            snapshot.spans.len(),
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len()
+        );
     }
 }

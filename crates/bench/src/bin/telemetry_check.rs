@@ -1,0 +1,66 @@
+//! CI smoke checker for telemetry export files (no jq/python needed).
+//!
+//! ```text
+//! telemetry_check <trace.jsonl> <metrics.prom>
+//! ```
+//!
+//! Asserts that every JSONL line deserializes into the event schema
+//! (a JSON object carrying a `"type"` discriminator) and that every
+//! Prometheus line matches the text-exposition grammar
+//! `^# (HELP|TYPE)|^[a-z_]+({.*})? [0-9.eE+-]+$`. Exits nonzero with a
+//! line-numbered message on the first violation.
+
+fn die(msg: String) -> ! {
+    eprintln!("telemetry_check: {msg}");
+    std::process::exit(1);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|err| die(format!("cannot read {path}: {err}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [jsonl_path, prom_path] = args.as_slice() else {
+        die("usage: telemetry_check <trace.jsonl> <metrics.prom>".to_string());
+    };
+
+    let jsonl = read(jsonl_path);
+    let mut events = 0usize;
+    for (i, line) in jsonl.lines().enumerate() {
+        let value = qac_telemetry::json::parse(line)
+            .unwrap_or_else(|err| die(format!("{jsonl_path}:{}: invalid JSON: {err}", i + 1)));
+        if value.get("type").and_then(|t| t.as_str()).is_none() {
+            die(format!(
+                "{jsonl_path}:{}: event lacks a \"type\" discriminator",
+                i + 1
+            ));
+        }
+        events += 1;
+    }
+    if events == 0 {
+        die(format!("{jsonl_path}: no events at all"));
+    }
+
+    let prom = read(prom_path);
+    let mut samples = 0usize;
+    for (i, line) in prom.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if !qac_telemetry::export::is_prometheus_line(line) {
+            die(format!(
+                "{prom_path}:{}: not valid Prometheus exposition: {line:?}",
+                i + 1
+            ));
+        }
+        if !line.starts_with('#') {
+            samples += 1;
+        }
+    }
+    if samples == 0 {
+        die(format!("{prom_path}: no metric samples at all"));
+    }
+
+    println!("telemetry_check: {events} JSONL events, {samples} Prometheus samples — OK");
+}

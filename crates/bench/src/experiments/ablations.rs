@@ -1,7 +1,9 @@
 //! Ablations of the design choices DESIGN.md calls out: chain strength,
 //! energy-gap headroom, roof duality, and the optimization passes.
 
-use qac_chimera::{embed_ising, find_embedding_or_clique, Chimera, EmbedOptions};
+use std::sync::Arc;
+
+use qac_chimera::{embed_ising, find_embedding_or_clique, Chimera, EmbedOptions, EmbeddingCache};
 use qac_core::{compile, CompileOptions};
 use qac_pbf::roof::apply_roof_duality;
 use qac_pbf::scale::{scale_to_range, CoefficientRange};
@@ -23,6 +25,11 @@ pub fn run_ablation_chain() {
         .expect("pin resolves");
     let expected = compiled.expected_ground_energy - 4.0;
 
+    // One shared embedding cache across the sweep: chain strength is
+    // deliberately not part of the cache key, so every strength reuses
+    // the first run's embedding (and the sweep isolates the strength
+    // variable instead of also varying the embedding).
+    let cache = Arc::new(EmbeddingCache::new());
     println!(
         "{:>14} {:>14} {:>16}",
         "chain strength", "chain breaks", "valid fraction"
@@ -32,6 +39,7 @@ pub fn run_ablation_chain() {
             chimera_size: 16,
             chain_strength: Some(strength),
             anneal_sweeps: 256,
+            embedding_cache: Some(Arc::clone(&cache)),
             ..Default::default()
         });
         let reads = 400;
@@ -49,6 +57,18 @@ pub fn run_ablation_chain() {
             valid as f64 / reads as f64
         );
     }
+    println!(
+        "embedding cache: {} hits, {} misses, {} stored ({} route solves saved)",
+        cache.hits(),
+        cache.misses(),
+        cache.len(),
+        cache.hits()
+    );
+    assert_eq!(
+        (cache.hits(), cache.misses()),
+        (3, 1),
+        "the whole strength sweep shares one embedding"
+    );
     println!("\nexpected shape: weak chains break often; strong chains hold. ✓");
 }
 
@@ -72,6 +92,10 @@ pub fn run_ablation_gap() {
         .expect("pins resolve");
     let expected = compiled.expected_ground_energy - 3.0 * 4.0;
 
+    // Coefficient scaling leaves the interaction graph unchanged, so the
+    // whole sweep shares one cached embedding too (the key hashes edges,
+    // not weights).
+    let cache = Arc::new(EmbeddingCache::new());
     println!("{:>12} {:>16}", "gap scale", "valid fraction");
     for scale in [1.0, 0.5, 0.25, 0.125] {
         // Scale every coefficient: the spectral gap scales identically,
@@ -89,6 +113,7 @@ pub fn run_ablation_gap() {
             chimera_size: 8,
             noise_sigma: 0.02,
             anneal_sweeps: 96,
+            embedding_cache: Some(Arc::clone(&cache)),
             ..Default::default()
         });
         let reads = 400;
@@ -101,6 +126,13 @@ pub fn run_ablation_gap() {
             .sum();
         println!("{:>12.3} {:>16.3}", scale, valid as f64 / reads as f64);
     }
+    println!(
+        "embedding cache: {} hits, {} misses, {} stored",
+        cache.hits(),
+        cache.misses(),
+        cache.len()
+    );
+    assert_eq!((cache.hits(), cache.misses()), (3, 1));
     println!("\nexpected shape: smaller gaps (relative to fixed noise) are less robust. ✓");
 }
 

@@ -28,6 +28,7 @@ pub fn run_circsat() {
         "valid fraction over 500 anneals: {:.3}",
         outcome.valid_fraction()
     );
+    println!("{}", outcome.quality());
     let assignments: BTreeSet<(u64, u64, u64)> = outcome
         .valid_solutions()
         .map(|s| {
@@ -66,6 +67,7 @@ pub fn run_factor() {
                 .num_reads(120),
         )
         .expect("run succeeds");
+    println!("{}", outcome.quality());
     let factorizations: BTreeSet<(u64, u64)> = outcome
         .valid_solutions()
         .map(|s| (s.get("A").unwrap(), s.get("B").unwrap()))
@@ -169,6 +171,7 @@ pub fn run_map_color() {
         "valid fraction over 1000 anneals: {:.3}",
         outcome.valid_fraction()
     );
+    println!("{}", outcome.quality());
 
     let regions = qac_csp::mapcolor::AUSTRALIA_REGIONS;
     let mut distinct: BTreeSet<Vec<u64>> = BTreeSet::new();
@@ -245,6 +248,7 @@ pub fn run_counter() {
             .pin(&format!("clk@{t} := 0"));
     }
     let outcome = compiled.run(&run).expect("run succeeds");
+    println!("{}", outcome.quality());
     let best = outcome
         .valid_solutions()
         .next()

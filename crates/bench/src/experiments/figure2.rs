@@ -108,6 +108,7 @@ pub fn run_figure2_3() {
         best.get("c").unwrap(),
         outcome.valid_fraction()
     );
+    println!("{}", outcome.quality());
     assert_eq!(best.get("c"), Some(2));
     let _ = ExactSolver::new().sample(model, 1);
 }

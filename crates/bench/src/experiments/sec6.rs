@@ -51,6 +51,25 @@ pub fn run_sec6_1() {
     println!("\nper-stage compile trace (wall time, artifact sizes, retries):");
     println!("{}", compiled.trace);
 
+    // Per-stage times over repeated compilations, aggregated with
+    // Trace::all / Trace::total_for (the paper's §6.1 protocol averages
+    // over 25 compilations; 5 keep this experiment snappy).
+    let repeats = 5usize;
+    let mut combined = qac_core::Trace::new();
+    for _ in 0..repeats {
+        for stage in compile_workload(AUSTRALIA, "australia").trace.stages() {
+            combined.record(stage.clone());
+        }
+    }
+    println!("mean stage times over {repeats} repeated compilations:");
+    println!("{:<14} {:>6} {:>12}", "stage", "runs", "mean time");
+    for stage in compiled.trace.stages() {
+        let runs = combined.all(&stage.name).count();
+        assert_eq!(runs, repeats, "every compile runs every stage once");
+        let mean_us = combined.total_for(&stage.name).as_secs_f64() * 1e6 / runs.max(1) as f64;
+        println!("{:<14} {runs:>6} {mean_us:>10.1}µs", stage.name);
+    }
+
     // 25 randomized embeddings on a C16 (the paper's protocol).
     let chimera = Chimera::dwave_2000q();
     let hardware = chimera.graph();

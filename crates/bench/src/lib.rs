@@ -8,9 +8,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod workloads;
 
+pub use baseline::bench_baseline_json;
 pub use workloads::*;
 
 /// Mean and (population) standard deviation of a sample.

@@ -131,6 +131,7 @@ impl EmbeddingCache {
         let key = embedding_key(edges, num_vars, options, hardware);
         if let Some(found) = self.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            qac_telemetry::global().counter_add("qac_embed_cache_hits_total", 1);
             let stats = EmbedStats {
                 route_iterations: 0,
                 restarts: 0,
@@ -143,6 +144,7 @@ impl EmbeddingCache {
         // wins, which costs duplicated work but never blocks other keys.
         let (embedding, stats) = embed()?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        qac_telemetry::global().counter_add("qac_embed_cache_misses_total", 1);
         self.lock().entry(key).or_insert_with(|| embedding.clone());
         Ok((embedding, stats))
     }

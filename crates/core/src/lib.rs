@@ -57,7 +57,10 @@ mod trace;
 pub use error::CompileError;
 pub use pipeline::{compile, compile_netlist, CompileOptions, Compiled, PipelineStats};
 pub use qmasm_gen::netlist_to_qmasm;
-pub use run::{HardwareStats, PinRealization, RunOptions, RunOutcome, SolvedSample, SolverChoice};
+pub use run::{
+    HardwareStats, PinRealization, QualityReport, RunOptions, RunOutcome, SolvedSample,
+    SolverChoice,
+};
 pub use stage::{Session, Stage};
 pub use trace::{StageTrace, Trace};
 

@@ -308,6 +308,7 @@ pub fn compile(
     top: &str,
     options: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
+    let _span = qac_telemetry::global().span("compile");
     let mut session = Session::new();
     let netlist = session.run(&VerilogStage { source, top }, ())?;
     let verilog_lines = source.lines().filter(|l| !l.trim().is_empty()).count();
@@ -322,6 +323,7 @@ pub fn compile_netlist(
     netlist: Netlist,
     options: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
+    let _span = qac_telemetry::global().span("compile");
     compile_netlist_in_session(Session::new(), netlist, 0, options)
 }
 

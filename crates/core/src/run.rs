@@ -5,6 +5,8 @@
 //! phases recorded as `sample:*` sub-entries), and decode (`interpret`).
 //! The per-stage [`Trace`] rides on [`RunOutcome`].
 
+use std::fmt;
+
 use qac_pbf::{Ising, Spin};
 use qac_qmasm::pin::parse_pins;
 use qac_qmasm::Solution;
@@ -177,6 +179,51 @@ pub struct RunOutcome {
     pub trace: Trace,
 }
 
+/// Solution-quality summary of one run — the numbers the SAT-annealing
+/// literature reports per problem (chain breaks, ground-state fraction,
+/// time-to-solution). Derived from a finished [`RunOutcome`] by
+/// [`RunOutcome::quality`]; `Display` renders the one-line summary the
+/// `experiments` CLI prints after every run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Total reads taken.
+    pub reads: usize,
+    /// Fraction of reads that decoded to valid executions (pins, asserts,
+    /// and expected energy all satisfied).
+    pub valid_fraction: f64,
+    /// Fraction of reads at the expected ground energy (a weaker bar than
+    /// validity: pins and asserts are not checked).
+    pub ground_fraction: f64,
+    /// Mean chain-break fraction (hardware-model runs only).
+    pub chain_break_fraction: Option<f64>,
+    /// Wall time per read in µs — modeled anneal time for hardware runs,
+    /// measured `sample`-stage time otherwise.
+    pub time_per_read_us: f64,
+    /// Estimated time-to-solution at 99% confidence in µs (reads needed
+    /// to see a valid execution × time per read). `None` when no valid
+    /// execution was observed.
+    pub tts_us: Option<f64>,
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quality: reads={} valid={:.1}% ground={:.1}%",
+            self.reads,
+            self.valid_fraction * 100.0,
+            self.ground_fraction * 100.0
+        )?;
+        if let Some(cb) = self.chain_break_fraction {
+            write!(f, " chain-breaks={:.1}%", cb * 100.0)?;
+        }
+        match self.tts_us {
+            Some(tts) => write!(f, " tts(99%)={}", qac_telemetry::quality::fmt_us(tts)),
+            None => write!(f, " tts(99%)=n/a (no valid reads)"),
+        }
+    }
+}
+
 impl RunOutcome {
     /// Iterates over valid samples (lowest energy first).
     pub fn valid_solutions(&self) -> impl Iterator<Item = &Solution> {
@@ -201,6 +248,45 @@ impl RunOutcome {
             .map(|s| s.occurrences)
             .sum();
         valid as f64 / total as f64
+    }
+
+    /// Summarizes solution quality (chain breaks, ground fraction,
+    /// time-to-solution).
+    pub fn quality(&self) -> QualityReport {
+        let reads: usize = self.samples.iter().map(|s| s.occurrences).sum();
+        let ground: usize = self
+            .samples
+            .iter()
+            .filter(|s| (s.energy - self.expected_energy).abs() < 1e-6)
+            .map(|s| s.occurrences)
+            .sum();
+        let ground_fraction = if reads == 0 {
+            0.0
+        } else {
+            ground as f64 / reads as f64
+        };
+        let valid_fraction = self.valid_fraction();
+        let total_us = match &self.hardware {
+            Some(hw) => hw.time_us,
+            None => self.trace.total_for("sample").as_secs_f64() * 1e6,
+        };
+        let time_per_read_us = if reads == 0 {
+            0.0
+        } else {
+            total_us / reads as f64
+        };
+        QualityReport {
+            reads,
+            valid_fraction,
+            ground_fraction,
+            chain_break_fraction: self.hardware.map(|hw| hw.chain_breaks),
+            time_per_read_us,
+            tts_us: qac_telemetry::quality::time_to_solution_us(
+                valid_fraction,
+                time_per_read_us,
+                0.99,
+            ),
+        }
     }
 }
 
@@ -378,6 +464,8 @@ impl Compiled {
     /// symbols; [`CompileError::Embed`] if the hardware model cannot embed
     /// the program.
     pub fn run(&self, options: &RunOptions) -> Result<RunOutcome, CompileError> {
+        let telemetry = qac_telemetry::global();
+        let mut root = telemetry.span("run");
         let mut session = Session::new();
         let pin_specs: Vec<&str> = options.pins.iter().map(String::as_str).collect();
         let extra_pins = parse_pins(pin_specs)?;
@@ -444,12 +532,25 @@ impl Compiled {
             sampled.set,
         )?;
 
-        Ok(RunOutcome {
+        let outcome = RunOutcome {
             samples,
             expected_energy: self.expected_ground_energy,
             hardware: sampled.hardware,
             trace: session.finish(),
-        })
+        };
+
+        // Report run-level quality into the telemetry registry (no-ops
+        // while the global recorder is disabled).
+        let quality = outcome.quality();
+        root.arg("reads", quality.reads as f64);
+        root.arg("valid_fraction", quality.valid_fraction);
+        telemetry.counter_add("qac_reads_total", quality.reads as u64);
+        telemetry.gauge_set("qac_valid_fraction", quality.valid_fraction);
+        telemetry.gauge_set("qac_ground_fraction", quality.ground_fraction);
+        if let Some(cb) = quality.chain_break_fraction {
+            telemetry.gauge_set("qac_chain_break_fraction", cb);
+        }
+        Ok(outcome)
     }
 }
 

@@ -70,15 +70,21 @@ impl Session {
     /// session's trace only ever describes completed work.
     pub fn run<S: Stage>(&mut self, stage: &S, input: S::Input) -> Result<S::Output, CompileError> {
         let input_size = stage.input_size(&input);
+        let mut span = qac_telemetry::global().span(stage.name());
         let start = Instant::now();
         let output = stage.run(input)?;
         let duration = start.elapsed();
+        let output_size = stage.output_size(&output);
+        let retries = stage.retries(&output);
+        span.arg("input_size", input_size as f64);
+        span.arg("output_size", output_size as f64);
+        span.arg("retries", retries as f64);
         self.trace.record(StageTrace {
             name: stage.name().to_string(),
             duration,
             input_size,
-            output_size: stage.output_size(&output),
-            retries: stage.retries(&output),
+            output_size,
+            retries,
         });
         Ok(output)
     }

@@ -56,8 +56,23 @@ impl Trace {
     }
 
     /// The first stage with the given name, if it ran.
+    ///
+    /// Repeated stages (portfolio arms each emitting `sample:*`, several
+    /// runs merged into one trace) hide behind the first entry here; use
+    /// [`Trace::all`] or [`Trace::total_for`] when a name can repeat.
     pub fn get(&self, name: &str) -> Option<&StageTrace> {
         self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Every stage with the given name, in execution order.
+    pub fn all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a StageTrace> {
+        self.stages.iter().filter(move |s| s.name == name)
+    }
+
+    /// Total wall-clock across every stage with the given name
+    /// (`Duration::ZERO` if none ran).
+    pub fn total_for(&self, name: &str) -> Duration {
+        self.all(name).map(|s| s.duration).sum()
     }
 
     /// Total wall-clock across all recorded stages.
@@ -139,6 +154,31 @@ mod tests {
         );
         assert!(trace.get("missing").is_none());
         assert_eq!(trace.total_duration(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn all_and_total_for_see_repeated_stages() {
+        // `get` only ever returns the first entry with a name — portfolio
+        // arms each emit `sample:*`, so repeated names are the norm.
+        let mut trace = Trace::new();
+        trace.record(stage("sample:embed", 5));
+        trace.record(stage("sample:anneal", 2));
+        trace.record(stage("sample:embed", 7));
+        trace.record(stage("sample:embed", 11));
+        assert_eq!(
+            trace.get("sample:embed").unwrap().duration,
+            Duration::from_micros(5),
+            "get returns the first entry only"
+        );
+        let all: Vec<u64> = trace
+            .all("sample:embed")
+            .map(|s| s.duration.as_micros() as u64)
+            .collect();
+        assert_eq!(all, [5, 7, 11], "all returns every entry in order");
+        assert_eq!(trace.total_for("sample:embed"), Duration::from_micros(23));
+        assert_eq!(trace.total_for("sample:anneal"), Duration::from_micros(2));
+        assert_eq!(trace.total_for("missing"), Duration::ZERO);
+        assert_eq!(trace.all("missing").count(), 0);
     }
 
     #[test]

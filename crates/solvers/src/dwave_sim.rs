@@ -176,6 +176,10 @@ impl DWaveSim {
     /// Propagates [`EmbedError`] when the logical model does not fit the
     /// hardware graph.
     pub fn run(&self, logical: &Ising, num_reads: usize) -> Result<DWaveSimResult, EmbedError> {
+        // Spans mirror the PhaseTiming regions one-for-one: PhaseTiming
+        // stays the cheap always-on view (it rides on the result), the
+        // spans land in the global recorder when telemetry is enabled.
+        let telemetry = qac_telemetry::global();
         let o = &self.options;
         let chimera = Chimera::new(o.chimera_size);
         let hardware = if o.dropout > 0.0 {
@@ -197,13 +201,16 @@ impl DWaveSim {
         };
 
         // 1. Scale the logical model into hardware range.
+        let scale_span = telemetry.span("sample:scale");
         let range = CoefficientRange::DWAVE_2000Q;
         let scaled = scale_to_range(logical, range);
+        drop(scale_span);
         phase_done(&mut phases, "scale", 0);
 
         // 2. Embed — optionally through the shared cache, optionally as a
         // portfolio of parallel attempts. A failed portfolio falls back to
         // the same clique template the single-attempt path uses.
+        let mut embed_span = telemetry.span("sample:embed");
         let edges: Vec<(usize, usize)> = scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
         let num_vars = scaled.model.num_vars();
         let search = || -> Result<(Embedding, EmbedStats), EmbedError> {
@@ -230,7 +237,18 @@ impl DWaveSim {
             Some(cache) => cache.get_or_embed(&edges, num_vars, &o.embed, &hardware, search)?,
             None => search()?,
         };
+        embed_span.arg("route_iterations", embed_stats.route_iterations as f64);
+        embed_span.arg("restarts", embed_stats.restarts as f64);
+        embed_span.arg("cache_hit", f64::from(embed_stats.cache_hit));
+        drop(embed_span);
+        telemetry.counter_add(
+            "qac_route_iterations_total",
+            embed_stats.route_iterations as u64,
+        );
+        telemetry.counter_add("qac_embed_restarts_total", embed_stats.restarts as u64);
         phase_done(&mut phases, "embed", embed_stats.restarts);
+
+        let distort_span = telemetry.span("sample:distort");
 
         let chain_strength = o
             .chain_strength
@@ -265,6 +283,7 @@ impl DWaveSim {
             noisy.add_offset(distorted.offset());
             distorted = noisy;
         }
+        drop(distort_span);
         phase_done(&mut phases, "distort", 0);
 
         // 4. Stochastic sampling. Plain single-flip annealing cannot cross
@@ -273,6 +292,9 @@ impl DWaveSim {
         // chain-block flips with single-qubit flips: blocks provide the
         // logical dynamics, single-qubit moves let chains break the way
         // analog hardware does.
+        let mut anneal_span = telemetry.span("sample:anneal");
+        anneal_span.arg("reads", num_reads as f64);
+        anneal_span.arg("sweeps", o.anneal_sweeps.max(1) as f64);
         let physical_set = anneal_embedded(
             &distorted,
             &embedding,
@@ -280,9 +302,15 @@ impl DWaveSim {
             o.seed ^ 0xa1_ea1,
             num_reads,
         );
+        drop(anneal_span);
         phase_done(&mut phases, "anneal", 0);
 
         // 5. Decode with majority vote; re-evaluate energies logically.
+        let unembed_span = telemetry.span("sample:unembed");
+        telemetry.register_histogram(
+            "qac_read_chain_break_fraction",
+            qac_telemetry::FRACTION_BUCKETS,
+        );
         let mut decoded: Vec<Sample> = Vec::new();
         let mut breaks = 0.0;
         let mut reads = 0usize;
@@ -291,6 +319,12 @@ impl DWaveSim {
             breaks += stats.break_fraction() * sample.occurrences as f64;
             reads += sample.occurrences;
             let energy = logical.energy(&logical_spins);
+            telemetry.observe_n("qac_read_energy", energy, sample.occurrences as u64);
+            telemetry.observe_n(
+                "qac_read_chain_break_fraction",
+                stats.break_fraction(),
+                sample.occurrences as u64,
+            );
             decoded.push(Sample {
                 spins: logical_spins,
                 energy,
@@ -299,6 +333,7 @@ impl DWaveSim {
         }
         let logical_set = SampleSet::from_samples(decoded);
         let physical_terms = embedded.physical.num_terms(1e-12);
+        drop(unembed_span);
         phase_done(&mut phases, "unembed", 0);
 
         Ok(DWaveSimResult {

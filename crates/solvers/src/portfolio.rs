@@ -104,6 +104,10 @@ impl<S: Sampler + Reseed + Send + Sync> Sampler for Portfolio<S> {
         let arms = self.arms.min(num_reads.max(1));
         let base_reads = num_reads / arms;
         let remainder = num_reads % arms;
+        let telemetry = qac_telemetry::global();
+        // Arms run on spawned threads, which have empty span stacks; an
+        // explicit parent keeps the arm spans under the caller's span.
+        let parent = telemetry.current();
         let results: Mutex<Vec<Option<SampleSet>>> = Mutex::new(vec![None; arms]);
         crossbeam::scope(|scope| {
             for arm in 0..arms {
@@ -111,18 +115,32 @@ impl<S: Sampler + Reseed + Send + Sync> Sampler for Portfolio<S> {
                 let sampler = self.base.reseed(self.arm_seed(arm));
                 let arm_reads = base_reads + usize::from(arm < remainder);
                 scope.spawn(move |_| {
+                    let mut span = telemetry.span_under(&format!("arm:{arm}"), parent);
+                    span.arg("reads", arm_reads as f64);
                     let set = sampler.sample(model, arm_reads);
                     results.lock()[arm] = Some(set);
                 });
             }
         })
         .expect("portfolio arms do not panic");
-        SampleSet::merge(
-            results
-                .into_inner()
-                .into_iter()
-                .map(|s| s.expect("every arm ran")),
-        )
+        let sets: Vec<SampleSet> = results
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every arm ran"))
+            .collect();
+        // The winning arm is the (first) one whose best read reaches the
+        // merged best energy.
+        if telemetry.is_enabled() {
+            let winner = sets
+                .iter()
+                .enumerate()
+                .filter_map(|(arm, set)| set.best().map(|b| (arm, b.energy)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((arm, _)) = winner {
+                telemetry.counter_add(&format!("qac_portfolio_arm_wins_total{{arm=\"{arm}\"}}"), 1);
+            }
+        }
+        SampleSet::merge(sets)
     }
 }
 

@@ -202,6 +202,80 @@ mod tests {
     }
 
     #[test]
+    fn from_samples_aggregates_duplicates_and_sorts_by_energy() {
+        // Pre-evaluated samples arrive unsorted with duplicate
+        // assignments; from_samples must aggregate occurrences and
+        // restore the energy-ascending order from_reads guarantees.
+        let dup = |e: f64, occ: usize, s: [Spin; 2]| Sample {
+            spins: s.to_vec(),
+            energy: e,
+            occurrences: occ,
+        };
+        let set = SampleSet::from_samples(vec![
+            dup(1.5, 2, [Spin::Up, Spin::Up]),
+            dup(-0.5, 1, [Spin::Down, Spin::Down]),
+            dup(1.5, 3, [Spin::Up, Spin::Up]),
+            dup(0.0, 1, [Spin::Up, Spin::Down]),
+        ]);
+        assert_eq!(set.len(), 3, "identical assignments collapse");
+        assert_eq!(set.total_reads(), 7, "occurrences add up");
+        let energies: Vec<f64> = set.iter().map(|s| s.energy).collect();
+        assert_eq!(energies, [-0.5, 0.0, 1.5], "sorted by energy ascending");
+        let collapsed = set.iter().find(|s| s.energy == 1.5).unwrap();
+        assert_eq!(collapsed.occurrences, 5);
+    }
+
+    #[test]
+    fn best_prefers_occurrences_on_energy_ties() {
+        // Two distinct assignments at the same energy: the one seen more
+        // often sorts first, so best() is deterministic under ties.
+        let tie = |occ: usize, s: [Spin; 2]| Sample {
+            spins: s.to_vec(),
+            energy: -1.0,
+            occurrences: occ,
+        };
+        let set = SampleSet::from_samples(vec![
+            tie(1, [Spin::Up, Spin::Down]),
+            tie(4, [Spin::Down, Spin::Up]),
+        ]);
+        let best = set.best().unwrap();
+        assert_eq!(best.spins, vec![Spin::Down, Spin::Up]);
+        assert_eq!(best.occurrences, 4);
+        // The same two samples in the opposite insertion order produce
+        // the same best.
+        let flipped = SampleSet::from_samples(vec![
+            tie(4, [Spin::Down, Spin::Up]),
+            tie(1, [Spin::Up, Spin::Down]),
+        ]);
+        assert_eq!(flipped.best().unwrap().spins, best.spins);
+    }
+
+    #[test]
+    fn merge_matches_from_reads_of_the_concatenation() {
+        // Splitting reads across sets and merging is equivalent to one
+        // from_reads over all of them — the portfolio-correctness
+        // invariant.
+        let m = model();
+        let reads = [
+            vec![Spin::Down, Spin::Down],
+            vec![Spin::Up, Spin::Up],
+            vec![Spin::Down, Spin::Down],
+            vec![Spin::Up, Spin::Down],
+            vec![Spin::Down, Spin::Up],
+            vec![Spin::Down, Spin::Down],
+        ];
+        let whole = SampleSet::from_reads(&m, reads.to_vec());
+        for split in 1..reads.len() {
+            let (left, right) = reads.split_at(split);
+            let merged = SampleSet::merge([
+                SampleSet::from_reads(&m, left.to_vec()),
+                SampleSet::from_reads(&m, right.to_vec()),
+            ]);
+            assert_eq!(merged, whole, "split at {split}");
+        }
+    }
+
+    #[test]
     fn empty_set() {
         let set = SampleSet::default();
         assert!(set.is_empty());

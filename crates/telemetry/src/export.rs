@@ -1,0 +1,434 @@
+//! Exporters: one [`Snapshot`], three render targets.
+//!
+//! * [`jsonl`] — an event log, one self-describing JSON object per line
+//!   (`type` ∈ `span` / `counter` / `gauge` / `histogram`);
+//! * [`chrome_trace`] — Chrome trace-event JSON: spans become complete
+//!   (`"ph": "X"`) events on per-thread tracks, loadable in Perfetto or
+//!   `chrome://tracing`;
+//! * [`prometheus`] — text exposition format with `# HELP` / `# TYPE`
+//!   headers and cumulative histogram buckets.
+
+use crate::json::Json;
+use crate::metrics::{base_name, Histogram};
+use crate::span::SpanRecord;
+
+/// A point-in-time copy of everything a recorder holds.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Finished spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+fn span_to_json(span: &SpanRecord) -> Json {
+    let mut members = vec![
+        ("type".to_string(), Json::Str("span".to_string())),
+        ("id".to_string(), Json::Num(span.id as f64)),
+        (
+            "parent".to_string(),
+            span.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+        ),
+        ("name".to_string(), Json::Str(span.name.clone())),
+        ("track".to_string(), Json::Num(span.track as f64)),
+        ("start_us".to_string(), Json::Num(span.start_us)),
+        ("dur_us".to_string(), Json::Num(span.dur_us)),
+    ];
+    if !span.args.is_empty() {
+        members.push((
+            "args".to_string(),
+            Json::Obj(
+                span.args
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(members)
+}
+
+fn histogram_to_json(name: &str, histogram: &Histogram) -> Json {
+    Json::Obj(vec![
+        ("type".to_string(), Json::Str("histogram".to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+        (
+            "bounds".to_string(),
+            Json::Arr(histogram.bounds().iter().map(|&b| Json::Num(b)).collect()),
+        ),
+        (
+            "counts".to_string(),
+            Json::Arr(
+                histogram
+                    .bucket_counts()
+                    .iter()
+                    .map(|&c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        ),
+        ("sum".to_string(), Json::Num(histogram.sum())),
+        ("count".to_string(), Json::Num(histogram.count() as f64)),
+    ])
+}
+
+/// Renders the snapshot as a JSONL event log: every line is one JSON
+/// object with a `type` discriminator.
+pub fn jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for span in &snapshot.spans {
+        out.push_str(&span_to_json(span).to_string());
+        out.push('\n');
+    }
+    for (name, value) in &snapshot.counters {
+        out.push_str(
+            &Json::Obj(vec![
+                ("type".to_string(), Json::Str("counter".to_string())),
+                ("name".to_string(), Json::Str(name.clone())),
+                ("value".to_string(), Json::Num(*value as f64)),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str(
+            &Json::Obj(vec![
+                ("type".to_string(), Json::Str("gauge".to_string())),
+                ("name".to_string(), Json::Str(name.clone())),
+                ("value".to_string(), Json::Num(*value)),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+    }
+    for (name, histogram) in &snapshot.histograms {
+        out.push_str(&histogram_to_json(name, histogram).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the spans as Chrome trace-event JSON (the `traceEvents`
+/// wrapper object Perfetto and `chrome://tracing` both load). Each span
+/// becomes a complete (`"ph": "X"`) event on its thread's track; counters
+/// and gauges ride along as metadata-free counter (`"ph": "C"`) events at
+/// the end of the trace.
+pub fn chrome_trace(snapshot: &Snapshot) -> String {
+    let trace_end_us = snapshot
+        .spans
+        .iter()
+        .map(SpanRecord::end_us)
+        .fold(0.0f64, f64::max);
+    let mut events = Vec::new();
+    for span in &snapshot.spans {
+        let mut args: Vec<(String, Json)> = span
+            .args
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect();
+        if let Some(parent) = span.parent {
+            args.push(("parent_span".to_string(), Json::Num(parent as f64)));
+        }
+        args.push(("span_id".to_string(), Json::Num(span.id as f64)));
+        events.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(span.name.clone())),
+            ("cat".to_string(), Json::Str("qac".to_string())),
+            ("ph".to_string(), Json::Str("X".to_string())),
+            ("ts".to_string(), Json::Num(span.start_us)),
+            ("dur".to_string(), Json::Num(span.dur_us)),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(span.track as f64)),
+            ("args".to_string(), Json::Obj(args)),
+        ]));
+    }
+    for (name, value) in &snapshot.counters {
+        events.push(counter_event(name, *value as f64, trace_end_us));
+    }
+    for (name, value) in &snapshot.gauges {
+        events.push(counter_event(name, *value, trace_end_us));
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+    .to_string()
+}
+
+fn counter_event(name: &str, value: f64, ts_us: f64) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("cat".to_string(), Json::Str("qac".to_string())),
+        ("ph".to_string(), Json::Str("C".to_string())),
+        ("ts".to_string(), Json::Num(ts_us)),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("tid".to_string(), Json::Num(0.0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("value".to_string(), Json::Num(value))]),
+        ),
+    ])
+}
+
+/// Formats a float the way the Prometheus text format expects (plain
+/// decimal; Rust's `Display` for `f64` never uses scientific notation).
+fn fmt_value(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else if value > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Renders the metrics in Prometheus text exposition format. Spans are
+/// summed into a `qac_span_duration_us_sum` / `_count` pair per span
+/// name so phase totals are scrapeable without a trace viewer.
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let header = |out: &mut String, name: &str, kind: &str| {
+        out.push_str(&format!("# HELP {name} qac {kind} {name}\n"));
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+    };
+
+    let mut last_base = String::new();
+    for (name, value) in &snapshot.counters {
+        let base = base_name(name);
+        if base != last_base {
+            header(&mut out, base, "counter");
+            last_base = base.to_string();
+        }
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    last_base.clear();
+    for (name, value) in &snapshot.gauges {
+        let base = base_name(name);
+        if base != last_base {
+            header(&mut out, base, "gauge");
+            last_base = base.to_string();
+        }
+        out.push_str(&format!("{name} {}\n", fmt_value(*value)));
+    }
+    for (name, histogram) in &snapshot.histograms {
+        header(&mut out, name, "histogram");
+        let cumulative = histogram.cumulative();
+        for (bound, count) in histogram.bounds().iter().zip(&cumulative) {
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {count}\n",
+                fmt_value(*bound)
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n",
+            cumulative.last().copied().unwrap_or(0)
+        ));
+        out.push_str(&format!("{name}_sum {}\n", fmt_value(histogram.sum())));
+        out.push_str(&format!("{name}_count {}\n", histogram.count()));
+    }
+
+    // Span wall-time rollup: total µs and completions per span name.
+    if !snapshot.spans.is_empty() {
+        let mut by_name: std::collections::BTreeMap<&str, (f64, u64)> = Default::default();
+        for span in &snapshot.spans {
+            let entry = by_name.entry(&span.name).or_insert((0.0, 0));
+            entry.0 += span.dur_us;
+            entry.1 += 1;
+        }
+        header(&mut out, "qac_span_duration_us", "counter");
+        for (name, (total_us, count)) in by_name {
+            out.push_str(&format!(
+                "qac_span_duration_us_sum{{span=\"{name}\"}} {}\n",
+                fmt_value(total_us)
+            ));
+            out.push_str(&format!(
+                "qac_span_duration_us_count{{span=\"{name}\"}} {count}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Whether one line of Prometheus text output is well-formed:
+/// `^# (HELP|TYPE)` or `^[a-z_]+({.*})? [0-9.eE+-]+$` (the shape the CI
+/// smoke check asserts, hand-rolled so no regex crate is needed).
+pub fn is_prometheus_line(line: &str) -> bool {
+    if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+        return true;
+    }
+    // Metric name: [a-z_]+
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_lowercase() || c == '_'))
+        .unwrap_or(line.len());
+    if name_end == 0 {
+        return false;
+    }
+    let mut rest = &line[name_end..];
+    // Optional label set {...}.
+    if let Some(stripped) = rest.strip_prefix('{') {
+        let Some(close) = stripped.find('}') else {
+            return false;
+        };
+        rest = &stripped[close + 1..];
+    }
+    // One space, then a value of [0-9.eE+-]+ (also accept Inf for
+    // completeness — our exporter only uses it inside labels).
+    let Some(value) = rest.strip_prefix(' ') else {
+        return false;
+    };
+    !value.is_empty()
+        && value
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::Recorder;
+
+    fn sample_snapshot() -> Snapshot {
+        let recorder = Recorder::new();
+        recorder.enable();
+        {
+            let mut outer = recorder.span("compile");
+            outer.arg("input_size", 42.0);
+            let _inner = recorder.span("optimize");
+        }
+        recorder.counter_add("qac_reads_total", 100);
+        recorder.counter_add("qac_embed_cache_hits_total", 1);
+        recorder.gauge_set("qac_chain_break_fraction", 0.125);
+        recorder.register_histogram("qac_read_energy", &[-2.0, 0.0, 2.0]);
+        recorder.observe_n("qac_read_energy", -1.0, 3);
+        recorder.observe_n("qac_read_energy", 5.0, 1);
+        recorder.snapshot()
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_and_carry_types() {
+        let text = jsonl(&sample_snapshot());
+        let mut types = Vec::new();
+        for line in text.lines() {
+            let value = json::parse(line).expect("line parses");
+            types.push(value.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        assert!(types.contains(&"span".to_string()));
+        assert!(types.contains(&"counter".to_string()));
+        assert!(types.contains(&"gauge".to_string()));
+        assert!(types.contains(&"histogram".to_string()));
+    }
+
+    #[test]
+    fn jsonl_span_lines_preserve_hierarchy() {
+        let text = jsonl(&sample_snapshot());
+        let spans: Vec<json::Json> = text
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .filter(|v| v.get("type").unwrap().as_str() == Some("span"))
+            .collect();
+        let compile = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("compile"))
+            .unwrap();
+        let optimize = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("optimize"))
+            .unwrap();
+        assert_eq!(compile.get("parent"), Some(&json::Json::Null));
+        assert_eq!(
+            optimize.get("parent").unwrap().as_f64(),
+            compile.get("id").unwrap().as_f64()
+        );
+        assert_eq!(
+            compile
+                .get("args")
+                .unwrap()
+                .get("input_size")
+                .unwrap()
+                .as_f64(),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_x_events() {
+        let text = chrome_trace(&sample_snapshot());
+        let value = json::parse(&text).expect("chrome trace parses");
+        let events = value.get("traceEvents").unwrap().as_array().unwrap();
+        let x_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(x_events.len(), 2);
+        for event in &x_events {
+            assert!(event.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(event.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            assert_eq!(event.get("pid").unwrap().as_f64(), Some(1.0));
+        }
+        // Counter events carry the metric values.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("C")
+                && e.get("name").unwrap().as_str() == Some("qac_reads_total")));
+    }
+
+    #[test]
+    fn prometheus_has_headers_buckets_and_valid_lines() {
+        let text = prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE qac_reads_total counter"));
+        assert!(text.contains("qac_reads_total 100"));
+        assert!(text.contains("# TYPE qac_chain_break_fraction gauge"));
+        assert!(text.contains("qac_chain_break_fraction 0.125"));
+        assert!(text.contains("# TYPE qac_read_energy histogram"));
+        assert!(text.contains("qac_read_energy_bucket{le=\"-2\"} 0"));
+        assert!(text.contains("qac_read_energy_bucket{le=\"0\"} 3"));
+        assert!(text.contains("qac_read_energy_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("qac_read_energy_count 4"));
+        assert!(text.contains("qac_span_duration_us_count{span=\"compile\"} 1"));
+        for line in text.lines() {
+            assert!(is_prometheus_line(line), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_line_checker_rejects_malformed_lines() {
+        for good in [
+            "# HELP a_b something",
+            "# TYPE x counter",
+            "qac_reads_total 100",
+            "qac_x_bucket{le=\"+Inf\"} 4",
+            "qac_f 0.5",
+            "qac_sum -12.5",
+        ] {
+            assert!(is_prometheus_line(good), "should accept {good:?}");
+        }
+        for bad in [
+            "",
+            "# COMMENT x",
+            "Qac_reads 1",
+            "qac_reads_total",
+            "qac_reads_total  ",
+            "qac_reads_total abc",
+            "123 456",
+            "qac_x{le=\"1\" 4",
+        ] {
+            assert!(!is_prometheus_line(bad), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_exports_are_empty_but_valid() {
+        let snapshot = Snapshot::default();
+        assert_eq!(jsonl(&snapshot), "");
+        let chrome = json::parse(&chrome_trace(&snapshot)).unwrap();
+        assert_eq!(
+            chrome.get("traceEvents").unwrap().as_array().unwrap().len(),
+            0
+        );
+        assert_eq!(prometheus(&snapshot), "");
+    }
+}

@@ -1,0 +1,86 @@
+//! Solution-quality math.
+//!
+//! The SAT-annealing literature (Bian et al., "Solving SAT and MaxSAT
+//! with a Quantum Annealer") tracks two per-run quality metrics — chain
+//! break fraction and ground-state probability — and summarizes cost as
+//! **time-to-solution**: how long the sampler must run to see a ground
+//! state with a given confidence. The instrumented pipeline records the
+//! fractions; this module holds the TTS arithmetic.
+
+/// Expected number of reads until at least one success is seen with
+/// probability `confidence`, given per-read success probability `p`
+/// (the standard R99-style estimate, `ln(1-c)/ln(1-p)`).
+///
+/// Returns `None` when `p ≤ 0` (no success was ever observed, so no
+/// finite estimate exists) and `Some(1.0)` when `p ≥ 1`.
+pub fn reads_to_solution(p: f64, confidence: f64) -> Option<f64> {
+    let confidence = confidence.clamp(0.0, 1.0 - 1e-12);
+    if p <= 0.0 {
+        return None;
+    }
+    if p >= 1.0 {
+        return Some(1.0);
+    }
+    Some(((1.0 - confidence).ln() / (1.0 - p).ln()).max(1.0))
+}
+
+/// Time-to-solution in µs at the given confidence: per-read wall time ×
+/// [`reads_to_solution`]. `None` when no success was observed.
+pub fn time_to_solution_us(p: f64, time_per_read_us: f64, confidence: f64) -> Option<f64> {
+    reads_to_solution(p, confidence).map(|reads| reads * time_per_read_us)
+}
+
+/// Renders a µs quantity with a human-friendly unit (`µs`, `ms`, `s`).
+pub fn fmt_us(us: f64) -> String {
+    if us < 1e3 {
+        format!("{us:.0}µs")
+    } else if us < 1e6 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{:.2}s", us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_to_solution_shapes() {
+        // Certain success: one read, regardless of confidence.
+        assert_eq!(reads_to_solution(1.0, 0.99), Some(1.0));
+        // No success: no estimate.
+        assert_eq!(reads_to_solution(0.0, 0.99), None);
+        assert_eq!(reads_to_solution(-0.5, 0.99), None);
+        // p = 0.5, c = 0.99 → ln(0.01)/ln(0.5) ≈ 6.64 reads.
+        let reads = reads_to_solution(0.5, 0.99).unwrap();
+        assert!((reads - 6.6438).abs() < 1e-3);
+        // Lower success probability needs more reads.
+        assert!(reads_to_solution(0.1, 0.99).unwrap() > reads);
+        // At least one read even when p > confidence.
+        assert_eq!(reads_to_solution(0.9999, 0.5), Some(1.0));
+    }
+
+    #[test]
+    fn tts_scales_with_read_time() {
+        let t1 = time_to_solution_us(0.5, 100.0, 0.99).unwrap();
+        let t2 = time_to_solution_us(0.5, 200.0, 0.99).unwrap();
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+        assert_eq!(time_to_solution_us(0.0, 100.0, 0.99), None);
+    }
+
+    #[test]
+    fn confidence_is_clamped() {
+        // confidence = 1.0 would be ln(0) = -inf; the clamp keeps it
+        // finite.
+        let t = time_to_solution_us(0.5, 1.0, 1.0).unwrap();
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_us(750.0), "750µs");
+        assert_eq!(fmt_us(1500.0), "1.50ms");
+        assert_eq!(fmt_us(2_500_000.0), "2.50s");
+    }
+}

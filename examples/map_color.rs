@@ -48,6 +48,7 @@ fn main() {
         "valid fraction over 500 anneals: {:.2}",
         outcome.valid_fraction()
     );
+    println!("{}", outcome.quality());
 
     // Verify every valid sample against the adjacency list and count
     // distinct colorings — "the D-Wave version samples from the space of

@@ -98,6 +98,7 @@ fn main() {
         )
         .expect("run succeeds");
     println!("valid fraction: {:.2}", outcome.valid_fraction());
+    println!("{}", outcome.quality());
     let best = outcome.valid_solutions().next().expect("3 = 0 − 1 mod 4");
     println!(
         "a = {}, b = {}",
