@@ -18,6 +18,12 @@ cargo test -q
 echo "==> cargo test -q --workspace --release"
 cargo test -q --workspace --release
 
+echo "==> differential suite (samplers vs exact enumeration)"
+cargo test --release -q -p qac-solvers --test differential
+
+echo "==> batch engine suite (determinism at 1/2/8 workers)"
+cargo test --release -q -p qac-engine
+
 echo "==> telemetry export smoke (JSONL + Prometheus round-trip)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT

@@ -81,6 +81,36 @@ pub fn bench_baseline_json() -> String {
         );
     }
 
+    // Batch-engine wall clock: the §6 job set on one worker vs eight.
+    // The speedup gauge is honest, not aspirational — on a single-core
+    // host it sits near 1.0, so `qac_bench_available_parallelism` is
+    // recorded alongside it to make the ratio interpretable.
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    recorder.gauge_set("qac_bench_available_parallelism", parallelism as f64);
+    let (wall_1, results_1) = crate::experiments::run_sec6_batch(1);
+    let (wall_8, results_8) = crate::experiments::run_sec6_batch(8);
+    let prints = |rs: &[qac_engine::JobResult]| -> Vec<Option<u64>> {
+        rs.iter().map(|r| r.fingerprint()).collect()
+    };
+    assert_eq!(
+        prints(&results_1),
+        prints(&results_8),
+        "batch results must be identical at 1 and 8 workers"
+    );
+    recorder.gauge_set(
+        "qac_bench_batch_wall_us{workers=\"1\"}",
+        wall_1.as_secs_f64() * 1e6,
+    );
+    recorder.gauge_set(
+        "qac_bench_batch_wall_us{workers=\"8\"}",
+        wall_8.as_secs_f64() * 1e6,
+    );
+    recorder.gauge_set(
+        "qac_bench_batch_speedup_8v1",
+        wall_1.as_secs_f64() / wall_8.as_secs_f64().max(1e-9),
+    );
+    recorder.gauge_set("qac_bench_batch_jobs", results_1.len() as f64);
+
     let snapshot = recorder.snapshot();
     let metrics = Json::Obj(
         snapshot
@@ -97,7 +127,9 @@ pub fn bench_baseline_json() -> String {
         (
             "description".to_string(),
             Json::Str(
-                "compile/embed/sample wall times (µs) for the Section 6 workloads".to_string(),
+                "compile/embed/sample wall times (µs) for the Section 6 workloads, \
+                 plus batch-engine wall clock at 1 vs 8 workers"
+                    .to_string(),
             ),
         ),
         ("sample_reads".to_string(), Json::Num(SAMPLE_READS as f64)),
@@ -133,6 +165,19 @@ mod tests {
                     .unwrap_or_else(|| panic!("missing {key}"));
                 assert!(value > 0.0, "{key} must be positive, got {value}");
             }
+        }
+        for key in [
+            "qac_bench_batch_wall_us{workers=\"1\"}",
+            "qac_bench_batch_wall_us{workers=\"8\"}",
+            "qac_bench_batch_speedup_8v1",
+            "qac_bench_available_parallelism",
+            "qac_bench_batch_jobs",
+        ] {
+            let value = metrics
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("missing {key}"));
+            assert!(value > 0.0, "{key} must be positive, got {value}");
         }
     }
 }

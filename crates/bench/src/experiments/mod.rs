@@ -2,12 +2,14 @@
 
 mod ablations;
 mod apps;
+mod batch;
 mod figure2;
 mod sec6;
 mod tables;
 
 pub use ablations::{run_ablation_chain, run_ablation_gap, run_ablation_opt, run_ablation_roof};
 pub use apps::{run_circsat, run_counter, run_factor, run_map_color};
+pub use batch::{run_batch, run_sec6_batch, sec6_batch_jobs};
 pub use figure2::run_figure2_3;
 pub use sec6::{run_sec6_1, run_sec6_2};
 pub use tables::{run_table1, run_table2, run_table3_4, run_table5};
@@ -25,6 +27,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("counter", run_counter),
     ("sec6_1", run_sec6_1),
     ("sec6_2", run_sec6_2),
+    ("batch", run_batch),
     ("ablation_chain", run_ablation_chain),
     ("ablation_gap", run_ablation_gap),
     ("ablation_roof", run_ablation_roof),

@@ -85,8 +85,36 @@ pub fn embedding_key(
     h.0
 }
 
+/// A coherent snapshot of the cache's counters (see
+/// [`EmbeddingCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to embed.
+    pub misses: usize,
+    /// Embeddings currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total completed lookups (every lookup is exactly one of hit or
+    /// miss).
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
 /// Memoizes minor embeddings by [`embedding_key`], with hit/miss
 /// counters.
+///
+/// Counter updates happen while the entry map's lock is held, so a
+/// [`EmbeddingCache::stats`] snapshot (which takes the same lock) is
+/// always coherent: `entries <= misses` and `hits + misses` equals the
+/// number of completed lookups — under any number of concurrent
+/// threads, not just at quiescence. The engine's workers hammer one
+/// shared cache, so these invariants are load-bearing (and tested
+/// below).
 #[derive(Default)]
 pub struct EmbeddingCache {
     entries: Mutex<HashMap<u64, Embedding>>,
@@ -129,23 +157,36 @@ impl EmbeddingCache {
         F: FnOnce() -> Result<(Embedding, EmbedStats), EmbedError>,
     {
         let key = embedding_key(edges, num_vars, options, hardware);
-        if let Some(found) = self.lock().get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            qac_telemetry::global().counter_add("qac_embed_cache_hits_total", 1);
-            let stats = EmbedStats {
-                route_iterations: 0,
-                restarts: 0,
-                cache_hit: true,
-            };
-            return Ok((found, stats));
+        {
+            let guard = self.lock();
+            if let Some(found) = guard.get(&key).cloned() {
+                // Count the hit before releasing the map lock, so no
+                // stats() snapshot can observe the lookup half-recorded.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                drop(guard);
+                qac_telemetry::global().counter_add("qac_embed_cache_hits_total", 1);
+                let stats = EmbedStats {
+                    route_iterations: 0,
+                    restarts: 0,
+                    cache_hit: true,
+                };
+                return Ok((found, stats));
+            }
         }
         // The lock is NOT held while embedding (it can take seconds);
         // concurrent misses on the same key both embed and one insert
         // wins, which costs duplicated work but never blocks other keys.
         let (embedding, stats) = embed()?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        {
+            // Miss counter and insert move together under the lock:
+            // `entries <= misses` holds at every instant (a lost update
+            // here would let a stats() reader see an entry with no miss
+            // accounting for it).
+            let mut guard = self.lock();
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            guard.entry(key).or_insert_with(|| embedding.clone());
+        }
         qac_telemetry::global().counter_add("qac_embed_cache_misses_total", 1);
-        self.lock().entry(key).or_insert_with(|| embedding.clone());
         Ok((embedding, stats))
     }
 
@@ -167,6 +208,19 @@ impl EmbeddingCache {
     /// Lookups that had to embed.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// A coherent snapshot of hits, misses, and entry count, taken under
+    /// the entry map's lock (unlike three separate calls to
+    /// [`EmbeddingCache::hits`] / [`EmbeddingCache::misses`] /
+    /// [`EmbeddingCache::len`], which can interleave with writers).
+    pub fn stats(&self) -> CacheStats {
+        let guard = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: guard.len(),
+        }
     }
 
     /// Drops every entry (counters are kept).
@@ -291,6 +345,86 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
         // Still a miss (not a poisoned hit) the second time.
         assert!(attempt(&cache).is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_matches_individual_accessors_at_quiescence() {
+        let hw = Chimera::new(2).graph();
+        let options = EmbedOptions::default();
+        let cache = EmbeddingCache::new();
+        embed_triangle(&cache, &hw, &options);
+        embed_triangle(&cache, &hw, &options);
+        let stats = cache.stats();
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        assert_eq!(stats.lookups(), 2);
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (cache.hits(), cache.misses(), cache.len())
+        );
+    }
+
+    #[test]
+    fn concurrent_hammer_loses_no_counter_updates() {
+        // The engine fans workers out over one shared cache; this is the
+        // lost-update regression test. 8 threads × 24 lookups over 4
+        // distinct keys: every lookup must be accounted as exactly one
+        // hit or miss, every key must end up cached, and mid-flight
+        // stats() snapshots must never observe entries the miss counter
+        // cannot explain.
+        let hw = Chimera::new(2).graph();
+        let cache = EmbeddingCache::new();
+        let threads = 8usize;
+        let iterations = 24usize;
+        let keys = 4u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                let hw = &hw;
+                scope.spawn(move || {
+                    for i in 0..iterations {
+                        // Distinct EmbedOptions seeds are distinct cache
+                        // keys; rotate so every thread touches every key.
+                        let options = EmbedOptions {
+                            seed: (t + i) as u64 % keys,
+                            ..Default::default()
+                        };
+                        let (embedding, _) = cache
+                            .get_or_embed(&triangle(), 3, &options, hw, || {
+                                find_embedding_with_stats(&triangle(), 3, hw, &options)
+                            })
+                            .expect("triangle embeds");
+                        assert!(embedding.validate(&triangle(), hw));
+                        let stats = cache.stats();
+                        assert!(
+                            stats.entries <= stats.misses,
+                            "entry without a recorded miss: {stats:?}"
+                        );
+                        assert!(
+                            stats.lookups() <= threads * iterations,
+                            "over-counted lookups: {stats:?}"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.lookups(),
+            threads * iterations,
+            "lost a counter update: {stats:?}"
+        );
+        assert_eq!(stats.entries, keys as usize, "every key cached once");
+        // Duplicated work on racing first lookups is allowed (misses may
+        // exceed entries) but each key misses at least once.
+        assert!(stats.misses >= keys as usize);
+        assert_eq!(stats.hits, threads * iterations - stats.misses);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod embed;
 mod graph;
 
 pub use apply::{embed_ising, unembed, ChainBreakStats, EmbeddedIsing};
-pub use cache::{embedding_key, EmbeddingCache};
+pub use cache::{embedding_key, CacheStats, EmbeddingCache};
 pub use chimera::Chimera;
 pub use embed::{
     find_embedding, find_embedding_or_clique, find_embedding_or_clique_with_stats,

@@ -1,0 +1,70 @@
+//! Canonical fingerprints of run results.
+//!
+//! The engine's determinism contract is "byte-identical results at any
+//! worker count". Wall-clock obviously differs run to run, so the
+//! contract is stated — and tested — over the *semantic* payload of a
+//! [`RunOutcome`]: decoded samples (spins, energies, occurrences,
+//! validity), the expected ground energy, and the modeled hardware
+//! statistics. The [`Trace`] (measured durations) is excluded by
+//! construction.
+//!
+//! [`Trace`]: qac_core::Trace
+
+use qac_core::RunOutcome;
+use qac_pbf::Spin;
+
+/// FNV-1a over a canonical little-endian encoding (stable across runs
+/// and platforms, unlike `DefaultHasher`, whose seeds are unspecified).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+}
+
+/// A stable 64-bit digest of everything deterministic in `outcome`.
+///
+/// Two outcomes fingerprint equal iff their samples (order, spins,
+/// energies, occurrences, validity flags, decoded symbol values are a
+/// function of spins so they need no separate hashing), expected
+/// energy, and hardware statistics agree. Timing traces never
+/// participate.
+#[must_use]
+pub fn outcome_fingerprint(outcome: &RunOutcome) -> u64 {
+    let mut h = Fnv::new();
+    h.write_f64(outcome.expected_energy);
+    h.write_u64(outcome.samples.len() as u64);
+    for sample in &outcome.samples {
+        h.write_u64(sample.spins.len() as u64);
+        for &spin in &sample.spins {
+            h.write_u64(u64::from(spin == Spin::Up));
+        }
+        h.write_f64(sample.energy);
+        h.write_u64(sample.occurrences as u64);
+        h.write_u64(u64::from(sample.valid));
+    }
+    match &outcome.hardware {
+        None => h.write_u64(0),
+        Some(hw) => {
+            h.write_u64(1);
+            h.write_u64(hw.physical_qubits as u64);
+            h.write_u64(hw.physical_terms as u64);
+            h.write_f64(hw.chain_breaks);
+            // Modeled, not measured, time: deterministic per job spec.
+            h.write_f64(hw.time_us);
+        }
+    }
+    h.0
+}

@@ -1,0 +1,75 @@
+//! qac-engine — a deterministic concurrent batch-run engine.
+//!
+//! The paper's pipeline runs one program at a time; a service amortizes
+//! by running *many* `(compiled program, pins, sampler config)` jobs at
+//! once — many problem instances, many reads per instance, exactly the
+//! workload shape of the constraint-programming and SAT-annealing
+//! studies the ROADMAP targets. [`BatchEngine`] provides that:
+//!
+//! * **Bounded-queue, work-stealing scheduling** ([`queue`]): jobs are
+//!   dealt round-robin into per-worker deques behind a capacity bound
+//!   (backpressure), and idle workers steal from the longest sibling
+//!   deque, so skewed job sizes still load-balance.
+//! * **Determinism as a contract** ([`seed`], [`fingerprint`]): every
+//!   random decision in a job derives from `(batch seed, job index,
+//!   attempt index)` via splitmix64 — never from thread identity or
+//!   completion order — so a batch's results are byte-identical at 1, 2,
+//!   or 8 worker threads. `tests/determinism.rs` enforces this.
+//! * **Per-job retry-with-reseed, timeout, and cancellation**
+//!   ([`BatchEngine`]): failed (or, optionally, invalid) runs retry on a
+//!   fresh deterministic seed; a wall-clock budget bounds each job; a
+//!   [`CancelToken`] stops a batch cooperatively.
+//! * **Shared state, not duplicated work**: jobs share their
+//!   `Arc<Compiled>` programs, and hardware-model jobs share one
+//!   `Arc<EmbeddingCache>` through `DWaveSimOptions`, so a batch embeds
+//!   each distinct program once.
+//! * **Telemetry**: a `batch` span with one `job:<label>` child per job,
+//!   plus counters (`qac_engine_jobs_total`, `…_retries_total`,
+//!   `…_steals_total`, `…_failed_total`, `…_timeouts_total`,
+//!   `…_cancelled_total`) and a queue-wait histogram
+//!   (`qac_engine_queue_wait_us`).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qac_core::{compile, CompileOptions, RunOptions, SolverChoice};
+//! use qac_engine::{BatchEngine, EngineOptions, JobSpec};
+//!
+//! let src = r#"
+//!     module circuit (s, a, b, c);
+//!       input s, a, b;
+//!       output [1:0] c;
+//!       assign c = s ? a+b : a-b;
+//!     endmodule
+//! "#;
+//! let program = Arc::new(compile(src, "circuit", &CompileOptions::default()).unwrap());
+//! let jobs: Vec<JobSpec> = (0..4u64)
+//!     .map(|a| {
+//!         let options = RunOptions::new()
+//!             .pin(&format!("s := {}", a & 1))
+//!             .pin(&format!("a := {}", a >> 1))
+//!             .pin("b := 1")
+//!             .solver(SolverChoice::Exact);
+//!         JobSpec::new(Arc::clone(&program), options, format!("case{a}"))
+//!     })
+//!     .collect();
+//! let engine = BatchEngine::new(EngineOptions {
+//!     workers: 2,
+//!     ..Default::default()
+//! });
+//! let results = engine.run_batch(jobs);
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.outcome().is_some()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod fingerprint;
+pub mod queue;
+pub mod seed;
+
+pub use engine::{BatchEngine, CancelToken, EngineOptions, JobResult, JobSpec, JobStatus};
+pub use fingerprint::outcome_fingerprint;

@@ -1,0 +1,210 @@
+//! A bounded, work-stealing job queue.
+//!
+//! The producer deals tasks round-robin into one deque per worker and
+//! blocks while the total number of queued tasks is at the capacity
+//! bound (backpressure: a million-job batch never materializes a
+//! million queued tasks). Each worker pops from the front of its own
+//! deque; a worker whose deque is empty *steals* from the back of the
+//! longest sibling deque, so an unlucky dealing (all the heavy jobs on
+//! one worker) still load-balances.
+//!
+//! Scheduling is intentionally decoupled from results: which worker
+//! executes a task, and in which order tasks complete, carries no
+//! information — every task's randomness derives from its index (see
+//! [`crate::seed`]) and every result lands in its index's slot. The
+//! queue therefore needs no fairness guarantees to keep batches
+//! deterministic.
+//!
+//! One mutex guards all deques. Queue operations are a few pointer
+//! moves; jobs are milliseconds to seconds of sampling, so the shared
+//! lock is never the bottleneck at the engine's thread counts.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    /// One deque per worker.
+    locals: Vec<VecDeque<T>>,
+    /// Total queued across all deques (the bound applies to this).
+    queued: usize,
+    /// Set once the producer is done; lets idle workers exit.
+    closed: bool,
+}
+
+/// What [`WorkStealQueue::pop`] hands a worker.
+pub struct Popped<T> {
+    /// The task.
+    pub task: T,
+    /// Whether the task came from a sibling's deque.
+    pub stolen: bool,
+}
+
+/// A bounded multi-deque queue with work stealing.
+pub struct WorkStealQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when space frees up (producer waits here).
+    space: Condvar,
+    /// Signalled when work arrives or the queue closes (workers wait).
+    work: Condvar,
+    capacity: usize,
+}
+
+impl<T> WorkStealQueue<T> {
+    /// A queue with `workers` deques holding at most `capacity` total
+    /// queued tasks (clamped to at least 1 so `push` can make progress).
+    pub fn new(workers: usize, capacity: usize) -> WorkStealQueue<T> {
+        WorkStealQueue {
+            state: Mutex::new(State {
+                locals: (0..workers.max(1)).map(|_| VecDeque::new()).collect(),
+                queued: 0,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a task onto worker `home`'s deque (mod the worker
+    /// count), blocking while the queue is at capacity.
+    ///
+    /// # Panics
+    /// Panics if the queue was already closed.
+    pub fn push(&self, home: usize, task: T) {
+        let mut state = self.lock();
+        while state.queued >= self.capacity {
+            state = self.space.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+        assert!(!state.closed, "push after close");
+        let slot = home % state.locals.len();
+        state.locals[slot].push_back(task);
+        state.queued += 1;
+        drop(state);
+        self.work.notify_one();
+    }
+
+    /// Marks the end of production; blocked and future `pop`s on empty
+    /// deques return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.work.notify_all();
+    }
+
+    /// Dequeues a task for `worker`: front of its own deque first, else
+    /// steal from the back of the longest sibling. Blocks while the
+    /// queue is open but empty; returns `None` once closed and drained.
+    pub fn pop(&self, worker: usize) -> Option<Popped<T>> {
+        let mut state = self.lock();
+        loop {
+            let own = worker % state.locals.len();
+            if let Some(task) = state.locals[own].pop_front() {
+                state.queued -= 1;
+                drop(state);
+                self.space.notify_one();
+                return Some(Popped {
+                    task,
+                    stolen: false,
+                });
+            }
+            // Steal from the sibling with the most queued work (oldest
+            // task first — the back, opposite the owner's end).
+            let victim = (0..state.locals.len())
+                .filter(|&w| w != own)
+                .max_by_key(|&w| state.locals[w].len())
+                .filter(|&w| !state.locals[w].is_empty());
+            if let Some(victim) = victim {
+                let task = state.locals[victim].pop_back().expect("victim non-empty");
+                state.queued -= 1;
+                drop(state);
+                self.space.notify_one();
+                return Some(Popped { task, stolen: true });
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.work.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // Poison only means a panicking thread held the guard; the state
+        // is structurally sound either way.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_worker_fifo() {
+        let q = WorkStealQueue::new(1, 16);
+        for i in 0..5 {
+            q.push(0, i);
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop(0).map(|p| p.task)).collect();
+        assert_eq!(drained, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_worker_steals_from_the_longest_sibling() {
+        let q = WorkStealQueue::new(3, 16);
+        // Everything dealt to worker 0.
+        for i in 0..4 {
+            q.push(0, i);
+        }
+        q.close();
+        let popped = q.pop(2).expect("work available");
+        assert!(popped.stolen, "worker 2's own deque was empty");
+        assert_eq!(popped.task, 3, "thief takes the back (newest) task");
+        let own = q.pop(0).expect("work available");
+        assert!(!own.stolen);
+        assert_eq!(own.task, 0, "owner takes the front (oldest) task");
+    }
+
+    #[test]
+    fn capacity_bounds_queued_tasks() {
+        let q = WorkStealQueue::new(2, 2);
+        let produced = AtomicUsize::new(0);
+        let consumed = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            let q = &q;
+            let produced = &produced;
+            let consumed = &consumed;
+            scope.spawn(move |_| {
+                for i in 0..50usize {
+                    q.push(i, i);
+                    produced.fetch_add(1, Ordering::SeqCst);
+                }
+                q.close();
+            });
+            for w in 0..2usize {
+                scope.spawn(move |_| {
+                    while q.pop(w).is_some() {
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(produced.load(Ordering::SeqCst), 50);
+        assert_eq!(consumed.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn close_releases_blocked_workers() {
+        let q: WorkStealQueue<()> = WorkStealQueue::new(4, 4);
+        crossbeam::scope(|scope| {
+            let q = &q;
+            for w in 0..4usize {
+                scope.spawn(move |_| assert!(q.pop(w).is_none()));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+        })
+        .expect("no panics");
+    }
+}

@@ -17,7 +17,8 @@
 //! * [`chimera`] — hardware topology and minor embedding;
 //! * [`solvers`] — annealers and classical samplers;
 //! * [`csp`] — the classical constraint-solver baseline;
-//! * [`core`] — the end-to-end pipeline ([`core::compile`] / run).
+//! * [`core`] — the end-to-end pipeline ([`core::compile`] / run);
+//! * [`engine`] — the deterministic concurrent batch-run engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub use qac_chimera as chimera;
 pub use qac_core as core;
 pub use qac_csp as csp;
 pub use qac_edif as edif;
+pub use qac_engine as engine;
 pub use qac_gatesynth as gatesynth;
 pub use qac_netlist as netlist;
 pub use qac_pbf as pbf;
