@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use qac_chimera::{find_embedding_or_clique, Chimera, EmbedOptions};
+use qac_chimera::{find_embedding_or_clique_with_stats, Chimera, EmbedOptions};
 use qac_pbf::scale::{scale_to_range, CoefficientRange};
 use qac_solvers::{Sampler, SimulatedAnnealing};
 use qac_telemetry::json::Json;
@@ -49,7 +49,7 @@ pub fn bench_baseline_json() -> String {
         let scaled = scale_to_range(&compiled.assembled.ising, CoefficientRange::DWAVE_2000Q);
         let edges: Vec<(usize, usize)> = scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
         let start = Instant::now();
-        let embedding = find_embedding_or_clique(
+        let (embedding, stats) = find_embedding_or_clique_with_stats(
             &edges,
             scaled.model.num_vars(),
             &chimera,
@@ -69,6 +69,20 @@ pub fn bench_baseline_json() -> String {
             &format!("qac_bench_physical_qubits{{workload=\"{name}\"}}"),
             embedding.num_physical_qubits() as f64,
         );
+        // Routing-work counters: deterministic per seed, unlike the wall
+        // times above, so they diff cleanly across machines and make a
+        // "the router got slower" claim falsifiable without a stopwatch.
+        for (kind, value) in [
+            ("route_iterations", stats.route_iterations as u64),
+            ("heap_pops", stats.heap_pops),
+            ("edge_relaxations", stats.edge_relaxations),
+            ("weight_updates", stats.weight_updates),
+        ] {
+            recorder.gauge_set(
+                &format!("qac_bench_embed_{kind}{{workload=\"{name}\"}}"),
+                value as f64,
+            );
+        }
 
         let sampler = SimulatedAnnealing::new(7).with_sweeps(256);
         let start = Instant::now();
@@ -108,6 +122,13 @@ pub fn bench_baseline_json() -> String {
     recorder.gauge_set(
         "qac_bench_batch_speedup_8v1",
         wall_1.as_secs_f64() / wall_8.as_secs_f64().max(1e-9),
+    );
+    // When the host has fewer cores than the 8-worker run asks for, the
+    // "speedup" is really 8 threads time-slicing one core — flag it so a
+    // near-1.0 ratio reads as "serialized by host", not "engine broken".
+    recorder.gauge_set(
+        "qac_bench_batch_serialized_by_host",
+        if parallelism < 8 { 1.0 } else { 0.0 },
     );
     recorder.gauge_set("qac_bench_batch_jobs", results_1.len() as f64);
 
@@ -165,6 +186,19 @@ mod tests {
                     .unwrap_or_else(|| panic!("missing {key}"));
                 assert!(value > 0.0, "{key} must be positive, got {value}");
             }
+            for kind in [
+                "route_iterations",
+                "heap_pops",
+                "edge_relaxations",
+                "weight_updates",
+            ] {
+                let key = format!("qac_bench_embed_{kind}{{workload=\"{name}\"}}");
+                let value = metrics
+                    .get(&key)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or_else(|| panic!("missing {key}"));
+                assert!(value > 0.0, "{key} must be positive, got {value}");
+            }
         }
         for key in [
             "qac_bench_batch_wall_us{workers=\"1\"}",
@@ -179,5 +213,18 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing {key}"));
             assert!(value > 0.0, "{key} must be positive, got {value}");
         }
+        let serialized = metrics
+            .get("qac_bench_batch_serialized_by_host")
+            .and_then(|v| v.as_f64())
+            .expect("missing qac_bench_batch_serialized_by_host");
+        let parallelism = metrics
+            .get("qac_bench_available_parallelism")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert_eq!(
+            serialized,
+            if parallelism < 8.0 { 1.0 } else { 0.0 },
+            "serialized-by-host flag must reflect the host's parallelism"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! CI smoke checker for telemetry export files (no jq/python needed).
 //!
 //! ```text
-//! telemetry_check <trace.jsonl> <metrics.prom>
+//! telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]...
 //! ```
 //!
 //! Asserts that every JSONL line deserializes into the event schema
@@ -9,6 +9,13 @@
 //! Prometheus line matches the text-exposition grammar
 //! `^# (HELP|TYPE)|^[a-z_]+({.*})? [0-9.eE+-]+$`. Exits nonzero with a
 //! line-numbered message on the first violation.
+//!
+//! Each `--counter-max name=value` additionally requires the Prometheus
+//! file to contain a sample named `name` (exact match, including any
+//! label set) whose value is at most `value`. Routing-work counters are
+//! deterministic per seed, so CI uses this as a machine-independent
+//! perf budget: the budget only trips when the algorithm does more
+//! work, never because the runner was slow.
 
 fn die(msg: String) -> ! {
     eprintln!("telemetry_check: {msg}");
@@ -20,9 +27,30 @@ fn read(path: &str) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [jsonl_path, prom_path] = args.as_slice() else {
-        die("usage: telemetry_check <trace.jsonl> <metrics.prom>".to_string());
+    let mut paths = Vec::new();
+    let mut budgets: Vec<(String, f64)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--counter-max" {
+            let spec = args
+                .next()
+                .unwrap_or_else(|| die("--counter-max needs a name=value argument".to_string()));
+            let Some((name, value)) = spec.split_once('=') else {
+                die(format!("--counter-max {spec:?} is not name=value"));
+            };
+            let max: f64 = value
+                .parse()
+                .unwrap_or_else(|err| die(format!("--counter-max {spec:?}: bad value: {err}")));
+            budgets.push((name.to_string(), max));
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [jsonl_path, prom_path] = paths.as_slice() else {
+        die(
+            "usage: telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]..."
+                .to_string(),
+        );
     };
 
     let jsonl = read(jsonl_path);
@@ -60,6 +88,26 @@ fn main() {
     }
     if samples == 0 {
         die(format!("{prom_path}: no metric samples at all"));
+    }
+
+    for (name, max) in &budgets {
+        let value = prom
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .find_map(|l| {
+                let (sample_name, rest) = l.split_once(' ')?;
+                (sample_name == name).then(|| rest.trim())
+            })
+            .unwrap_or_else(|| die(format!("{prom_path}: no sample named {name}")));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|err| die(format!("{prom_path}: {name} value {value:?}: {err}")));
+        if value > *max {
+            die(format!(
+                "{prom_path}: {name} = {value} exceeds the budget of {max}"
+            ));
+        }
+        println!("telemetry_check: {name} = {value} within budget {max}");
     }
 
     println!("telemetry_check: {events} JSONL events, {samples} Prometheus samples — OK");

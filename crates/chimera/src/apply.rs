@@ -71,6 +71,21 @@ pub fn embed_ising(
     let mut physical = Ising::new(hardware.num_nodes());
     physical.add_offset(logical.offset());
 
+    // Chains are pairwise disjoint in a valid embedding, so one flat
+    // qubit → owning-variable array answers "which chain is this
+    // neighbor in?" with a single load. That replaces the pairwise
+    // `has_edge` scans — O(|chain_a|·|chain_b|) ordered-set probes per
+    // logical coupling, quadratic in chain length — with one walk of
+    // each chain member's hardware neighbor list.
+    const NO_OWNER: u32 = u32::MAX;
+    let mut owner = vec![NO_OWNER; hardware.num_nodes()];
+    for (v, chain) in embedding.chains().iter().enumerate() {
+        for &q in chain {
+            debug_assert_eq!(owner[q], NO_OWNER, "chains must be disjoint");
+            owner[q] = v as u32;
+        }
+    }
+
     // Linear terms: split over the chain.
     for (v, h) in logical.h_iter() {
         if h == 0.0 {
@@ -90,11 +105,11 @@ pub fn embed_ising(
             continue;
         }
         let chain_a = embedding.chain(t.i);
-        let chain_b = embedding.chain(t.j);
+        let want = t.j as u32;
         let mut couplers = Vec::new();
         for &a in chain_a {
-            for &b in chain_b {
-                if hardware.has_edge(a, b) {
+            for &b in hardware.neighbors(a) {
+                if owner[b] == want {
                     couplers.push((a, b));
                 }
             }
@@ -112,10 +127,11 @@ pub fn embed_ising(
     }
 
     // Intra-chain ferromagnetic couplings on every available coupler.
-    for chain in embedding.chains() {
-        for (idx, &a) in chain.iter().enumerate() {
-            for &b in &chain[idx + 1..] {
-                if hardware.has_edge(a, b) {
+    // `b > a` visits each undirected intra-chain edge exactly once.
+    for (v, chain) in embedding.chains().iter().enumerate() {
+        for &a in chain {
+            for &b in hardware.neighbors(a) {
+                if b > a && owner[b] == v as u32 {
                     physical.add_j(a, b, -chain_strength);
                 }
             }
@@ -263,6 +279,61 @@ mod tests {
             .map(|t| t.value)
             .sum();
         assert!((inter - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn owner_array_matches_pairwise_has_edge_reference() {
+        // The owner-array fast path must place exactly the couplers the
+        // original pairwise `has_edge` scans found, with the same
+        // shares. Compare against a direct reference on a workload
+        // whose chains are long enough to have internal couplers.
+        let mut logical = Ising::new(5);
+        for v in 0..5 {
+            logical.add_h(v, 0.3 * (v as f64 + 1.0));
+            for u in (v + 1)..5 {
+                logical.add_j(v, u, if (v + u) % 2 == 0 { -0.8 } else { 0.6 });
+            }
+        }
+        let hw = Chimera::new(3).graph();
+        let edges: Vec<(usize, usize)> = logical.j_iter().map(|t| (t.i, t.j)).collect();
+        let embedding = find_embedding(&edges, 5, &hw, &EmbedOptions::default()).unwrap();
+        assert!(
+            embedding.chains().iter().any(|c| c.len() >= 2),
+            "K5 on Chimera needs at least one multi-qubit chain"
+        );
+        let embedded = embed_ising(&logical, &embedding, &hw, 3.0);
+
+        let mut reference = Ising::new(hw.num_nodes());
+        reference.add_offset(logical.offset());
+        for (v, h) in logical.h_iter() {
+            let chain = embedding.chain(v);
+            for &q in chain {
+                reference.add_h(q, h / chain.len() as f64);
+            }
+        }
+        for t in logical.j_iter() {
+            let mut couplers = Vec::new();
+            for &a in embedding.chain(t.i) {
+                for &b in embedding.chain(t.j) {
+                    if hw.has_edge(a, b) {
+                        couplers.push((a, b));
+                    }
+                }
+            }
+            for &(a, b) in &couplers {
+                reference.add_j(a, b, t.value / couplers.len() as f64);
+            }
+        }
+        for chain in embedding.chains() {
+            for (idx, &a) in chain.iter().enumerate() {
+                for &b in &chain[idx + 1..] {
+                    if hw.has_edge(a, b) {
+                        reference.add_j(a, b, -3.0);
+                    }
+                }
+            }
+        }
+        assert_eq!(embedded.physical, reference);
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub fn embedding_key(
     h.write_usize(options.tries);
     h.write_usize(options.rounds);
     h.write_u64(options.penalty_base.to_bits());
+    // The restart-race flag changes which embedding comes back (different
+    // per-try seeds, best-of-all-tries winner), so it is part of the key;
+    // `restart_threads` never affects the result, so it is not.
+    h.write_u64(u64::from(options.parallel_restarts));
 
     h.write_usize(hardware.num_nodes());
     for node in 0..hardware.num_nodes() {
@@ -166,9 +170,8 @@ impl EmbeddingCache {
                 drop(guard);
                 qac_telemetry::global().counter_add("qac_embed_cache_hits_total", 1);
                 let stats = EmbedStats {
-                    route_iterations: 0,
-                    restarts: 0,
                     cache_hit: true,
+                    ..EmbedStats::default()
                 };
                 return Ok((found, stats));
             }
@@ -313,6 +316,31 @@ mod tests {
                 3,
                 &EmbedOptions {
                     rounds: 7,
+                    ..base.clone()
+                },
+                &hw2
+            )
+        );
+        assert_ne!(
+            k0,
+            key(
+                &triangle(),
+                3,
+                &EmbedOptions {
+                    parallel_restarts: true,
+                    ..base.clone()
+                },
+                &hw2
+            )
+        );
+        // Thread count is a wall-time knob, never a result knob: same key.
+        assert_eq!(
+            k0,
+            key(
+                &triangle(),
+                3,
+                &EmbedOptions {
+                    restart_threads: 8,
                     ..base.clone()
                 },
                 &hw2

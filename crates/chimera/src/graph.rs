@@ -74,6 +74,34 @@ impl HardwareGraph {
         self.active[node]
     }
 
+    /// Flattens the adjacency into a [`CsrNeighbors`] view. Per-node
+    /// neighbor order is preserved exactly (insertion order), so
+    /// algorithms that are sensitive to iteration order — the embedding
+    /// router's heap tie-breaking, for one — behave identically on
+    /// either representation.
+    ///
+    /// # Panics
+    /// Panics if the graph has `u32::MAX` or more nodes (Chimera
+    /// hardware tops out around 10⁴ qubits).
+    pub fn csr(&self) -> CsrNeighbors {
+        assert!(
+            self.adj.len() < u32::MAX as usize,
+            "hardware graph too large for a u32 CSR"
+        );
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for row in &self.adj {
+            total += row.len() as u32;
+            offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total as usize);
+        for row in &self.adj {
+            targets.extend(row.iter().map(|&t| t as u32));
+        }
+        CsrNeighbors { offsets, targets }
+    }
+
     /// Whether the active subgraph induced by `nodes` is connected.
     pub fn is_connected_subset(&self, nodes: &[usize]) -> bool {
         if nodes.is_empty() {
@@ -91,6 +119,41 @@ impl HardwareGraph {
             }
         }
         seen.len() == set.len()
+    }
+}
+
+/// A compressed-sparse-row copy of a [`HardwareGraph`]'s adjacency:
+/// one flat `u32` neighbor array plus per-node offsets. Built once by
+/// [`HardwareGraph::csr`] and then read lock-free and allocation-free —
+/// the representation the embedding router's inner loop runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrNeighbors {
+    /// `offsets[n]..offsets[n + 1]` bounds node n's slice of `targets`.
+    offsets: Vec<u32>,
+    /// All neighbor lists, concatenated in node order.
+    targets: Vec<u32>,
+}
+
+impl CsrNeighbors {
+    /// Assembles a CSR view from raw offset/target arrays (crate-internal;
+    /// the embedding router builds a variant with inactive targets
+    /// pruned).
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<u32>) -> CsrNeighbors {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        CsrNeighbors { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The neighbors of `node`, in the same order
+    /// [`HardwareGraph::neighbors`] reports them.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        &self.targets[self.offsets[node] as usize..self.offsets[node + 1] as usize]
     }
 }
 
@@ -118,6 +181,21 @@ mod tests {
         assert!(!g.is_connected_subset(&[0, 3]));
         assert!(g.is_connected_subset(&[3]));
         assert!(!g.is_connected_subset(&[]));
+    }
+
+    #[test]
+    fn csr_matches_vec_adjacency_in_order() {
+        let mut g = HardwareGraph::new(5);
+        g.add_edge(0, 3);
+        g.add_edge(0, 1);
+        g.add_edge(3, 1);
+        g.add_edge(2, 4);
+        let csr = g.csr();
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        for node in 0..g.num_nodes() {
+            let flat: Vec<usize> = csr.neighbors(node).iter().map(|&t| t as usize).collect();
+            assert_eq!(flat, g.neighbors(node), "node {node} order must match");
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use cache::{embedding_key, CacheStats, EmbeddingCache};
 pub use chimera::Chimera;
 pub use embed::{
     find_embedding, find_embedding_or_clique, find_embedding_or_clique_with_stats,
-    find_embedding_portfolio, find_embedding_with_stats, EmbedError, EmbedOptions, EmbedStats,
-    Embedding,
+    find_embedding_portfolio, find_embedding_with_stats, restart_seed, EmbedError, EmbedOptions,
+    EmbedStats, Embedding,
 };
-pub use graph::HardwareGraph;
+pub use graph::{CsrNeighbors, HardwareGraph};

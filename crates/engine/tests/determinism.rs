@@ -253,6 +253,17 @@ fn engine_and_portfolio_seed_families_never_collide() {
             );
         }
     }
+    // The embedding router's restart-race family is salted before its
+    // splitmix mix (see `qac_chimera::restart_seed`), so its streams
+    // must land outside both the engine attempt family and the
+    // portfolio arm family — a collision would correlate a routing race
+    // with a sampler's RNG when a job embeds and then anneals.
+    for try_index in 0..256u64 {
+        assert!(
+            seeds.insert(qac_chimera::restart_seed(engine.base_seed, try_index)),
+            "embedding restart {try_index} collides with another stream"
+        );
+    }
     // Reseed impls must actually adopt the seed they are handed (a stale
     // clone would silently share the base stream).
     let reseeded = TabuSearch::new(7).reseed(99);

@@ -246,6 +246,60 @@ impl Ising {
         adj
     }
 
+    /// Builds the same adjacency as [`Ising::adjacency`] in
+    /// compressed-sparse-row form: one flat `(partner, J)` array plus
+    /// per-variable offsets, so a sampler's inner sweep walks a single
+    /// allocation instead of `num_vars` separate heap rows. Per-row entry
+    /// order matches `adjacency()` exactly (couplings in `BTreeMap`
+    /// order), so [`Ising::flip_delta_csr`] accumulates the local field
+    /// in the identical order and returns bit-identical deltas.
+    ///
+    /// # Panics
+    /// Panics if the model has `u32::MAX` or more variables.
+    pub fn csr_adjacency(&self) -> CsrAdjacency {
+        assert!(
+            self.num_vars < u32::MAX as usize,
+            "model too large for a u32 CSR"
+        );
+        let mut degree = vec![0u32; self.num_vars];
+        for (&(i, j), &v) in &self.j {
+            if v != 0.0 {
+                degree[i] += 1;
+                degree[j] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(self.num_vars + 1);
+        let mut total = 0u32;
+        offsets.push(0u32);
+        for &d in &degree {
+            total += d;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.num_vars].to_vec();
+        let mut entries = vec![(0u32, 0.0f64); total as usize];
+        for (&(i, j), &v) in &self.j {
+            if v != 0.0 {
+                entries[cursor[i] as usize] = (j as u32, v);
+                cursor[i] += 1;
+                entries[cursor[j] as usize] = (i as u32, v);
+                cursor[j] += 1;
+            }
+        }
+        CsrAdjacency { offsets, entries }
+    }
+
+    /// [`Ising::flip_delta`] over a [`CsrAdjacency`] row. The field is
+    /// accumulated in the same entry order as the `Vec`-of-rows variant,
+    /// so the result is bit-identical.
+    pub fn flip_delta_csr(&self, spins: &[Spin], i: usize, neighbors: &[(u32, f64)]) -> f64 {
+        let si = spins[i].value();
+        let mut field = self.h[i];
+        for &(other, jij) in neighbors {
+            field += jij * spins[other as usize].value();
+        }
+        -2.0 * si * field
+    }
+
     /// Largest absolute linear coefficient.
     pub fn max_abs_h(&self) -> f64 {
         self.h.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
@@ -365,6 +419,30 @@ impl Ising {
     }
 }
 
+/// A compressed-sparse-row copy of [`Ising::adjacency`]: every
+/// variable's `(partner, J)` entries concatenated in variable order, with
+/// `offsets[i]..offsets[i + 1]` bounding variable i's row. Built once per
+/// sample call and shared (read-only) by every read and thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrAdjacency {
+    offsets: Vec<u32>,
+    entries: Vec<(u32, f64)>,
+}
+
+impl CsrAdjacency {
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Variable i's `(partner, J)` row, in the same order
+    /// [`Ising::adjacency`] reports it.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[(u32, f64)] {
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 impl fmt::Display for Ising {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -454,6 +532,38 @@ mod tests {
                 expected: 3
             })
         ));
+    }
+
+    #[test]
+    fn csr_adjacency_rows_match_vec_adjacency_in_order() {
+        let mut m = Ising::new(6);
+        m.add_j(0, 3, -1.25);
+        m.add_j(0, 1, 0.5);
+        m.add_j(3, 1, 2.0);
+        m.add_j(2, 4, 1.0);
+        m.add_j(4, 5, 0.0); // zero couplings are dropped from both forms
+        let adj = m.adjacency();
+        let csr = m.csr_adjacency();
+        assert_eq!(csr.num_vars(), m.num_vars());
+        for (i, expected) in adj.iter().enumerate() {
+            let row: Vec<(usize, f64)> = csr
+                .neighbors(i)
+                .iter()
+                .map(|&(p, j)| (p as usize, j))
+                .collect();
+            assert_eq!(&row, expected, "row {i} must match order and values");
+        }
+        // And flip deltas over either representation are bit-identical.
+        for idx in 0..64 {
+            let spins = bits_to_spins(idx, 6);
+            for (i, row) in adj.iter().enumerate() {
+                assert_eq!(
+                    m.flip_delta(&spins, i, row).to_bits(),
+                    m.flip_delta_csr(&spins, i, csr.neighbors(i)).to_bits(),
+                    "i={i} idx={idx}"
+                );
+            }
+        }
     }
 
     #[test]

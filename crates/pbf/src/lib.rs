@@ -48,6 +48,6 @@ pub mod scale;
 mod spin;
 
 pub use error::PbfError;
-pub use ising::{Ising, JTerm};
+pub use ising::{CsrAdjacency, Ising, JTerm};
 pub use qubo::Qubo;
 pub use spin::{bits_to_spins, spins_to_bits, spins_to_index, Spin, SpinVec};

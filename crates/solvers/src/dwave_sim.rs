@@ -222,7 +222,7 @@ impl DWaveSim {
                                 let stats = EmbedStats {
                                     route_iterations: o.embed.tries * o.embed.rounds,
                                     restarts: o.embed.tries,
-                                    cache_hit: false,
+                                    ..EmbedStats::default()
                                 };
                                 return Ok((embedding, stats));
                             }
@@ -246,6 +246,15 @@ impl DWaveSim {
             embed_stats.route_iterations as u64,
         );
         telemetry.counter_add("qac_embed_restarts_total", embed_stats.restarts as u64);
+        // Machine-independent routing-work counters: wall time drifts
+        // with the host, these only drift if the router actually does
+        // more work, so CI can put a hard budget on them.
+        telemetry.counter_add("qac_embed_heap_pops_total", embed_stats.heap_pops);
+        telemetry.counter_add(
+            "qac_embed_edge_relaxations_total",
+            embed_stats.edge_relaxations,
+        );
+        telemetry.counter_add("qac_embed_weight_updates_total", embed_stats.weight_updates);
         phase_done(&mut phases, "embed", embed_stats.restarts);
 
         let distort_span = telemetry.span("sample:distort");
@@ -382,7 +391,7 @@ fn anneal_embedded(
     seed: u64,
     num_reads: usize,
 ) -> SampleSet {
-    let adj = model.adjacency();
+    let adj = model.csr_adjacency();
     let n = model.num_vars();
     // Chain membership per physical qubit (usize::MAX = unused).
     let mut member = vec![usize::MAX; n];
@@ -393,8 +402,9 @@ fn anneal_embedded(
     }
     // β schedule bounds from the physical scale.
     let mut max_local = 0.0f64;
-    for (i, nbrs) in adj.iter().enumerate().take(n) {
-        let local: f64 = model.h(i).abs() + nbrs.iter().map(|(_, j)| j.abs()).sum::<f64>();
+    for i in 0..n {
+        let local: f64 =
+            model.h(i).abs() + adj.neighbors(i).iter().map(|(_, j)| j.abs()).sum::<f64>();
         max_local = max_local.max(2.0 * local);
     }
     if max_local == 0.0 {
@@ -428,9 +438,9 @@ fn anneal_embedded(
                 let mut delta = 0.0;
                 for &q in chain {
                     let mut field = model.h(q);
-                    for &(other, j) in &adj[q] {
-                        if member[other] != member[q] {
-                            field += j * spins[other].value();
+                    for &(other, j) in adj.neighbors(q) {
+                        if member[other as usize] != member[q] {
+                            field += j * spins[other as usize].value();
                         }
                     }
                     delta += -2.0 * spins[q].value() * field;
@@ -443,10 +453,10 @@ fn anneal_embedded(
             }
             // Single-qubit pass (chain breaks happen here).
             for q in 0..n {
-                if member[q] == usize::MAX && adj[q].is_empty() && model.h(q) == 0.0 {
+                if member[q] == usize::MAX && adj.neighbors(q).is_empty() && model.h(q) == 0.0 {
                     continue;
                 }
-                let delta = model.flip_delta(&spins, q, &adj[q]);
+                let delta = model.flip_delta_csr(&spins, q, adj.neighbors(q));
                 if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
                     spins[q] = spins[q].flipped();
                 }
@@ -461,9 +471,9 @@ fn anneal_embedded(
                 let mut delta = 0.0;
                 for &q in chain {
                     let mut field = model.h(q);
-                    for &(other, j) in &adj[q] {
-                        if member[other] != member[q] {
-                            field += j * spins[other].value();
+                    for &(other, j) in adj.neighbors(q) {
+                        if member[other as usize] != member[q] {
+                            field += j * spins[other as usize].value();
                         }
                     }
                     delta += -2.0 * spins[q].value() * field;
@@ -476,7 +486,7 @@ fn anneal_embedded(
                 }
             }
             for q in 0..n {
-                if model.flip_delta(&spins, q, &adj[q]) < -1e-12 {
+                if model.flip_delta_csr(&spins, q, adj.neighbors(q)) < -1e-12 {
                     spins[q] = spins[q].flipped();
                     improved = true;
                 }

@@ -47,7 +47,7 @@ impl ExactSolver {
         if n == 0 {
             return (model.offset(), vec![Vec::new()]);
         }
-        let adj = model.adjacency();
+        let adj = model.csr_adjacency();
         let mut spins = bits_to_spins(0, n);
         let mut energy = model.energy(&spins);
         let mut best = energy;
@@ -55,7 +55,7 @@ impl ExactSolver {
         // Gray-code walk: at step k, flip bit = trailing zeros of k.
         for k in 1u64..(1u64 << n) {
             let bit = k.trailing_zeros() as usize;
-            energy += model.flip_delta(&spins, bit, &adj[bit]);
+            energy += model.flip_delta_csr(&spins, bit, adj.neighbors(bit));
             spins[bit] = spins[bit].flipped();
             if energy < best - eps {
                 best = energy;

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use qac_pbf::{Ising, Spin};
+use qac_pbf::{CsrAdjacency, Ising, Spin};
 
 use crate::{ExactSolver, SampleSet, Sampler, TabuSearch};
 
@@ -62,7 +62,7 @@ impl QbsolvStyle {
     }
 
     /// One decomposition run from a random start.
-    fn run_once(&self, model: &Ising, adj: &[Vec<(usize, f64)>], seed: u64) -> Vec<Spin> {
+    fn run_once(&self, model: &Ising, adj: &CsrAdjacency, seed: u64) -> Vec<Spin> {
         let n = model.num_vars();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut spins: Vec<Spin> = (0..n).map(|_| Spin::from(rng.gen::<bool>())).collect();
@@ -82,7 +82,7 @@ impl QbsolvStyle {
             // same reason).
             let selected: Vec<usize> = if iter % 2 == 0 {
                 let mut impact: Vec<(f64, usize)> = (0..n)
-                    .map(|i| (model.flip_delta(&spins, i, &adj[i]), i))
+                    .map(|i| (model.flip_delta_csr(&spins, i, adj.neighbors(i)), i))
                     .collect();
                 impact.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 let core = self.subproblem_size * 3 / 4;
@@ -155,7 +155,7 @@ impl QbsolvStyle {
 
 impl Sampler for QbsolvStyle {
     fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
-        let adj = model.adjacency();
+        let adj = model.csr_adjacency();
         let reads: Vec<Vec<Spin>> = (0..num_reads)
             .map(|r| self.run_once(model, &adj, self.seed.wrapping_add(1000 * r as u64)))
             .collect();

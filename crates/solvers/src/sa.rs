@@ -5,7 +5,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use qac_pbf::{Ising, Spin};
+use qac_pbf::{CsrAdjacency, Ising, Spin};
 
 use crate::{SampleSet, Sampler};
 
@@ -79,12 +79,13 @@ impl SimulatedAnnealing {
         if let Some(range) = self.beta_range {
             return range;
         }
-        let adj = model.adjacency();
+        let adj = model.csr_adjacency();
         // Max |ΔE| of a single flip, bounded by 2(|h| + Σ|J|) per site.
         let mut max_delta = 0.0f64;
         let mut min_delta = f64::INFINITY;
-        for (i, nbrs) in adj.iter().enumerate().take(model.num_vars()) {
-            let local: f64 = model.h(i).abs() + nbrs.iter().map(|(_, j)| j.abs()).sum::<f64>();
+        for i in 0..model.num_vars() {
+            let local: f64 =
+                model.h(i).abs() + adj.neighbors(i).iter().map(|(_, j)| j.abs()).sum::<f64>();
             if local > 0.0 {
                 max_delta = max_delta.max(2.0 * local);
                 min_delta = min_delta.min(2.0 * local);
@@ -104,7 +105,7 @@ impl SimulatedAnnealing {
     /// One annealing read.
     fn anneal_once(
         model: &Ising,
-        adj: &[Vec<(usize, f64)>],
+        adj: &CsrAdjacency,
         sweeps: usize,
         betas: (f64, f64),
         seed: u64,
@@ -120,7 +121,7 @@ impl SimulatedAnnealing {
         let mut beta = beta_min;
         for _ in 0..sweeps {
             for i in 0..n {
-                let delta = model.flip_delta(&spins, i, &adj[i]);
+                let delta = model.flip_delta_csr(&spins, i, adj.neighbors(i));
                 if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
                     spins[i] = spins[i].flipped();
                 }
@@ -132,7 +133,7 @@ impl SimulatedAnnealing {
         while improved {
             improved = false;
             for i in 0..n {
-                if model.flip_delta(&spins, i, &adj[i]) < -1e-12 {
+                if model.flip_delta_csr(&spins, i, adj.neighbors(i)) < -1e-12 {
                     spins[i] = spins[i].flipped();
                     improved = true;
                 }
@@ -144,7 +145,7 @@ impl SimulatedAnnealing {
 
 impl Sampler for SimulatedAnnealing {
     fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
-        let adj = model.adjacency();
+        let adj = model.csr_adjacency();
         let betas = self.beta_range_for(model);
         let reads = Mutex::new(vec![Vec::new(); num_reads]);
         let threads = self.threads.min(num_reads.max(1));

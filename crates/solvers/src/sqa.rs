@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use qac_pbf::{Ising, Spin};
+use qac_pbf::{CsrAdjacency, Ising, Spin};
 
 use crate::{SampleSet, Sampler};
 
@@ -81,7 +81,7 @@ impl Sqa {
         self
     }
 
-    fn anneal_once(&self, model: &Ising, adj: &[Vec<(usize, f64)>], seed: u64) -> Vec<Spin> {
+    fn anneal_once(&self, model: &Ising, adj: &CsrAdjacency, seed: u64) -> Vec<Spin> {
         let n = model.num_vars();
         let p = self.slices;
         let mut rng = StdRng::seed_from_u64(seed);
@@ -105,7 +105,8 @@ impl Sqa {
                 let down = (k + p - 1) % p;
                 for i in 0..n {
                     // Classical part, scaled 1/P per slice.
-                    let classical = model.flip_delta(&replicas[k], i, &adj[i]) / p as f64;
+                    let classical =
+                        model.flip_delta_csr(&replicas[k], i, adj.neighbors(i)) / p as f64;
                     // Quantum part: coupling to the same spin in adjacent
                     // slices with strength J⊥.
                     let si = replicas[k][i].value();
@@ -125,7 +126,7 @@ impl Sqa {
             while improved {
                 improved = false;
                 for i in 0..n {
-                    if model.flip_delta(&slice, i, &adj[i]) < -1e-12 {
+                    if model.flip_delta_csr(&slice, i, adj.neighbors(i)) < -1e-12 {
                         slice[i] = slice[i].flipped();
                         improved = true;
                     }
@@ -142,7 +143,7 @@ impl Sqa {
 
 impl Sampler for Sqa {
     fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
-        let adj = model.adjacency();
+        let adj = model.csr_adjacency();
         let reads: Vec<Vec<Spin>> = (0..num_reads)
             .map(|r| self.anneal_once(model, &adj, self.seed.wrapping_add(r as u64)))
             .collect();

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use qac_pbf::{Ising, Spin};
+use qac_pbf::{CsrAdjacency, Ising, Spin};
 
 use crate::{SampleSet, Sampler};
 
@@ -58,7 +58,7 @@ impl TabuSearch {
 
     /// One tabu restart from a random start; returns the best assignment
     /// visited.
-    fn run_once(&self, model: &Ising, adj: &[Vec<(usize, f64)>], seed: u64) -> Vec<Spin> {
+    fn run_once(&self, model: &Ising, adj: &CsrAdjacency, seed: u64) -> Vec<Spin> {
         let n = model.num_vars();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut spins: Vec<Spin> = (0..n).map(|_| Spin::from(rng.gen::<bool>())).collect();
@@ -75,9 +75,9 @@ impl TabuSearch {
         for step in 0..steps {
             // Pick the best admissible flip.
             let mut chosen: Option<(usize, f64)> = None;
-            for i in 0..n {
-                let delta = model.flip_delta(&spins, i, &adj[i]);
-                let is_tabu = tabu_until[i] > step;
+            for (i, &until) in tabu_until.iter().enumerate() {
+                let delta = model.flip_delta_csr(&spins, i, adj.neighbors(i));
+                let is_tabu = until > step;
                 // Aspiration: tabu moves are allowed if they beat the best.
                 if is_tabu && energy + delta >= best_energy - 1e-12 {
                     continue;
@@ -105,7 +105,7 @@ impl TabuSearch {
 
 impl Sampler for TabuSearch {
     fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
-        let adj = model.adjacency();
+        let adj = model.csr_adjacency();
         let reads: Vec<Vec<Spin>> = (0..num_reads)
             .map(|r| self.run_once(model, &adj, self.seed.wrapping_add(r as u64)))
             .collect();

@@ -1,0 +1,93 @@
+//! Golden per-seed sample regression for the classical samplers.
+//!
+//! The CSR conversion of SA/tabu/SQA (shared [`qac_pbf::CsrAdjacency`] +
+//! [`qac_pbf::Ising::flip_delta_csr`] in place of per-sample
+//! `Vec<Vec<(usize, f64)>>` adjacency) is required to be byte-identical
+//! per seed: CSR rows preserve the `BTreeMap` coupling order, and the
+//! field accumulation runs in the same order, so every RNG draw and
+//! every accept decision is unchanged. These expected strings were
+//! captured from the pre-conversion samplers; any drift in adjacency
+//! order, delta arithmetic, or RNG consumption shows up as a diff.
+
+use qac_pbf::Ising;
+use qac_solvers::{Sampler, SimulatedAnnealing, Sqa, TabuSearch};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A fixed random spin glass: dense enough that single-spin deltas walk
+/// real neighbor lists, small enough to enumerate by eye in a diff.
+fn golden_model() -> Ising {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let n = 14;
+    let mut model = Ising::new(n);
+    for i in 0..n {
+        model.add_h(i, rng.gen_range(-1.0..1.0));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < 0.35 {
+                model.add_j(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    model
+}
+
+/// Encodes a sample set as `occurrences x bitstring @ energy` lines so a
+/// failure prints the whole distribution, not just one field.
+fn encode(set: &qac_solvers::SampleSet) -> Vec<String> {
+    set.iter()
+        .map(|s| {
+            let bits: String = s
+                .spins
+                .iter()
+                .map(|sp| if sp.value() > 0.0 { '1' } else { '0' })
+                .collect();
+            format!("{}x{}@{:.12}", s.occurrences, bits, s.energy)
+        })
+        .collect()
+}
+
+#[test]
+fn sa_samples_match_pre_csr_goldens() {
+    let model = golden_model();
+    let sa = SimulatedAnnealing::new(41).with_sweeps(60).with_threads(1);
+    let set = sa.sample(&model, 5);
+    assert_eq!(
+        encode(&set),
+        [
+            "1x11001000101011@-11.533247044438",
+            "3x00010010011000@-11.203273316062",
+            "1x11001001100011@-11.112280257144",
+        ],
+        "SA seed 41 drifted from the pre-CSR sample distribution"
+    );
+}
+
+#[test]
+fn tabu_samples_match_pre_csr_goldens() {
+    let model = golden_model();
+    let set = TabuSearch::new(42).sample(&model, 5);
+    assert_eq!(
+        encode(&set),
+        [
+            "3x11001000101011@-11.533247044438",
+            "2x00010010011000@-11.203273316062",
+        ],
+        "tabu seed 42 drifted from the pre-CSR sample distribution"
+    );
+}
+
+#[test]
+fn sqa_samples_match_pre_csr_goldens() {
+    let model = golden_model();
+    let sqa = Sqa::new(43).with_sweeps(40).with_slices(6);
+    let set = sqa.sample(&model, 5);
+    assert_eq!(
+        encode(&set),
+        [
+            "3x10000101010101@-11.838253289245",
+            "2x00010010011000@-11.203273316062",
+        ],
+        "SQA seed 43 drifted from the pre-CSR sample distribution"
+    );
+}
