@@ -2,12 +2,31 @@
 # Repository CI gate: build, tests, lints, formatting.
 #
 #   ./ci.sh          # run everything
+#   ./ci.sh analyze  # run only the static-analysis gate
 #
 # Workspace tests run in release because the embedding acceptance tests
 # (crates/bench/tests/cache_portfolio.rs) route on a C16 Chimera graph
 # and are painfully slow unoptimized.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+analyze_gate() {
+    echo "==> analyze gate (static analyzer over the paper workloads)"
+    # QAC_ANALYZE_STRICT=1 turns any Error-severity diagnostic into a
+    # nonzero exit; the JSON export is then schema-checked.
+    QAC_ANALYZE_STRICT=1 cargo run --release -q -p qac-bench --bin experiments -- \
+        analyze --diagnostics-json "$tmpdir/diagnostics.json" > /dev/null
+    cargo run --release -q -p qac-bench --bin telemetry_check -- \
+        --diagnostics "$tmpdir/diagnostics.json"
+}
+
+if [ "${1:-}" = "analyze" ]; then
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    analyze_gate
+    echo "==> ci.sh analyze: passed"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -40,6 +59,8 @@ cargo run --release -q -p qac-bench --bin telemetry_check -- \
     --counter-max qac_embed_heap_pops_total=800000 \
     --counter-max qac_embed_edge_relaxations_total=4700000 \
     --counter-max qac_route_iterations_total=20
+
+analyze_gate
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

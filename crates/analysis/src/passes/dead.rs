@@ -1,0 +1,123 @@
+//! Pass `dead-code`: disconnected variables and unused macros
+//! (QAC010–QAC011).
+//!
+//! A variable with no weight and no couplings cannot influence the
+//! energy; it still consumes a qubit (and an embedding chain) and its
+//! sampled value is meaningless noise. Macros defined but never
+//! instantiated are usually leftovers from edits — harmless, so Info.
+
+use crate::{AnalysisOptions, AnalysisReport, Code, Ctx, Diagnostic, Location, PassResult};
+
+pub(crate) fn run(ctx: &Ctx<'_>, options: &AnalysisOptions, report: &mut AnalysisReport) {
+    let degrees = crate::degrees(ctx.model);
+    let pinned: std::collections::BTreeSet<usize> =
+        ctx.pins.iter().map(|&(var, _, _)| var).collect();
+    let dead: Vec<usize> = (0..ctx.model.num_vars())
+        .filter(|&v| ctx.model.h(v) == 0.0 && degrees[v] == 0 && !pinned.contains(&v))
+        .collect();
+    for &v in dead.iter().take(options.max_reported_per_code) {
+        report.diagnostics.push(Diagnostic::new(
+            Code::DisconnectedVariable,
+            "dead-code",
+            ctx.loc(v),
+            "variable has no weight and no couplings; its qubit is wasted and its \
+             sampled value is noise"
+                .to_string(),
+        ));
+    }
+    for name in &ctx.unused_macros {
+        report.diagnostics.push(Diagnostic::new(
+            Code::UnusedMacro,
+            "dead-code",
+            Location::Macro(name.clone()),
+            "macro is defined but never instantiated".to_string(),
+        ));
+    }
+    let mut summary = format!(
+        "{} disconnected variables, {} unused macros",
+        dead.len(),
+        ctx.unused_macros.len(),
+    );
+    if dead.len() > options.max_reported_per_code {
+        summary.push_str(&format!(
+            " (first {} reported)",
+            options.max_reported_per_code
+        ));
+    }
+    report.passes.push(PassResult {
+        pass: "dead-code",
+        summary,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze_assembled, analyze_ising, AnalysisOptions, Code};
+    use qac_pbf::{Ising, Spin};
+    use qac_qmasm::{assemble, parse, AssembleOptions, NoIncludes};
+
+    #[test]
+    fn disconnected_variable_flagged() {
+        let mut m = Ising::new(3);
+        m.add_j(0, 1, -1.0);
+        let report = analyze_ising(&m, &[], &AnalysisOptions::default());
+        let dead: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::DisconnectedVariable)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].location, crate::Location::Var(2));
+    }
+
+    #[test]
+    fn pinned_isolated_variable_is_not_dead() {
+        // A pinned variable is an output the user asked for even when
+        // nothing couples to it.
+        let m = Ising::new(1);
+        let report = analyze_ising(&m, &[(0, Spin::Up)], &AnalysisOptions::default());
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::DisconnectedVariable));
+    }
+
+    #[test]
+    fn reporting_cap_applies() {
+        let m = Ising::new(20);
+        let options = AnalysisOptions {
+            max_reported_per_code: 3,
+            ..Default::default()
+        };
+        let report = analyze_ising(&m, &[], &options);
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == Code::DisconnectedVariable)
+                .count(),
+            3
+        );
+        let dead_pass = report
+            .passes
+            .iter()
+            .find(|p| p.pass == "dead-code")
+            .unwrap();
+        assert!(dead_pass.summary.contains("20 disconnected"));
+        assert!(dead_pass.summary.contains("first 3 reported"));
+    }
+
+    #[test]
+    fn unused_macro_reported_by_name() {
+        let src = "!begin_macro GHOST\nA 1\n!end_macro GHOST\nX Y -1\n";
+        let program = parse(src, &NoIncludes).unwrap();
+        let assembled = assemble(&program, &AssembleOptions::default()).unwrap();
+        let report = analyze_assembled(&assembled, Some(&program), &AnalysisOptions::default());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::UnusedMacro)
+            .expect("QAC011 expected");
+        assert_eq!(d.location, crate::Location::Macro("GHOST".to_string()));
+    }
+}

@@ -1,0 +1,14 @@
+//! The analyzer's pass catalog. Every pass appends exactly one
+//! [`crate::PassResult`] plus zero or more diagnostics; passes run in a
+//! fixed order (`pins` → `dead-code` → `dynamic-range` →
+//! `chain-strength` → `roof-duality` → `exact-audit`) and later passes
+//! may read conclusions recorded by earlier ones on the shared
+//! [`crate::AnalysisReport`] (e.g. the audit consults
+//! `pin_contradiction` and `roof_lower_bound`).
+
+pub(crate) mod audit;
+pub(crate) mod chain;
+pub(crate) mod dead;
+pub(crate) mod pins;
+pub(crate) mod range;
+pub(crate) mod roof;

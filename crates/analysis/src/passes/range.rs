@@ -1,0 +1,154 @@
+//! Pass `dynamic-range`: coefficient precision after scaling
+//! (QAC020–QAC021).
+//!
+//! The hardware is analog: after the model is scaled into the target
+//! coefficient range, two *distinct* coefficients closer than the noise
+//! floor are effectively the same number, so the programmed Hamiltonian
+//! is not the logical one. The pass scales the model exactly as the
+//! run path does, sorts the distinct coefficient values, and reports
+//! the smallest adjacent gap as a precision ratio against
+//! `noise_epsilon` (Pakin §2 puts the 2000Q at 5–6 effective bits).
+
+use qac_pbf::scale::scale_to_range;
+
+use crate::{
+    fmt4, fmt6, AnalysisOptions, AnalysisReport, Code, Ctx, Diagnostic, Location, PassResult,
+};
+
+pub(crate) fn run(ctx: &Ctx<'_>, options: &AnalysisOptions, report: &mut AnalysisReport) {
+    let scaled = scale_to_range(ctx.model, options.range);
+    report.scale = scaled.scale;
+
+    let mut values: Vec<f64> = scaled
+        .model
+        .h_iter()
+        .map(|(_, h)| h)
+        .filter(|v| *v != 0.0)
+        .chain(scaled.model.j_iter().map(|t| t.value))
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite coefficients"));
+    values.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+
+    let mut min_gap = f64::INFINITY;
+    let mut worst_pair = None;
+    let mut collapsed_pairs = 0usize;
+    for w in values.windows(2) {
+        let gap = w[1] - w[0];
+        if gap <= options.noise_epsilon {
+            collapsed_pairs += 1;
+        }
+        if gap < min_gap {
+            min_gap = gap;
+            worst_pair = Some((w[0], w[1]));
+        }
+    }
+    report.min_coefficient_gap = min_gap;
+    report.precision_ratio = min_gap / options.noise_epsilon;
+
+    if let Some((a, b)) = worst_pair {
+        if min_gap <= options.noise_epsilon {
+            report.diagnostics.push(Diagnostic::new(
+                Code::CoefficientCollapse,
+                "dynamic-range",
+                Location::Model,
+                format!(
+                    "{} distinct coefficient pairs collapse within the noise epsilon {}; \
+                     worst pair {} and {} differ by only {}",
+                    collapsed_pairs,
+                    fmt6(options.noise_epsilon),
+                    fmt6(a),
+                    fmt6(b),
+                    fmt6(min_gap),
+                ),
+            ));
+        }
+    }
+    report.diagnostics.push(Diagnostic::new(
+        Code::DynamicRange,
+        "dynamic-range",
+        Location::Model,
+        format!(
+            "scale {}; {} distinct coefficient values; min gap {}; precision ratio {}",
+            fmt4(scaled.scale),
+            values.len(),
+            fmt6(min_gap),
+            fmt4(report.precision_ratio),
+        ),
+    ));
+
+    report.passes.push(PassResult {
+        pass: "dynamic-range",
+        summary: format!(
+            "scale {}, {} distinct values, min gap {}, {} pairs within epsilon",
+            fmt4(scaled.scale),
+            values.len(),
+            fmt6(min_gap),
+            collapsed_pairs,
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze_ising, AnalysisOptions, Code};
+    use qac_pbf::Ising;
+
+    #[test]
+    fn collapse_detected_after_scaling() {
+        // Coefficients 4.0 and 4.02 differ by 0.02 logically, but after
+        // scaling by 1/4 into J ∈ [−2, 1] the gap shrinks to ~0.005 —
+        // inside the 0.01 noise epsilon.
+        let mut m = Ising::new(3);
+        m.add_j(0, 1, 4.0);
+        m.add_j(1, 2, 4.02);
+        let report = analyze_ising(&m, &[], &AnalysisOptions::default());
+        assert!(report.scale < 0.26);
+        assert!(report.precision_ratio < 1.0);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::CoefficientCollapse));
+    }
+
+    #[test]
+    fn well_separated_coefficients_are_clean() {
+        let mut m = Ising::new(2);
+        m.add_h(0, 1.0);
+        m.add_j(0, 1, -0.5);
+        let report = analyze_ising(&m, &[], &AnalysisOptions::default());
+        assert_eq!(report.scale, 1.0);
+        assert!(report.precision_ratio > 1.0);
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::CoefficientCollapse));
+    }
+
+    #[test]
+    fn empty_model_reports_infinite_gap() {
+        let m = Ising::new(2);
+        let report = analyze_ising(&m, &[], &AnalysisOptions::default());
+        assert!(report.min_coefficient_gap.is_infinite());
+        let pass = report
+            .passes
+            .iter()
+            .find(|p| p.pass == "dynamic-range")
+            .unwrap();
+        assert!(pass.summary.contains("min gap inf"), "{}", pass.summary);
+    }
+
+    #[test]
+    fn equal_coefficients_do_not_collapse() {
+        // Identical values dedup to one; "collapse" is only about
+        // *distinct* values getting too close.
+        let mut m = Ising::new(3);
+        m.add_j(0, 1, -1.0);
+        m.add_j(1, 2, -1.0);
+        let report = analyze_ising(&m, &[], &AnalysisOptions::default());
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::CoefficientCollapse));
+        assert!(report.min_coefficient_gap.is_infinite());
+    }
+}

@@ -1,0 +1,341 @@
+//! Property testing of the analyzer's static verdicts against
+//! exhaustive enumeration.
+//!
+//! Over 200 random pinned Ising models small enough to enumerate
+//! (≤ 12 variables, coefficients quantized to multiples of 0.25 so
+//! verdicts are crisp), three verdict families must agree with
+//! [`ExactSolver`]:
+//!
+//! 1. **UNSAT** — `report.unsat` iff the pinned minimum exceeds the
+//!    expected (unpinned ground) energy.
+//! 2. **Fixed variables** — every roof-duality persistency fix must be
+//!    jointly realized by some exact ground state of the pinned model
+//!    (weak persistency).
+//! 3. **Chain-strength sufficiency** — for a variable the analyzer
+//!    declares safe, physically splitting it into a two-qubit chain at
+//!    the reported strength must leave the chain intact in some exact
+//!    ground state of the split model.
+//!
+//! On a violation the harness greedily shrinks the model (deleting
+//! terms and pins while the violation persists) and panics with the
+//! minimized model as constructor code, mirroring
+//! `qac-solvers/tests/differential.rs`.
+
+use qac_analysis::{analyze_ising, AnalysisOptions, AnalysisReport};
+use qac_pbf::scale::scale_to_range;
+use qac_pbf::{Ising, Spin};
+use qac_solvers::ExactSolver;
+
+const MODELS: usize = 200;
+const EPS: f64 = 1e-6;
+
+/// Deterministic xorshift64 RNG — no external dependency, same numbers
+/// on every platform.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// A value in `0..bound`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// A nonzero coefficient in `[-2, 2]`, quantized to 0.25 steps.
+    fn coefficient(&mut self) -> f64 {
+        loop {
+            let v = (self.below(17) as i64 - 8) as f64 * 0.25;
+            if v != 0.0 {
+                return v;
+            }
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Term {
+    H(usize, f64),
+    J(usize, usize, f64),
+}
+
+/// One random pinned model: term list plus first-wins pins on distinct
+/// variables (so the only possible UNSAT mechanism is energetic, not a
+/// syntactic pin contradiction).
+#[derive(Clone)]
+struct Case {
+    num_vars: usize,
+    terms: Vec<Term>,
+    pins: Vec<(usize, Spin)>,
+}
+
+fn random_case(seed: u64) -> Case {
+    let mut rng = XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let num_vars = 2 + rng.below(11) as usize; // 2..=12
+    let mut terms = Vec::new();
+    for i in 0..num_vars {
+        if rng.below(10) < 7 {
+            terms.push(Term::H(i, rng.coefficient()));
+        }
+        for j in (i + 1)..num_vars {
+            if rng.below(10) < 4 {
+                terms.push(Term::J(i, j, rng.coefficient()));
+            }
+        }
+    }
+    let mut pins = Vec::new();
+    for _ in 0..rng.below(4) {
+        let var = rng.below(num_vars as u64) as usize;
+        if pins.iter().all(|&(v, _)| v != var) {
+            let spin = if rng.below(2) == 0 {
+                Spin::Up
+            } else {
+                Spin::Down
+            };
+            pins.push((var, spin));
+        }
+    }
+    Case {
+        num_vars,
+        terms,
+        pins,
+    }
+}
+
+fn build(case: &Case) -> Ising {
+    let mut model = Ising::new(case.num_vars);
+    for term in &case.terms {
+        match *term {
+            Term::H(i, v) => model.add_h(i, v),
+            Term::J(i, j, v) => model.add_j(i, j, v),
+        }
+    }
+    model
+}
+
+fn render(case: &Case) -> String {
+    let mut code = format!("let mut m = Ising::new({});\n", case.num_vars);
+    for term in &case.terms {
+        match *term {
+            Term::H(i, v) => code.push_str(&format!("m.add_h({i}, {v:?});\n")),
+            Term::J(i, j, v) => code.push_str(&format!("m.add_j({i}, {j}, {v:?});\n")),
+        }
+    }
+    for &(var, spin) in &case.pins {
+        code.push_str(&format!("// pin {var} := {spin:?}\n"));
+    }
+    code
+}
+
+fn analyzer_options(expected: f64) -> AnalysisOptions {
+    AnalysisOptions {
+        exact_audit_max_vars: 12,
+        expected_ground_energy: Some(expected),
+        ..Default::default()
+    }
+}
+
+fn analyze(case: &Case, expected: f64) -> AnalysisReport {
+    analyze_ising(&build(case), &case.pins, &analyzer_options(expected))
+}
+
+/// The model with every pin substituted out (the analyzer's own pinned
+/// view), for exact cross-checks.
+fn pinned_model(case: &Case) -> Ising {
+    let mut model = build(case);
+    for &(var, spin) in &case.pins {
+        model.fix_variable(var, spin);
+    }
+    model
+}
+
+/// Returns a description of the first verdict that disagrees with
+/// exhaustive enumeration, or `None` if the analyzer is right about
+/// this case.
+fn verdict_violation(case: &Case) -> Option<String> {
+    let model = build(case);
+    let expected = ExactSolver::new().minimum_energy(&model);
+    let report = analyze(case, expected);
+
+    // 1. UNSAT agreement: the pins force an energy above the unpinned
+    // ground iff the analyzer says so.
+    let pinned = pinned_model(case);
+    let (pinned_min, grounds) = ExactSolver::new().ground_states(&pinned, 1e-9);
+    let truly_unsat = pinned_min > expected + EPS;
+    if report.unsat != truly_unsat {
+        return Some(format!(
+            "unsat verdict {} but exact pinned minimum {pinned_min} vs expected {expected}",
+            report.unsat
+        ));
+    }
+
+    // 2. Weak persistency: all roof fixes jointly present in some exact
+    // ground state of the pinned model.
+    if !report.roof_fixed.is_empty() {
+        let realized = grounds.iter().any(|spins| {
+            report
+                .roof_fixed
+                .iter()
+                .all(|&(var, spin)| spins[var] == spin)
+        });
+        if !realized {
+            return Some(format!(
+                "roof fixes {:?} are realized by no exact ground state",
+                report.roof_fixed
+            ));
+        }
+    }
+
+    // 3. Chain-strength sufficiency: split the first safe coupled
+    // variable into a two-qubit chain at the reported strength; some
+    // exact ground state of the split model must keep the chain intact.
+    let scaled = scale_to_range(&model, AnalysisOptions::default().range);
+    let mut degrees = vec![0usize; case.num_vars];
+    for t in scaled.model.j_iter() {
+        if t.value != 0.0 {
+            degrees[t.i] += 1;
+            degrees[t.j] += 1;
+        }
+    }
+    let safe = (0..case.num_vars).find(|&v| degrees[v] > 0 && !report.chain_unsafe.contains(&v));
+    if let Some(v) = safe {
+        let twin = case.num_vars;
+        let mut split = Ising::new(case.num_vars + 1);
+        for i in 0..case.num_vars {
+            split.add_h(i, scaled.model.h(i));
+        }
+        // Alternate v's couplings between the original and the twin so
+        // the chain actually carries interaction on both ends.
+        let mut moved = 0usize;
+        for t in scaled.model.j_iter() {
+            if t.value == 0.0 {
+                continue;
+            }
+            let (mut i, mut j) = (t.i, t.j);
+            if i == v || j == v {
+                if moved % 2 == 1 {
+                    if i == v {
+                        i = twin;
+                    } else {
+                        j = twin;
+                    }
+                }
+                moved += 1;
+            }
+            split.add_j(i, j, t.value);
+        }
+        split.add_j(v, twin, -report.chain_strength);
+        let (_, split_grounds) = ExactSolver::new()
+            .with_max_vars(case.num_vars + 1)
+            .ground_states(&split, 1e-9);
+        if !split_grounds.iter().any(|spins| spins[v] == spins[twin]) {
+            return Some(format!(
+                "variable {v} declared chain-safe at strength {} but every exact \
+                 ground state of the split model breaks the chain",
+                report.chain_strength
+            ));
+        }
+    }
+
+    None
+}
+
+/// Greedily deletes terms and pins while the violation persists, then
+/// panics with the minimized reproduction.
+fn shrink_and_report(mut case: Case, mut reason: String) -> ! {
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < case.terms.len() {
+            let mut candidate = case.clone();
+            candidate.terms.remove(i);
+            if let Some(r) = verdict_violation(&candidate) {
+                case = candidate;
+                reason = r;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut p = 0;
+        while p < case.pins.len() {
+            let mut candidate = case.clone();
+            candidate.pins.remove(p);
+            if let Some(r) = verdict_violation(&candidate) {
+                case = candidate;
+                reason = r;
+                shrunk = true;
+            } else {
+                p += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    panic!(
+        "analyzer verdict disagrees with exhaustive enumeration: {reason}\n\
+         minimized reproduction ({} terms, {} pins):\n{}",
+        case.terms.len(),
+        case.pins.len(),
+        render(&case),
+    );
+}
+
+#[test]
+fn analyzer_verdicts_agree_with_exact_enumeration() {
+    let mut pinned_cases = 0usize;
+    let mut unsat_cases = 0usize;
+    for i in 0..MODELS {
+        let case = random_case(0xa11a_1515 + i as u64);
+        if let Some(reason) = verdict_violation(&case) {
+            shrink_and_report(case, reason);
+        }
+        if !case.pins.is_empty() {
+            pinned_cases += 1;
+        }
+        let model = build(&case);
+        let expected = ExactSolver::new().minimum_energy(&model);
+        if analyze(&case, expected).unsat {
+            unsat_cases += 1;
+        }
+    }
+    // The corpus must actually exercise both pinned and UNSAT regimes —
+    // a vacuous sweep would pass on a broken analyzer.
+    assert!(
+        pinned_cases >= MODELS / 3,
+        "only {pinned_cases} pinned cases"
+    );
+    assert!(unsat_cases >= 5, "only {unsat_cases} UNSAT cases");
+}
+
+/// Prove the harness fails loudly: feeding it a wrong expected energy
+/// must trip the UNSAT agreement check.
+#[test]
+fn harness_detects_a_lying_verdict() {
+    for i in 0..MODELS {
+        let case = random_case(0xbad_cafe + i as u64);
+        if case.pins.is_empty() {
+            continue;
+        }
+        let model = build(&case);
+        let expected = ExactSolver::new().minimum_energy(&model);
+        let pinned = pinned_model(&case);
+        let pinned_min = ExactSolver::new().minimum_energy(&pinned);
+        if pinned_min > expected + EPS {
+            // Claim a *higher* expected energy: the analyzer will call
+            // this satisfiable while the honest verdict is UNSAT, which
+            // the agreement check must notice.
+            let report = analyze_ising(&model, &case.pins, &analyzer_options(pinned_min));
+            assert!(!report.unsat, "analyzer should believe the lie");
+            return;
+        }
+    }
+    panic!("corpus produced no energetically-UNSAT pinned case");
+}

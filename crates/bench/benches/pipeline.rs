@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qac_bench::{AUSTRALIA, CIRCSAT, COUNTER, FIGURE2, MULT};
-use qac_core::{compile, CompileOptions};
+use qac_core::{compile, AnalysisOptions, CompileOptions};
 use qac_verilog::parse;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -27,6 +27,26 @@ fn bench_pipeline(c: &mut Criterion) {
             ..Default::default()
         };
         b.iter(|| std::hint::black_box(compile(COUNTER, "count", &options).unwrap()))
+    });
+
+    // Static-analyzer overhead on the compile path. The disabled variant
+    // must stay within noise of the default compile (the analyzer is
+    // skipped entirely, no stage is run); the enabled variant bounds the
+    // cost of the six lint passes (roof duality + exact audit included).
+    c.bench_function("compile_figure2_analysis_disabled", |b| {
+        let options = CompileOptions {
+            analysis: AnalysisOptions {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        b.iter(|| std::hint::black_box(compile(FIGURE2, "circuit", &options).unwrap()))
+    });
+    c.bench_function("compile_figure2_analysis_enabled", |b| {
+        b.iter(|| {
+            std::hint::black_box(compile(FIGURE2, "circuit", &CompileOptions::default()).unwrap())
+        })
     });
 
     // Telemetry overhead on the compile path. The disabled variant is the

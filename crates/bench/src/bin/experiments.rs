@@ -15,6 +15,10 @@
 //! --metrics PATH        write Prometheus text exposition
 //! --bench-baseline PATH write the machine-readable perf baseline JSON
 //! ```
+//!
+//! `--diagnostics-json PATH` makes the `analyze` experiment write its
+//! per-workload analyzer diagnostics as JSON (checked in CI by
+//! `telemetry_check --diagnostics`).
 
 use qac_bench::experiments;
 
@@ -24,6 +28,7 @@ struct Cli {
     chrome_trace: Option<String>,
     metrics: Option<String>,
     bench_baseline: Option<String>,
+    diagnostics_json: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -33,6 +38,7 @@ fn parse_cli() -> Cli {
         chrome_trace: None,
         metrics: None,
         bench_baseline: None,
+        diagnostics_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +54,7 @@ fn parse_cli() -> Cli {
             "--chrome-trace" => flag(&mut cli.chrome_trace),
             "--metrics" => flag(&mut cli.metrics),
             "--bench-baseline" => flag(&mut cli.bench_baseline),
+            "--diagnostics-json" => flag(&mut cli.diagnostics_json),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(1);
@@ -76,6 +83,12 @@ fn main() {
             println!("  {name}");
         }
         return;
+    }
+
+    if let Some(path) = &cli.diagnostics_json {
+        // The analyze experiment reads this to know where to write its
+        // per-workload diagnostics JSON.
+        std::env::set_var("QAC_ANALYZE_JSON", path);
     }
 
     let telemetry_on =

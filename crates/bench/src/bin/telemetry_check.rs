@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]...
+//! telemetry_check --diagnostics <diagnostics.json>
 //! ```
 //!
 //! Asserts that every JSONL line deserializes into the event schema
@@ -9,6 +10,14 @@
 //! Prometheus line matches the text-exposition grammar
 //! `^# (HELP|TYPE)|^[a-z_]+({.*})? [0-9.eE+-]+$`. Exits nonzero with a
 //! line-numbered message on the first violation.
+//!
+//! `--diagnostics FILE` instead (or additionally) validates an analyzer
+//! diagnostics export (`experiments analyze --diagnostics-json`): a JSON
+//! array of per-workload objects, each carrying `workload`, `unsat`,
+//! `passes` (objects with nonempty `pass`/`summary`), and `diagnostics`
+//! (objects whose `code` matches `QACnnn`, whose `severity` is one of
+//! error/warning/info, and whose `pass`/`location`/`message` are
+//! nonempty strings).
 //!
 //! Each `--counter-max name=value` additionally requires the Prometheus
 //! file to contain a sample named `name` (exact match, including any
@@ -26,12 +35,100 @@ fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|err| die(format!("cannot read {path}: {err}")))
 }
 
+/// Validates the analyzer diagnostics JSON schema; dies on the first
+/// violation.
+fn check_diagnostics(path: &str) {
+    use qac_telemetry::json::Json;
+
+    let nonempty_str = |value: Option<&Json>, what: String| -> String {
+        match value.and_then(|v| v.as_str()) {
+            Some(s) if !s.is_empty() => s.to_string(),
+            Some(_) => die(format!("{what} is empty")),
+            None => die(format!("{what} is missing or not a string")),
+        }
+    };
+
+    let text = read(path);
+    let root = qac_telemetry::json::parse(&text)
+        .unwrap_or_else(|err| die(format!("{path}: invalid JSON: {err}")));
+    let workloads = root
+        .as_array()
+        .unwrap_or_else(|| die(format!("{path}: top level is not an array")));
+    if workloads.is_empty() {
+        die(format!("{path}: no workloads at all"));
+    }
+    let mut total_diagnostics = 0usize;
+    for (w, entry) in workloads.iter().enumerate() {
+        let name = nonempty_str(
+            entry.get("workload"),
+            format!("{path}: workload[{w}].workload"),
+        );
+        if !matches!(entry.get("unsat"), Some(Json::Bool(_))) {
+            die(format!("{path}: {name}: unsat is missing or not a boolean"));
+        }
+        let passes = entry
+            .get("passes")
+            .and_then(|p| p.as_array())
+            .unwrap_or_else(|| die(format!("{path}: {name}: passes is not an array")));
+        if passes.len() < 6 {
+            die(format!(
+                "{path}: {name}: only {} analysis passes (expected >= 6)",
+                passes.len()
+            ));
+        }
+        for (i, pass) in passes.iter().enumerate() {
+            nonempty_str(
+                pass.get("pass"),
+                format!("{path}: {name}: passes[{i}].pass"),
+            );
+            nonempty_str(
+                pass.get("summary"),
+                format!("{path}: {name}: passes[{i}].summary"),
+            );
+        }
+        let diagnostics = entry
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .unwrap_or_else(|| die(format!("{path}: {name}: diagnostics is not an array")));
+        for (i, diag) in diagnostics.iter().enumerate() {
+            let at = |field: &str| format!("{path}: {name}: diagnostics[{i}].{field}");
+            let code = nonempty_str(diag.get("code"), at("code"));
+            let digits = code.strip_prefix("QAC").unwrap_or("");
+            if digits.len() != 3 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                die(format!("{}: {code:?} does not match QACnnn", at("code")));
+            }
+            let severity = nonempty_str(diag.get("severity"), at("severity"));
+            if !matches!(severity.as_str(), "error" | "warning" | "info") {
+                die(format!(
+                    "{}: {severity:?} is not error/warning/info",
+                    at("severity")
+                ));
+            }
+            nonempty_str(diag.get("pass"), at("pass"));
+            nonempty_str(diag.get("location"), at("location"));
+            nonempty_str(diag.get("message"), at("message"));
+            total_diagnostics += 1;
+        }
+    }
+    println!(
+        "telemetry_check: {} workloads, {total_diagnostics} diagnostics conform to the \
+         analyzer schema — OK",
+        workloads.len()
+    );
+}
+
 fn main() {
     let mut paths = Vec::new();
     let mut budgets: Vec<(String, f64)> = Vec::new();
+    let mut diagnostics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--counter-max" {
+        if arg == "--diagnostics" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| die("--diagnostics needs a file path argument".to_string()));
+            diagnostics = Some(path);
+        } else if arg == "--counter-max" {
             let spec = args
                 .next()
                 .unwrap_or_else(|| die("--counter-max needs a name=value argument".to_string()));
@@ -46,9 +143,16 @@ fn main() {
             paths.push(arg);
         }
     }
+    if let Some(path) = &diagnostics {
+        check_diagnostics(path);
+        if paths.is_empty() {
+            return;
+        }
+    }
     let [jsonl_path, prom_path] = paths.as_slice() else {
         die(
-            "usage: telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]..."
+            "usage: telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]... \
+             | telemetry_check --diagnostics <diagnostics.json>"
                 .to_string(),
         );
     };

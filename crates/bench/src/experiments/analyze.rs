@@ -1,0 +1,168 @@
+//! `experiments analyze`: the static-analysis lint report over the
+//! paper's §5/§6 workloads, plus two demonstrations of the analyzer
+//! rejecting broken programs (a contradictory QMASM source at compile
+//! time, and contradictory run-time pins).
+//!
+//! Environment:
+//! - `QAC_ANALYZE_STRICT=1` exits nonzero if any workload produces an
+//!   Error-severity diagnostic (the `ci.sh analyze` gate).
+//! - `QAC_ANALYZE_JSON=PATH` additionally writes the per-workload
+//!   diagnostics as a JSON array (validated by `telemetry_check
+//!   --diagnostics`).
+
+use qac_analysis::analyze_assembled;
+use qac_core::{compile, AnalysisOptions, AnalysisReport, CompileError, CompileOptions};
+use qac_core::{RunOptions, SolverChoice};
+use qac_qmasm::{assemble, parse, AssembleOptions, MapIncludes};
+use qac_telemetry::json::Json;
+
+use crate::{AUSTRALIA, CIRCSAT, COUNTER, FIGURE2, MULT};
+
+/// A QMASM program whose pins contradict through an `=` chain: `A` and
+/// `B` are merged into one variable, then pinned to opposite values.
+pub const BROKEN_QMASM: &str = "A = B\nA := true\nB := false\nA C -1\n";
+
+/// The workloads the lint report covers: every §5 example plus the
+/// unrolled counter.
+const WORKLOADS: &[(&str, &str, Option<usize>)] = &[
+    ("figure2", FIGURE2, None),
+    ("circsat", CIRCSAT, None),
+    ("factor", MULT, None),
+    ("australia", AUSTRALIA, None),
+    ("counter", COUNTER, Some(2)),
+];
+
+fn top_module(name: &str) -> &'static str {
+    match name {
+        "figure2" => "circuit",
+        "circsat" => "circsat",
+        "factor" => "mult",
+        "australia" => "australia",
+        "counter" => "count",
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Compiles every workload with the exact audit opened up to 20
+/// variables and returns its analysis report.
+///
+/// # Panics
+/// Panics if a workload fails to compile (they are fixed and known-good;
+/// an analyzer rejection here is a bug worth a loud failure).
+pub fn analyze_workloads() -> Vec<(String, AnalysisReport)> {
+    WORKLOADS
+        .iter()
+        .map(|&(name, source, unroll_steps)| {
+            let options = CompileOptions {
+                unroll_steps,
+                analysis: AnalysisOptions {
+                    exact_audit_max_vars: 20,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let compiled = compile(source, top_module(name), &options)
+                .unwrap_or_else(|e| panic!("workload `{name}` failed to compile: {e}"));
+            (name.to_string(), compiled.analysis)
+        })
+        .collect()
+}
+
+/// The full deterministic lint report (workload headers + rendered
+/// analysis). This is the text the golden test pins: it contains no
+/// wall times, paths, or thread-dependent ordering.
+pub fn analysis_report_text() -> String {
+    let mut out = String::new();
+    for (name, report) in analyze_workloads() {
+        out.push_str(&format!("### workload {name}\n"));
+        out.push_str(&report.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// The per-workload diagnostics as a JSON array — one object per
+/// workload with `workload`, `unsat`, `passes`, and `diagnostics` keys.
+pub fn analysis_diagnostics_json(reports: &[(String, AnalysisReport)]) -> Json {
+    Json::Arr(
+        reports
+            .iter()
+            .map(|(name, report)| {
+                let mut fields = vec![("workload".to_string(), Json::Str(name.clone()))];
+                match report.to_json() {
+                    Json::Obj(rest) => fields.extend(rest),
+                    other => fields.push(("report".to_string(), other)),
+                }
+                Json::Obj(fields)
+            })
+            .collect(),
+    )
+}
+
+/// Runs the lint report and the two broken-program demonstrations.
+pub fn run_analyze() {
+    println!("== static analysis: lint report over the paper workloads ==\n");
+    let reports = analyze_workloads();
+    let mut errors = 0usize;
+    for (name, report) in &reports {
+        println!("### workload {name}");
+        println!("{}", report.render());
+        assert!(
+            report.passes.len() >= 6,
+            "{name}: expected >= 6 analysis passes, got {}",
+            report.passes.len()
+        );
+        errors += report.diagnostics.errors().count();
+    }
+
+    // Demonstration 1: a QMASM program whose pins contradict through an
+    // `=` chain is rejected before any annealing could run.
+    println!("### broken program (contradictory pins through a chain)");
+    println!("{}", BROKEN_QMASM.trim_end());
+    let program = parse(BROKEN_QMASM, &MapIncludes::new()).expect("broken program still parses");
+    let assembled = assemble(&program, &AssembleOptions::default()).expect("and assembles");
+    let report = analyze_assembled(&assembled, Some(&program), &AnalysisOptions::default());
+    println!("{}", report.render());
+    assert!(report.unsat, "contradictory pins must be flagged UNSAT");
+    assert!(
+        report.diagnostics.render_text().contains("QAC001"),
+        "expected a QAC001 pin-contradiction diagnostic"
+    );
+
+    // Demonstration 2: the same contradiction arriving as run-time pins
+    // is caught by `Compiled::run` before sampling.
+    println!("\n### contradictory run-time pins (figure2, s := 1 and s := 0)");
+    let compiled = compile(FIGURE2, "circuit", &CompileOptions::default()).expect("compiles");
+    let run = RunOptions::new()
+        .pin("s := 1")
+        .pin("s := 0")
+        .solver(SolverChoice::Exact);
+    match compiled.run(&run) {
+        Err(CompileError::Analysis(diags)) => {
+            println!("rejected as expected:\n{diags}");
+            assert!(diags.has_errors());
+        }
+        other => panic!("expected an analysis rejection, got {other:?}"),
+    }
+
+    if let Ok(path) = std::env::var("QAC_ANALYZE_JSON") {
+        let json = analysis_diagnostics_json(&reports).to_string();
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("\n[analyze] wrote diagnostics JSON to {path}"),
+            Err(err) => {
+                eprintln!("cannot write diagnostics JSON to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "\nlint summary: {} workloads, {} error diagnostics",
+        reports.len(),
+        errors
+    );
+    if errors > 0 && std::env::var("QAC_ANALYZE_STRICT").as_deref() == Ok("1") {
+        eprintln!("QAC_ANALYZE_STRICT=1: failing on Error-severity diagnostics");
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per paper artifact; see DESIGN.md §4 for the index.
 
 mod ablations;
+mod analyze;
 mod apps;
 mod batch;
 mod figure2;
@@ -8,6 +9,9 @@ mod sec6;
 mod tables;
 
 pub use ablations::{run_ablation_chain, run_ablation_gap, run_ablation_opt, run_ablation_roof};
+pub use analyze::{
+    analysis_diagnostics_json, analysis_report_text, analyze_workloads, run_analyze, BROKEN_QMASM,
+};
 pub use apps::{run_circsat, run_counter, run_factor, run_map_color};
 pub use batch::{run_batch, run_sec6_batch, sec6_batch_jobs};
 pub use figure2::run_figure2_3;
@@ -32,4 +36,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("ablation_gap", run_ablation_gap),
     ("ablation_roof", run_ablation_roof),
     ("ablation_opt", run_ablation_opt),
+    ("analyze", run_analyze),
 ];

@@ -1,0 +1,50 @@
+//! Golden-diagnostics regression test for the static analyzer.
+//!
+//! `tests/golden/analysis_diagnostics.txt` pins the full lint report
+//! over the paper workloads (figure2, circsat, factor, australia, and
+//! the 2-step counter): every pass summary and every diagnostic, byte
+//! for byte. The report contains no wall times or machine-dependent
+//! values, so any diff means an analyzer behaviour change — update the
+//! fixture deliberately with `QAC_UPDATE_GOLDEN=1 cargo test -p
+//! qac-bench --test analysis_diagnostics`.
+
+use qac_bench::experiments::analysis_report_text;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/analysis_diagnostics.txt"
+);
+
+#[test]
+fn analysis_diagnostics_match_golden() {
+    let actual = analysis_report_text();
+    if std::env::var("QAC_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden fixture");
+        println!("updated {GOLDEN_PATH}");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH).expect("golden fixture exists");
+    assert!(
+        actual == expected,
+        "analyzer diagnostics diverged from the golden fixture.\n\
+         Re-run with QAC_UPDATE_GOLDEN=1 if the change is intended.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn analysis_report_is_byte_identical_across_threads() {
+    // The analyzer must be deterministic regardless of parallelism: 8
+    // concurrent reports and the sequential one are byte-identical.
+    let baseline = analysis_report_text();
+    let handles: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(analysis_report_text))
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let text = handle.join().expect("analysis thread panicked");
+        assert!(
+            text == baseline,
+            "thread {i} produced a different report than the sequential run"
+        );
+    }
+}

@@ -12,6 +12,34 @@ use qac_pbf::{Ising, Spin};
 
 use crate::{Embedding, HardwareGraph};
 
+/// The chain strength the embedding path uses when none is given
+/// explicitly: twice the largest scaled |J| (at least 1), clamped so the
+/// intra-chain coupling `−strength` still fits the hardware's J range
+/// (`j_min` is the most negative allowed coupling, e.g. −2 on a 2000Q).
+///
+/// This is the single source of truth shared by the D-Wave simulator's
+/// run path and the static chain-strength analysis pass, so the
+/// analyzer checks exactly the strength the embedder will apply.
+pub fn choose_chain_strength(explicit: Option<f64>, scaled_max_abs_j: f64, j_min: f64) -> f64 {
+    explicit
+        .unwrap_or_else(|| (2.0 * scaled_max_abs_j).max(1.0))
+        .min(-j_min)
+}
+
+/// Per-variable neighborhood weight `W_v = |h_v| + Σ_u |J_vu|` — the
+/// most energy flipping `v` alone can ever recover. A chain coupling of
+/// strength `S ≥ W_v` therefore guarantees no broken chain of `v`
+/// undercuts an intact ground state, which is the static sufficiency
+/// bound the analyzer checks.
+pub fn neighborhood_weights(model: &Ising) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..model.num_vars()).map(|v| model.h(v).abs()).collect();
+    for t in model.j_iter() {
+        weights[t.i] += t.value.abs();
+        weights[t.j] += t.value.abs();
+    }
+    weights
+}
+
 /// A physical (embedded) Ising model together with its provenance.
 #[derive(Debug, Clone)]
 pub struct EmbeddedIsing {
@@ -334,6 +362,28 @@ mod tests {
             }
         }
         assert_eq!(embedded.physical, reference);
+    }
+
+    #[test]
+    fn chain_strength_formula() {
+        // Explicit values pass through but still clamp to the J range.
+        assert_eq!(choose_chain_strength(Some(1.5), 9.0, -2.0), 1.5);
+        assert_eq!(choose_chain_strength(Some(5.0), 9.0, -2.0), 2.0);
+        // Derived: 2·max|J| with a floor of 1, clamped at −j_min.
+        assert_eq!(choose_chain_strength(None, 0.75, -2.0), 1.5);
+        assert_eq!(choose_chain_strength(None, 0.1, -2.0), 1.0);
+        assert_eq!(choose_chain_strength(None, 3.0, -2.0), 2.0);
+    }
+
+    #[test]
+    fn neighborhood_weights_sum_h_and_j_magnitudes() {
+        let mut m = Ising::new(4);
+        m.add_h(0, -0.5);
+        m.add_j(0, 1, 1.0);
+        m.add_j(0, 2, -0.25);
+        m.add_j(1, 2, 0.5);
+        let w = neighborhood_weights(&m);
+        assert_eq!(w, vec![0.5 + 1.0 + 0.25, 1.0 + 0.5, 0.25 + 0.5, 0.0]);
     }
 
     #[test]

@@ -36,7 +36,10 @@ mod chimera;
 mod embed;
 mod graph;
 
-pub use apply::{embed_ising, unembed, ChainBreakStats, EmbeddedIsing};
+pub use apply::{
+    choose_chain_strength, embed_ising, neighborhood_weights, unembed, ChainBreakStats,
+    EmbeddedIsing,
+};
 pub use cache::{embedding_key, CacheStats, EmbeddingCache};
 pub use chimera::Chimera;
 pub use embed::{

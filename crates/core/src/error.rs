@@ -1,5 +1,6 @@
 use std::fmt;
 
+use qac_analysis::Diagnostics;
 use qac_chimera::EmbedError;
 use qac_edif::EdifError;
 use qac_netlist::NetlistError;
@@ -19,6 +20,9 @@ pub enum CompileError {
     Qmasm(QmasmError),
     /// Minor embedding failure.
     Embed(EmbedError),
+    /// The static analyzer found Error-severity diagnostics (e.g.
+    /// contradictory pins); the full report rides along.
+    Analysis(Diagnostics),
     /// A pipeline-level problem (e.g. unrolling requested on a
     /// combinational design).
     Pipeline(String),
@@ -32,6 +36,9 @@ impl fmt::Display for CompileError {
             CompileError::Edif(e) => write!(f, "edif: {e}"),
             CompileError::Qmasm(e) => write!(f, "qmasm: {e}"),
             CompileError::Embed(e) => write!(f, "embedding: {e}"),
+            CompileError::Analysis(d) => {
+                write!(f, "analysis rejected the program:\n{d}")
+            }
             CompileError::Pipeline(m) => write!(f, "pipeline: {m}"),
         }
     }

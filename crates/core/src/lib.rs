@@ -65,3 +65,5 @@ pub use stage::{Session, Stage};
 pub use trace::{StageTrace, Trace};
 
 pub use qac_netlist::unroll::InitialState;
+
+pub use qac_analysis::{AnalysisOptions, AnalysisReport, Code, Diagnostic, Diagnostics, Severity};

@@ -8,6 +8,7 @@
 //! time and artifact sizes are recorded into the [`Trace`] carried on
 //! [`Compiled`].
 
+use qac_analysis::{analyze_assembled, AnalysisOptions, AnalysisReport, Diagnostics};
 use qac_chimera::EmbedOptions;
 use qac_edif::{from_edif, to_edif};
 use qac_gatesynth::CellLibrary;
@@ -36,6 +37,9 @@ pub struct CompileOptions {
     pub chain_strength: Option<f64>,
     /// Default minor-embedding options for downstream runs.
     pub embed: EmbedOptions,
+    /// Static-analysis options for the `analyze` stage. Error-severity
+    /// diagnostics reject the program at compile time.
+    pub analysis: AnalysisOptions,
 }
 
 impl Default for CompileOptions {
@@ -47,6 +51,7 @@ impl Default for CompileOptions {
             merge_chains: true,
             chain_strength: None,
             embed: EmbedOptions::default(),
+            analysis: AnalysisOptions::default(),
         }
     }
 }
@@ -89,12 +94,22 @@ pub struct Compiled {
     /// pin contributions (and, with `merge_chains: false`, the chain
     /// couplings). Samples above this energy violate the program.
     pub expected_ground_energy: f64,
+    /// The static analyzer's report over the assembled model (empty when
+    /// the analyzer is disabled).
+    pub analysis: AnalysisReport,
     /// Static measurements.
     pub stats: PipelineStats,
     /// Per-stage wall time and artifact sizes of this compilation.
     pub trace: Trace,
     /// The options used (downstream runs reuse the embed settings).
     pub options: CompileOptions,
+}
+
+impl Compiled {
+    /// The analyzer's diagnostics (empty when analysis was disabled).
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.analysis.diagnostics
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -295,6 +310,35 @@ impl Stage for AssembleStage<'_> {
     }
 }
 
+/// Assembled model → static-analysis report (lint passes, §6-style
+/// model audits). Error-severity diagnostics abort compilation.
+struct AnalyzeStage<'a> {
+    assembled: &'a Assembled,
+    program: &'a Program,
+    options: &'a AnalysisOptions,
+}
+
+impl Stage for AnalyzeStage<'_> {
+    type Input = ();
+    type Output = AnalysisReport;
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+    fn run(&self, (): ()) -> Result<AnalysisReport, CompileError> {
+        Ok(analyze_assembled(
+            self.assembled,
+            Some(self.program),
+            self.options,
+        ))
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.assembled.ising.num_terms(1e-12)
+    }
+    fn output_size(&self, report: &AnalysisReport) -> usize {
+        report.diagnostics.len()
+    }
+}
+
 // ---------------------------------------------------------------------
 // Drivers
 // ---------------------------------------------------------------------
@@ -401,6 +445,34 @@ fn compile_netlist_in_session(
     // sit that much lower.
     expected -= assembled.num_chain_couplings as f64 * assembled.chain_strength;
 
+    // Static analysis over the assembled model. The expected ground
+    // energy just derived feeds the roof-duality and exact-audit passes;
+    // the unmerged chain strength feeds the sufficiency bound when the
+    // caller did not pick one explicitly.
+    let analysis = if options.analysis.enabled {
+        let mut analysis_options = options.analysis.clone();
+        if analysis_options.expected_ground_energy.is_none() {
+            analysis_options.expected_ground_energy = Some(expected);
+        }
+        if analysis_options.chain_strength.is_none() {
+            analysis_options.chain_strength = options.chain_strength;
+        }
+        let report = session.run(
+            &AnalyzeStage {
+                assembled: &assembled,
+                program: &program,
+                options: &analysis_options,
+            },
+            (),
+        )?;
+        if report.diagnostics.has_errors() {
+            return Err(CompileError::Analysis(report.diagnostics.clone()));
+        }
+        report
+    } else {
+        AnalysisReport::empty()
+    };
+
     let stats = PipelineStats {
         verilog_lines,
         edif_lines: edif.lines().count(),
@@ -418,6 +490,7 @@ fn compile_netlist_in_session(
         stdcell,
         assembled,
         expected_ground_energy: expected,
+        analysis,
         stats,
         trace: session.finish(),
         options: options.clone(),
@@ -466,7 +539,8 @@ mod tests {
                 "edif-read",
                 "qmasm-gen",
                 "qmasm-parse",
-                "assemble"
+                "assemble",
+                "analyze"
             ]
         );
         // Artifact sizes are populated: source bytes in, cells out, etc.
@@ -477,6 +551,32 @@ mod tests {
         assert_eq!(edif_write.output_size, compiled.edif.len());
         let assemble = compiled.trace.get("assemble").unwrap();
         assert_eq!(assemble.output_size, compiled.stats.logical_terms);
+    }
+
+    #[test]
+    fn analysis_runs_by_default_and_reports_every_pass() {
+        let compiled = compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap();
+        assert_eq!(compiled.analysis.passes.len(), 6);
+        assert!(!compiled.analysis.unsat);
+        assert!(!compiled.diagnostics().has_errors());
+        // The analyzer shows up in the trace with its diagnostic count.
+        let stage = compiled.trace.get("analyze").unwrap();
+        assert_eq!(stage.output_size, compiled.diagnostics().len());
+    }
+
+    #[test]
+    fn analysis_can_be_disabled() {
+        let options = CompileOptions {
+            analysis: AnalysisOptions {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let compiled = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        assert!(compiled.trace.get("analyze").is_none());
+        assert!(compiled.analysis.passes.is_empty());
+        assert!(compiled.diagnostics().is_empty());
     }
 
     #[test]

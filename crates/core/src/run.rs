@@ -461,14 +461,33 @@ impl Compiled {
     ///
     /// # Errors
     /// [`CompileError::Qmasm`] for bad pin specifications or unknown
-    /// symbols; [`CompileError::Embed`] if the hardware model cannot embed
-    /// the program.
+    /// symbols; [`CompileError::Analysis`] when pins contradict each
+    /// other on the same merged variable; [`CompileError::Embed`] if the
+    /// hardware model cannot embed the program.
     pub fn run(&self, options: &RunOptions) -> Result<RunOutcome, CompileError> {
         let telemetry = qac_telemetry::global();
         let mut root = telemetry.span("run");
         let mut session = Session::new();
         let pin_specs: Vec<&str> = options.pins.iter().map(String::as_str).collect();
         let extra_pins = parse_pins(pin_specs)?;
+
+        // Resolve every pin (compile-time and run-time) to its target
+        // spin up front, and reject pin sets that contradict through `=`
+        // chains: two pins landing on the same merged variable with
+        // opposite spins can never be satisfied, so that is a static
+        // error rather than a run that silently returns invalid samples.
+        // (Pins on *distinct* variables may still be jointly
+        // unsatisfiable through the circuit — that legitimately shows up
+        // as invalid samples, §5.2.)
+        let pin_targets = self.assembled.resolved_pins(&extra_pins)?;
+        let conflict_view: Vec<(usize, Spin, String)> = pin_targets
+            .iter()
+            .map(|(var, spin, name, _)| (*var, *spin, name.clone()))
+            .collect();
+        let conflicts = qac_analysis::pin_conflicts(&conflict_view);
+        if conflicts.has_errors() {
+            return Err(CompileError::Analysis(conflicts));
+        }
 
         // Realize pins.
         let bias_weight = match options.pin_realization {
@@ -507,19 +526,6 @@ impl Compiled {
                 output_size: 0,
                 retries: phase.retries,
             });
-        }
-
-        // Pin targets in spin form, for forcing (Fix style) and checking.
-        let mut pin_targets: Vec<(usize, Spin, String, bool)> = Vec::new();
-        for (name, value) in self.assembled.pins.iter().chain(extra_pins.iter()) {
-            let (var, parity) = self.assembled.symbols.resolve(name).ok_or_else(|| {
-                CompileError::Qmasm(qac_qmasm::QmasmError::UnknownSymbol(name.clone()))
-            })?;
-            let target = match parity {
-                Spin::Up => Spin::from(*value),
-                Spin::Down => Spin::from(!*value),
-            };
-            pin_targets.push((var, target, name.clone(), *value));
         }
 
         // Decode.
@@ -745,6 +751,26 @@ mod tests {
         let best = outcome.best().unwrap();
         assert!(best.valid);
         assert_eq!(best.values.get("c"), Some(2));
+    }
+
+    #[test]
+    fn contradictory_pins_on_one_variable_are_rejected() {
+        // Pinning the same net both ways is caught statically — before
+        // any sampling — and names the offending nets.
+        let program = compiled();
+        let run = RunOptions::new()
+            .pin("s := 1")
+            .pin("s := 0")
+            .solver(SolverChoice::Exact);
+        match program.run(&run) {
+            Err(CompileError::Analysis(diags)) => {
+                assert!(diags.has_errors());
+                let text = diags.render_text();
+                assert!(text.contains("QAC001"), "{text}");
+                assert!(text.contains('s'), "{text}");
+            }
+            other => panic!("expected an analysis rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -179,6 +179,11 @@ pub fn apply_roof_duality(model: &mut Ising) -> Vec<(usize, Spin)> {
             fixed.push((i, *spin));
         }
     }
+    // `fix_variable` folds J terms into neighbor fields, but couplings
+    // that had accumulated to exactly 0.0 (e.g. `add_j` cancellation)
+    // stay behind as stored zero entries — dangling edges that inflate
+    // `num_couplings`/`adjacency` degrees after the substitution.
+    model.prune(0.0);
     fixed
 }
 
@@ -326,6 +331,42 @@ mod tests {
         let (min_after, _) = brute_minima(&reduced);
         assert!((min_before - min_after).abs() < 1e-9);
         assert!(!fixed.is_empty(), "pinned model should fix something");
+    }
+
+    #[test]
+    fn apply_prunes_dangling_zero_couplings() {
+        // A coupling accumulated to exactly zero is a stored entry that
+        // `fix_variable` never touches; after substitution it must not
+        // survive as a dangling edge. Regression: variable count,
+        // coupling count, and every degree shrink monotonically.
+        let mut m = Ising::new(4);
+        m.add_h(0, 2.0); // pins var 0 down, chain drags var 1 along
+        m.add_j(0, 1, -1.0);
+        m.add_j(1, 2, 0.5);
+        m.add_j(2, 3, 0.75);
+        m.add_j(2, 3, -0.75); // cancels to a stored zero entry
+        assert_eq!(m.num_couplings(), 3);
+        let before_active = m.active_variables().len();
+        let before_couplings = m.num_couplings();
+        let before_deg: Vec<usize> = m.adjacency().iter().map(Vec::len).collect();
+
+        let fixed = apply_roof_duality(&mut m);
+        assert!(!fixed.is_empty());
+
+        let after_active = m.active_variables().len();
+        let after_deg: Vec<usize> = m.adjacency().iter().map(Vec::len).collect();
+        assert!(after_active < before_active);
+        assert!(m.num_couplings() < before_couplings);
+        for (v, (&b, &a)) in before_deg.iter().zip(&after_deg).enumerate() {
+            assert!(a <= b, "degree of {v} grew: {b} -> {a}");
+        }
+        // No stored entry may be exactly zero afterwards.
+        assert!(m.j_iter().all(|t| t.value != 0.0));
+        // And the fixed variables are fully inert.
+        for (v, _) in fixed {
+            assert_eq!(m.h(v), 0.0);
+            assert!(m.j_iter().all(|t| t.i != v && t.j != v));
+        }
     }
 
     #[test]

@@ -183,6 +183,40 @@ pub struct Assembled {
 }
 
 impl Assembled {
+    /// Resolves the program's pins plus `extra_pins` to concrete
+    /// variables, in program order: `(variable, required spin, symbol
+    /// name, pinned value)`. The required spin already folds in the
+    /// symbol's chain parity, so two entries on the same variable with
+    /// different spins are a genuine contradiction regardless of how
+    /// many `=`/`!=` hops separate the pinned nets.
+    ///
+    /// This is the single pin-resolution path shared by
+    /// [`Assembled::pinned_model`] and the static analyzer.
+    ///
+    /// # Errors
+    /// [`QmasmError::UnknownSymbol`] if a pin names an unknown symbol.
+    pub fn resolved_pins(
+        &self,
+        extra_pins: &[(String, bool)],
+    ) -> Result<Vec<(usize, Spin, String, bool)>, QmasmError> {
+        self.pins
+            .iter()
+            .chain(extra_pins.iter())
+            .map(|(name, value)| {
+                let (var, parity) = self
+                    .symbols
+                    .resolve(name)
+                    .ok_or_else(|| QmasmError::UnknownSymbol(name.clone()))?;
+                // Spin the variable must take for the symbol to equal `value`.
+                let target = match parity {
+                    Spin::Up => Spin::from(*value),
+                    Spin::Down => Spin::from(!*value),
+                };
+                Ok((var, target, name.clone(), *value))
+            })
+            .collect()
+    }
+
     /// Builds the runnable model with `extra_pins` merged onto the
     /// program's own pins, realized per `style`.
     ///
@@ -194,16 +228,7 @@ impl Assembled {
         style: PinStyle,
     ) -> Result<Ising, QmasmError> {
         let mut model = self.ising.clone();
-        for (name, value) in self.pins.iter().chain(extra_pins.iter()) {
-            let (var, parity) = self
-                .symbols
-                .resolve(name)
-                .ok_or_else(|| QmasmError::UnknownSymbol(name.clone()))?;
-            // Spin the variable must take for the symbol to equal `value`.
-            let target = match parity {
-                Spin::Up => Spin::from(*value),
-                Spin::Down => Spin::from(!*value),
-            };
+        for (var, target, _, _) in self.resolved_pins(extra_pins)? {
             match style {
                 PinStyle::Bias(weight) => {
                     // H_VCC(σ) = −σ pins true; H_GND(σ) = σ pins false (§4.3.4).
@@ -596,6 +621,30 @@ B Y -1
         assert_eq!(model.h(vb), 2.0);
         assert!(matches!(
             a.pinned_model(&[("ghost".to_string(), true)], PinStyle::Fix),
+            Err(QmasmError::UnknownSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn resolved_pins_fold_chain_parity() {
+        // B != A: pinning A true and B false demand the SAME spin of the
+        // merged variable, so resolution must agree; pinning both true
+        // must disagree.
+        let a = assemble_src("A != B\nA C -1\nA := true\n");
+        let consistent = a.resolved_pins(&[("B".to_string(), false)]).unwrap();
+        assert_eq!(consistent.len(), 2);
+        assert_eq!(consistent[0].0, consistent[1].0, "same merged variable");
+        assert_eq!(consistent[0].1, consistent[1].1, "parity folded in");
+        assert_eq!(consistent[0].2, "A");
+        assert!(consistent[0].3);
+        assert_eq!(consistent[1].2, "B");
+        assert!(!consistent[1].3);
+
+        let conflicting = a.resolved_pins(&[("B".to_string(), true)]).unwrap();
+        assert_ne!(conflicting[0].1, conflicting[1].1);
+
+        assert!(matches!(
+            a.resolved_pins(&[("ghost".to_string(), true)]),
             Err(QmasmError::UnknownSymbol(_))
         ));
     }

@@ -259,10 +259,11 @@ impl DWaveSim {
 
         let distort_span = telemetry.span("sample:distort");
 
-        let chain_strength = o
-            .chain_strength
-            .unwrap_or_else(|| (2.0 * scaled.model.max_abs_j()).max(1.0))
-            .min(-range.j_min);
+        let chain_strength = qac_chimera::choose_chain_strength(
+            o.chain_strength,
+            scaled.model.max_abs_j(),
+            range.j_min,
+        );
         let embedded = embed_ising(&scaled.model, &embedding, &hardware, chain_strength);
 
         // Rescale after chains were added (chains may exceed J range).

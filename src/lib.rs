@@ -17,12 +17,14 @@
 //! * [`chimera`] — hardware topology and minor embedding;
 //! * [`solvers`] — annealers and classical samplers;
 //! * [`csp`] — the classical constraint-solver baseline;
+//! * [`analysis`] — the multi-pass static analyzer and lint framework;
 //! * [`core`] — the end-to-end pipeline ([`core::compile`] / run);
 //! * [`engine`] — the deterministic concurrent batch-run engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use qac_analysis as analysis;
 pub use qac_chimera as chimera;
 pub use qac_core as core;
 pub use qac_csp as csp;
