@@ -60,6 +60,30 @@ cargo run --release -q -p qac-bench --bin telemetry_check -- \
     --counter-max qac_embed_edge_relaxations_total=4700000 \
     --counter-max qac_route_iterations_total=20
 
+echo "==> topology gate (per-fabric routing-work budgets)"
+cargo run --release -q -p qac-bench --bin experiments -- \
+    topology --trace-json "$tmpdir/topology.jsonl" --metrics "$tmpdir/topology.prom" \
+    > /dev/null
+# Same machine-independence argument as above, but per hardware family:
+# the topology experiment routes the §6 workloads on every supported
+# fabric with a fixed seed, and each fabric gets its own labeled
+# counter budget (~30% headroom over today's values), so a router
+# regression is pinned to the topology that regressed.
+cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    "$tmpdir/topology.jsonl" "$tmpdir/topology.prom" \
+    --counter-max 'qac_embed_heap_pops_total{topology="chimera"}=9000000' \
+    --counter-max 'qac_embed_edge_relaxations_total{topology="chimera"}=53000000' \
+    --counter-max 'qac_route_iterations_total{topology="chimera"}=90' \
+    --counter-max 'qac_embed_heap_pops_total{topology="pegasus"}=1500000' \
+    --counter-max 'qac_embed_edge_relaxations_total{topology="pegasus"}=19000000' \
+    --counter-max 'qac_route_iterations_total{topology="pegasus"}=45' \
+    --counter-max 'qac_embed_heap_pops_total{topology="zephyr"}=1300000' \
+    --counter-max 'qac_embed_edge_relaxations_total{topology="zephyr"}=22000000' \
+    --counter-max 'qac_route_iterations_total{topology="zephyr"}=40' \
+    --counter-max 'qac_embed_heap_pops_total{topology="king"}=98000000' \
+    --counter-max 'qac_embed_edge_relaxations_total{topology="king"}=750000000' \
+    --counter-max 'qac_route_iterations_total{topology="king"}=850'
+
 analyze_gate
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"

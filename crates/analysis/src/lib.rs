@@ -87,6 +87,18 @@ impl Default for AnalysisOptions {
     }
 }
 
+impl AnalysisOptions {
+    /// Defaults tuned for a specific hardware family: the dynamic-range
+    /// and chain-strength passes scale into that topology's coefficient
+    /// range instead of the 2000Q's (e.g. Pegasus h ∈ [−4, 4]).
+    pub fn for_topology<T: qac_chimera::Topology + ?Sized>(topology: &T) -> AnalysisOptions {
+        AnalysisOptions {
+            range: topology.coefficient_range(),
+            ..AnalysisOptions::default()
+        }
+    }
+}
+
 /// One pass's one-line outcome, reported even when the pass found
 /// nothing (so every analysis lists the full catalog).
 #[derive(Debug, Clone, PartialEq)]
@@ -492,6 +504,28 @@ mod tests {
                 "exact-audit"
             ]
         );
+    }
+
+    #[test]
+    fn for_topology_adopts_the_fabric_coefficient_range() {
+        use qac_chimera::{Chimera, Pegasus, ADVANTAGE_RANGE};
+        let chimera = AnalysisOptions::for_topology(&Chimera::dwave_2000q());
+        assert_eq!(chimera.range, CoefficientRange::DWAVE_2000Q);
+        let pegasus = AnalysisOptions::for_topology(&Pegasus::advantage());
+        assert_eq!(pegasus.range, ADVANTAGE_RANGE);
+        // Everything except the range stays at the defaults.
+        assert_eq!(
+            pegasus.noise_epsilon,
+            AnalysisOptions::default().noise_epsilon
+        );
+        // The wider Advantage h range (±4 vs the 2000Q's ±2) changes the
+        // reported scale factor: an h = 3 bias forces the 2000Q to shrink
+        // the whole model while the Advantage takes it unscaled.
+        let model = "A 3\nA B -1\n";
+        let on_chimera = analyze_src(model, &chimera);
+        let on_pegasus = analyze_src(model, &pegasus);
+        assert!(on_pegasus.scale > on_chimera.scale);
+        assert!(on_pegasus.chain_strength >= on_chimera.chain_strength);
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! simulator uses) against every coupled variable's bound on the
 //! *scaled* model — comparing like with like, since the embedder
 //! derives S from scaled coefficients.
+//!
+//! Both the scale target and the clamp `|j_min|` come from
+//! `options.range`; [`AnalysisOptions::for_topology`] sets them from the
+//! topology's coefficient range, mirroring `Topology::chain_strength`,
+//! so the pass stays in lockstep with what the simulator would program
+//! on that fabric.
 
 use qac_chimera::{choose_chain_strength, neighborhood_weights};
 use qac_pbf::scale::scale_to_range;

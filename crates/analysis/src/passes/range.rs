@@ -8,6 +8,12 @@
 //! run path does, sorts the distinct coefficient values, and reports
 //! the smallest adjacent gap as a precision ratio against
 //! `noise_epsilon` (Pakin §2 puts the 2000Q at 5–6 effective bits).
+//!
+//! The target range comes from `options.range`, which
+//! [`AnalysisOptions::for_topology`] derives from the hardware family
+//! under analysis (2000Q h ∈ [−2, 2] on Chimera, Advantage h ∈ [−4, 4]
+//! on Pegasus/Zephyr), so the precision verdict tracks the fabric the
+//! model will actually run on.
 
 use qac_pbf::scale::scale_to_range;
 

@@ -8,7 +8,10 @@
 
 use std::time::Instant;
 
-use qac_chimera::{find_embedding_or_clique_with_stats, Chimera, EmbedOptions};
+use qac_chimera::{
+    find_embedding_or_clique_with_stats, Chimera, EmbedOptions, KingGraph, Pegasus, Topology,
+    Zephyr,
+};
 use qac_pbf::scale::{scale_to_range, CoefficientRange};
 use qac_solvers::{Sampler, SimulatedAnnealing};
 use qac_telemetry::json::Json;
@@ -95,6 +98,51 @@ pub fn bench_baseline_json() -> String {
         );
     }
 
+    // Per-topology embedding baseline: the Figure 2 interaction graph
+    // routed on every supported fabric (seed 11, default options). The
+    // routing-work gauges are deterministic per (seed, topology), so a
+    // baseline diff localizes a router regression to a fabric.
+    {
+        let compiled = compile_workload(FIGURE2, "circuit");
+        let scaled = scale_to_range(&compiled.assembled.ising, CoefficientRange::DWAVE_2000Q);
+        let edges: Vec<(usize, usize)> = scaled.model.j_iter().map(|t| (t.i, t.j)).collect();
+        let topologies: [Box<dyn Topology>; 4] = [
+            Box::new(Chimera::dwave_2000q()),
+            Box::new(Pegasus::new(6)),
+            Box::new(Zephyr::new(4)),
+            Box::new(KingGraph::new(48)),
+        ];
+        for topology in &topologies {
+            let family = topology.family();
+            let hardware = topology.graph();
+            let start = Instant::now();
+            let (embedding, stats) = find_embedding_or_clique_with_stats(
+                &edges,
+                scaled.model.num_vars(),
+                topology.as_ref(),
+                &hardware,
+                &EmbedOptions {
+                    seed: 11,
+                    ..Default::default()
+                },
+            )
+            .expect("figure2 embeds on every supported fabric");
+            let embed_us = start.elapsed().as_secs_f64() * 1e6;
+            let label = format!("workload=\"figure2\",topology=\"{family}\"");
+            recorder.gauge_set(&format!("qac_bench_embed_us{{{label}}}"), embed_us);
+            for (kind, value) in [
+                ("physical_qubits", embedding.num_physical_qubits() as u64),
+                ("max_chain", embedding.max_chain_length() as u64),
+                ("route_iterations", stats.route_iterations as u64),
+                ("heap_pops", stats.heap_pops),
+                ("edge_relaxations", stats.edge_relaxations),
+                ("weight_updates", stats.weight_updates),
+            ] {
+                recorder.gauge_set(&format!("qac_bench_embed_{kind}{{{label}}}"), value as f64);
+            }
+        }
+    }
+
     // Batch-engine wall clock: the §6 job set on one worker vs eight.
     // The speedup gauge is honest, not aspirational — on a single-core
     // host it sits near 1.0, so `qac_bench_available_parallelism` is
@@ -149,6 +197,7 @@ pub fn bench_baseline_json() -> String {
             "description".to_string(),
             Json::Str(
                 "compile/embed/sample wall times (µs) for the Section 6 workloads, \
+                 the figure2 embedding baseline per hardware topology, \
                  plus batch-engine wall clock at 1 vs 8 workers"
                     .to_string(),
             ),
@@ -193,6 +242,17 @@ mod tests {
                 "weight_updates",
             ] {
                 let key = format!("qac_bench_embed_{kind}{{workload=\"{name}\"}}");
+                let value = metrics
+                    .get(&key)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or_else(|| panic!("missing {key}"));
+                assert!(value > 0.0, "{key} must be positive, got {value}");
+            }
+        }
+        for family in ["chimera", "pegasus", "zephyr", "king"] {
+            for kind in ["us", "physical_qubits", "max_chain", "heap_pops"] {
+                let key =
+                    format!("qac_bench_embed_{kind}{{workload=\"figure2\",topology=\"{family}\"}}");
                 let value = metrics
                     .get(&key)
                     .and_then(|v| v.as_f64())

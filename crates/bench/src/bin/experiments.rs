@@ -19,6 +19,12 @@
 //! `--diagnostics-json PATH` makes the `analyze` experiment write its
 //! per-workload analyzer diagnostics as JSON (checked in CI by
 //! `telemetry_check --diagnostics`).
+//!
+//! `--topology` adds the per-topology axis: after the selected
+//! experiments, the §6 workloads are embedded on every supported
+//! hardware family (Chimera, Pegasus, Zephyr, king's graph) and
+//! tabulated by qubit count, chain lengths, and embed time. The same
+//! table is available directly as the `topology` experiment id.
 
 use qac_bench::experiments;
 
@@ -29,6 +35,7 @@ struct Cli {
     metrics: Option<String>,
     bench_baseline: Option<String>,
     diagnostics_json: Option<String>,
+    topology: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -39,6 +46,7 @@ fn parse_cli() -> Cli {
         metrics: None,
         bench_baseline: None,
         diagnostics_json: None,
+        topology: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +63,7 @@ fn parse_cli() -> Cli {
             "--metrics" => flag(&mut cli.metrics),
             "--bench-baseline" => flag(&mut cli.bench_baseline),
             "--diagnostics-json" => flag(&mut cli.diagnostics_json),
+            "--topology" => cli.topology = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(1);
@@ -106,10 +115,23 @@ fn main() {
         }
     }
 
-    let selected: Vec<&(&str, fn())> = if cli.names.is_empty() {
+    // `tables` is a group alias for the paper's four table experiments.
+    let expanded: Vec<String> = cli
+        .names
+        .iter()
+        .flat_map(|arg| {
+            if arg == "tables" {
+                vec!["table1", "table2", "table3_4", "table5"]
+            } else {
+                vec![arg.as_str()]
+            }
+        })
+        .map(str::to_string)
+        .collect();
+    let mut selected: Vec<&(&str, fn())> = if expanded.is_empty() {
         experiments::ALL.iter().collect()
     } else {
-        cli.names
+        expanded
             .iter()
             .map(|arg| {
                 experiments::ALL
@@ -122,6 +144,14 @@ fn main() {
             })
             .collect()
     };
+    if cli.topology && !selected.iter().any(|(name, _)| *name == "topology") {
+        selected.push(
+            experiments::ALL
+                .iter()
+                .find(|(name, _)| *name == "topology")
+                .expect("the topology experiment is registered"),
+        );
+    }
     let total = selected.len();
     for (i, (name, run)) in selected.into_iter().enumerate() {
         println!("\n──────────────────────────────────────────────────────────────");

@@ -1,0 +1,27 @@
+//! Regenerates the *topology* golden-chain fixture.
+//!
+//! ```text
+//! cargo run --release -p qac-bench --bin golden_gen
+//! cargo run --release -p qac-bench --bin golden_gen -- PATH
+//! ```
+//!
+//! Writes `crates/bench/tests/golden/router_chains_topology.txt` (or
+//! PATH) from [`qac_bench::topology_golden_fixture`]. The Chimera
+//! fixture `router_chains.txt` is deliberately *not* regenerable: it
+//! was captured from the pre-CSR router and pins that history.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crates/bench/tests/golden/router_chains_topology.txt".to_string());
+    let fixture = qac_bench::topology_golden_fixture();
+    let records = fixture
+        .lines()
+        .filter(|l| l.starts_with("workload "))
+        .count();
+    if let Err(err) = std::fs::write(&path, &fixture) {
+        eprintln!("cannot write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {records} records to {path}");
+}

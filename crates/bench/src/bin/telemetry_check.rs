@@ -21,7 +21,9 @@
 //!
 //! Each `--counter-max name=value` additionally requires the Prometheus
 //! file to contain a sample named `name` (exact match, including any
-//! label set) whose value is at most `value`. Routing-work counters are
+//! label set — the spec splits at the *last* `=`, so labeled names like
+//! `qac_embed_heap_pops_total{topology="king"}=98000000` parse) whose
+//! value is at most `value`. Routing-work counters are
 //! deterministic per seed, so CI uses this as a machine-independent
 //! perf budget: the budget only trips when the algorithm does more
 //! work, never because the runner was slow.
@@ -132,7 +134,10 @@ fn main() {
             let spec = args
                 .next()
                 .unwrap_or_else(|| die("--counter-max needs a name=value argument".to_string()));
-            let Some((name, value)) = spec.split_once('=') else {
+            // Split at the LAST '=': labeled sample names such as
+            // `qac_embed_heap_pops_total{topology="king"}` contain '='
+            // inside the label set.
+            let Some((name, value)) = spec.rsplit_once('=') else {
                 die(format!("--counter-max {spec:?} is not name=value"));
             };
             let max: f64 = value

@@ -36,7 +36,7 @@ pub fn run_ablation_chain() {
     );
     for strength in [0.25, 0.5, 1.0, 2.0] {
         let sim = DWaveSim::new(DWaveSimOptions {
-            chimera_size: 16,
+            topology: qac_solvers::TopologySpec::Chimera { m: 16 },
             chain_strength: Some(strength),
             anneal_sweeps: 256,
             embedding_cache: Some(Arc::clone(&cache)),
@@ -110,7 +110,7 @@ pub fn run_ablation_gap() {
             scaled.add_j(t.i, t.j, t.value * scale);
         }
         let sim = DWaveSim::new(DWaveSimOptions {
-            chimera_size: 8,
+            topology: qac_solvers::TopologySpec::Chimera { m: 8 },
             noise_sigma: 0.02,
             anneal_sweeps: 96,
             embedding_cache: Some(Arc::clone(&cache)),

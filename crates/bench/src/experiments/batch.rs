@@ -39,7 +39,7 @@ pub fn sec6_batch_jobs() -> Vec<JobSpec> {
     let cache = Arc::new(EmbeddingCache::new());
     let dwave = || {
         SolverChoice::DWave(Box::new(DWaveSimOptions {
-            chimera_size: 4,
+            topology: qac_solvers::TopologySpec::Chimera { m: 4 },
             anneal_sweeps: 192,
             embedding_cache: Some(Arc::clone(&cache)),
             ..Default::default()

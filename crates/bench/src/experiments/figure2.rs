@@ -82,7 +82,7 @@ pub fn run_figure2_3() {
     // Physical instantiation on a C16 (Figure 2b talks of physical qubits).
     println!("\nphysical instantiation (D-Wave 2000Q model):");
     let sim = qac_solvers::DWaveSim::new(qac_solvers::DWaveSimOptions {
-        chimera_size: 16,
+        topology: qac_solvers::TopologySpec::Chimera { m: 16 },
         ..Default::default()
     });
     match sim.run(model, 1) {

@@ -7,6 +7,7 @@ mod batch;
 mod figure2;
 mod sec6;
 mod tables;
+mod topology;
 
 pub use ablations::{run_ablation_chain, run_ablation_gap, run_ablation_opt, run_ablation_roof};
 pub use analyze::{
@@ -17,6 +18,7 @@ pub use batch::{run_batch, run_sec6_batch, sec6_batch_jobs};
 pub use figure2::run_figure2_3;
 pub use sec6::{run_sec6_1, run_sec6_2};
 pub use tables::{run_table1, run_table2, run_table3_4, run_table5};
+pub use topology::run_topology;
 
 /// Every experiment id, in paper order.
 pub const ALL: &[(&str, fn())] = &[
@@ -37,4 +39,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("ablation_roof", run_ablation_roof),
     ("ablation_opt", run_ablation_opt),
     ("analyze", run_analyze),
+    ("topology", run_topology),
 ];

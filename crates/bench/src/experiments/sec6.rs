@@ -188,7 +188,7 @@ pub fn run_sec6_2() {
             .expect("pin resolves")
     };
     let sim = DWaveSim::new(DWaveSimOptions {
-        chimera_size: 16,
+        topology: qac_solvers::TopologySpec::Chimera { m: 16 },
         anneal_sweeps: 256,
         chain_strength: Some(1.5),
         ..Default::default()

@@ -10,9 +10,11 @@
 
 pub mod baseline;
 pub mod experiments;
+pub mod golden;
 pub mod workloads;
 
 pub use baseline::bench_baseline_json;
+pub use golden::topology_golden_fixture;
 pub use workloads::*;
 
 /// Mean and (population) standard deviation of a sample.

@@ -13,6 +13,7 @@ use qac_chimera::{find_embedding, Chimera, EmbedOptions};
 use qac_pbf::scale::{scale_to_range, CoefficientRange};
 
 const GOLDEN: &str = include_str!("golden/router_chains.txt");
+const GOLDEN_TOPOLOGY: &str = include_str!("golden/router_chains_topology.txt");
 
 /// Parses the fixture into `(workload, seed, chains)` records.
 fn parse_golden() -> Vec<(String, u64, Vec<Vec<usize>>)> {
@@ -90,6 +91,80 @@ fn router_chains_match_pre_rewrite_goldens() {
                 embedding.chains(),
                 golden.as_slice(),
                 "{name} seed {seed}: routed chains diverged from the pre-rewrite goldens"
+            );
+        }
+    }
+}
+
+/// The Chimera fixture is frozen history (captured in the PR that
+/// introduced it); pin its exact bytes so a well-meaning regeneration
+/// can never silently rewrite what "unchanged" means.
+#[test]
+fn chimera_fixture_bytes_are_frozen() {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in GOLDEN.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    assert_eq!(
+        hash, 0x551b_2b00_c8c8_710c,
+        "tests/golden/router_chains.txt was modified; the Chimera goldens must stay byte-identical"
+    );
+}
+
+/// The topology fixture (Pegasus + king's graph, two seeds per
+/// workload) replays byte-for-byte: `topology_golden_fixture` routes
+/// and validates every record, so equality here means every chain of
+/// every fabric matches and still embeds validly. Regenerate with
+/// `cargo run --release -p qac-bench --bin golden_gen` after an
+/// intentional router change.
+#[test]
+fn topology_router_chains_match_goldens() {
+    let records = GOLDEN_TOPOLOGY
+        .lines()
+        .filter(|l| l.starts_with("workload "))
+        .count();
+    assert_eq!(records, 8, "2 workloads x 2 topologies x 2 seeds");
+    assert!(
+        qac_bench::topology_golden_fixture() == GOLDEN_TOPOLOGY,
+        "routed chains diverged from tests/golden/router_chains_topology.txt"
+    );
+}
+
+/// The parallel restart race must be a pure function of `(seed, tries)`
+/// on the new fabrics too: 1 worker thread and 8 worker threads pick
+/// the same embedding qubit-for-qubit.
+#[test]
+fn restart_race_is_thread_count_invariant_on_new_fabrics() {
+    for (workload, edges, num_vars) in qac_bench::golden::golden_workloads() {
+        for (token, topology) in qac_bench::golden::golden_topologies() {
+            if token == "king48" && workload == "australia-unary" {
+                // The race runs all 16 tries; on the king lattice this
+                // workload needs seconds per try, so the cheap pair of
+                // records covers the fabric.
+                continue;
+            }
+            let hardware = topology.graph();
+            let run = |threads: usize| {
+                find_embedding(
+                    &edges,
+                    num_vars,
+                    &hardware,
+                    &EmbedOptions {
+                        seed: 11,
+                        parallel_restarts: true,
+                        restart_threads: threads,
+                        ..EmbedOptions::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{workload} race on {token}: {e}"))
+            };
+            let one = run(1);
+            let eight = run(8);
+            assert_eq!(
+                one.chains(),
+                eight.chains(),
+                "{workload} on {token}: restart race depends on thread count"
             );
         }
     }

@@ -16,26 +16,37 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::embed::{EmbedOptions, EmbedStats, Embedding};
+use crate::topology::Topology;
 use crate::{EmbedError, HardwareGraph};
 
 /// FNV-1a, the canonical-form hasher for cache keys (stable across runs,
-/// unlike `DefaultHasher`, whose seeds are unspecified).
-struct Fnv(u64);
+/// unlike `DefaultHasher`, whose seeds are unspecified). Shared with the
+/// topology module, which uses it for [`Topology::parameter_hash`]
+/// values.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write_u64(&mut self, value: u64) {
-        for byte in value.to_le_bytes() {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
             self.0 ^= u64::from(byte);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn write_usize(&mut self, value: usize) {
+    pub(crate) fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    pub(crate) fn write_usize(&mut self, value: usize) {
         self.write_u64(value as u64);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -86,7 +97,29 @@ pub fn embedding_key(
         h.write_usize(a);
         h.write_usize(b);
     }
-    h.0
+    h.finish()
+}
+
+/// [`embedding_key`] extended with the topology's canonical
+/// [`parameter_hash`](Topology::parameter_hash).
+///
+/// The hardware-graph component of [`embedding_key`] already separates
+/// most topologies (different edges hash differently), but two families
+/// can in principle produce isomorphic — even identical — graphs of the
+/// same size. Mixing in the family/parameter hash guarantees, e.g., a C4
+/// and a king's graph with equal qubit counts can never share a cache
+/// entry.
+pub fn topology_embedding_key<T: Topology + ?Sized>(
+    topology: &T,
+    edges: &[(usize, usize)],
+    num_vars: usize,
+    options: &EmbedOptions,
+    hardware: &HardwareGraph,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(topology.parameter_hash());
+    h.write_u64(embedding_key(edges, num_vars, options, hardware));
+    h.finish()
 }
 
 /// A coherent snapshot of the cache's counters (see
@@ -161,6 +194,44 @@ impl EmbeddingCache {
         F: FnOnce() -> Result<(Embedding, EmbedStats), EmbedError>,
     {
         let key = embedding_key(edges, num_vars, options, hardware);
+        self.get_or_embed_keyed(key, None, embed)
+    }
+
+    /// Topology-aware [`EmbeddingCache::get_or_embed`]: the key also
+    /// incorporates [`Topology::parameter_hash`] (see
+    /// [`topology_embedding_key`]), so equal hardware graphs from
+    /// different families never share an entry, and the cache counters
+    /// are additionally emitted with a `topology="family"` label.
+    ///
+    /// # Errors
+    /// Whatever `embed` returns on a miss.
+    pub fn get_or_embed_on<T, F>(
+        &self,
+        topology: &T,
+        edges: &[(usize, usize)],
+        num_vars: usize,
+        options: &EmbedOptions,
+        hardware: &HardwareGraph,
+        embed: F,
+    ) -> Result<(Embedding, EmbedStats), EmbedError>
+    where
+        T: Topology + ?Sized,
+        F: FnOnce() -> Result<(Embedding, EmbedStats), EmbedError>,
+    {
+        let key = topology_embedding_key(topology, edges, num_vars, options, hardware);
+        self.get_or_embed_keyed(key, Some(topology.family()), embed)
+    }
+
+    fn get_or_embed_keyed<F>(
+        &self,
+        key: u64,
+        family: Option<&'static str>,
+        embed: F,
+    ) -> Result<(Embedding, EmbedStats), EmbedError>
+    where
+        F: FnOnce() -> Result<(Embedding, EmbedStats), EmbedError>,
+    {
+        let labeled = |base: &str| family.map(|f| format!("{base}{{topology=\"{f}\"}}"));
         {
             let guard = self.lock();
             if let Some(found) = guard.get(&key).cloned() {
@@ -169,6 +240,9 @@ impl EmbeddingCache {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 drop(guard);
                 qac_telemetry::global().counter_add("qac_embed_cache_hits_total", 1);
+                if let Some(name) = labeled("qac_embed_cache_hits_total") {
+                    qac_telemetry::global().counter_add(&name, 1);
+                }
                 let stats = EmbedStats {
                     cache_hit: true,
                     ..EmbedStats::default()
@@ -190,6 +264,9 @@ impl EmbeddingCache {
             guard.entry(key).or_insert_with(|| embedding.clone());
         }
         qac_telemetry::global().counter_add("qac_embed_cache_misses_total", 1);
+        if let Some(name) = labeled("qac_embed_cache_misses_total") {
+            qac_telemetry::global().counter_add(&name, 1);
+        }
         Ok((embedding, stats))
     }
 
@@ -241,7 +318,7 @@ impl EmbeddingCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{find_embedding_with_stats, Chimera};
+    use crate::{find_embedding_with_stats, Chimera, KingGraph, Pegasus, Zephyr};
 
     fn triangle() -> Vec<(usize, usize)> {
         vec![(0, 1), (1, 2), (0, 2)]
@@ -348,6 +425,31 @@ mod tests {
         );
         assert_ne!(k0, key(&triangle(), 3, &base, &hw3));
         assert_ne!(k0, key(&triangle(), 3, &base, &dropped));
+
+        // Topology-aware keys: the family/parameter hash separates
+        // topologies even when their qubit counts are equal. A C4 has
+        // 8·16 = 128 qubits; so does a √128-free king's graph? No — but
+        // equal *node counts* are exactly what the plain hardware hash
+        // could conflate if the edge sets also matched, so the guarantee
+        // must come from the parameter hash, not the graph bytes.
+        let c4 = Chimera::new(4);
+        let king = KingGraph::new(11); // 121 vs 128 nodes: near-miss sizes
+        let tk = |t: &dyn Topology, hw: &HardwareGraph| {
+            topology_embedding_key(t, &triangle(), 3, &base, hw)
+        };
+        let c4_graph = c4.graph();
+        let king_graph = king.graph();
+        assert_ne!(tk(&c4, &c4_graph), tk(&king, &king_graph));
+        // Same problem + same hardware bytes, different claimed family →
+        // different key (the collision the satellite guards against).
+        assert_ne!(tk(&c4, &c4_graph), tk(&king, &c4_graph));
+        assert_ne!(
+            tk(&Pegasus::new(4), &c4_graph),
+            tk(&Zephyr::new(4), &c4_graph)
+        );
+        // And the topology-aware key still separates everything the
+        // plain key separates.
+        assert_ne!(tk(&c4, &c4_graph), tk(&Chimera::new(3), &c4_graph));
     }
 
     #[test]
@@ -452,6 +554,59 @@ mod tests {
         // Duplicated work on racing first lookups is allowed (misses may
         // exceed entries) but each key misses at least once.
         assert!(stats.misses >= keys as usize);
+        assert_eq!(stats.hits, threads * iterations - stats.misses);
+    }
+
+    #[test]
+    fn concurrent_hammer_across_mixed_topologies() {
+        // Same shape as the single-topology hammer, but the 8 threads
+        // rotate over *topologies* instead of seeds: one triangle, one
+        // option set, four families of similar scale. Every
+        // (topology, hardware) pair must get exactly one entry and the
+        // counters must balance — a cross-family key collision would
+        // surface as a missing entry (two families sharing one) or as a
+        // validate() failure (a chain of foreign qubit indices).
+        let topologies: Vec<(Box<dyn Topology + Sync>, HardwareGraph)> = vec![
+            (Box::new(Chimera::new(2)), Chimera::new(2).graph()),
+            (Box::new(Pegasus::new(2)), Pegasus::new(2).graph()),
+            (Box::new(Zephyr::new(2)), Zephyr::new(2).graph()),
+            (Box::new(KingGraph::new(4)), KingGraph::new(4).graph()),
+        ];
+        let cache = EmbeddingCache::new();
+        let threads = 8usize;
+        let iterations = 24usize;
+        let options = EmbedOptions::default();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                let topologies = &topologies;
+                let options = &options;
+                scope.spawn(move || {
+                    for i in 0..iterations {
+                        let (topology, hw) = &topologies[(t + i) % topologies.len()];
+                        let (embedding, _) = cache
+                            .get_or_embed_on(topology.as_ref(), &triangle(), 3, options, hw, || {
+                                find_embedding_with_stats(&triangle(), 3, hw, options)
+                            })
+                            .expect("triangle embeds on every family");
+                        assert!(
+                            embedding.validate(&triangle(), hw),
+                            "cached chain must be valid on its own topology"
+                        );
+                        let stats = cache.stats();
+                        assert!(stats.entries <= stats.misses, "{stats:?}");
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), threads * iterations);
+        assert_eq!(
+            stats.entries,
+            topologies.len(),
+            "one entry per topology — no cross-family collisions: {stats:?}"
+        );
+        assert!(stats.misses >= topologies.len());
         assert_eq!(stats.hits, threads * iterations - stats.misses);
     }
 

@@ -505,39 +505,50 @@ pub fn find_embedding_portfolio(
 }
 
 /// Finds an embedding with the randomized heuristic, falling back to the
-/// deterministic clique template of `chimera` when the heuristic fails
-/// (dense logical graphs). The fallback requires all template qubits to be
-/// active.
+/// deterministic clique template of `topology` when the heuristic fails
+/// (dense logical graphs). The fallback is a [`Topology`](crate::Topology)
+/// hook: families without a native template (Pegasus, Zephyr, king's
+/// graph) return `None` from
+/// [`clique_embedding`](crate::Topology::clique_embedding), so the
+/// heuristic's error propagates instead of another family's template
+/// being silently borrowed. The fallback requires all template qubits to
+/// be active.
 ///
 /// # Errors
 /// [`EmbedError`] when both strategies fail.
-pub fn find_embedding_or_clique(
+pub fn find_embedding_or_clique<T: crate::Topology + ?Sized>(
     edges: &[(usize, usize)],
     num_vars: usize,
-    chimera: &crate::Chimera,
+    topology: &T,
     hardware: &HardwareGraph,
     options: &EmbedOptions,
 ) -> Result<Embedding, EmbedError> {
-    find_embedding_or_clique_with_stats(edges, num_vars, chimera, hardware, options).map(|(e, _)| e)
+    find_embedding_or_clique_with_stats(edges, num_vars, topology, hardware, options)
+        .map(|(e, _)| e)
 }
 
 /// [`find_embedding_or_clique`] that also reports routing-work counters.
 /// A clique-template fallback reports the nominal work of the failed
 /// heuristic attempts (`tries × rounds`).
 ///
+/// The router itself ([`find_embedding_with_stats`] and its CSR
+/// `RouterScratch`) is already topology-generic — it sees only the
+/// [`HardwareGraph`] — so this wrapper is the single place the family
+/// matters.
+///
 /// # Errors
 /// Same as [`find_embedding_or_clique`].
-pub fn find_embedding_or_clique_with_stats(
+pub fn find_embedding_or_clique_with_stats<T: crate::Topology + ?Sized>(
     edges: &[(usize, usize)],
     num_vars: usize,
-    chimera: &crate::Chimera,
+    topology: &T,
     hardware: &HardwareGraph,
     options: &EmbedOptions,
 ) -> Result<(Embedding, EmbedStats), EmbedError> {
     match find_embedding_with_stats(edges, num_vars, hardware, options) {
         Ok(found) => Ok(found),
         Err(err) => {
-            if let Some(embedding) = chimera.clique_embedding(num_vars) {
+            if let Some(embedding) = topology.clique_embedding(num_vars) {
                 if embedding.validate(edges, hardware) {
                     let stats = EmbedStats {
                         route_iterations: options.tries * options.rounds,
@@ -1428,6 +1439,43 @@ mod tests {
         };
         let e = find_embedding_or_clique(&edges, 8, &chimera, &hw, &fast).unwrap();
         assert!(e.validate(&edges, &hw));
+    }
+
+    #[test]
+    fn pegasus_has_no_chimera_template_and_uses_the_router() {
+        // Satellite regression: the clique fallback is a Topology hook.
+        // Pegasus returns None from clique_embedding, so a dense graph
+        // either routes heuristically on the *Pegasus* graph or fails
+        // outright — it must never come back as Chimera's triangle
+        // template (whose qubit indices mean something else entirely on
+        // a Pegasus fabric).
+        let pegasus = crate::Pegasus::new(2);
+        let hw = pegasus.graph();
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        // K6 routes fine on P2 (degree 15): the hook returning None must
+        // not prevent the heuristic from succeeding.
+        let e = find_embedding_or_clique(&edges, 6, &pegasus, &hw, &opts(3)).unwrap();
+        assert!(e.validate(&edges, &hw));
+
+        // An impossible problem (more variables than qubits) must
+        // surface the router's error — with no template to fall back
+        // on, there is nothing to mask it.
+        let n = pegasus.num_qubits() + 1;
+        let big: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let fast = EmbedOptions {
+            tries: 1,
+            rounds: 4,
+            ..opts(9)
+        };
+        assert!(matches!(
+            find_embedding_or_clique_with_stats(&big, n, &pegasus, &hw, &fast),
+            Err(EmbedError::NoEmbeddingFound { .. })
+        ));
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!
 //! * [`Chimera`] — the Chimera graph `C_m`: an m×m mesh of 8-qubit
 //!   bipartite unit cells (Figure 1), with optional qubit drop-out;
+//! * [`Topology`] — the pluggable hardware-family trait [`Chimera`]
+//!   implements, alongside [`Pegasus`], [`Zephyr`], and [`KingGraph`]
+//!   (with [`TopologySpec`] as the value-level choice options carry);
 //! * [`find_embedding`] — a randomized minor-embedding heuristic in the
 //!   style of Cai–Macready–Roy (the SAPI algorithm the paper uses, §4.4),
 //!   mapping each logical variable to a connected *chain* of physical
@@ -35,12 +38,13 @@ mod cache;
 mod chimera;
 mod embed;
 mod graph;
+mod topology;
 
 pub use apply::{
     choose_chain_strength, embed_ising, neighborhood_weights, unembed, ChainBreakStats,
     EmbeddedIsing,
 };
-pub use cache::{embedding_key, CacheStats, EmbeddingCache};
+pub use cache::{embedding_key, topology_embedding_key, CacheStats, EmbeddingCache};
 pub use chimera::Chimera;
 pub use embed::{
     find_embedding, find_embedding_or_clique, find_embedding_or_clique_with_stats,
@@ -48,3 +52,6 @@ pub use embed::{
     EmbedStats, Embedding,
 };
 pub use graph::{CsrNeighbors, HardwareGraph};
+pub use topology::{
+    topology_parameter_hash, KingGraph, Pegasus, Topology, TopologySpec, Zephyr, ADVANTAGE_RANGE,
+};

@@ -644,7 +644,7 @@ mod tests {
         use qac_solvers::DWaveSimOptions;
         let program = compiled();
         let sim = DWaveSimOptions {
-            chimera_size: 4,
+            topology: qac_solvers::TopologySpec::Chimera { m: 4 },
             anneal_sweeps: 40,
             ..Default::default()
         };

@@ -33,7 +33,7 @@ fn mixed_batch(program: &Arc<Compiled>) -> Vec<JobSpec> {
                 1 => SolverChoice::Sa { sweeps: 80 },
                 2 => SolverChoice::Tabu,
                 _ => SolverChoice::DWave(Box::new(DWaveSimOptions {
-                    chimera_size: 4,
+                    topology: qac_solvers::TopologySpec::Chimera { m: 4 },
                     anneal_sweeps: 120,
                     embedding_cache: Some(Arc::clone(&cache)),
                     ..Default::default()
@@ -145,7 +145,7 @@ fn failed_jobs_retry_with_distinct_seeds_then_report_the_error() {
     // A Chimera too small for the program: every attempt errors.
     let program = program();
     let sim = DWaveSimOptions {
-        chimera_size: 1,
+        topology: qac_solvers::TopologySpec::Chimera { m: 1 },
         embed: qac_chimera::EmbedOptions {
             tries: 1,
             rounds: 2,

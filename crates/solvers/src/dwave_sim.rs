@@ -1,11 +1,13 @@
-//! A software model of running on a D-Wave 2000Q.
+//! A software model of running on a quantum annealer (a D-Wave 2000Q by
+//! default; any [`TopologySpec`] fabric on request).
 //!
 //! The paper's experiments execute on real hardware; this simulator
 //! substitutes for it while exercising the same pipeline stages and
 //! artifacts (DESIGN.md, substitution table):
 //!
-//! 1. scale coefficients into `h ∈ [−2,2]`, `J ∈ [−2,1]` (§2);
-//! 2. minor-embed onto a Chimera graph with qubit drop-out (§4.4);
+//! 1. scale coefficients into the topology's range (`h ∈ [−2,2]`,
+//!    `J ∈ [−2,1]` on a 2000Q, §2);
+//! 2. minor-embed onto the hardware graph with qubit drop-out (§4.4);
 //! 3. quantize coefficients to a few bits and add analog Gaussian noise
 //!    (the machine "is analog rather than digital … limited precision");
 //! 4. draw stochastic samples (simulated annealing stands in for the
@@ -21,10 +23,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use qac_chimera::{
-    embed_ising, find_embedding_or_clique_with_stats, find_embedding_portfolio, Chimera,
-    EmbedError, EmbedOptions, EmbedStats, Embedding, EmbeddingCache,
+    embed_ising, find_embedding_or_clique_with_stats, find_embedding_portfolio, EmbedError,
+    EmbedOptions, EmbedStats, Embedding, EmbeddingCache, Topology, TopologySpec,
 };
-use qac_pbf::scale::{quantize, scale_to_range, CoefficientRange};
+use qac_pbf::scale::{quantize, scale_to_range};
 use qac_pbf::Ising;
 
 use qac_pbf::Spin;
@@ -69,7 +71,14 @@ impl TimingModel {
 /// Options for the hardware model.
 #[derive(Debug, Clone)]
 pub struct DWaveSimOptions {
-    /// Chimera mesh size (16 = D-Wave 2000Q).
+    /// The hardware topology to model (default: the paper's 2000Q,
+    /// a Chimera C16). Also selects the coefficient range and the
+    /// chain-strength clamp via [`Topology`].
+    pub topology: TopologySpec,
+    /// Chimera mesh size; `0` (the new default) means "use `topology`".
+    /// A nonzero value wins over `topology`, preserving the meaning of
+    /// existing call sites that still set it.
+    #[deprecated(note = "set `topology: TopologySpec::Chimera { m }` instead")]
     pub chimera_size: usize,
     /// Fraction of qubits lost to fabrication (deterministic per seed).
     pub dropout: f64,
@@ -100,9 +109,11 @@ pub struct DWaveSimOptions {
 }
 
 impl Default for DWaveSimOptions {
+    #[allow(deprecated)] // the shim field must still be initialized
     fn default() -> DWaveSimOptions {
         DWaveSimOptions {
-            chimera_size: 16,
+            topology: TopologySpec::default(),
+            chimera_size: 0,
             dropout: 0.0,
             seed: 0xd_3caf,
             chain_strength: None,
@@ -113,6 +124,22 @@ impl Default for DWaveSimOptions {
             embed_attempts: 1,
             embedding_cache: None,
             timing: TimingModel::default(),
+        }
+    }
+}
+
+impl DWaveSimOptions {
+    /// The effective topology of this configuration: the deprecated
+    /// `chimera_size` shim wins when nonzero (so legacy call sites keep
+    /// their meaning), otherwise [`DWaveSimOptions::topology`].
+    #[allow(deprecated)] // this resolver is the shim's one sanctioned reader
+    pub fn topology_spec(&self) -> TopologySpec {
+        if self.chimera_size != 0 {
+            TopologySpec::Chimera {
+                m: self.chimera_size,
+            }
+        } else {
+            self.topology
         }
     }
 }
@@ -181,11 +208,11 @@ impl DWaveSim {
         // spans land in the global recorder when telemetry is enabled.
         let telemetry = qac_telemetry::global();
         let o = &self.options;
-        let chimera = Chimera::new(o.chimera_size);
+        let topology = o.topology_spec();
         let hardware = if o.dropout > 0.0 {
-            chimera.graph_with_dropout(o.dropout, o.seed)
+            topology.graph_with_dropout(o.dropout, o.seed)
         } else {
-            chimera.graph()
+            topology.graph()
         };
 
         let mut phases: Vec<PhaseTiming> = Vec::with_capacity(5);
@@ -202,7 +229,7 @@ impl DWaveSim {
 
         // 1. Scale the logical model into hardware range.
         let scale_span = telemetry.span("sample:scale");
-        let range = CoefficientRange::DWAVE_2000Q;
+        let range = topology.coefficient_range();
         let scaled = scale_to_range(logical, range);
         drop(scale_span);
         phase_done(&mut phases, "scale", 0);
@@ -217,7 +244,7 @@ impl DWaveSim {
             if o.embed_attempts > 1 {
                 find_embedding_portfolio(&edges, num_vars, &hardware, &o.embed, o.embed_attempts)
                     .or_else(|err| {
-                        if let Some(embedding) = chimera.clique_embedding(num_vars) {
+                        if let Some(embedding) = topology.clique_embedding(num_vars) {
                             if embedding.validate(&edges, &hardware) {
                                 let stats = EmbedStats {
                                     route_iterations: o.embed.tries * o.embed.rounds,
@@ -230,40 +257,48 @@ impl DWaveSim {
                         Err(err)
                     })
             } else {
-                find_embedding_or_clique_with_stats(&edges, num_vars, &chimera, &hardware, &o.embed)
+                find_embedding_or_clique_with_stats(
+                    &edges, num_vars, &topology, &hardware, &o.embed,
+                )
             }
         };
         let (embedding, embed_stats) = match &o.embedding_cache {
-            Some(cache) => cache.get_or_embed(&edges, num_vars, &o.embed, &hardware, search)?,
+            Some(cache) => {
+                cache.get_or_embed_on(&topology, &edges, num_vars, &o.embed, &hardware, search)?
+            }
             None => search()?,
         };
         embed_span.arg("route_iterations", embed_stats.route_iterations as f64);
         embed_span.arg("restarts", embed_stats.restarts as f64);
         embed_span.arg("cache_hit", f64::from(embed_stats.cache_hit));
         drop(embed_span);
-        telemetry.counter_add(
-            "qac_route_iterations_total",
-            embed_stats.route_iterations as u64,
-        );
-        telemetry.counter_add("qac_embed_restarts_total", embed_stats.restarts as u64);
         // Machine-independent routing-work counters: wall time drifts
         // with the host, these only drift if the router actually does
-        // more work, so CI can put a hard budget on them.
-        telemetry.counter_add("qac_embed_heap_pops_total", embed_stats.heap_pops);
-        telemetry.counter_add(
-            "qac_embed_edge_relaxations_total",
-            embed_stats.edge_relaxations,
-        );
-        telemetry.counter_add("qac_embed_weight_updates_total", embed_stats.weight_updates);
+        // more work, so CI can put a hard budget on them. Each counter
+        // is emitted twice — the unlabeled aggregate and a
+        // `{topology="family"}` variant so budgets can be set per fabric.
+        let family = topology.family();
+        for (name, value) in [
+            (
+                "qac_route_iterations_total",
+                embed_stats.route_iterations as u64,
+            ),
+            ("qac_embed_restarts_total", embed_stats.restarts as u64),
+            ("qac_embed_heap_pops_total", embed_stats.heap_pops),
+            (
+                "qac_embed_edge_relaxations_total",
+                embed_stats.edge_relaxations,
+            ),
+            ("qac_embed_weight_updates_total", embed_stats.weight_updates),
+        ] {
+            telemetry.counter_add(name, value);
+            telemetry.counter_add(&format!("{name}{{topology=\"{family}\"}}"), value);
+        }
         phase_done(&mut phases, "embed", embed_stats.restarts);
 
         let distort_span = telemetry.span("sample:distort");
 
-        let chain_strength = qac_chimera::choose_chain_strength(
-            o.chain_strength,
-            scaled.model.max_abs_j(),
-            range.j_min,
-        );
+        let chain_strength = topology.chain_strength(o.chain_strength, scaled.model.max_abs_j());
         let embedded = embed_ising(&scaled.model, &embedding, &hardware, chain_strength);
 
         // Rescale after chains were added (chains may exceed J range).
@@ -513,7 +548,7 @@ mod tests {
 
     fn small_options() -> DWaveSimOptions {
         DWaveSimOptions {
-            chimera_size: 3,
+            topology: TopologySpec::Chimera { m: 3 },
             anneal_sweeps: 60,
             noise_sigma: 0.005,
             ..Default::default()
@@ -562,7 +597,7 @@ mod tests {
         m.add_j(0, 1, -1.0);
         m.add_h(0, -0.5);
         let opts = DWaveSimOptions {
-            chimera_size: 2,
+            topology: TopologySpec::Chimera { m: 2 },
             precision_bits: 0,
             noise_sigma: 0.0,
             ..small_options()
@@ -572,6 +607,54 @@ mod tests {
             result.logical.best().unwrap().spins,
             vec![Spin::Up, Spin::Up]
         );
+    }
+
+    #[test]
+    fn deprecated_chimera_size_shim_wins_when_nonzero() {
+        #[allow(deprecated)]
+        let legacy = DWaveSimOptions {
+            chimera_size: 2,
+            topology: TopologySpec::Pegasus { m: 4 },
+            ..Default::default()
+        };
+        assert_eq!(legacy.topology_spec(), TopologySpec::Chimera { m: 2 });
+        let modern = DWaveSimOptions {
+            topology: TopologySpec::Pegasus { m: 4 },
+            ..Default::default()
+        };
+        assert_eq!(modern.topology_spec(), TopologySpec::Pegasus { m: 4 });
+        assert_eq!(
+            DWaveSimOptions::default().topology_spec(),
+            TopologySpec::Chimera { m: 16 }
+        );
+    }
+
+    #[test]
+    fn runs_on_pegasus_and_zephyr_fabrics() {
+        let mut m = Ising::new(4);
+        m.add_h(0, -1.0);
+        for i in 0..3 {
+            m.add_j(i, i + 1, -1.0);
+        }
+        for spec in [
+            TopologySpec::Pegasus { m: 2 },
+            TopologySpec::Zephyr { m: 1 },
+            TopologySpec::King { m: 8 },
+        ] {
+            let opts = DWaveSimOptions {
+                topology: spec,
+                ..small_options()
+            };
+            let result = DWaveSim::new(opts).run(&m, 50).unwrap();
+            let best = result.logical.best().unwrap();
+            assert_eq!(best.spins, vec![Spin::Up; 4], "{spec:?} missed ground");
+            let hardware = spec.graph();
+            let edges = [(0, 1), (1, 2), (2, 3)];
+            assert!(
+                result.embedding.validate(&edges, &hardware),
+                "{spec:?} produced an invalid embedding"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!   than a sub-solver budget into impact-selected subproblems;
 //! * [`Portfolio`] — wraps any reseedable sampler and splits the read
 //!   budget across N differently-seeded parallel copies;
-//! * [`DWaveSim`] — an end-to-end hardware model: Chimera embedding,
+//! * [`DWaveSim`] — an end-to-end hardware model: minor embedding onto
+//!   any [`TopologySpec`] fabric (Chimera by default, as in the paper),
 //!   coefficient scaling and quantization, analog noise, stochastic
 //!   sampling, majority-vote unembedding, chain-break accounting, and a
 //!   timing model for §6.2-style per-solution costs.
@@ -55,8 +56,11 @@ mod sqa;
 mod tabu;
 
 pub use dwave_sim::{DWaveSim, DWaveSimOptions, DWaveSimResult, PhaseTiming, TimingModel};
+// Re-exported so DWaveSimOptions call sites can name a fabric without
+// depending on qac-chimera directly.
 pub use exact::ExactSolver;
 pub use portfolio::{Portfolio, Reseed};
+pub use qac_chimera::{Topology, TopologySpec};
 pub use qbsolv::QbsolvStyle;
 pub use sa::SimulatedAnnealing;
 pub use sample::{Sample, SampleSet, Sampler};

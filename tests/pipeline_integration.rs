@@ -335,7 +335,7 @@ fn dwave_hardware_model_runs_figure2() {
     )
     .unwrap();
     let sim_options = DWaveSimOptions {
-        chimera_size: 8,
+        topology: qac::solvers::TopologySpec::Chimera { m: 8 },
         anneal_sweeps: 256,
         noise_sigma: 0.002,
         ..Default::default()
