@@ -86,6 +86,25 @@ cargo run --release -q -p qac-bench --bin telemetry_check -- \
 
 analyze_gate
 
+echo "==> perf-regression gate (BENCH_pr6.json -> BENCH_pr7.json)"
+# Deterministic routing-work gauges (heap pops, edge relaxations, chain
+# lengths, ...) are gated at a 1.30 NEW/OLD ratio; wall-clock gauges are
+# report-only because the two baselines may come from different
+# machines. The gate fails if any deterministic gauge regressed beyond
+# budget or vanished from the new baseline.
+cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    --baseline BENCH_pr6.json BENCH_pr7.json
+
+echo "==> perf-regression gate self-test (a seeded regression must fail)"
+# Prove the gate has teeth: an impossibly tight budget on a nonzero
+# gauge must trip (exit 1). If this *passes*, the gate is broken.
+if cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    --baseline BENCH_pr6.json BENCH_pr7.json \
+    --budget 'qac_bench_embed_heap_pops=0.000001' > /dev/null 2>&1; then
+    echo "ERROR: the regression gate passed under an impossible budget" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

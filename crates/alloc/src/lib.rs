@@ -1,0 +1,124 @@
+//! The counting global allocator.
+//!
+//! Every other crate in this workspace forbids `unsafe`; implementing
+//! [`GlobalAlloc`] requires it, so the trait impl is quarantined here —
+//! the one crate whose entire `unsafe` surface is four forwarding
+//! methods — while the bookkeeping lives in the safe
+//! `qac_telemetry::alloc` hooks.
+//!
+//! Linking this crate installs [`CountingAlloc`] as the program's
+//! `#[global_allocator]`: every allocation forwards to [`System`] and
+//! bumps the telemetry counters (total / live / peak bytes), which
+//! `Session::run` in `qac-core` reads around each pipeline stage to put
+//! per-stage allocation numbers on `StageTrace`. Binaries opt in by
+//! depending on `qac-alloc` (for `qac-bench`, the `alloc-track`
+//! feature); nothing in the default build pays for it.
+//!
+//! The hooks are three relaxed atomic ops per call — small next to the
+//! cost of the underlying `malloc` — and never allocate, which is the
+//! invariant that makes calling out of an allocator sound.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// A [`System`]-backed allocator that reports every allocation and
+/// deallocation to `qac_telemetry::alloc`.
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards verbatim to `System`, which satisfies
+// the GlobalAlloc contract; the added hook calls touch only atomics and
+// never allocate, so no reentrancy into the allocator is possible.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            qac_telemetry::alloc::on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            qac_telemetry::alloc::on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        qac_telemetry::alloc::on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Model a realloc as free(old) + alloc(new): total grows by
+            // the new size, live by the difference.
+            qac_telemetry::alloc::on_dealloc(layout.size());
+            qac_telemetry::alloc::on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// The installed allocator. Any binary that links `qac-alloc` counts
+/// every allocation from before `main` on.
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    // These tests run in qac-alloc's own test binary, where the counting
+    // allocator above IS the global allocator — so they exercise the
+    // full path: Vec allocation → GlobalAlloc impl → telemetry hooks.
+    use qac_telemetry::alloc;
+
+    #[test]
+    fn allocations_are_counted_end_to_end() {
+        assert!(
+            alloc::is_installed(),
+            "the test binary must have the counting allocator installed"
+        );
+        let before = alloc::snapshot();
+        let block = vec![0u8; 1 << 20];
+        let after = alloc::snapshot();
+        let delta = before.delta_to(&after);
+        assert!(
+            delta.allocated_bytes >= 1 << 20,
+            "a 1 MiB Vec must show up in the total, saw {}",
+            delta.allocated_bytes
+        );
+        drop(block);
+        let freed = alloc::snapshot();
+        assert!(
+            freed.current_bytes < after.current_bytes,
+            "dropping the Vec must shrink live bytes"
+        );
+        assert!(
+            freed.peak_bytes >= after.peak_bytes.max(1 << 20),
+            "the high-water mark must persist after the free"
+        );
+    }
+
+    #[test]
+    fn realloc_grows_total_not_leaks_live() {
+        let before = alloc::snapshot();
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        for i in 0..100_000u64 {
+            v.push(i); // forces repeated reallocs
+        }
+        let after = alloc::snapshot();
+        let delta = before.delta_to(&after);
+        assert!(delta.allocated_bytes >= 800_000);
+        drop(v);
+        // Live bytes return to (roughly) where they started: realloc
+        // accounting must not double-count the moved bytes.
+        let freed = alloc::snapshot();
+        assert!(
+            freed.current_bytes <= after.current_bytes,
+            "free after realloc chain must not inflate live bytes"
+        );
+    }
+}

@@ -69,6 +69,29 @@ fn bench_pipeline(c: &mut Criterion) {
         recorder.disable();
         recorder.clear();
     });
+
+    // Flight-recorder overhead on the compile path. Unlike the span
+    // recorder, the flight ring is *always on* by default, so the
+    // enabled variant is the normal operating mode and the disabled
+    // variant isolates its cost (one relaxed load per would-be event).
+    // The acceptance bar is <2% between the pair.
+    c.bench_function("compile_figure2_flight_disabled", |b| {
+        let flight = qac_telemetry::global_flight();
+        flight.disable();
+        b.iter(|| {
+            std::hint::black_box(compile(FIGURE2, "circuit", &CompileOptions::default()).unwrap())
+        });
+        flight.enable();
+    });
+    c.bench_function("compile_figure2_flight_enabled", |b| {
+        let flight = qac_telemetry::global_flight();
+        flight.enable();
+        flight.clear();
+        b.iter(|| {
+            std::hint::black_box(compile(FIGURE2, "circuit", &CompileOptions::default()).unwrap())
+        });
+        flight.clear();
+    });
 }
 
 criterion_group! {

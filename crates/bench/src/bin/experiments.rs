@@ -10,11 +10,17 @@
 //! whole invocation; see DESIGN.md "Observability"):
 //!
 //! ```text
-//! --trace-json PATH     write every span and metric as JSONL
+//! --trace-json PATH     write every span, metric, and flight event as JSONL
 //! --chrome-trace PATH   write a Chrome trace-event file (Perfetto)
 //! --metrics PATH        write Prometheus text exposition
 //! --bench-baseline PATH write the machine-readable perf baseline JSON
 //! ```
+//!
+//! `report TRACE.jsonl [--html PATH]` is a subcommand, not an
+//! experiment: it renders a previously exported JSONL trace as a text
+//! dashboard on stdout (spans by total time, counters, gauges, quantile
+//! summaries, flight events grouped by trace id) and, with `--html`,
+//! additionally writes a standalone HTML page. No experiment re-runs.
 //!
 //! `--diagnostics-json PATH` makes the `analyze` experiment write its
 //! per-workload analyzer diagnostics as JSON (checked in CI by
@@ -28,6 +34,14 @@
 
 use qac_bench::experiments;
 
+// Linking the counting allocator is opt-in: `--features alloc-track`
+// pulls in qac-alloc, whose #[global_allocator] feeds the per-stage
+// alloc columns on StageTrace. The `use` forces the link; without it
+// Cargo would drop the otherwise-unreferenced crate and the allocator
+// would silently never install.
+#[cfg(feature = "alloc-track")]
+use qac_alloc as _;
+
 struct Cli {
     names: Vec<String>,
     trace_json: Option<String>,
@@ -35,6 +49,7 @@ struct Cli {
     metrics: Option<String>,
     bench_baseline: Option<String>,
     diagnostics_json: Option<String>,
+    html: Option<String>,
     topology: bool,
 }
 
@@ -46,6 +61,7 @@ fn parse_cli() -> Cli {
         metrics: None,
         bench_baseline: None,
         diagnostics_json: None,
+        html: None,
         topology: false,
     };
     let mut args = std::env::args().skip(1);
@@ -63,6 +79,7 @@ fn parse_cli() -> Cli {
             "--metrics" => flag(&mut cli.metrics),
             "--bench-baseline" => flag(&mut cli.bench_baseline),
             "--diagnostics-json" => flag(&mut cli.diagnostics_json),
+            "--html" => flag(&mut cli.html),
             "--topology" => cli.topology = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown flag `{other}`");
@@ -72,6 +89,37 @@ fn parse_cli() -> Cli {
         }
     }
     cli
+}
+
+/// The `report` subcommand: render an exported JSONL trace as a
+/// dashboard without re-running anything.
+fn run_report(cli: &Cli) {
+    let [_, trace_path] = cli.names.as_slice() else {
+        eprintln!("usage: experiments report <trace.jsonl> [--html PATH]");
+        std::process::exit(1);
+    };
+    let jsonl = match std::fs::read_to_string(trace_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {trace_path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let report = match qac_bench::report::parse_jsonl(&jsonl) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("{trace_path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", qac_bench::report::render_text(&report));
+    if let Some(path) = &cli.html {
+        write_or_die(
+            path,
+            &qac_bench::report::render_html(&report),
+            "HTML report",
+        );
+    }
 }
 
 fn write_or_die(path: &str, contents: &str, what: &str) {
@@ -91,6 +139,10 @@ fn main() {
         for (name, _) in experiments::ALL {
             println!("  {name}");
         }
+        return;
+    }
+    if cli.names.first().map(String::as_str) == Some("report") {
+        run_report(&cli);
         return;
     }
 
@@ -165,11 +217,16 @@ fn main() {
     if telemetry_on {
         let snapshot = qac_telemetry::global().snapshot();
         if let Some(path) = &cli.trace_json {
-            write_or_die(
-                path,
-                &qac_telemetry::export::jsonl(&snapshot),
-                "JSONL trace",
-            );
+            // The flight recorder is always-on and ring-bounded; its
+            // surviving events ride along in the same JSONL file so
+            // `experiments report` (and post-mortems) see them without
+            // a separate export path.
+            let mut jsonl = qac_telemetry::export::jsonl(&snapshot);
+            for event in qac_telemetry::global_flight().events() {
+                jsonl.push_str(&event.to_json().to_string());
+                jsonl.push('\n');
+            }
+            write_or_die(path, &jsonl, "JSONL trace");
         }
         if let Some(path) = &cli.chrome_trace {
             write_or_die(

@@ -3,12 +3,18 @@
 //! ```text
 //! telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]...
 //! telemetry_check --diagnostics <diagnostics.json>
+//! telemetry_check --baseline <OLD.json> <NEW.json> [--budget name=ratio]...
+//! telemetry_check --help
 //! ```
+//!
+//! Exit codes: **0** all checks passed, **1** a check failed (schema
+//! violation, budget exceeded, baseline regression), **2** usage error
+//! (bad flags, unreadable spec).
 //!
 //! Asserts that every JSONL line deserializes into the event schema
 //! (a JSON object carrying a `"type"` discriminator) and that every
 //! Prometheus line matches the text-exposition grammar
-//! `^# (HELP|TYPE)|^[a-z_]+({.*})? [0-9.eE+-]+$`. Exits nonzero with a
+//! `^# (HELP|TYPE)|^[a-z_]+({.*})? [0-9.eE+-]+$`. Exits 1 with a
 //! line-numbered message on the first violation.
 //!
 //! `--diagnostics FILE` instead (or additionally) validates an analyzer
@@ -27,10 +33,40 @@
 //! deterministic per seed, so CI uses this as a machine-independent
 //! perf budget: the budget only trips when the algorithm does more
 //! work, never because the runner was slow.
+//!
+//! `--baseline OLD.json NEW.json` runs the perf-regression gate over
+//! two committed `BENCH_pr*.json` baselines (see `qac_bench::regression`
+//! for the policy: deterministic work gauges are gated at a NEW/OLD
+//! ratio of 1.30 by default, wall-clock `_us` gauges are report-only,
+//! and a gauge that vanishes from NEW is always a violation). Each
+//! `--budget name=ratio` overrides the budget for one gauge — `name`
+//! may be the exact labeled name or the base name (applies to every
+//! label set), and an override also gates an otherwise report-only
+//! gauge.
 
+const USAGE: &str = "\
+usage:
+  telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]...
+  telemetry_check --diagnostics <diagnostics.json>
+  telemetry_check --baseline <OLD.json> <NEW.json> [--budget name=ratio]...
+  telemetry_check --help
+
+exit codes:
+  0  all checks passed
+  1  a check failed (schema violation, budget exceeded, baseline regression)
+  2  usage error (unknown flag, malformed spec, missing operand)";
+
+/// A failed check: exit 1.
 fn die(msg: String) -> ! {
     eprintln!("telemetry_check: {msg}");
     std::process::exit(1);
+}
+
+/// A usage error: exit 2 (distinct from a failed check so CI scripts
+/// can tell "the gate tripped" from "the gate was invoked wrong").
+fn usage_die(msg: String) -> ! {
+    eprintln!("telemetry_check: {msg}\n{USAGE}");
+    std::process::exit(2);
 }
 
 fn read(path: &str) -> String {
@@ -119,34 +155,86 @@ fn check_diagnostics(path: &str) {
     );
 }
 
+/// Runs the baseline regression gate; dies (exit 1) on violations.
+fn check_baseline(old_path: &str, new_path: &str, overrides: &[(String, f64)]) {
+    use qac_bench::regression;
+
+    let parse = |path: &str| {
+        regression::parse_baseline(&read(path)).unwrap_or_else(|err| die(format!("{path}: {err}")))
+    };
+    let old = parse(old_path);
+    let new = parse(new_path);
+    let comparison = regression::compare(&old, &new, overrides);
+    print!("{}", comparison.render_text());
+    if !comparison.passed() {
+        die(format!(
+            "{} gauge(s) regressed beyond budget comparing {new_path} against {old_path}",
+            comparison.violations.len()
+        ));
+    }
+    println!(
+        "telemetry_check: baseline {new_path} holds against {old_path} \
+         ({} gauges compared) — OK",
+        comparison.diffs.len()
+    );
+}
+
 fn main() {
     let mut paths = Vec::new();
     let mut budgets: Vec<(String, f64)> = Vec::new();
+    let mut ratio_overrides: Vec<(String, f64)> = Vec::new();
     let mut diagnostics: Option<String> = None;
+    let mut baseline = false;
+    // Split at the LAST '=': labeled sample names such as
+    // `qac_embed_heap_pops_total{topology="king"}` contain '=' inside
+    // the label set.
+    let parse_spec = |flag: &str, spec: String| -> (String, f64) {
+        let Some((name, value)) = spec.rsplit_once('=') else {
+            usage_die(format!("{flag} {spec:?} is not name=value"));
+        };
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|err| usage_die(format!("{flag} {spec:?}: bad value: {err}")));
+        (name.to_string(), value)
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--diagnostics" {
-            let path = args
-                .next()
-                .unwrap_or_else(|| die("--diagnostics needs a file path argument".to_string()));
-            diagnostics = Some(path);
-        } else if arg == "--counter-max" {
-            let spec = args
-                .next()
-                .unwrap_or_else(|| die("--counter-max needs a name=value argument".to_string()));
-            // Split at the LAST '=': labeled sample names such as
-            // `qac_embed_heap_pops_total{topology="king"}` contain '='
-            // inside the label set.
-            let Some((name, value)) = spec.rsplit_once('=') else {
-                die(format!("--counter-max {spec:?} is not name=value"));
-            };
-            let max: f64 = value
-                .parse()
-                .unwrap_or_else(|err| die(format!("--counter-max {spec:?}: bad value: {err}")));
-            budgets.push((name.to_string(), max));
-        } else {
-            paths.push(arg);
+        let mut operand = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_die(format!("{flag} needs an argument")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--diagnostics" => diagnostics = Some(operand("--diagnostics")),
+            "--baseline" => baseline = true,
+            "--counter-max" => {
+                let spec = operand("--counter-max");
+                budgets.push(parse_spec("--counter-max", spec));
+            }
+            "--budget" => {
+                let spec = operand("--budget");
+                let (name, ratio) = parse_spec("--budget", spec.clone());
+                if ratio <= 0.0 {
+                    usage_die(format!("--budget {spec:?}: ratio must be positive"));
+                }
+                ratio_overrides.push((name, ratio));
+            }
+            other if other.starts_with("--") => usage_die(format!("unknown flag `{other}`")),
+            _ => paths.push(arg),
         }
+    }
+    if baseline {
+        let [old_path, new_path] = paths.as_slice() else {
+            usage_die("--baseline needs exactly two operands: OLD.json NEW.json".to_string());
+        };
+        check_baseline(old_path, new_path, &ratio_overrides);
+        return;
+    }
+    if !ratio_overrides.is_empty() {
+        usage_die("--budget only applies to --baseline mode".to_string());
     }
     if let Some(path) = &diagnostics {
         check_diagnostics(path);
@@ -155,11 +243,7 @@ fn main() {
         }
     }
     let [jsonl_path, prom_path] = paths.as_slice() else {
-        die(
-            "usage: telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]... \
-             | telemetry_check --diagnostics <diagnostics.json>"
-                .to_string(),
-        );
+        usage_die("expected exactly two operands: <trace.jsonl> <metrics.prom>".to_string());
     };
 
     let jsonl = read(jsonl_path);

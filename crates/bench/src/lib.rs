@@ -11,6 +11,8 @@
 pub mod baseline;
 pub mod experiments;
 pub mod golden;
+pub mod regression;
+pub mod report;
 pub mod workloads;
 
 pub use baseline::bench_baseline_json;

@@ -1,0 +1,395 @@
+//! Perf-regression gate over committed bench baselines.
+//!
+//! Compares two `qac-bench-baseline-v1` JSON documents (the
+//! `BENCH_pr*.json` files at the repo root) gauge by gauge and decides
+//! whether the newer one regresses beyond budget. The gate is the
+//! mechanical half of the "perf trajectory" discipline: every PR
+//! commits a fresh baseline, and CI diffs it against the previous one
+//! so a routing or pipeline slowdown has to be *argued for*, not
+//! slipped in.
+//!
+//! Two gauge classes, two policies:
+//!
+//! * **Deterministic work gauges** (`route_iterations`, `heap_pops`,
+//!   `edge_relaxations`, `weight_updates`, `physical_qubits`,
+//!   `max_chain`, `jobs`) count algorithmic work and are identical for
+//!   a fixed seed on every machine. They are *gated*: NEW/OLD above the
+//!   ratio budget (default [`DEFAULT_RATIO_BUDGET`]) is a violation.
+//! * **Wall-clock and host gauges** (anything whose base name ends in
+//!   `_us`, plus `available_parallelism`, `speedup`, and host flags)
+//!   vary with the machine that produced each file. They are
+//!   *report-only*: the comparison prints the ratio but never fails on
+//!   it, because CI runners differ from the laptop that produced the
+//!   old baseline.
+//!
+//! A gauge present in OLD but missing from NEW is always a violation —
+//! a silently dropped measurement is how regressions hide. Gauges new
+//! in NEW are reported and accepted (they are the next PR's baseline).
+
+use qac_telemetry::json::{parse, Json};
+use qac_telemetry::metrics::base_name;
+
+/// Default NEW/OLD ratio budget for gated (deterministic) gauges: 30%
+/// headroom, matching the `--counter-max` budgets in ci.sh.
+pub const DEFAULT_RATIO_BUDGET: f64 = 1.30;
+
+/// Deterministic work-gauge suffixes (on the gauge's *base* name, label
+/// set stripped). These are gated; everything else is report-only.
+const DETERMINISTIC_SUFFIXES: &[&str] = &[
+    "route_iterations",
+    "heap_pops",
+    "edge_relaxations",
+    "weight_updates",
+    "physical_qubits",
+    "max_chain",
+    "_jobs",
+];
+
+/// A parsed `qac-bench-baseline-v1` document: schema string plus the
+/// flat gauge map.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The document's `schema` field, verbatim.
+    pub schema: String,
+    /// Gauge name (labels embedded) → value, in document order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Parses a baseline JSON document, validating the schema tag.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = parse(text).map_err(|err| format!("invalid JSON: {err}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing \"schema\" field")?
+        .to_string();
+    if schema != "qac-bench-baseline-v1" {
+        return Err(format!("unsupported schema {schema:?}"));
+    }
+    let Some(Json::Obj(members)) = doc.get("metrics") else {
+        return Err("missing \"metrics\" object".to_string());
+    };
+    let mut metrics = Vec::with_capacity(members.len());
+    for (name, value) in members {
+        let value = value
+            .as_f64()
+            .ok_or_else(|| format!("metric {name:?} is not a number"))?;
+        metrics.push((name.clone(), value));
+    }
+    if metrics.is_empty() {
+        return Err("no metrics at all".to_string());
+    }
+    Ok(Baseline { schema, metrics })
+}
+
+/// Whether a gauge is deterministic work (gated) as opposed to
+/// wall-clock / host-dependent (report-only).
+pub fn is_deterministic_gauge(name: &str) -> bool {
+    let base = base_name(name);
+    if base.ends_with("_us") {
+        return false;
+    }
+    DETERMINISTIC_SUFFIXES.iter().any(|s| base.ends_with(s))
+}
+
+/// One gauge's OLD→NEW comparison.
+#[derive(Debug, Clone)]
+pub struct GaugeDiff {
+    /// Gauge name, labels embedded.
+    pub name: String,
+    /// OLD value (`None` when the gauge is new in NEW).
+    pub old: Option<f64>,
+    /// NEW value (`None` when the gauge vanished).
+    pub new: Option<f64>,
+    /// NEW/OLD when both sides exist and OLD > 0.
+    pub ratio: Option<f64>,
+    /// The budget applied, when the gauge is gated.
+    pub budget: Option<f64>,
+    /// Human-readable verdict: `ok`, `VIOLATION`, `new`, `report`.
+    pub verdict: &'static str,
+}
+
+/// Full comparison result.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Every gauge seen on either side, OLD order then NEW-only.
+    pub diffs: Vec<GaugeDiff>,
+    /// Violation messages, empty iff the gate passes.
+    pub violations: Vec<String>,
+}
+
+impl Comparison {
+    /// True iff no gauge regressed beyond budget or vanished.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the comparison as an aligned text table plus verdict.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<64} {:>14} {:>14} {:>8} {:>8}  verdict\n",
+            "gauge", "old", "new", "ratio", "budget"
+        ));
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.1}"));
+        let fmt_ratio = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+        for diff in &self.diffs {
+            out.push_str(&format!(
+                "{:<64} {:>14} {:>14} {:>8} {:>8}  {}\n",
+                diff.name,
+                fmt(diff.old),
+                fmt(diff.new),
+                fmt_ratio(diff.ratio),
+                fmt_ratio(diff.budget),
+                diff.verdict
+            ));
+        }
+        for violation in &self.violations {
+            out.push_str(&format!("VIOLATION: {violation}\n"));
+        }
+        out.push_str(if self.passed() {
+            "baseline comparison: PASS\n"
+        } else {
+            "baseline comparison: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Resolves the budget for a gauge: an exact-name override wins, then a
+/// base-name override, then the default for deterministic gauges;
+/// report-only gauges get `None`.
+fn budget_for(name: &str, overrides: &[(String, f64)]) -> Option<f64> {
+    let base = base_name(name);
+    if let Some((_, ratio)) = overrides.iter().find(|(n, _)| n == name) {
+        return Some(*ratio);
+    }
+    if let Some((_, ratio)) = overrides.iter().find(|(n, _)| n == base) {
+        return Some(*ratio);
+    }
+    is_deterministic_gauge(name).then_some(DEFAULT_RATIO_BUDGET)
+}
+
+/// Diffs NEW against OLD under the given `--budget name=ratio`
+/// overrides. See the module docs for the gating policy.
+pub fn compare(old: &Baseline, new: &Baseline, overrides: &[(String, f64)]) -> Comparison {
+    let mut diffs = Vec::new();
+    let mut violations = Vec::new();
+    let lookup = |baseline: &Baseline, name: &str| -> Option<f64> {
+        baseline
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    for (name, old_value) in &old.metrics {
+        let budget = budget_for(name, overrides);
+        let Some(new_value) = lookup(new, name) else {
+            violations.push(format!("gauge {name} vanished from the new baseline"));
+            diffs.push(GaugeDiff {
+                name: name.clone(),
+                old: Some(*old_value),
+                new: None,
+                ratio: None,
+                budget,
+                verdict: "VIOLATION",
+            });
+            continue;
+        };
+        // Ratio semantics around zero: 0→0 is flat (1.0); 0→x regressing
+        // from nothing is infinitely worse, so it trips any finite
+        // budget.
+        let ratio = if *old_value > 0.0 {
+            new_value / old_value
+        } else if new_value > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        let verdict = match budget {
+            Some(budget) if ratio > budget => {
+                violations.push(format!(
+                    "gauge {name} regressed: {old_value} -> {new_value} \
+                     (ratio {ratio:.3} > budget {budget:.3})"
+                ));
+                "VIOLATION"
+            }
+            Some(_) => "ok",
+            None => "report",
+        };
+        diffs.push(GaugeDiff {
+            name: name.clone(),
+            old: Some(*old_value),
+            new: Some(new_value),
+            ratio: Some(ratio),
+            budget,
+            verdict,
+        });
+    }
+    for (name, new_value) in &new.metrics {
+        if lookup(old, name).is_none() {
+            diffs.push(GaugeDiff {
+                name: name.clone(),
+                old: None,
+                new: Some(*new_value),
+                ratio: None,
+                budget: budget_for(name, overrides),
+                verdict: "new",
+            });
+        }
+    }
+    Comparison { diffs, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(metrics: &[(&str, f64)]) -> String {
+        let members: Vec<String> = metrics
+            .iter()
+            .map(|(name, value)| format!("{}: {value}", Json::Str((*name).to_string())))
+            .collect();
+        format!(
+            "{{\"schema\": \"qac-bench-baseline-v1\", \"metrics\": {{{}}}}}",
+            members.join(", ")
+        )
+    }
+
+    fn baseline(metrics: &[(&str, f64)]) -> Baseline {
+        parse_baseline(&doc(metrics)).unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_empty_metrics() {
+        assert!(parse_baseline("{\"schema\": \"other\", \"metrics\": {\"a\": 1}}").is_err());
+        assert!(parse_baseline(&doc(&[])).is_err());
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"metrics\": {\"a\": 1}}").is_err());
+    }
+
+    #[test]
+    fn classification_splits_wall_clock_from_work() {
+        assert!(is_deterministic_gauge(
+            "qac_bench_embed_heap_pops{workload=\"figure2\"}"
+        ));
+        assert!(is_deterministic_gauge(
+            "qac_bench_embed_max_chain{workload=\"figure2\",topology=\"king\"}"
+        ));
+        assert!(is_deterministic_gauge("qac_bench_batch_jobs"));
+        assert!(!is_deterministic_gauge(
+            "qac_bench_embed_us{workload=\"figure2\"}"
+        ));
+        assert!(!is_deterministic_gauge("qac_bench_batch_speedup_8v1"));
+        assert!(!is_deterministic_gauge("qac_bench_available_parallelism"));
+    }
+
+    #[test]
+    fn flat_and_improved_gauges_pass() {
+        let old = baseline(&[("qac_bench_embed_heap_pops", 1000.0)]);
+        let new = baseline(&[("qac_bench_embed_heap_pops", 900.0)]);
+        let cmp = compare(&old, &new, &[]);
+        assert!(cmp.passed(), "{:?}", cmp.violations);
+        assert_eq!(cmp.diffs[0].verdict, "ok");
+    }
+
+    #[test]
+    fn deterministic_regression_beyond_budget_fails() {
+        let old = baseline(&[("qac_bench_embed_heap_pops", 1000.0)]);
+        let new = baseline(&[("qac_bench_embed_heap_pops", 1400.0)]);
+        let cmp = compare(&old, &new, &[]);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations[0].contains("heap_pops"),
+            "{:?}",
+            cmp.violations
+        );
+        // Within the default 1.30 budget it passes.
+        let new = baseline(&[("qac_bench_embed_heap_pops", 1250.0)]);
+        assert!(compare(&old, &new, &[]).passed());
+    }
+
+    #[test]
+    fn wall_clock_gauges_never_gate() {
+        let old = baseline(&[("qac_bench_compile_us{workload=\"figure2\"}", 100.0)]);
+        let new = baseline(&[("qac_bench_compile_us{workload=\"figure2\"}", 100000.0)]);
+        let cmp = compare(&old, &new, &[]);
+        assert!(cmp.passed());
+        assert_eq!(cmp.diffs[0].verdict, "report");
+    }
+
+    #[test]
+    fn budget_overrides_by_exact_and_base_name() {
+        let old = baseline(&[("qac_bench_embed_heap_pops{workload=\"a\"}", 1000.0)]);
+        let new = baseline(&[("qac_bench_embed_heap_pops{workload=\"a\"}", 1100.0)]);
+        // Tighten via base name: 1.10 ratio > 1.05 budget.
+        let tight = vec![("qac_bench_embed_heap_pops".to_string(), 1.05)];
+        assert!(!compare(&old, &new, &tight).passed());
+        // Exact labeled name wins over the base-name override.
+        let mixed = vec![
+            ("qac_bench_embed_heap_pops".to_string(), 1.05),
+            ("qac_bench_embed_heap_pops{workload=\"a\"}".to_string(), 1.5),
+        ];
+        assert!(compare(&old, &new, &mixed).passed());
+        // An override can also gate an otherwise report-only wall gauge.
+        let old_us = baseline(&[("qac_bench_compile_us{workload=\"a\"}", 100.0)]);
+        let new_us = baseline(&[("qac_bench_compile_us{workload=\"a\"}", 300.0)]);
+        let gated = vec![("qac_bench_compile_us".to_string(), 2.0)];
+        assert!(!compare(&old_us, &new_us, &gated).passed());
+    }
+
+    #[test]
+    fn vanished_gauges_violate_and_new_gauges_pass() {
+        let old = baseline(&[
+            ("qac_bench_embed_heap_pops", 1000.0),
+            ("qac_bench_embed_weight_updates", 50.0),
+        ]);
+        let new = baseline(&[
+            ("qac_bench_embed_heap_pops", 1000.0),
+            ("qac_bench_embed_route_iterations", 7.0),
+        ]);
+        let cmp = compare(&old, &new, &[]);
+        assert_eq!(cmp.violations.len(), 1);
+        assert!(cmp.violations[0].contains("weight_updates"));
+        let new_entry = cmp
+            .diffs
+            .iter()
+            .find(|d| d.name.contains("route_iterations"))
+            .unwrap();
+        assert_eq!(new_entry.verdict, "new");
+    }
+
+    #[test]
+    fn zero_to_positive_trips_any_budget() {
+        let old = baseline(&[("qac_bench_embed_weight_updates", 0.0)]);
+        let new = baseline(&[("qac_bench_embed_weight_updates", 1.0)]);
+        assert!(!compare(&old, &new, &[]).passed());
+        let flat = baseline(&[("qac_bench_embed_weight_updates", 0.0)]);
+        assert!(compare(&old, &flat, &[]).passed());
+    }
+
+    #[test]
+    fn render_text_carries_the_verdict() {
+        let old = baseline(&[("qac_bench_embed_heap_pops", 1000.0)]);
+        let new = baseline(&[("qac_bench_embed_heap_pops", 2000.0)]);
+        let text = compare(&old, &new, &[]).render_text();
+        assert!(text.contains("VIOLATION"));
+        assert!(text.contains("baseline comparison: FAIL"));
+        let text = compare(&old, &old, &[]).render_text();
+        assert!(text.contains("baseline comparison: PASS"));
+    }
+
+    #[test]
+    fn committed_pr6_baseline_parses() {
+        // The gate's input contract against the real committed artifact.
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json"))
+                .expect("BENCH_pr6.json is committed at the repo root");
+        let baseline = parse_baseline(&text).unwrap();
+        assert!(baseline.metrics.len() > 20);
+        assert!(baseline
+            .metrics
+            .iter()
+            .any(|(name, _)| is_deterministic_gauge(name)));
+    }
+}

@@ -73,6 +73,23 @@ fn map_coloring_run_exports_all_three_formats() {
                 assert!(event.get("bounds").and_then(Json::as_array).is_some());
                 assert!(event.get("counts").and_then(Json::as_array).is_some());
             }
+            "quantile" => {
+                assert!(event.get("name").is_some());
+                for field in ["count", "sum"] {
+                    assert!(
+                        event.get(field).and_then(Json::as_f64).is_some(),
+                        "quantile event lacks numeric {field}: {line}"
+                    );
+                }
+                // p50/p90/p99 are present (null when the sketch was
+                // empty, which a recorded sketch never is here).
+                for field in ["p50", "p90", "p99"] {
+                    assert!(
+                        event.get(field).and_then(Json::as_f64).is_some(),
+                        "quantile event lacks {field}: {line}"
+                    );
+                }
+            }
             other => panic!("unknown event type {other:?}"),
         }
     }
@@ -173,6 +190,8 @@ fn map_coloring_run_exports_all_three_formats() {
         "qac_reads_total",
         "qac_read_energy_bucket",
         "qac_read_chain_break_fraction_bucket",
+        "qac_read_energy_quantiles{quantile=\"0.5\"}",
+        "qac_read_energy_quantiles_count",
     ] {
         assert!(prom.contains(metric), "Prometheus exposition has {metric}");
     }

@@ -231,7 +231,22 @@ impl EmbeddingCache {
     where
         F: FnOnce() -> Result<(Embedding, EmbedStats), EmbedError>,
     {
-        let labeled = |base: &str| family.map(|f| format!("{base}{{topology=\"{f}\"}}"));
+        let labeled =
+            |base: &str| family.map(|f| qac_telemetry::metrics::labeled(base, &[("topology", f)]));
+        // Both the PR 6 `qac_embed_*` names and the generic
+        // `qac_cache_hit/miss_total` convention the service layer will
+        // scrape; the flight recorder gets the same event under the
+        // current job's trace id for post-mortems.
+        let bump = |names: [&str; 2], kind: qac_telemetry::FlightKind| {
+            let telemetry = qac_telemetry::global();
+            for base in names {
+                telemetry.counter_add(base, 1);
+                if let Some(name) = labeled(base) {
+                    telemetry.counter_add(&name, 1);
+                }
+            }
+            qac_telemetry::global_flight().record(kind, family.unwrap_or("embed"), 1.0);
+        };
         {
             let guard = self.lock();
             if let Some(found) = guard.get(&key).cloned() {
@@ -239,10 +254,10 @@ impl EmbeddingCache {
                 // stats() snapshot can observe the lookup half-recorded.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 drop(guard);
-                qac_telemetry::global().counter_add("qac_embed_cache_hits_total", 1);
-                if let Some(name) = labeled("qac_embed_cache_hits_total") {
-                    qac_telemetry::global().counter_add(&name, 1);
-                }
+                bump(
+                    ["qac_embed_cache_hits_total", "qac_cache_hit_total"],
+                    qac_telemetry::FlightKind::CacheHit,
+                );
                 let stats = EmbedStats {
                     cache_hit: true,
                     ..EmbedStats::default()
@@ -263,10 +278,10 @@ impl EmbeddingCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             guard.entry(key).or_insert_with(|| embedding.clone());
         }
-        qac_telemetry::global().counter_add("qac_embed_cache_misses_total", 1);
-        if let Some(name) = labeled("qac_embed_cache_misses_total") {
-            qac_telemetry::global().counter_add(&name, 1);
-        }
+        bump(
+            ["qac_embed_cache_misses_total", "qac_cache_miss_total"],
+            qac_telemetry::FlightKind::CacheMiss,
+        );
         Ok((embedding, stats))
     }
 
@@ -608,6 +623,63 @@ mod tests {
         );
         assert!(stats.misses >= topologies.len());
         assert_eq!(stats.hits, threads * iterations - stats.misses);
+    }
+
+    #[test]
+    fn lookups_emit_generic_counters_and_flight_events() {
+        // The PR 7 satellite: alongside the qac_embed_* names, every
+        // lookup bumps the generic qac_cache_hit/miss_total counters
+        // (labeled by topology family + unlabeled aggregate) and leaves
+        // a CacheHit/CacheMiss flight event under the active trace.
+        use qac_telemetry::{FlightKind, TraceId, TraceScope};
+        let telemetry = qac_telemetry::global();
+        telemetry.enable();
+        let labeled_hit =
+            qac_telemetry::metrics::labeled("qac_cache_hit_total", &[("topology", "king")]);
+        let counters = || {
+            let m = telemetry.metrics();
+            (
+                m.counter("qac_cache_hit_total"),
+                m.counter("qac_cache_miss_total"),
+                m.counter(&labeled_hit),
+            )
+        };
+        let before = counters();
+
+        let king = KingGraph::new(4);
+        let hw = king.graph();
+        let options = EmbedOptions::default();
+        let cache = EmbeddingCache::new();
+        let trace = TraceId::fresh();
+        {
+            let _scope = TraceScope::enter(trace);
+            for _ in 0..2 {
+                cache
+                    .get_or_embed_on(&king, &triangle(), 3, &options, &hw, || {
+                        find_embedding_with_stats(&triangle(), 3, &hw, &options)
+                    })
+                    .expect("triangle embeds on a king graph");
+            }
+        }
+
+        let after = counters();
+        assert_eq!(after.0, before.0 + 1, "one generic hit");
+        assert_eq!(after.1, before.1 + 1, "one generic miss");
+        assert_eq!(after.2, before.2 + 1, "one king-labeled hit");
+
+        let kinds: Vec<FlightKind> = qac_telemetry::global_flight()
+            .events_for(trace)
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            [FlightKind::CacheMiss, FlightKind::CacheHit],
+            "miss then hit, both under the job's trace id"
+        );
+        for event in qac_telemetry::global_flight().events_for(trace) {
+            assert_eq!(event.name, "king");
+        }
     }
 
     #[test]

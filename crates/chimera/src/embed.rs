@@ -367,11 +367,16 @@ fn race_restarts(
     let next_try = AtomicUsize::new(0);
     let mut per_try: Vec<Option<Embedding>> = vec![None; tries];
     let mut worker_outputs: Vec<RaceWorkerOutput> = Vec::with_capacity(threads);
+    // The job-scoped trace id does not cross thread spawns by itself;
+    // capture it here and re-enter it in every race worker so flight
+    // events recorded while routing attribute to the requesting job.
+    let trace = qac_telemetry::current_trace();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next_try = &next_try;
                 scope.spawn(move || {
+                    let _trace = qac_telemetry::TraceScope::enter(trace);
                     let mut scratch = RouterScratch::new(hardware);
                     let mut local = Vec::new();
                     let mut route_iterations = 0usize;
@@ -411,16 +416,26 @@ fn race_restarts(
     }
     stats.restarts += tries;
 
-    let mut winner: Option<(usize, Embedding)> = None;
-    for embedding in per_try.into_iter().flatten() {
+    let mut winner: Option<(usize, usize, Embedding)> = None;
+    for (t, embedding) in per_try.into_iter().enumerate() {
+        let Some(embedding) = embedding else {
+            continue;
+        };
         let qubits = embedding.num_physical_qubits();
         // Strict `<` keeps the lowest try index on quality ties (tries
         // are visited in index order).
-        if winner.as_ref().is_none_or(|(best, _)| qubits < *best) {
-            winner = Some((qubits, embedding));
+        if winner.as_ref().is_none_or(|(best, ..)| qubits < *best) {
+            winner = Some((qubits, t, embedding));
         }
     }
-    winner.map(|(_, embedding)| embedding)
+    winner.map(|(qubits, t, embedding)| {
+        qac_telemetry::global_flight().record(
+            qac_telemetry::FlightKind::RestartWin,
+            &format!("try:{t}"),
+            qubits as f64,
+        );
+        embedding
+    })
 }
 
 /// Reports the scratch work counters to the global telemetry recorder

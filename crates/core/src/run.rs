@@ -525,6 +525,8 @@ impl Compiled {
                 input_size: 0,
                 output_size: 0,
                 retries: phase.retries,
+                alloc_bytes: 0,
+                alloc_peak_bytes: 0,
             });
         }
 

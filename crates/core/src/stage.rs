@@ -10,6 +10,8 @@
 
 use std::time::Instant;
 
+use qac_telemetry::FlightKind;
+
 use crate::trace::{StageTrace, Trace};
 use crate::CompileError;
 
@@ -71,20 +73,44 @@ impl Session {
     pub fn run<S: Stage>(&mut self, stage: &S, input: S::Input) -> Result<S::Output, CompileError> {
         let input_size = stage.input_size(&input);
         let mut span = qac_telemetry::global().span(stage.name());
+        let flight = qac_telemetry::global_flight();
+        flight.record(FlightKind::StageBegin, stage.name(), input_size as f64);
+        let alloc_before = qac_telemetry::alloc::snapshot();
         let start = Instant::now();
-        let output = stage.run(input)?;
+        let output = match stage.run(input) {
+            Ok(output) => output,
+            Err(err) => {
+                // A failed stage records no StageTrace (the trace only
+                // describes completed work), but the flight recorder
+                // keeps the failure for the post-mortem: a StageBegin
+                // with no matching StageEnd marks the dying stage.
+                flight.record(FlightKind::JobFailed, stage.name(), 0.0);
+                return Err(err);
+            }
+        };
         let duration = start.elapsed();
+        let alloc = alloc_before.delta_to(&qac_telemetry::alloc::snapshot());
+        flight.record(
+            FlightKind::StageEnd,
+            stage.name(),
+            duration.as_secs_f64() * 1e6,
+        );
         let output_size = stage.output_size(&output);
         let retries = stage.retries(&output);
         span.arg("input_size", input_size as f64);
         span.arg("output_size", output_size as f64);
         span.arg("retries", retries as f64);
+        if alloc.allocated_bytes > 0 {
+            span.arg("alloc_bytes", alloc.allocated_bytes as f64);
+        }
         self.trace.record(StageTrace {
             name: stage.name().to_string(),
             duration,
             input_size,
             output_size,
             retries,
+            alloc_bytes: alloc.allocated_bytes,
+            alloc_peak_bytes: alloc.peak_growth_bytes,
         });
         Ok(output)
     }

@@ -30,6 +30,13 @@ pub struct StageTrace {
     /// Internal retries/restarts the stage needed (embedding restarts;
     /// 0 for deterministic stages).
     pub retries: usize,
+    /// Bytes allocated during the stage (process-wide; 0 unless the
+    /// `qac-alloc` counting allocator is linked, e.g. `experiments`
+    /// built with `--features alloc-track`).
+    pub alloc_bytes: u64,
+    /// Growth of the process allocation high-water mark during the
+    /// stage (0 when the stage set no new peak, or no allocator).
+    pub alloc_peak_bytes: u64,
 }
 
 /// An ordered collection of [`StageTrace`]s — the execution history of
@@ -101,13 +108,20 @@ impl fmt::Display for Trace {
             .max()
             .unwrap_or(5)
             .max(5);
-        writeln!(
+        // Allocation columns only appear when a counting allocator fed
+        // them — the default build's table is unchanged.
+        let show_alloc = self.stages.iter().any(|s| s.alloc_bytes > 0);
+        write!(
             f,
             "{:<name_width$}  {:>10}  {:>9}  {:>9}  {:>7}",
             "stage", "time", "in", "out", "retries"
         )?;
+        if show_alloc {
+            write!(f, "  {:>12}  {:>12}", "alloc", "peak+")?;
+        }
+        writeln!(f)?;
         for s in &self.stages {
-            writeln!(
+            write!(
                 f,
                 "{:<name_width$}  {:>8.1}µs  {:>9}  {:>9}  {:>7}",
                 s.name,
@@ -116,6 +130,10 @@ impl fmt::Display for Trace {
                 s.output_size,
                 s.retries
             )?;
+            if show_alloc {
+                write!(f, "  {:>12}  {:>12}", s.alloc_bytes, s.alloc_peak_bytes)?;
+            }
+            writeln!(f)?;
         }
         write!(
             f,
@@ -137,6 +155,8 @@ mod tests {
             input_size: 10,
             output_size: 20,
             retries: 0,
+            alloc_bytes: 0,
+            alloc_peak_bytes: 0,
         }
     }
 
@@ -191,5 +211,25 @@ mod tests {
         assert!(text.contains("assemble"));
         assert!(text.lines().count() >= 4, "header + 2 stages + total");
         assert!(text.lines().last().unwrap().starts_with("total"));
+    }
+
+    #[test]
+    fn alloc_columns_appear_only_when_an_allocator_fed_them() {
+        // Default build: no counting allocator, no alloc columns — the
+        // table must be byte-identical to the pre-allocator format.
+        let mut plain = Trace::new();
+        plain.record(stage("assemble", 4));
+        assert!(!plain.to_string().contains("alloc"));
+        // With data the columns appear, on every row.
+        let mut fed = Trace::new();
+        fed.record(StageTrace {
+            alloc_bytes: 4096,
+            alloc_peak_bytes: 1024,
+            ..stage("assemble", 4)
+        });
+        fed.record(stage("edif-write", 3));
+        let text = fed.to_string();
+        assert!(text.contains("alloc") && text.contains("peak+"));
+        assert!(text.contains("4096") && text.contains("1024"));
     }
 }

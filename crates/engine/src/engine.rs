@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use qac_core::{Compiled, RunOptions, RunOutcome};
+use qac_telemetry::{FlightKind, TraceId, TraceScope};
 
 use crate::fingerprint::outcome_fingerprint;
 use crate::queue::WorkStealQueue;
@@ -27,15 +28,22 @@ pub struct JobSpec {
     pub options: RunOptions,
     /// Human-readable label for tables and telemetry spans.
     pub label: String,
+    /// Job-scoped trace id. Every flight-recorder event the job causes —
+    /// across portfolio arms, restart-race threads, cache lookups —
+    /// carries this id, so a failed or timed-out job can dump its own
+    /// event history (see [`JobResult::post_mortem_jsonl`]).
+    pub trace: TraceId,
 }
 
 impl JobSpec {
-    /// A job running `program` with `options`, labelled `label`.
+    /// A job running `program` with `options`, labelled `label`, under a
+    /// fresh trace id.
     pub fn new(program: Arc<Compiled>, options: RunOptions, label: impl Into<String>) -> JobSpec {
         JobSpec {
             program,
             options,
             label: label.into(),
+            trace: TraceId::fresh(),
         }
     }
 }
@@ -134,6 +142,8 @@ pub struct JobResult {
     pub worker: usize,
     /// Whether the job was stolen from another worker's deque.
     pub stolen: bool,
+    /// The job's trace id (copied from its [`JobSpec`]).
+    pub trace: TraceId,
 }
 
 impl JobResult {
@@ -149,6 +159,15 @@ impl JobResult {
     /// [`outcome_fingerprint`]); `None` otherwise.
     pub fn fingerprint(&self) -> Option<u64> {
         self.outcome().map(outcome_fingerprint)
+    }
+
+    /// This job's event history from the global flight recorder as
+    /// JSONL — stage boundaries, cache hits/misses, queue/retry/timeout
+    /// events — for post-mortem analysis without re-running the job.
+    /// Bounded by the recorder's ring capacity: a job that finished long
+    /// ago may have been evicted by newer events.
+    pub fn post_mortem_jsonl(&self) -> String {
+        qac_telemetry::global_flight().dump_jsonl(self.trace)
     }
 }
 
@@ -196,6 +215,7 @@ impl BatchEngine {
     ) -> Vec<JobResult> {
         let workers = self.workers();
         let telemetry = qac_telemetry::global();
+        let flight = qac_telemetry::global_flight();
         let mut batch_span = telemetry.span("batch");
         batch_span.arg("jobs", jobs.len() as f64);
         batch_span.arg("workers", workers as f64);
@@ -224,6 +244,13 @@ impl BatchEngine {
                             enqueued,
                         } = popped.task;
                         let queue_wait = enqueued.elapsed();
+                        // Everything the job does on this worker —
+                        // pipeline stages, cache lookups, portfolio arms
+                        // (which re-propagate into their own spawns) —
+                        // records under the job's trace id.
+                        let trace_scope = TraceScope::enter(job.trace);
+                        let wait_us = queue_wait.as_secs_f64() * 1e6;
+                        flight.record(FlightKind::Dequeue, &job.label, wait_us);
                         let mut span = telemetry.span_under(&format!("job:{}", job.label), parent);
                         span.arg("job", index as f64);
                         span.arg("worker", worker as f64);
@@ -240,20 +267,25 @@ impl BatchEngine {
                         if popped.stolen {
                             telemetry.counter_add("qac_engine_steals_total", 1);
                         }
-                        match &status {
+                        let (terminal_kind, counter) = match &status {
                             JobStatus::Failed(_) => {
-                                telemetry.counter_add("qac_engine_failed_total", 1)
+                                (FlightKind::JobFailed, Some("qac_engine_failed_total"))
                             }
                             JobStatus::TimedOut => {
-                                telemetry.counter_add("qac_engine_timeouts_total", 1)
+                                (FlightKind::Timeout, Some("qac_engine_timeouts_total"))
                             }
                             JobStatus::Cancelled => {
-                                telemetry.counter_add("qac_engine_cancelled_total", 1)
+                                (FlightKind::Cancel, Some("qac_engine_cancelled_total"))
                             }
-                            JobStatus::Completed(_) => {}
+                            JobStatus::Completed(_) => (FlightKind::JobDone, None),
+                        };
+                        if let Some(counter) = counter {
+                            telemetry.counter_add(counter, 1);
                         }
-                        telemetry
-                            .observe("qac_engine_queue_wait_us", queue_wait.as_secs_f64() * 1e6);
+                        flight.record(terminal_kind, &job.label, attempts as f64);
+                        drop(trace_scope);
+                        telemetry.observe("qac_engine_queue_wait_us", wait_us);
+                        telemetry.sketch_observe("qac_engine_queue_wait_quantiles_us", wait_us);
                         results.lock().unwrap_or_else(|p| p.into_inner())[index] =
                             Some(JobResult {
                                 job: index,
@@ -265,13 +297,17 @@ impl BatchEngine {
                                 run_time,
                                 worker,
                                 stolen: popped.stolen,
+                                trace: job.trace,
                             });
                     }
                 });
             }
             // The caller's thread is the producer: deal round-robin,
-            // blocking at the capacity bound.
+            // blocking at the capacity bound. The producer is outside
+            // the jobs' trace scopes, so Enqueue events name the trace
+            // explicitly.
             for (index, job) in jobs.into_iter().enumerate() {
+                flight.record_for(job.trace, FlightKind::Enqueue, &job.label, index as f64);
                 queue.push(
                     index,
                     Task {
@@ -316,6 +352,15 @@ impl BatchEngine {
             }
             seed = attempt_seed(self.options.base_seed, index as u64, attempts as u64);
             attempts += 1;
+            if attempts > 1 {
+                // Recorded under the worker's trace scope (the caller
+                // entered it before execute()).
+                qac_telemetry::global_flight().record(
+                    FlightKind::Retry,
+                    &job.label,
+                    attempts as f64,
+                );
+            }
             let options = job.options.clone().seed(seed);
             match job.program.run(&options) {
                 Ok(outcome) => {

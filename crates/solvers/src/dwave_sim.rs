@@ -365,6 +365,11 @@ impl DWaveSim {
             reads += sample.occurrences;
             let energy = logical.energy(&logical_spins);
             telemetry.observe_n("qac_read_energy", energy, sample.occurrences as u64);
+            // The quantile sketch answers "what was the p99 read energy"
+            // without pre-chosen buckets; one observation per distinct
+            // sample keeps it cheap (occurrences collapse to one point —
+            // the histogram above remains the occurrence-weighted view).
+            telemetry.sketch_observe("qac_read_energy_quantiles", energy);
             telemetry.observe_n(
                 "qac_read_chain_break_fraction",
                 stats.break_fraction(),

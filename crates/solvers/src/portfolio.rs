@@ -111,8 +111,11 @@ impl<S: Sampler + Reseed + Send + Sync> Sampler for Portfolio<S> {
         let remainder = num_reads % arms;
         let telemetry = qac_telemetry::global();
         // Arms run on spawned threads, which have empty span stacks; an
-        // explicit parent keeps the arm spans under the caller's span.
+        // explicit parent keeps the arm spans under the caller's span,
+        // and the captured trace id keeps arm flight events attributed
+        // to the requesting job.
         let parent = telemetry.current();
+        let trace = qac_telemetry::current_trace();
         let results: Mutex<Vec<Option<SampleSet>>> = Mutex::new(vec![None; arms]);
         crossbeam::scope(|scope| {
             for arm in 0..arms {
@@ -120,6 +123,7 @@ impl<S: Sampler + Reseed + Send + Sync> Sampler for Portfolio<S> {
                 let sampler = self.base.reseed(self.arm_seed(arm));
                 let arm_reads = base_reads + usize::from(arm < remainder);
                 scope.spawn(move |_| {
+                    let _trace = qac_telemetry::TraceScope::enter(trace);
                     let mut span = telemetry.span_under(&format!("arm:{arm}"), parent);
                     span.arg("reads", arm_reads as f64);
                     let set = sampler.sample(model, arm_reads);
@@ -135,15 +139,22 @@ impl<S: Sampler + Reseed + Send + Sync> Sampler for Portfolio<S> {
             .collect();
         // The winning arm is the (first) one whose best read reaches the
         // merged best energy.
-        if telemetry.is_enabled() {
-            let winner = sets
-                .iter()
-                .enumerate()
-                .filter_map(|(arm, set)| set.best().map(|b| (arm, b.energy)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            if let Some((arm, _)) = winner {
+        let winner = sets
+            .iter()
+            .enumerate()
+            .filter_map(|(arm, set)| set.best().map(|b| (arm, b.energy)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some((arm, energy)) = winner {
+            if telemetry.is_enabled() {
                 telemetry.counter_add(&format!("qac_portfolio_arm_wins_total{{arm=\"{arm}\"}}"), 1);
             }
+            // The flight recorder is always-on: a post-mortem of a job
+            // that sampled badly should show which arm carried it.
+            qac_telemetry::global_flight().record(
+                qac_telemetry::FlightKind::ArmWin,
+                &format!("arm:{arm}"),
+                energy,
+            );
         }
         SampleSet::merge(sets)
     }

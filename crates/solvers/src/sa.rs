@@ -149,6 +149,11 @@ impl Sampler for SimulatedAnnealing {
         let betas = self.beta_range_for(model);
         let reads = Mutex::new(vec![Vec::new(); num_reads]);
         let threads = self.threads.min(num_reads.max(1));
+        // One flight milestone per quarter of the read budget (never per
+        // read — a 100k-read run must not flood the ring): a stalled or
+        // slow job's post-mortem shows how far sampling got.
+        let flight = qac_telemetry::global_flight();
+        let milestone_every = (num_reads / 4).max(1);
         if threads <= 1 {
             let mut out = Vec::with_capacity(num_reads);
             for r in 0..num_reads {
@@ -159,9 +164,17 @@ impl Sampler for SimulatedAnnealing {
                     betas,
                     self.seed.wrapping_add(r as u64),
                 ));
+                if (r + 1) % milestone_every == 0 || r + 1 == num_reads {
+                    flight.record(
+                        qac_telemetry::FlightKind::SamplerMilestone,
+                        "sa",
+                        (r + 1) as f64,
+                    );
+                }
             }
             return SampleSet::from_reads(model, out);
         }
+        let trace = qac_telemetry::current_trace();
         crossbeam::scope(|scope| {
             for t in 0..threads {
                 let reads = &reads;
@@ -169,6 +182,7 @@ impl Sampler for SimulatedAnnealing {
                 let sweeps = self.sweeps;
                 let seed = self.seed;
                 scope.spawn(move |_| {
+                    let mut done = 0usize;
                     let mut r = t;
                     while r < num_reads {
                         let spins = Self::anneal_once(
@@ -179,8 +193,18 @@ impl Sampler for SimulatedAnnealing {
                             seed.wrapping_add(r as u64),
                         );
                         reads.lock()[r] = spins;
+                        done += 1;
                         r += threads;
                     }
+                    // Milestones from worker threads carry the caller's
+                    // trace id explicitly (spawned threads start with an
+                    // empty trace scope).
+                    flight.record_for(
+                        trace,
+                        qac_telemetry::FlightKind::SamplerMilestone,
+                        &format!("sa:thread:{t}"),
+                        done as f64,
+                    );
                 });
             }
         })

@@ -1,0 +1,132 @@
+//! Allocation accounting hooks (the safe half of the counting
+//! allocator).
+//!
+//! This crate forbids `unsafe`, so the `GlobalAlloc` implementation
+//! lives in the separate `qac-alloc` crate; that allocator calls
+//! [`on_alloc`] / [`on_dealloc`] here, and instrumented code (the
+//! pipeline's `Session::run`) reads [`snapshot`] before and after each
+//! stage to attribute allocation to stages.
+//!
+//! The counters are **process-wide**, not per-thread: a stage's "bytes
+//! allocated" includes whatever background threads allocated during its
+//! window. For the single-pipeline runs these numbers are collected on,
+//! that is the number one actually wants (the stage caused the helper
+//! threads). When the counting allocator is not installed (the default
+//! — it rides behind the `alloc-track` feature of `qac-bench`),
+//! [`is_installed`] is `false` and every snapshot reads zero.
+//!
+//! Everything here runs *inside* the allocator on the hottest possible
+//! path, so the hooks are three relaxed atomic ops and never allocate.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+/// Total bytes ever allocated.
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Live bytes (allocated − freed). Signed: memory allocated before the
+/// hooks were active may be freed through them.
+static CURRENT: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`CURRENT`].
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+/// Called by the counting allocator on every allocation. Never
+/// allocates; safe to call from within the allocator itself.
+pub fn on_alloc(bytes: usize) {
+    INSTALLED.store(true, Ordering::Relaxed);
+    TOTAL.fetch_add(bytes as u64, Ordering::Relaxed);
+    let live = CURRENT.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+/// Called by the counting allocator on every deallocation.
+pub fn on_dealloc(bytes: usize) {
+    CURRENT.fetch_sub(bytes as i64, Ordering::Relaxed);
+}
+
+/// Whether a counting allocator is feeding these hooks (true from its
+/// first allocation on — in practice, before `main`).
+pub fn is_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Total bytes ever allocated (monotone).
+    pub total_bytes: u64,
+    /// Live bytes right now (clamped at zero).
+    pub current_bytes: u64,
+    /// High-water mark of live bytes (monotone).
+    pub peak_bytes: u64,
+}
+
+/// Reads the counters. All-zero when no counting allocator is
+/// installed.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        total_bytes: TOTAL.load(Ordering::Relaxed),
+        current_bytes: CURRENT.load(Ordering::Relaxed).max(0) as u64,
+        peak_bytes: PEAK.load(Ordering::Relaxed).max(0) as u64,
+    }
+}
+
+/// Allocation attributed to a region of code: the difference between
+/// two snapshots taken around it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Bytes allocated during the region (total-bytes delta).
+    pub allocated_bytes: u64,
+    /// Growth of the process high-water mark during the region (zero if
+    /// the region never pushed a new peak).
+    pub peak_growth_bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// The allocation attributable to the region between `self` (taken
+    /// at region entry) and `end` (taken at exit).
+    pub fn delta_to(&self, end: &AllocSnapshot) -> AllocDelta {
+        AllocDelta {
+            allocated_bytes: end.total_bytes.saturating_sub(self.total_bytes),
+            peak_growth_bytes: end.peak_bytes.saturating_sub(self.peak_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The hooks are process-global, and other tests in this binary never
+    // call them (no counting allocator is linked into this test binary),
+    // so driving them by hand here is race-free.
+    #[test]
+    fn hooks_accumulate_and_deltas_attribute() {
+        assert_eq!(snapshot(), AllocSnapshot::default());
+        assert!(!is_installed());
+
+        on_alloc(100);
+        on_alloc(50);
+        on_dealloc(30);
+        assert!(is_installed());
+        let mid = snapshot();
+        assert_eq!(mid.total_bytes, 150);
+        assert_eq!(mid.current_bytes, 120);
+        assert_eq!(mid.peak_bytes, 150);
+
+        on_alloc(10);
+        on_dealloc(100);
+        let end = snapshot();
+        assert_eq!(end.total_bytes, 160);
+        assert_eq!(end.current_bytes, 30);
+        assert_eq!(end.peak_bytes, 150, "peak is a high-water mark");
+
+        let delta = mid.delta_to(&end);
+        assert_eq!(delta.allocated_bytes, 10);
+        assert_eq!(delta.peak_growth_bytes, 0, "no new peak in the region");
+
+        // Freeing more than was ever counted clamps at zero instead of
+        // wrapping (frees of pre-install allocations).
+        on_dealloc(1_000_000);
+        assert_eq!(snapshot().current_bytes, 0);
+    }
+}

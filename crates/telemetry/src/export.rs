@@ -10,7 +10,11 @@
 
 use crate::json::Json;
 use crate::metrics::{base_name, Histogram};
+use crate::sketch::QuantileSketch;
 use crate::span::SpanRecord;
+
+/// The percentiles every sketch exports: p50 / p90 / p99.
+pub const EXPORT_QUANTILES: &[f64] = &[0.5, 0.9, 0.99];
 
 /// A point-in-time copy of everything a recorder holds.
 #[derive(Debug, Clone, Default)]
@@ -23,6 +27,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<(String, Histogram)>,
+    /// Quantile sketches, sorted by name.
+    pub sketches: Vec<(String, QuantileSketch)>,
 }
 
 fn span_to_json(span: &SpanRecord) -> Json {
@@ -107,6 +113,20 @@ pub fn jsonl(snapshot: &Snapshot) -> String {
     }
     for (name, histogram) in &snapshot.histograms {
         out.push_str(&histogram_to_json(name, histogram).to_string());
+        out.push('\n');
+    }
+    for (name, sketch) in &snapshot.sketches {
+        let mut members = vec![
+            ("type".to_string(), Json::Str("quantile".to_string())),
+            ("name".to_string(), Json::Str(name.clone())),
+            ("count".to_string(), Json::Num(sketch.count() as f64)),
+            ("sum".to_string(), Json::Num(sketch.sum())),
+        ];
+        for &q in EXPORT_QUANTILES {
+            let key = format!("p{}", (q * 100.0).round() as u32);
+            members.push((key, sketch.quantile(q).map_or(Json::Null, Json::Num)));
+        }
+        out.push_str(&Json::Obj(members).to_string());
         out.push('\n');
     }
     out
@@ -213,6 +233,19 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
         }
         out.push_str(&format!("{name} {}\n", fmt_value(*value)));
     }
+    for (name, sketch) in &snapshot.sketches {
+        header(&mut out, name, "summary");
+        for &q in EXPORT_QUANTILES {
+            if let Some(value) = sketch.quantile(q) {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{q}\"}} {}\n",
+                    fmt_value(value)
+                ));
+            }
+        }
+        out.push_str(&format!("{name}_sum {}\n", fmt_value(sketch.sum())));
+        out.push_str(&format!("{name}_count {}\n", sketch.count()));
+    }
     for (name, histogram) in &snapshot.histograms {
         header(&mut out, name, "histogram");
         let cumulative = histogram.cumulative();
@@ -267,9 +300,35 @@ pub fn is_prometheus_line(line: &str) -> bool {
         return false;
     }
     let mut rest = &line[name_end..];
-    // Optional label set {...}.
+    // Optional label set {...}. The close brace must be found
+    // quote-aware: label *values* may contain `}`, `{`, or escaped
+    // quotes (`\"`), so a naive `find('}')` would cut the set short and
+    // reject a perfectly legal line.
     if let Some(stripped) = rest.strip_prefix('{') {
-        let Some(close) = stripped.find('}') else {
+        let mut close = None;
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if in_quotes {
+                match c {
+                    '\\' => escaped = true,
+                    '"' => in_quotes = false,
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '"' => in_quotes = true,
+                    '}' => {
+                        close = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some(close) = close else {
             return false;
         };
         rest = &stripped[close + 1..];
@@ -305,6 +364,9 @@ mod tests {
         recorder.register_histogram("qac_read_energy", &[-2.0, 0.0, 2.0]);
         recorder.observe_n("qac_read_energy", -1.0, 3);
         recorder.observe_n("qac_read_energy", 5.0, 1);
+        for i in 0..100 {
+            recorder.sketch_observe("qac_queue_wait_us", i as f64);
+        }
         recorder.snapshot()
     }
 
@@ -320,6 +382,26 @@ mod tests {
         assert!(types.contains(&"counter".to_string()));
         assert!(types.contains(&"gauge".to_string()));
         assert!(types.contains(&"histogram".to_string()));
+        assert!(types.contains(&"quantile".to_string()));
+    }
+
+    #[test]
+    fn jsonl_quantile_lines_carry_percentiles() {
+        let text = jsonl(&sample_snapshot());
+        let quantile = text
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| v.get("type").unwrap().as_str() == Some("quantile"))
+            .expect("a quantile line");
+        assert_eq!(
+            quantile.get("name").unwrap().as_str(),
+            Some("qac_queue_wait_us")
+        );
+        assert_eq!(quantile.get("count").unwrap().as_f64(), Some(100.0));
+        let p50 = quantile.get("p50").unwrap().as_f64().unwrap();
+        let p99 = quantile.get("p99").unwrap().as_f64().unwrap();
+        assert!((p50 - 50.0).abs() <= 2.0, "p50 was {p50}");
+        assert!(p99 >= p50 && p99 <= 99.0, "p99 was {p99}");
     }
 
     #[test]
@@ -403,6 +485,12 @@ mod tests {
             "qac_x_bucket{le=\"+Inf\"} 4",
             "qac_f 0.5",
             "qac_sum -12.5",
+            "qac_wait_us{quantile=\"0.99\"} 1250",
+            // Label values may contain braces and escaped quotes; the
+            // checker must find the *real* close brace.
+            "qac_x_total{job=\"a}b\"} 1",
+            "qac_x_total{job=\"say \\\"hi\\\"\"} 1",
+            "qac_x_total{path=\"C:\\\\tmp\"} 1",
         ] {
             assert!(is_prometheus_line(good), "should accept {good:?}");
         }
@@ -415,9 +503,33 @@ mod tests {
             "qac_reads_total abc",
             "123 456",
             "qac_x{le=\"1\" 4",
+            "qac_x{job=\"unterminated} 1",
         ] {
             assert!(!is_prometheus_line(bad), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_the_exporter() {
+        // The satellite's escaping round-trip: a counter whose label
+        // value carries quotes, backslashes, and braces must export as a
+        // well-formed line whose parsed label value equals the original.
+        use crate::metrics::{labeled, parse_labels};
+        let hostile = "say \"hi\" to C:\\tmp{x}";
+        let recorder = Recorder::new();
+        recorder.enable();
+        recorder.counter_add(&labeled("qac_tenant_jobs_total", &[("tenant", hostile)]), 7);
+        let text = prometheus(&recorder.snapshot());
+        let sample = text
+            .lines()
+            .find(|l| !l.starts_with('#') && l.starts_with("qac_tenant_jobs_total"))
+            .expect("the labeled sample exports");
+        assert!(is_prometheus_line(sample), "bad line: {sample}");
+        let (name, value) = sample.rsplit_once(' ').unwrap();
+        assert_eq!(value, "7");
+        let (base, labels) = parse_labels(name).expect("exported name parses");
+        assert_eq!(base, "qac_tenant_jobs_total");
+        assert_eq!(labels, vec![("tenant".to_string(), hostile.to_string())]);
     }
 
     #[test]

@@ -15,7 +15,15 @@
 //! * [`export`] — three render targets for one [`Snapshot`]: a JSONL
 //!   event log, Chrome trace-event JSON (loadable in Perfetto /
 //!   `chrome://tracing`), and Prometheus text exposition;
-//! * [`quality`] — solution-quality math (time-to-solution estimates).
+//! * [`quality`] — solution-quality math (time-to-solution estimates);
+//! * [`flight`] — the always-on **flight recorder**: a bounded ring of
+//!   structured events tagged with job-scoped trace ids, dumpable as
+//!   JSONL for post-mortems without re-running;
+//! * [`sketch`] — streaming, mergeable **quantile sketches** (p50 / p90
+//!   / p99) alongside the fixed-bucket histograms;
+//! * [`alloc`] — allocation-accounting hooks fed by the optional
+//!   `qac-alloc` counting allocator (per-stage alloc bytes on
+//!   `StageTrace`).
 //!
 //! Instrumented code uses the process-wide [`global()`] recorder so no
 //! API has to thread a handle through every layer; tests construct their
@@ -44,12 +52,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod quality;
+pub mod sketch;
 mod span;
 
 pub use export::Snapshot;
+pub use flight::{
+    current_trace, global_flight, FlightEvent, FlightKind, FlightRecorder, TraceId, TraceScope,
+};
 pub use metrics::{Histogram, Metrics, DEFAULT_ENERGY_BUCKETS, FRACTION_BUCKETS};
+pub use sketch::QuantileSketch;
 pub use span::{global, Recorder, SpanGuard, SpanId, SpanRecord};

@@ -10,6 +10,8 @@
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard};
 
+use crate::sketch::QuantileSketch;
+
 /// Default buckets for energy-valued histograms: symmetric around zero,
 /// roughly geometric. Model energies vary per problem; these bound the
 /// shape, not the precision.
@@ -104,6 +106,8 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram name → state, sorted by name.
     pub histograms: Vec<(String, Histogram)>,
+    /// Quantile-sketch name → state, sorted by name.
+    pub sketches: Vec<(String, QuantileSketch)>,
 }
 
 /// The registry. `Sync`; all methods take `&self`.
@@ -112,6 +116,7 @@ pub struct Metrics {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    sketches: Mutex<BTreeMap<String, QuantileSketch>>,
 }
 
 impl Metrics {
@@ -162,6 +167,30 @@ impl Metrics {
         lock(&self.histograms).get(name).cloned()
     }
 
+    /// Records one observation into a streaming quantile sketch,
+    /// creating it on first use. Unlike histograms, sketches need no
+    /// bucket choice — any percentile is queryable afterwards.
+    pub fn sketch_observe(&self, name: &str, value: f64) {
+        lock(&self.sketches)
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Merges a locally-built sketch into the registry's sketch of the
+    /// same name (per-worker sketches roll up into one).
+    pub fn sketch_merge(&self, name: &str, other: &QuantileSketch) {
+        lock(&self.sketches)
+            .entry(name.to_string())
+            .or_default()
+            .merge(other);
+    }
+
+    /// A copy of a quantile sketch's current state.
+    pub fn sketch(&self, name: &str) -> Option<QuantileSketch> {
+        lock(&self.sketches).get(name).cloned()
+    }
+
     /// A copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -177,6 +206,10 @@ impl Metrics {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
+            sketches: lock(&self.sketches)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
         }
     }
 
@@ -185,6 +218,7 @@ impl Metrics {
         lock(&self.counters).clear();
         lock(&self.gauges).clear();
         lock(&self.histograms).clear();
+        lock(&self.sketches).clear();
     }
 }
 
@@ -192,6 +226,87 @@ impl Metrics {
 /// (`a_total{arm="2"}` → `a_total`).
 pub fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
+}
+
+/// Escapes a label *value* for the Prometheus text format: backslash,
+/// double-quote, and newline must be backslash-escaped inside the
+/// quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a labeled metric name — `base{k1="v1",k2="v2"}` — escaping
+/// each value. With no labels, the base name alone. Every call site
+/// that embeds caller-provided strings (topology families, workload
+/// names, job labels) in a label goes through this so a value carrying
+/// `"` or `\` cannot corrupt the exposition.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{base}{{{}}}", body.join(","))
+}
+
+/// Parses a (possibly labeled) metric name back into its base and
+/// unescaped `(key, value)` pairs — the inverse of [`labeled`], used by
+/// the exporter round-trip test and the baseline differ. Returns `None`
+/// on malformed label syntax (unterminated quote, missing `=`, …).
+pub fn parse_labels(name: &str) -> Option<(&str, Vec<(String, String)>)> {
+    let Some(open) = name.find('{') else {
+        return Some((name, Vec::new()));
+    };
+    let base = &name[..open];
+    let rest = name[open + 1..].strip_suffix('}')?;
+    let mut labels = Vec::new();
+    let mut chars = rest.chars().peekable();
+    loop {
+        // key, up to '='
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return None;
+        }
+        // opening quote
+        if chars.next() != Some('"') {
+            return None;
+        }
+        // value, unescaping, up to the closing quote
+        let mut value = String::new();
+        loop {
+            match chars.next()? {
+                '"' => break,
+                '\\' => match chars.next()? {
+                    'n' => value.push('\n'),
+                    c => value.push(c),
+                },
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Some((base, labels)),
+            Some(',') => continue,
+            Some(_) => return None,
+        }
+    }
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -275,5 +390,58 @@ mod tests {
     fn base_name_strips_labels() {
         assert_eq!(base_name("a_total"), "a_total");
         assert_eq!(base_name("a_total{arm=\"2\"}"), "a_total");
+    }
+
+    #[test]
+    fn sketches_register_merge_and_snapshot() {
+        let m = Metrics::new();
+        assert_eq!(m.sketch("missing"), None);
+        for i in 0..100 {
+            m.sketch_observe("wait_us", i as f64);
+        }
+        let sketch = m.sketch("wait_us").unwrap();
+        assert_eq!(sketch.count(), 100);
+        let mut other = crate::sketch::QuantileSketch::new();
+        other.observe(1e6);
+        m.sketch_merge("wait_us", &other);
+        let merged = m.sketch("wait_us").unwrap();
+        assert_eq!(merged.count(), 101);
+        assert_eq!(merged.max(), Some(1e6));
+        let s = m.snapshot();
+        assert_eq!(s.sketches.len(), 1);
+        assert_eq!(s.sketches[0].0, "wait_us");
+        m.clear();
+        assert_eq!(m.sketch("wait_us"), None);
+    }
+
+    #[test]
+    fn labeled_names_escape_and_round_trip() {
+        assert_eq!(labeled("a_total", &[]), "a_total");
+        assert_eq!(
+            labeled("a_total", &[("arm", "2"), ("kind", "sa")]),
+            "a_total{arm=\"2\",kind=\"sa\"}"
+        );
+        // Hostile label values survive a build → parse round trip.
+        for hostile in ["plain", "with\"quote", "back\\slash", "a\nnewline", "\\\""] {
+            let name = labeled("qac_x_total", &[("label", hostile)]);
+            let (base, labels) = parse_labels(&name).expect("escaped names parse");
+            assert_eq!(base, "qac_x_total");
+            assert_eq!(labels, vec![("label".to_string(), hostile.to_string())]);
+        }
+    }
+
+    #[test]
+    fn parse_labels_rejects_malformed_sets() {
+        assert_eq!(parse_labels("plain"), Some(("plain", Vec::new())));
+        for bad in [
+            "x{unterminated",
+            "x{k=\"v\"",
+            "x{k=v}",
+            "x{=\"v\"}",
+            "x{k=\"v\" j=\"w\"}",
+            "x{k=\"unclosed}",
+        ] {
+            assert_eq!(parse_labels(bad), None, "should reject {bad:?}");
+        }
     }
 }

@@ -12,8 +12,14 @@
 /// (the standard R99-style estimate, `ln(1-c)/ln(1-p)`).
 ///
 /// Returns `None` when `p ≤ 0` (no success was ever observed, so no
-/// finite estimate exists) and `Some(1.0)` when `p ≥ 1`.
+/// finite estimate exists) and `Some(1.0)` when `p ≥ 1`. Non-finite
+/// inputs (a NaN ground fraction from a 0/0 upstream, say) also yield
+/// `None` — the estimate is a metric, and metrics must never carry
+/// NaN/∞ into an exporter.
 pub fn reads_to_solution(p: f64, confidence: f64) -> Option<f64> {
+    if !p.is_finite() || !confidence.is_finite() {
+        return None;
+    }
     let confidence = confidence.clamp(0.0, 1.0 - 1e-12);
     if p <= 0.0 {
         return None;
@@ -21,6 +27,9 @@ pub fn reads_to_solution(p: f64, confidence: f64) -> Option<f64> {
     if p >= 1.0 {
         return Some(1.0);
     }
+    // For p within one ulp of 1.0, `1.0 - p` can round to 0 and ln(0) is
+    // -∞; the ratio then rounds to -0 and the max(1.0) floor keeps the
+    // estimate finite.
     Some(((1.0 - confidence).ln() / (1.0 - p).ln()).max(1.0))
 }
 
@@ -75,6 +84,47 @@ mod tests {
         // finite.
         let t = time_to_solution_us(0.5, 1.0, 1.0).unwrap();
         assert!(t.is_finite());
+    }
+
+    #[test]
+    fn ground_fraction_edges_never_produce_nan_or_infinity() {
+        // The two degenerate ground fractions: 0 (never saw a ground
+        // state → no estimate, not ∞) and 1 (every read succeeds → one
+        // read, not 0).
+        assert_eq!(reads_to_solution(0.0, 0.99), None);
+        assert_eq!(time_to_solution_us(0.0, 123.0, 0.99), None);
+        assert_eq!(reads_to_solution(1.0, 0.99), Some(1.0));
+        assert_eq!(time_to_solution_us(1.0, 123.0, 0.99), Some(123.0));
+        // A dense sweep across (0, 1] including values within an ulp of
+        // the edges: every produced estimate is finite and ≥ 1.
+        let mut p = 1e-300;
+        while p <= 1.0 {
+            for confidence in [0.0, 0.5, 0.99, 1.0] {
+                if let Some(reads) = reads_to_solution(p, confidence) {
+                    assert!(
+                        reads.is_finite() && reads >= 1.0,
+                        "p={p:e} c={confidence}: reads={reads}"
+                    );
+                    let tts = time_to_solution_us(p, 50.0, confidence).unwrap();
+                    assert!(tts.is_finite(), "p={p:e} c={confidence}: tts={tts}");
+                }
+            }
+            p = (p * 10.0).min(if p < 1.0 { 1.0 } else { 1.1 });
+        }
+        // One ulp below 1.0: `1 - p` underflows toward 0, ln goes to -∞,
+        // and the floor still yields a finite answer.
+        let near_one = f64::from_bits(1.0f64.to_bits() - 1);
+        let reads = reads_to_solution(near_one, 0.99).unwrap();
+        assert!(reads.is_finite() && reads >= 1.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_yield_no_estimate() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(reads_to_solution(bad, 0.99), None, "p={bad}");
+            assert_eq!(reads_to_solution(0.5, bad), None, "confidence={bad}");
+            assert_eq!(time_to_solution_us(bad, 100.0, 0.99), None);
+        }
     }
 
     #[test]

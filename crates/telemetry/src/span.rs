@@ -210,6 +210,22 @@ impl Recorder {
         }
     }
 
+    /// Records one observation into a streaming quantile sketch (no-op
+    /// while disabled).
+    pub fn sketch_observe(&self, name: &str, value: f64) {
+        if self.is_enabled() {
+            self.metrics.sketch_observe(name, value);
+        }
+    }
+
+    /// Merges a locally-built sketch into the named registry sketch
+    /// (no-op while disabled).
+    pub fn sketch_merge(&self, name: &str, other: &crate::sketch::QuantileSketch) {
+        if self.is_enabled() {
+            self.metrics.sketch_merge(name, other);
+        }
+    }
+
     /// A consistent copy of everything recorded so far.
     pub fn snapshot(&self) -> Snapshot {
         let metrics = self.metrics.snapshot();
@@ -218,6 +234,7 @@ impl Recorder {
             counters: metrics.counters,
             gauges: metrics.gauges,
             histograms: metrics.histograms,
+            sketches: metrics.sketches,
         }
     }
 
