@@ -40,6 +40,9 @@ cargo test -q --workspace --release
 echo "==> differential suite (samplers vs exact enumeration)"
 cargo test --release -q -p qac-solvers --test differential
 
+echo "==> packed-sampler suites (goldens + lane equivalence + PT sanity)"
+cargo test --release -q -p qac-solvers --test golden_samples --test multispin_lanes
+
 echo "==> batch engine suite (determinism at 1/2/8 workers)"
 cargo test --release -q -p qac-engine
 
@@ -84,24 +87,64 @@ cargo run --release -q -p qac-bench --bin telemetry_check -- \
     --counter-max 'qac_embed_edge_relaxations_total{topology="king"}=750000000' \
     --counter-max 'qac_route_iterations_total{topology="king"}=850'
 
+echo "==> samplers gate (deterministic sweep/flip work budgets)"
+cargo run --release -q -p qac-bench --bin experiments -- \
+    samplers --trace-json "$tmpdir/samplers.jsonl" --metrics "$tmpdir/samplers.prom" \
+    > /dev/null
+# The sweep and flip counters are deterministic per seed (the packed
+# kernel's RNG streams are fixed by the seed families), so these are
+# machine-independent budgets like the routing-work ones above: they
+# trip only when a sampler algorithmically does more work — an extra
+# descent pass, a widened ladder, a resampling loop that stops
+# converging — never because the runner was slow. ~30% headroom over
+# today's values (bp/pa/sa flips ~4.4M, pt ~34.5M; pt attempts 172k
+# swaps; pa resamples 93 times).
+cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    "$tmpdir/samplers.jsonl" "$tmpdir/samplers.prom" \
+    --counter-max 'qac_sampler_sweeps_total{sampler="bp"}=4000' \
+    --counter-max 'qac_sampler_sweeps_total{sampler="pa"}=4000' \
+    --counter-max 'qac_sampler_sweeps_total{sampler="pt"}=32000' \
+    --counter-max 'qac_sampler_sweeps_total{sampler="sa"}=256000' \
+    --counter-max 'qac_sampler_flips_total{sampler="bp"}=5800000' \
+    --counter-max 'qac_sampler_flips_total{sampler="pa"}=5800000' \
+    --counter-max 'qac_sampler_flips_total{sampler="pt"}=45000000' \
+    --counter-max 'qac_sampler_flips_total{sampler="sa"}=5800000' \
+    --counter-max 'qac_sampler_pt_swaps_total=225000' \
+    --counter-max 'qac_sampler_pa_resamples_total=130'
+
 analyze_gate
 
-echo "==> perf-regression gate (BENCH_pr6.json -> BENCH_pr7.json)"
-# Deterministic routing-work gauges (heap pops, edge relaxations, chain
+echo "==> perf-regression gate (BENCH_pr7.json -> BENCH_pr8.json)"
+# Deterministic work gauges (heap pops, edge relaxations, chain
 # lengths, ...) are gated at a 1.30 NEW/OLD ratio; wall-clock gauges are
 # report-only because the two baselines may come from different
 # machines. The gate fails if any deterministic gauge regressed beyond
-# budget or vanished from the new baseline.
+# budget or vanished from the new baseline. The --gauge-min floors pin
+# the PR8 acceptance bar: the bit-parallel sampler must stay >= 10x
+# scalar SA reads/sec on figure2 and australia. The speedup gauge is a
+# same-machine ratio, so the floor is machine-independent even though
+# the raw reads-per-second gauges are not.
 cargo run --release -q -p qac-bench --bin telemetry_check -- \
-    --baseline BENCH_pr6.json BENCH_pr7.json
+    --baseline BENCH_pr7.json BENCH_pr8.json \
+    --gauge-min 'qac_bench_sampler_speedup_bp_vs_scalar{workload="figure2"}=10' \
+    --gauge-min 'qac_bench_sampler_speedup_bp_vs_scalar{workload="australia"}=10'
 
 echo "==> perf-regression gate self-test (a seeded regression must fail)"
 # Prove the gate has teeth: an impossibly tight budget on a nonzero
 # gauge must trip (exit 1). If this *passes*, the gate is broken.
 if cargo run --release -q -p qac-bench --bin telemetry_check -- \
-    --baseline BENCH_pr6.json BENCH_pr7.json \
+    --baseline BENCH_pr7.json BENCH_pr8.json \
     --budget 'qac_bench_embed_heap_pops=0.000001' > /dev/null 2>&1; then
     echo "ERROR: the regression gate passed under an impossible budget" >&2
+    exit 1
+fi
+
+echo "==> gauge-floor self-test (an impossible floor must fail)"
+if cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    --baseline BENCH_pr7.json BENCH_pr8.json \
+    --gauge-min 'qac_bench_sampler_speedup_bp_vs_scalar{workload="figure2"}=100000' \
+    > /dev/null 2>&1; then
+    echo "ERROR: the gauge floor passed at an impossible threshold" >&2
     exit 1
 fi
 

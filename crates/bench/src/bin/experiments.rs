@@ -26,6 +26,12 @@
 //! per-workload analyzer diagnostics as JSON (checked in CI by
 //! `telemetry_check --diagnostics`).
 //!
+//! `--sampler sa,bp,pt,pa` restricts the `samplers` throughput table to
+//! a comma-separated subset (scalar SA is always measured as the
+//! speedup denominator) and, when no experiment is named, implies the
+//! `samplers` experiment — `experiments --sampler pt` on its own runs
+//! just the tempering row.
+//!
 //! `--topology` adds the per-topology axis: after the selected
 //! experiments, the §6 workloads are embedded on every supported
 //! hardware family (Chimera, Pegasus, Zephyr, king's graph) and
@@ -50,6 +56,7 @@ struct Cli {
     bench_baseline: Option<String>,
     diagnostics_json: Option<String>,
     html: Option<String>,
+    sampler: Option<String>,
     topology: bool,
 }
 
@@ -62,6 +69,7 @@ fn parse_cli() -> Cli {
         bench_baseline: None,
         diagnostics_json: None,
         html: None,
+        sampler: None,
         topology: false,
     };
     let mut args = std::env::args().skip(1);
@@ -80,6 +88,7 @@ fn parse_cli() -> Cli {
             "--bench-baseline" => flag(&mut cli.bench_baseline),
             "--diagnostics-json" => flag(&mut cli.diagnostics_json),
             "--html" => flag(&mut cli.html),
+            "--sampler" => flag(&mut cli.sampler),
             "--topology" => cli.topology = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown flag `{other}`");
@@ -133,7 +142,7 @@ fn write_or_die(path: &str, contents: &str, what: &str) {
 }
 
 fn main() {
-    let cli = parse_cli();
+    let mut cli = parse_cli();
     if cli.names.iter().any(|a| a == "list") {
         println!("available experiments:");
         for (name, _) in experiments::ALL {
@@ -150,6 +159,15 @@ fn main() {
         // The analyze experiment reads this to know where to write its
         // per-workload diagnostics JSON.
         std::env::set_var("QAC_ANALYZE_JSON", path);
+    }
+    if let Some(filter) = &cli.sampler {
+        // The samplers experiment reads this to restrict its table to a
+        // comma-separated subset of sa,bp,pt,pa. Implies the experiment:
+        // `experiments --sampler pt` alone runs the samplers table.
+        std::env::set_var("QAC_SAMPLERS", filter);
+        if cli.names.is_empty() {
+            cli.names.push("samplers".to_string());
+        }
     }
 
     let telemetry_on =

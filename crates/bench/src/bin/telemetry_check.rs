@@ -43,12 +43,20 @@
 //! may be the exact labeled name or the base name (applies to every
 //! label set), and an override also gates an otherwise report-only
 //! gauge.
+//!
+//! Each `--gauge-min name=value` (baseline mode only) requires NEW.json
+//! to contain a gauge named `name` (exact match, labels embedded) with
+//! value at least `value`. The ratio gate above only catches
+//! *regressions relative to OLD*; `--gauge-min` pins an *absolute
+//! floor*, which is how CI asserts the packed-sampler speedup gauges
+//! (dimensionless NEW-machine-vs-NEW-machine ratios, so a floor is
+//! machine-independent even though raw `_per_sec` gauges are not).
 
 const USAGE: &str = "\
 usage:
   telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]...
   telemetry_check --diagnostics <diagnostics.json>
-  telemetry_check --baseline <OLD.json> <NEW.json> [--budget name=ratio]...
+  telemetry_check --baseline <OLD.json> <NEW.json> [--budget name=ratio]... [--gauge-min name=value]...
   telemetry_check --help
 
 exit codes:
@@ -156,7 +164,12 @@ fn check_diagnostics(path: &str) {
 }
 
 /// Runs the baseline regression gate; dies (exit 1) on violations.
-fn check_baseline(old_path: &str, new_path: &str, overrides: &[(String, f64)]) {
+fn check_baseline(
+    old_path: &str,
+    new_path: &str,
+    overrides: &[(String, f64)],
+    floors: &[(String, f64)],
+) {
     use qac_bench::regression;
 
     let parse = |path: &str| {
@@ -172,6 +185,19 @@ fn check_baseline(old_path: &str, new_path: &str, overrides: &[(String, f64)]) {
             comparison.violations.len()
         ));
     }
+    for (name, min) in floors {
+        let value = new
+            .metrics
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(*v))
+            .unwrap_or_else(|| die(format!("{new_path}: no gauge named {name}")));
+        if value < *min {
+            die(format!(
+                "{new_path}: {name} = {value} is below the required floor of {min}"
+            ));
+        }
+        println!("telemetry_check: {name} = {value} meets floor {min}");
+    }
     println!(
         "telemetry_check: baseline {new_path} holds against {old_path} \
          ({} gauges compared) — OK",
@@ -183,6 +209,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut budgets: Vec<(String, f64)> = Vec::new();
     let mut ratio_overrides: Vec<(String, f64)> = Vec::new();
+    let mut gauge_floors: Vec<(String, f64)> = Vec::new();
     let mut diagnostics: Option<String> = None;
     let mut baseline = false;
     // Split at the LAST '=': labeled sample names such as
@@ -222,6 +249,10 @@ fn main() {
                 }
                 ratio_overrides.push((name, ratio));
             }
+            "--gauge-min" => {
+                let spec = operand("--gauge-min");
+                gauge_floors.push(parse_spec("--gauge-min", spec));
+            }
             other if other.starts_with("--") => usage_die(format!("unknown flag `{other}`")),
             _ => paths.push(arg),
         }
@@ -230,11 +261,14 @@ fn main() {
         let [old_path, new_path] = paths.as_slice() else {
             usage_die("--baseline needs exactly two operands: OLD.json NEW.json".to_string());
         };
-        check_baseline(old_path, new_path, &ratio_overrides);
+        check_baseline(old_path, new_path, &ratio_overrides, &gauge_floors);
         return;
     }
     if !ratio_overrides.is_empty() {
         usage_die("--budget only applies to --baseline mode".to_string());
+    }
+    if !gauge_floors.is_empty() {
+        usage_die("--gauge-min only applies to --baseline mode".to_string());
     }
     if let Some(path) = &diagnostics {
         check_diagnostics(path);

@@ -5,6 +5,7 @@ mod analyze;
 mod apps;
 mod batch;
 mod figure2;
+mod samplers;
 mod sec6;
 mod tables;
 mod topology;
@@ -16,6 +17,7 @@ pub use analyze::{
 pub use apps::{run_circsat, run_counter, run_factor, run_map_color};
 pub use batch::{run_batch, run_sec6_batch, sec6_batch_jobs};
 pub use figure2::run_figure2_3;
+pub use samplers::run_samplers;
 pub use sec6::{run_sec6_1, run_sec6_2};
 pub use tables::{run_table1, run_table2, run_table3_4, run_table5};
 pub use topology::run_topology;
@@ -34,6 +36,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("sec6_1", run_sec6_1),
     ("sec6_2", run_sec6_2),
     ("batch", run_batch),
+    ("samplers", run_samplers),
     ("ablation_chain", run_ablation_chain),
     ("ablation_gap", run_ablation_gap),
     ("ablation_roof", run_ablation_roof),

@@ -11,8 +11,8 @@ use qac_pbf::{Ising, Spin};
 use qac_qmasm::pin::parse_pins;
 use qac_qmasm::Solution;
 use qac_solvers::{
-    DWaveSim, DWaveSimOptions, ExactSolver, PhaseTiming, QbsolvStyle, SampleSet, Sampler,
-    SimulatedAnnealing, Sqa, TabuSearch,
+    BitParallelSa, DWaveSim, DWaveSimOptions, ExactSolver, ParallelTempering, PhaseTiming,
+    PopulationAnnealing, QbsolvStyle, SampleSet, Sampler, SimulatedAnnealing, Sqa, TabuSearch,
 };
 
 use crate::stage::{Session, Stage};
@@ -26,6 +26,23 @@ pub enum SolverChoice {
     Exact,
     /// Simulated annealing with the given sweep count.
     Sa {
+        /// Sweeps per read.
+        sweeps: usize,
+    },
+    /// Bit-parallel simulated annealing (64 replicas per word).
+    BitParallel {
+        /// Sweeps per read.
+        sweeps: usize,
+    },
+    /// Parallel tempering on the packed-lane kernel.
+    ParallelTempering {
+        /// Sweeps per read.
+        sweeps: usize,
+        /// Temperature-ladder size (clamped to 2..=64 by the sampler).
+        rungs: usize,
+    },
+    /// Population annealing on the packed-lane kernel.
+    PopulationAnnealing {
         /// Sweeps per read.
         sweeps: usize,
     },
@@ -349,6 +366,16 @@ impl Stage for SampleStage<'_> {
         let set = match self.solver {
             SolverChoice::Exact => ExactSolver::new().sample(&model, self.num_reads),
             SolverChoice::Sa { sweeps } => SimulatedAnnealing::new(self.seed)
+                .with_sweeps(*sweeps)
+                .sample(&model, self.num_reads),
+            SolverChoice::BitParallel { sweeps } => BitParallelSa::new(self.seed)
+                .with_sweeps(*sweeps)
+                .sample(&model, self.num_reads),
+            SolverChoice::ParallelTempering { sweeps, rungs } => ParallelTempering::new(self.seed)
+                .with_sweeps(*sweeps)
+                .with_rungs(*rungs)
+                .sample(&model, self.num_reads),
+            SolverChoice::PopulationAnnealing { sweeps } => PopulationAnnealing::new(self.seed)
                 .with_sweeps(*sweeps)
                 .sample(&model, self.num_reads),
             SolverChoice::Sqa { sweeps, slices } => Sqa::new(self.seed)
@@ -753,6 +780,33 @@ mod tests {
         let best = outcome.best().unwrap();
         assert!(best.valid);
         assert_eq!(best.values.get("c"), Some(2));
+    }
+
+    #[test]
+    fn bit_parallel_solver_choices_find_valid_solutions() {
+        // The packed-lane samplers are drop-in SolverChoice variants:
+        // each must decode a valid 1+1=2 execution like scalar SA does.
+        let program = compiled();
+        for solver in [
+            SolverChoice::BitParallel { sweeps: 200 },
+            SolverChoice::ParallelTempering {
+                sweeps: 200,
+                rungs: 8,
+            },
+            SolverChoice::PopulationAnnealing { sweeps: 200 },
+        ] {
+            let run = RunOptions::new()
+                .pin("s := 1")
+                .pin("a := 1")
+                .pin("b := 1")
+                .solver(solver.clone())
+                .num_reads(30);
+            let outcome = program.run(&run).unwrap();
+            assert!(outcome.valid_fraction() > 0.0, "{solver:?}");
+            let best = outcome.best().unwrap();
+            assert!(best.valid, "{solver:?}");
+            assert_eq!(best.values.get("c"), Some(2), "{solver:?}");
+        }
     }
 
     #[test]

@@ -264,6 +264,27 @@ fn engine_and_portfolio_seed_families_never_collide() {
             "embedding restart {try_index} collides with another stream"
         );
     }
+    // The packed-lane sampler families (per-replica lane seeds, the PT
+    // swap-schedule streams, and the PA resampling stream) are salted
+    // independently; all of them must stay disjoint from the engine,
+    // portfolio, and restart families above AND from each other, or a
+    // bit-parallel arm inside a portfolio would correlate with a retry.
+    for replica in 0..256u64 {
+        assert!(
+            seeds.insert(qac_solvers::lane_seed(engine.base_seed, replica)),
+            "packed lane {replica} collides with another stream"
+        );
+    }
+    for group in 0..64u64 {
+        assert!(
+            seeds.insert(qac_solvers::pt_swap_seed(engine.base_seed, group)),
+            "PT swap stream {group} collides with another stream"
+        );
+    }
+    assert!(
+        seeds.insert(qac_solvers::pa_resample_seed(engine.base_seed)),
+        "the PA resampling stream collides with another stream"
+    );
     // Reseed impls must actually adopt the seed they are handed (a stale
     // clone would silently share the base stream).
     let reseeded = TabuSearch::new(7).reseed(99);

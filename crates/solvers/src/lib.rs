@@ -9,6 +9,13 @@
 //!   small problems);
 //! * [`SimulatedAnnealing`] — multi-read Metropolis annealing with a
 //!   geometric β schedule, parallelized across reads;
+//! * [`BitParallelSa`] — the same annealing with 64 replicas packed per
+//!   machine word (multi-spin coding), an order of magnitude more
+//!   reads/sec than the scalar path;
+//! * [`ParallelTempering`] — replica exchange across a fixed geometric
+//!   temperature ladder on the packed-lane kernel;
+//! * [`PopulationAnnealing`] — annealing with Boltzmann-weight
+//!   systematic resampling on the packed-lane kernel;
 //! * [`Sqa`] — simulated *quantum* annealing by path-integral Monte Carlo
 //!   (the approach of Hitachi's annealer the paper cites);
 //! * [`TabuSearch`] — deterministic local search with a tabu list, the
@@ -48,6 +55,7 @@
 
 mod dwave_sim;
 mod exact;
+mod multispin;
 mod portfolio;
 mod qbsolv;
 mod sa;
@@ -55,10 +63,16 @@ mod sample;
 mod sqa;
 mod tabu;
 
-pub use dwave_sim::{DWaveSim, DWaveSimOptions, DWaveSimResult, PhaseTiming, TimingModel};
+pub use dwave_sim::{
+    DWaveSim, DWaveSimOptions, DWaveSimResult, PhaseTiming, PhysicalAnnealer, TimingModel,
+};
 // Re-exported so DWaveSimOptions call sites can name a fabric without
 // depending on qac-chimera directly.
 pub use exact::ExactSolver;
+pub use multispin::{
+    lane_seed, pa_resample_seed, pt_swap_seed, BitParallelSa, PaStats, ParallelTempering,
+    PopulationAnnealing, PtStats, LANE_SEED_SALT, PA_RESAMPLE_SEED_SALT, PT_SWAP_SEED_SALT,
+};
 pub use portfolio::{Portfolio, Reseed};
 pub use qac_chimera::{Topology, TopologySpec};
 pub use qbsolv::QbsolvStyle;

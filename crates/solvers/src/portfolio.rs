@@ -12,7 +12,10 @@ use parking_lot::Mutex;
 
 use qac_pbf::Ising;
 
-use crate::{DWaveSim, QbsolvStyle, SampleSet, Sampler, SimulatedAnnealing, Sqa, TabuSearch};
+use crate::{
+    BitParallelSa, DWaveSim, ParallelTempering, PopulationAnnealing, QbsolvStyle, SampleSet,
+    Sampler, SimulatedAnnealing, Sqa, TabuSearch,
+};
 
 /// Samplers that can produce a differently-seeded copy of themselves
 /// (same configuration, fresh random stream) — the requirement for being
@@ -24,6 +27,24 @@ pub trait Reseed: Sized {
 
 impl Reseed for SimulatedAnnealing {
     fn reseed(&self, seed: u64) -> SimulatedAnnealing {
+        self.clone().with_seed(seed)
+    }
+}
+
+impl Reseed for BitParallelSa {
+    fn reseed(&self, seed: u64) -> BitParallelSa {
+        self.clone().with_seed(seed)
+    }
+}
+
+impl Reseed for ParallelTempering {
+    fn reseed(&self, seed: u64) -> ParallelTempering {
+        self.clone().with_seed(seed)
+    }
+}
+
+impl Reseed for PopulationAnnealing {
+    fn reseed(&self, seed: u64) -> PopulationAnnealing {
         self.clone().with_seed(seed)
     }
 }

@@ -1,6 +1,8 @@
 //! Simulated annealing (Kirkpatrick et al. 1983) — the classical
 //! counterpart of quantum annealing the paper contrasts against in §2.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,48 +76,29 @@ impl SimulatedAnnealing {
 
     /// Derives a β schedule from the model's energy scale: start hot
     /// enough to accept the largest uphill move often, finish cold enough
-    /// to freeze single-bit excitations.
+    /// to freeze single-bit excitations. Shared with the bit-parallel
+    /// samplers so equal-sweep-budget comparisons anneal over the same
+    /// temperatures.
     fn beta_range_for(&self, model: &Ising) -> (f64, f64) {
-        if let Some(range) = self.beta_range {
-            return range;
-        }
-        let adj = model.csr_adjacency();
-        // Max |ΔE| of a single flip, bounded by 2(|h| + Σ|J|) per site.
-        let mut max_delta = 0.0f64;
-        let mut min_delta = f64::INFINITY;
-        for i in 0..model.num_vars() {
-            let local: f64 =
-                model.h(i).abs() + adj.neighbors(i).iter().map(|(_, j)| j.abs()).sum::<f64>();
-            if local > 0.0 {
-                max_delta = max_delta.max(2.0 * local);
-                min_delta = min_delta.min(2.0 * local);
-            }
-        }
-        if max_delta == 0.0 {
-            return (0.1, 1.0);
-        }
-        if !min_delta.is_finite() || min_delta <= 0.0 {
-            min_delta = max_delta;
-        }
-        // Accept the worst move w.p. ~50% initially; freeze the smallest
-        // move to ~e⁻¹⁰ at the end.
-        (0.693 / max_delta, 10.0 / min_delta)
+        self.beta_range
+            .unwrap_or_else(|| crate::multispin::auto_beta_range(model))
     }
 
-    /// One annealing read.
+    /// One annealing read; also returns the number of accepted flips.
     fn anneal_once(
         model: &Ising,
         adj: &CsrAdjacency,
         sweeps: usize,
         betas: (f64, f64),
         seed: u64,
-    ) -> Vec<Spin> {
+    ) -> (Vec<Spin>, u64) {
         let n = model.num_vars();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut spins: Vec<Spin> = (0..n).map(|_| Spin::from(rng.gen::<bool>())).collect();
         if n == 0 {
-            return spins;
+            return (spins, 0);
         }
+        let mut flips = 0u64;
         let (beta_min, beta_max) = betas;
         let ratio = (beta_max / beta_min).powf(1.0 / sweeps.max(1) as f64);
         let mut beta = beta_min;
@@ -124,6 +107,7 @@ impl SimulatedAnnealing {
                 let delta = model.flip_delta_csr(&spins, i, adj.neighbors(i));
                 if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
                     spins[i] = spins[i].flipped();
+                    flips += 1;
                 }
             }
             beta *= ratio;
@@ -135,16 +119,18 @@ impl SimulatedAnnealing {
             for i in 0..n {
                 if model.flip_delta_csr(&spins, i, adj.neighbors(i)) < -1e-12 {
                     spins[i] = spins[i].flipped();
+                    flips += 1;
                     improved = true;
                 }
             }
         }
-        spins
+        (spins, flips)
     }
 }
 
 impl Sampler for SimulatedAnnealing {
     fn sample(&self, model: &Ising, num_reads: usize) -> SampleSet {
+        let started = std::time::Instant::now();
         let adj = model.csr_adjacency();
         let betas = self.beta_range_for(model);
         let reads = Mutex::new(vec![Vec::new(); num_reads]);
@@ -156,14 +142,17 @@ impl Sampler for SimulatedAnnealing {
         let milestone_every = (num_reads / 4).max(1);
         if threads <= 1 {
             let mut out = Vec::with_capacity(num_reads);
+            let mut flips = 0u64;
             for r in 0..num_reads {
-                out.push(Self::anneal_once(
+                let (spins, read_flips) = Self::anneal_once(
                     model,
                     &adj,
                     self.sweeps,
                     betas,
                     self.seed.wrapping_add(r as u64),
-                ));
+                );
+                out.push(spins);
+                flips += read_flips;
                 if (r + 1) % milestone_every == 0 || r + 1 == num_reads {
                     flight.record(
                         qac_telemetry::FlightKind::SamplerMilestone,
@@ -172,20 +161,31 @@ impl Sampler for SimulatedAnnealing {
                     );
                 }
             }
-            return SampleSet::from_reads(model, out);
+            let set = SampleSet::from_reads(model, out);
+            crate::multispin::emit_sampler_metrics(
+                "sa",
+                num_reads,
+                started,
+                (self.sweeps * num_reads) as u64,
+                flips,
+            );
+            return set;
         }
+        let flip_total = AtomicU64::new(0);
         let trace = qac_telemetry::current_trace();
         crossbeam::scope(|scope| {
             for t in 0..threads {
                 let reads = &reads;
+                let flip_total = &flip_total;
                 let adj = &adj;
                 let sweeps = self.sweeps;
                 let seed = self.seed;
                 scope.spawn(move |_| {
                     let mut done = 0usize;
+                    let mut flips = 0u64;
                     let mut r = t;
                     while r < num_reads {
-                        let spins = Self::anneal_once(
+                        let (spins, read_flips) = Self::anneal_once(
                             model,
                             adj,
                             sweeps,
@@ -193,9 +193,11 @@ impl Sampler for SimulatedAnnealing {
                             seed.wrapping_add(r as u64),
                         );
                         reads.lock()[r] = spins;
+                        flips += read_flips;
                         done += 1;
                         r += threads;
                     }
+                    flip_total.fetch_add(flips, Ordering::Relaxed);
                     // Milestones from worker threads carry the caller's
                     // trace id explicitly (spawned threads start with an
                     // empty trace scope).
@@ -209,7 +211,15 @@ impl Sampler for SimulatedAnnealing {
             }
         })
         .expect("annealing threads do not panic");
-        SampleSet::from_reads(model, reads.into_inner())
+        let set = SampleSet::from_reads(model, reads.into_inner());
+        crate::multispin::emit_sampler_metrics(
+            "sa",
+            num_reads,
+            started,
+            (self.sweeps * num_reads) as u64,
+            flip_total.load(Ordering::Relaxed),
+        );
+        set
     }
 }
 

@@ -21,7 +21,8 @@
 
 use qac_pbf::Ising;
 use qac_solvers::{
-    ExactSolver, QbsolvStyle, Sample, SampleSet, Sampler, SimulatedAnnealing, Sqa, TabuSearch,
+    BitParallelSa, ExactSolver, ParallelTempering, PopulationAnnealing, QbsolvStyle, Sample,
+    SampleSet, Sampler, SimulatedAnnealing, Sqa, TabuSearch,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,6 +193,25 @@ fn qbsolv_matches_exact_enumeration() {
     assert_reaches_ground("qbsolv", &qbsolv, 0.90);
 }
 
+#[test]
+fn bit_parallel_sa_matches_exact_enumeration() {
+    let bp = BitParallelSa::new(15).with_sweeps(100);
+    assert_reaches_ground("bp", &bp, 0.90);
+}
+
+#[test]
+fn parallel_tempering_matches_exact_enumeration() {
+    // 16 reads = 2 groups of 8 rungs per word at the default ladder.
+    let pt = ParallelTempering::new(16).with_sweeps(100);
+    assert_reaches_ground("pt", &pt, 0.90);
+}
+
+#[test]
+fn population_annealing_matches_exact_enumeration() {
+    let pa = PopulationAnnealing::new(17).with_sweeps(100);
+    assert_reaches_ground("pa", &pa, 0.90);
+}
+
 /// A sampler that under-reports every energy by 0.5 — the bug class the
 /// soundness property exists to catch.
 struct EnergyDeflator<S>(S);
@@ -216,4 +236,12 @@ impl<S: Sampler> Sampler for EnergyDeflator<S> {
 #[should_panic(expected = "below the exact ground energy")]
 fn harness_fails_loudly_on_a_broken_sampler() {
     differential_sweep("deflated-tabu", &EnergyDeflator(TabuSearch::new(1)));
+}
+
+#[test]
+#[should_panic(expected = "below the exact ground energy")]
+fn harness_shrinks_the_packed_samplers_too() {
+    // The shrinker must work for the packed-lane samplers as well: wire
+    // a deflated bit-parallel sampler through the same harness.
+    differential_sweep("deflated-bp", &EnergyDeflator(BitParallelSa::new(1)));
 }
