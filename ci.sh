@@ -112,28 +112,61 @@ cargo run --release -q -p qac-bench --bin telemetry_check -- \
     --counter-max 'qac_sampler_pt_swaps_total=225000' \
     --counter-max 'qac_sampler_pa_resamples_total=130'
 
+echo "==> incremental gate (edit turnaround: skip/splice budgets + speedup floor)"
+cargo run --release -q -p qac-bench --bin experiments -- \
+    edit --trace-json "$tmpdir/edit.jsonl" --metrics "$tmpdir/edit.prom" \
+    > /dev/null
+# The stage-miss and re-embed counters are deterministic: the canonical
+# one-gate edit re-runs exactly 8 stages per workload (16 across the
+# two) and repairs both embeddings without falling back to full
+# routing, so the budgets are exact — one extra miss means a stage lost
+# its incrementality, and `--gauge-min qac_incr_reembed_partial_total=2`
+# (floors read any Prometheus sample) asserts neither re-embed took the
+# full-routing fallback. The speedup floors are same-machine ratios:
+# warm-vs-cold on the same host, so they hold on slow CI runners too
+# (today: ~260x on australia, ~22x on figure2).
+cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    "$tmpdir/edit.jsonl" "$tmpdir/edit.prom" \
+    --counter-max qac_incr_stage_miss_total=16 \
+    --counter-max qac_incr_reembed_partial_total=2 \
+    --gauge-min qac_incr_reembed_partial_total=2 \
+    --gauge-min 'qac_bench_incremental_speedup{workload="australia"}=10' \
+    --gauge-min 'qac_bench_incremental_speedup{workload="figure2"}=2'
+
+echo "==> incremental gate self-test (an impossible floor must fail)"
+if cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    "$tmpdir/edit.jsonl" "$tmpdir/edit.prom" \
+    --gauge-min 'qac_bench_incremental_speedup{workload="australia"}=100000' \
+    > /dev/null 2>&1; then
+    echo "ERROR: the file-mode gauge floor passed at an impossible threshold" >&2
+    exit 1
+fi
+
 analyze_gate
 
-echo "==> perf-regression gate (BENCH_pr7.json -> BENCH_pr8.json)"
+echo "==> perf-regression gate (BENCH_pr8.json -> BENCH_pr9.json)"
 # Deterministic work gauges (heap pops, edge relaxations, chain
 # lengths, ...) are gated at a 1.30 NEW/OLD ratio; wall-clock gauges are
 # report-only because the two baselines may come from different
 # machines. The gate fails if any deterministic gauge regressed beyond
 # budget or vanished from the new baseline. The --gauge-min floors pin
-# the PR8 acceptance bar: the bit-parallel sampler must stay >= 10x
-# scalar SA reads/sec on figure2 and australia. The speedup gauge is a
-# same-machine ratio, so the floor is machine-independent even though
-# the raw reads-per-second gauges are not.
+# the acceptance bars: the bit-parallel sampler must stay >= 10x scalar
+# SA reads/sec on figure2 and australia (PR8), and the warm edit path
+# must stay >= 10x faster than cold on australia (PR9). Both speedup
+# gauges are same-machine ratios, so the floors are machine-independent
+# even though the raw reads-per-second and wall-time gauges are not.
 cargo run --release -q -p qac-bench --bin telemetry_check -- \
-    --baseline BENCH_pr7.json BENCH_pr8.json \
+    --baseline BENCH_pr8.json BENCH_pr9.json \
     --gauge-min 'qac_bench_sampler_speedup_bp_vs_scalar{workload="figure2"}=10' \
-    --gauge-min 'qac_bench_sampler_speedup_bp_vs_scalar{workload="australia"}=10'
+    --gauge-min 'qac_bench_sampler_speedup_bp_vs_scalar{workload="australia"}=10' \
+    --gauge-min 'qac_bench_incremental_speedup{workload="australia"}=10' \
+    --gauge-min 'qac_bench_incremental_speedup{workload="figure2"}=2'
 
 echo "==> perf-regression gate self-test (a seeded regression must fail)"
 # Prove the gate has teeth: an impossibly tight budget on a nonzero
 # gauge must trip (exit 1). If this *passes*, the gate is broken.
 if cargo run --release -q -p qac-bench --bin telemetry_check -- \
-    --baseline BENCH_pr7.json BENCH_pr8.json \
+    --baseline BENCH_pr8.json BENCH_pr9.json \
     --budget 'qac_bench_embed_heap_pops=0.000001' > /dev/null 2>&1; then
     echo "ERROR: the regression gate passed under an impossible budget" >&2
     exit 1
@@ -141,8 +174,8 @@ fi
 
 echo "==> gauge-floor self-test (an impossible floor must fail)"
 if cargo run --release -q -p qac-bench --bin telemetry_check -- \
-    --baseline BENCH_pr7.json BENCH_pr8.json \
-    --gauge-min 'qac_bench_sampler_speedup_bp_vs_scalar{workload="figure2"}=100000' \
+    --baseline BENCH_pr8.json BENCH_pr9.json \
+    --gauge-min 'qac_bench_incremental_speedup{workload="australia"}=100000' \
     > /dev/null 2>&1; then
     echo "ERROR: the gauge floor passed at an impossible threshold" >&2
     exit 1

@@ -186,6 +186,104 @@ pub fn bench_baseline_json() -> String {
         }
     }
 
+    // Edit-turnaround baseline: the canonical one-gate edit paid for
+    // cold (recompile + re-embed from scratch) and warm (incremental
+    // compile + seeded chain repair, DESIGN.md §14). The speedup gauge
+    // is a same-machine ratio, so CI pins an absolute `--gauge-min`
+    // floor on it (≥10× on australia, whose cold cost is dominated by
+    // the minor embed the warm path mostly reuses). Both paths are
+    // asserted byte-identical before anything is recorded: a warm
+    // compile that drifted from cold would make the speedup meaningless.
+    for (name, source, top) in [
+        ("figure2", FIGURE2, "circuit"),
+        ("australia", AUSTRALIA, "australia"),
+    ] {
+        let embed_options = EmbedOptions {
+            seed: 11,
+            ..Default::default()
+        };
+        let compile_options = qac_core::CompileOptions::default();
+        let base = compile_workload(source, top).netlist;
+        let prev = qac_core::compile_netlist(base.clone(), &compile_options)
+            .expect("pre-edit compile succeeds");
+        let logical = |compiled: &qac_core::Compiled| -> (Vec<(usize, usize)>, usize) {
+            let scaled = scale_to_range(&compiled.assembled.ising, CoefficientRange::DWAVE_2000Q);
+            (
+                scaled.model.j_iter().map(|t| (t.i, t.j)).collect(),
+                scaled.model.num_vars(),
+            )
+        };
+        let (prev_edges, prev_vars) = logical(&prev);
+        let (prev_embedding, _) = qac_chimera::find_embedding_with_stats(
+            &prev_edges,
+            prev_vars,
+            &hardware,
+            &embed_options,
+        )
+        .expect("pre-edit embed succeeds");
+        let (edited, _) = crate::experiments::canonical_gate_edit(&base);
+
+        // Best of three on both sides, same argument as the sampler
+        // throughput loop: the work is deterministic per seed, so the
+        // minimum is the least-interfered measurement.
+        let mut cold_us = f64::INFINITY;
+        let mut cold = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let compiled =
+                qac_core::compile_netlist(edited.clone(), &compile_options).expect("cold compile");
+            let (edges, num_vars) = logical(&compiled);
+            let (embedding, _) =
+                qac_chimera::find_embedding_with_stats(&edges, num_vars, &hardware, &embed_options)
+                    .expect("cold embed");
+            cold_us = cold_us.min(start.elapsed().as_secs_f64() * 1e6);
+            assert!(embedding.validate(&edges, &hardware));
+            cold = Some(compiled);
+        }
+        let cold = cold.unwrap();
+        let mut warm_us = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (warm, _) =
+                qac_core::compile_netlist_incremental(&prev, edited.clone(), &compile_options)
+                    .expect("warm compile");
+            let (edges, num_vars) = logical(&warm);
+            let dirty = qac_core::dirty_variables(&prev.assembled, &warm.assembled)
+                .expect("a gate swap keeps the variable space comparable");
+            let (embedding, _) = qac_chimera::find_embedding_incremental(
+                &edges,
+                num_vars,
+                &hardware,
+                &embed_options,
+                &prev_embedding,
+                &dirty,
+            )
+            .expect("warm embed");
+            warm_us = warm_us.min(start.elapsed().as_secs_f64() * 1e6);
+            assert!(
+                embedding.validate(&edges, &hardware),
+                "warm embedding validates"
+            );
+            assert_eq!(
+                qac_core::artifact_mismatch(&cold, &warm),
+                None,
+                "warm artifacts must be byte-identical to cold"
+            );
+        }
+        recorder.gauge_set(
+            &format!("qac_bench_incremental_cold_us{{workload=\"{name}\"}}"),
+            cold_us,
+        );
+        recorder.gauge_set(
+            &format!("qac_bench_incremental_warm_us{{workload=\"{name}\"}}"),
+            warm_us,
+        );
+        recorder.gauge_set(
+            &format!("qac_bench_incremental_speedup{{workload=\"{name}\"}}"),
+            cold_us / warm_us.max(1e-9),
+        );
+    }
+
     // Batch-engine wall clock: the §6 job set on one worker vs eight.
     // The speedup gauge is honest, not aspirational — on a single-core
     // host it sits near 1.0, so `qac_bench_available_parallelism` is
@@ -242,7 +340,8 @@ pub fn bench_baseline_json() -> String {
                 "compile/embed/sample wall times (µs) for the Section 6 workloads, \
                  sampler throughput (reads/sec) for scalar SA vs the packed-lane \
                  samplers, the figure2 embedding baseline per hardware topology, \
-                 plus batch-engine wall clock at 1 vs 8 workers"
+                 batch-engine wall clock at 1 vs 8 workers, plus cold-vs-warm \
+                 edit turnaround for the incremental compiler"
                     .to_string(),
             ),
         ),
@@ -321,6 +420,22 @@ mod tests {
                     .unwrap_or_else(|| panic!("missing {key}"));
                 assert!(value > 0.0, "{key} must be positive, got {value}");
             }
+        }
+        for name in ["figure2", "australia"] {
+            for kind in ["cold_us", "warm_us", "speedup"] {
+                let key = format!("qac_bench_incremental_{kind}{{workload=\"{name}\"}}");
+                let value = metrics
+                    .get(&key)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or_else(|| panic!("missing {key}"));
+                assert!(value > 0.0, "{key} must be positive, got {value}");
+            }
+            let key = format!("qac_bench_incremental_speedup{{workload=\"{name}\"}}");
+            let speedup = metrics.get(&key).and_then(|v| v.as_f64()).unwrap();
+            assert!(
+                speedup > 1.0,
+                "the warm edit path must beat cold, got {speedup}"
+            );
         }
         for key in [
             "qac_bench_batch_wall_us{workers=\"1\"}",

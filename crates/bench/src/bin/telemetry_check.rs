@@ -44,17 +44,19 @@
 //! label set), and an override also gates an otherwise report-only
 //! gauge.
 //!
-//! Each `--gauge-min name=value` (baseline mode only) requires NEW.json
-//! to contain a gauge named `name` (exact match, labels embedded) with
-//! value at least `value`. The ratio gate above only catches
-//! *regressions relative to OLD*; `--gauge-min` pins an *absolute
-//! floor*, which is how CI asserts the packed-sampler speedup gauges
-//! (dimensionless NEW-machine-vs-NEW-machine ratios, so a floor is
-//! machine-independent even though raw `_per_sec` gauges are not).
+//! Each `--gauge-min name=value` requires a gauge named `name` (exact
+//! match, labels embedded) with value at least `value` — in baseline
+//! mode the gauge is looked up in NEW.json, in file mode in the
+//! Prometheus export. The ratio gate above only catches *regressions
+//! relative to OLD*; `--gauge-min` pins an *absolute floor*, which is
+//! how CI asserts the packed-sampler and incremental-recompile speedup
+//! gauges (dimensionless same-machine ratios, so a floor is
+//! machine-independent even though raw `_per_sec`/`_us` gauges are
+//! not).
 
 const USAGE: &str = "\
 usage:
-  telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]...
+  telemetry_check <trace.jsonl> <metrics.prom> [--counter-max name=value]... [--gauge-min name=value]...
   telemetry_check --diagnostics <diagnostics.json>
   telemetry_check --baseline <OLD.json> <NEW.json> [--budget name=ratio]... [--gauge-min name=value]...
   telemetry_check --help
@@ -267,9 +269,6 @@ fn main() {
     if !ratio_overrides.is_empty() {
         usage_die("--budget only applies to --baseline mode".to_string());
     }
-    if !gauge_floors.is_empty() {
-        usage_die("--gauge-min only applies to --baseline mode".to_string());
-    }
     if let Some(path) = &diagnostics {
         check_diagnostics(path);
         if paths.is_empty() {
@@ -317,7 +316,7 @@ fn main() {
         die(format!("{prom_path}: no metric samples at all"));
     }
 
-    for (name, max) in &budgets {
+    let sample = |name: &str| -> f64 {
         let value = prom
             .lines()
             .filter(|l| !l.starts_with('#'))
@@ -326,15 +325,27 @@ fn main() {
                 (sample_name == name).then(|| rest.trim())
             })
             .unwrap_or_else(|| die(format!("{prom_path}: no sample named {name}")));
-        let value: f64 = value
+        value
             .parse()
-            .unwrap_or_else(|err| die(format!("{prom_path}: {name} value {value:?}: {err}")));
+            .unwrap_or_else(|err| die(format!("{prom_path}: {name} value {value:?}: {err}")))
+    };
+    for (name, max) in &budgets {
+        let value = sample(name);
         if value > *max {
             die(format!(
                 "{prom_path}: {name} = {value} exceeds the budget of {max}"
             ));
         }
         println!("telemetry_check: {name} = {value} within budget {max}");
+    }
+    for (name, min) in &gauge_floors {
+        let value = sample(name);
+        if value < *min {
+            die(format!(
+                "{prom_path}: {name} = {value} is below the required floor of {min}"
+            ));
+        }
+        println!("telemetry_check: {name} = {value} meets floor {min}");
     }
 
     println!("telemetry_check: {events} JSONL events, {samples} Prometheus samples — OK");

@@ -4,6 +4,7 @@ mod ablations;
 mod analyze;
 mod apps;
 mod batch;
+mod edit;
 mod figure2;
 mod samplers;
 mod sec6;
@@ -16,6 +17,7 @@ pub use analyze::{
 };
 pub use apps::{run_circsat, run_counter, run_factor, run_map_color};
 pub use batch::{run_batch, run_sec6_batch, sec6_batch_jobs};
+pub use edit::{canonical_gate_edit, run_edit};
 pub use figure2::run_figure2_3;
 pub use samplers::run_samplers;
 pub use sec6::{run_sec6_1, run_sec6_2};
@@ -43,4 +45,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("ablation_opt", run_ablation_opt),
     ("analyze", run_analyze),
     ("topology", run_topology),
+    ("edit", run_edit),
 ];

@@ -44,12 +44,12 @@ pub use apply::{
     choose_chain_strength, embed_ising, neighborhood_weights, unembed, ChainBreakStats,
     EmbeddedIsing,
 };
-pub use cache::{embedding_key, topology_embedding_key, CacheStats, EmbeddingCache};
+pub use cache::{embedding_key, topology_embedding_key, CacheStats, EmbeddingCache, SnapshotError};
 pub use chimera::Chimera;
 pub use embed::{
-    find_embedding, find_embedding_or_clique, find_embedding_or_clique_with_stats,
-    find_embedding_portfolio, find_embedding_with_stats, restart_seed, EmbedError, EmbedOptions,
-    EmbedStats, Embedding,
+    find_embedding, find_embedding_incremental, find_embedding_or_clique,
+    find_embedding_or_clique_with_stats, find_embedding_portfolio, find_embedding_with_stats,
+    restart_seed, EmbedError, EmbedOptions, EmbedStats, Embedding,
 };
 pub use graph::{CsrNeighbors, HardwareGraph};
 pub use topology::{

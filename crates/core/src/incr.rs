@@ -1,0 +1,878 @@
+//! Incremental recompilation: re-run only the stages whose inputs moved
+//! (DESIGN.md §14).
+//!
+//! Every compile records an [`IncrState`] on its [`Compiled`] result:
+//! deterministic FNV content keys for the source text, the input
+//! netlist, the option set, and the optimized netlist, plus the
+//! per-cell QMASM blocks the generator concatenated. A later
+//! [`compile_incremental`] call compares keys outer-to-inner and stops
+//! re-running stages at the first match:
+//!
+//! * options changed → full rebuild (every stage key includes the
+//!   option set, so nothing is reusable);
+//! * source text identical → every stage replays its cached artifact;
+//! * optimized netlist identical (e.g. a comment or whitespace edit) →
+//!   the front end re-runs, the whole back end replays;
+//! * otherwise the EDIF round trip re-runs (it is behavioral, not an
+//!   identity), the post-EDIF netlists are diffed cell-by-cell, and QMASM
+//!   generation and assembly splice: artifacts derived from cells outside
+//!   the dirty cone are copied from the previous compile, only the cone
+//!   is regenerated. Spliced artifacts are byte-identical to a cold
+//!   compile by construction — the property tests in `qac-bench` enforce
+//!   exactly that.
+//!
+//! Fallback rules: an incomparable diff (different cell count, renamed
+//! module, changed ports or constants) falls back to full stage re-runs;
+//! assembly splicing additionally requires unchanged macros and an
+//! unchanged symbol-interning sequence ([`qac_qmasm::assemble_incremental`]
+//! verifies both and reports `None` when they fail). The `analyze` stage
+//! is global, so it replays only when its entire input (assembled model
+//! and program) is unchanged.
+//!
+//! Observability: skipped stages appear in the [`Trace`](crate::Trace)
+//! with a `cached` mark and zero duration, emit `stage_skip` flight
+//! events tagged with the current trace id, and bump
+//! `qac_incr_stage_hit_total`; re-run stages bump
+//! `qac_incr_stage_miss_total`.
+
+use qac_analysis::AnalysisReport;
+use qac_gatesynth::CellLibrary;
+use qac_netlist::{CellId, Fnv, Netlist};
+use qac_qmasm::{assemble, assemble_incremental, AssembleOptions, Assembled, MapIncludes, Program};
+
+use crate::pipeline::{
+    analysis_options_for, build_stats, expected_ground_energy_of, AnalyzeStage, EdifReadStage,
+    EdifWriteStage, OptimizeStage, QmasmGenStage, QmasmParseStage, UnrollStage, VerilogStage,
+};
+use crate::qmasm_gen::{netlist_to_qmasm_spliced, GenOutput};
+use crate::stage::{Session, Stage};
+use crate::{CompileError, CompileOptions, Compiled};
+
+/// Content keys and reuse units recorded on every [`Compiled`], consumed
+/// by [`compile_incremental`] to decide which stages can be skipped.
+#[derive(Debug, Clone)]
+pub struct IncrState {
+    /// Key of the Verilog source + top module (`None` for the netlist
+    /// entry point).
+    pub(crate) source_key: Option<u64>,
+    /// Structural key of the input netlist (`None` for the Verilog entry
+    /// point).
+    pub(crate) netlist_key: Option<u64>,
+    /// Key of every compile-relevant option (embed options excluded —
+    /// they do not shape compile artifacts).
+    pub(crate) options_key: u64,
+    /// Structural key of the optimized netlist, taken just before the
+    /// EDIF round trip: a match here proves the whole back end reusable.
+    pub(crate) optimized_key: u64,
+    /// The per-cell QMASM net-section blocks, the splice unit for
+    /// incremental generation.
+    pub(crate) cell_blocks: Vec<String>,
+}
+
+/// What [`compile_incremental`] did with one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageDisposition {
+    /// Input key matched — the cached artifact was replayed.
+    Skipped,
+    /// The stage re-ran from scratch.
+    Full,
+    /// The stage re-ran over the dirty cone only, splicing the rest from
+    /// the previous compile's artifact.
+    Spliced {
+        /// Reused units (cells for `qmasm-gen`, top-level statements for
+        /// `assemble`).
+        reused: usize,
+        /// Regenerated units.
+        redone: usize,
+    },
+}
+
+impl std::fmt::Display for StageDisposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StageDisposition::Skipped => write!(f, "skip"),
+            StageDisposition::Full => write!(f, "full"),
+            StageDisposition::Spliced { reused, redone } => {
+                write!(f, "splice({reused} reused, {redone} redone)")
+            }
+        }
+    }
+}
+
+/// Per-stage account of one incremental recompile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IncrementalReport {
+    /// `(stage name, disposition)` in execution order.
+    pub stages: Vec<(String, StageDisposition)>,
+    /// Cells whose structural hash changed between the previous and new
+    /// optimized netlists (empty when the diff never ran).
+    pub changed_cells: Vec<CellId>,
+    /// The changed cells closed over the fan-out table — the logic cone
+    /// whose derived artifacts were regenerated.
+    pub dirty_cone: Vec<CellId>,
+    /// True when nothing at all was reusable (changed options or an
+    /// incomparable netlist).
+    pub full_rebuild: bool,
+}
+
+impl IncrementalReport {
+    /// How many stages were skipped outright.
+    pub fn skipped(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|(_, d)| *d == StageDisposition::Skipped)
+            .count()
+    }
+
+    /// The disposition of `stage`, if it appears in the report.
+    pub fn disposition(&self, stage: &str) -> Option<StageDisposition> {
+        self.stages
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|&(_, d)| d)
+    }
+}
+
+/// Content key of a Verilog compilation unit.
+pub(crate) fn source_fingerprint(source: &str, top: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(source);
+    h.write_str(top);
+    h.finish()
+}
+
+/// Content key of every compile-relevant option. Embed options are
+/// deliberately excluded: they configure downstream runs, not the
+/// artifacts this pipeline produces.
+pub(crate) fn options_key(options: &CompileOptions) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(&format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        options.opt_level,
+        options.unroll_steps,
+        options.unroll_initial,
+        options.merge_chains,
+        options.chain_strength,
+        options.analysis,
+    ));
+    h.finish()
+}
+
+const MISS_COUNTER: &str = "qac_incr_stage_miss_total";
+
+fn count_miss(n: u64) {
+    qac_telemetry::global().counter_add(MISS_COUNTER, n);
+}
+
+/// Runs a stage that could not be skipped, accounting the miss.
+fn run_miss<S: Stage>(
+    session: &mut Session,
+    report: &mut IncrementalReport,
+    stage: &S,
+    input: S::Input,
+) -> Result<S::Output, CompileError> {
+    count_miss(1);
+    report
+        .stages
+        .push((stage.name().to_string(), StageDisposition::Full));
+    session.run(stage, input)
+}
+
+/// Replays a skipped stage: cached-artifact bookkeeping only.
+fn skip_stage(session: &mut Session, report: &mut IncrementalReport, prev: &Compiled, name: &str) {
+    let size = prev.trace.get(name).map_or(0, |s| s.output_size);
+    session.skip_named(name, size);
+    report
+        .stages
+        .push((name.to_string(), StageDisposition::Skipped));
+}
+
+/// Recompiles `source` against the previous compile `prev`, re-running
+/// only the stages whose content keys moved. The returned [`Compiled`]
+/// is byte-identical (artifact-wise) to what a cold
+/// [`compile`](crate::compile) of the same inputs would produce; the
+/// [`IncrementalReport`] says which stages were skipped, spliced, or
+/// fully re-run.
+///
+/// # Errors
+/// Any [`CompileError`] a re-run stage raises.
+pub fn compile_incremental(
+    prev: &Compiled,
+    source: &str,
+    top: &str,
+    options: &CompileOptions,
+) -> Result<(Compiled, IncrementalReport), CompileError> {
+    let _span = qac_telemetry::global().span("compile");
+    if options_key(options) != prev.incr.options_key {
+        return full_rebuild(|| crate::pipeline::compile(source, top, options));
+    }
+    let source_key = source_fingerprint(source, top);
+    if prev.incr.source_key == Some(source_key) {
+        return Ok(replay_all(prev, options, Some(source_key), None));
+    }
+    let mut session = Session::new();
+    let mut report = IncrementalReport::default();
+    let netlist = run_miss(&mut session, &mut report, &VerilogStage { source, top }, ())?;
+    let verilog_lines = source.lines().filter(|l| !l.trim().is_empty()).count();
+    backend(
+        session,
+        report,
+        prev,
+        netlist,
+        verilog_lines,
+        options,
+        Some(source_key),
+        None,
+    )
+}
+
+/// [`compile_incremental`] for the netlist entry point: the front-end
+/// key is the netlist's structural hash instead of the source text.
+///
+/// # Errors
+/// Any [`CompileError`] a re-run stage raises.
+pub fn compile_netlist_incremental(
+    prev: &Compiled,
+    netlist: Netlist,
+    options: &CompileOptions,
+) -> Result<(Compiled, IncrementalReport), CompileError> {
+    let _span = qac_telemetry::global().span("compile");
+    if options_key(options) != prev.incr.options_key {
+        return full_rebuild(|| crate::pipeline::compile_netlist(netlist, options));
+    }
+    let netlist_key = netlist.structural_hash();
+    if prev.incr.netlist_key == Some(netlist_key) {
+        return Ok(replay_all(prev, options, None, Some(netlist_key)));
+    }
+    backend(
+        Session::new(),
+        IncrementalReport::default(),
+        prev,
+        netlist,
+        0,
+        options,
+        None,
+        Some(netlist_key),
+    )
+}
+
+/// Nothing was reusable: run the cold pipeline and account every stage
+/// as a miss.
+fn full_rebuild<F>(compile: F) -> Result<(Compiled, IncrementalReport), CompileError>
+where
+    F: FnOnce() -> Result<Compiled, CompileError>,
+{
+    let compiled = compile()?;
+    count_miss(compiled.trace.stages().len() as u64);
+    let report = IncrementalReport {
+        stages: compiled
+            .trace
+            .stages()
+            .iter()
+            .map(|s| (s.name.clone(), StageDisposition::Full))
+            .collect(),
+        changed_cells: Vec::new(),
+        dirty_cone: Vec::new(),
+        full_rebuild: true,
+    };
+    Ok((compiled, report))
+}
+
+/// The outermost key matched: replay every stage of the previous compile.
+fn replay_all(
+    prev: &Compiled,
+    options: &CompileOptions,
+    source_key: Option<u64>,
+    netlist_key: Option<u64>,
+) -> (Compiled, IncrementalReport) {
+    let mut session = Session::new();
+    let mut report = IncrementalReport::default();
+    for stage in prev.trace.stages() {
+        session.skip_named(&stage.name, stage.output_size);
+        report
+            .stages
+            .push((stage.name.clone(), StageDisposition::Skipped));
+    }
+    let mut out = prev.clone();
+    out.trace = session.finish();
+    // Keep the caller's options (embed settings may differ without
+    // perturbing the compile key) and re-anchor the entry-point keys.
+    out.options = options.clone();
+    out.incr.source_key = source_key;
+    out.incr.netlist_key = netlist_key;
+    (out, report)
+}
+
+/// Everything after the front end: unroll + optimize always re-run (they
+/// are cheap and their input moved), then keys decide how much of the
+/// back end survives.
+#[allow(clippy::too_many_arguments)]
+fn backend(
+    mut session: Session,
+    mut report: IncrementalReport,
+    prev: &Compiled,
+    netlist: Netlist,
+    verilog_lines: usize,
+    options: &CompileOptions,
+    source_key: Option<u64>,
+    netlist_key: Option<u64>,
+) -> Result<(Compiled, IncrementalReport), CompileError> {
+    let netlist = run_miss(
+        &mut session,
+        &mut report,
+        &UnrollStage {
+            steps: options.unroll_steps,
+            initial: options.unroll_initial,
+        },
+        netlist,
+    )?;
+    let netlist = run_miss(
+        &mut session,
+        &mut report,
+        &OptimizeStage {
+            opt_level: options.opt_level,
+        },
+        netlist,
+    )?;
+    let optimized_key = netlist.structural_hash();
+
+    if optimized_key == prev.incr.optimized_key {
+        // The edit vanished in the front end (comment, whitespace,
+        // refactor the optimizer erases): the whole back end replays.
+        for name in [
+            "edif-write",
+            "edif-read",
+            "qmasm-gen",
+            "qmasm-parse",
+            "assemble",
+            "analyze",
+        ] {
+            if prev.trace.get(name).is_some() {
+                skip_stage(&mut session, &mut report, prev, name);
+            }
+        }
+        let mut stats = prev.stats.clone();
+        stats.verilog_lines = verilog_lines;
+        let compiled = Compiled {
+            netlist: prev.netlist.clone(),
+            edif: prev.edif.clone(),
+            qmasm: prev.qmasm.clone(),
+            stdcell: prev.stdcell.clone(),
+            assembled: prev.assembled.clone(),
+            expected_ground_energy: prev.expected_ground_energy,
+            analysis: prev.analysis.clone(),
+            program: prev.program.clone(),
+            stats,
+            trace: session.finish(),
+            options: options.clone(),
+            incr: IncrState {
+                source_key,
+                netlist_key,
+                options_key: prev.incr.options_key,
+                optimized_key,
+                cell_blocks: prev.incr.cell_blocks.clone(),
+            },
+        };
+        return Ok((compiled, report));
+    }
+
+    // The EDIF round trip is behavioral, not an identity: once the
+    // netlist moved it must re-run so the post-EDIF netlist (the one
+    // every later artifact derives from) is exactly what a cold compile
+    // would see.
+    let edif = run_miss(&mut session, &mut report, &EdifWriteStage, netlist)?;
+    let netlist = run_miss(
+        &mut session,
+        &mut report,
+        &EdifReadStage { edif: &edif },
+        (),
+    )?;
+
+    let diff = Netlist::diff(&prev.netlist, &netlist);
+    report.changed_cells = diff.changed_cells.clone();
+    let library = CellLibrary::table5();
+
+    // QMASM generation: splice per-cell blocks when the diff allows it,
+    // regenerating only the dirty cone's cells.
+    let (qmasm, stdcell, cell_blocks) =
+        if diff.spliceable() && prev.incr.cell_blocks.len() == netlist.cells().len() {
+            report.dirty_cone = netlist.dirty_cone(&diff.changed_cells);
+            let mut changed = vec![false; netlist.cells().len()];
+            for &id in &report.dirty_cone {
+                changed[id] = true;
+            }
+            let redone = report.dirty_cone.len();
+            let reused = netlist.cells().len() - redone;
+            count_miss(1);
+            report.stages.push((
+                "qmasm-gen".to_string(),
+                StageDisposition::Spliced { reused, redone },
+            ));
+            let (gen, stdcell) = session.run(
+                &QmasmSpliceStage {
+                    netlist: &netlist,
+                    prev_blocks: &prev.incr.cell_blocks,
+                    changed: &changed,
+                    stdcell: &prev.stdcell,
+                },
+                (),
+            )?;
+            (gen.text, stdcell, gen.cell_blocks)
+        } else {
+            report.full_rebuild = true;
+            let (gen, stdcell) = run_miss(
+                &mut session,
+                &mut report,
+                &QmasmGenStage {
+                    netlist: &netlist,
+                    library: &library,
+                },
+                (),
+            )?;
+            (gen.text, stdcell, gen.cell_blocks)
+        };
+
+    let program;
+    let assembled;
+    let analysis;
+    let expected;
+    if qmasm == prev.qmasm && stdcell == prev.stdcell {
+        // The textual artifact landed identical (e.g. an internal net
+        // rename dirtied cell hashes without reaching any symbol):
+        // everything downstream of the text replays.
+        skip_stage(&mut session, &mut report, prev, "qmasm-parse");
+        skip_stage(&mut session, &mut report, prev, "assemble");
+        program = prev.program.clone();
+        assembled = prev.assembled.clone();
+        expected = expected_ground_energy_of(&netlist, &library, &assembled)?;
+        analysis = if options.analysis.enabled {
+            skip_stage(&mut session, &mut report, prev, "analyze");
+            prev.analysis.clone()
+        } else {
+            AnalysisReport::empty()
+        };
+    } else {
+        let mut includes = MapIncludes::new();
+        includes.insert("stdcell.qmasm", stdcell.clone());
+        program = run_miss(
+            &mut session,
+            &mut report,
+            &QmasmParseStage {
+                qmasm: &qmasm,
+                includes: &includes,
+            },
+            (),
+        )?;
+        let assemble_options = AssembleOptions {
+            merge_chains: options.merge_chains,
+            chain_strength: options.chain_strength,
+            pin_weight: None,
+        };
+        // Assemble: splice per-statement when the program-level diff
+        // allows it, falling back to a full assembly inside the stage.
+        count_miss(1);
+        let (out, splice) = session.run(
+            &AssembleIncrStage {
+                prev: &prev.assembled,
+                prev_program: &prev.program,
+                program: &program,
+                options: assemble_options,
+            },
+            (),
+        )?;
+        assembled = out;
+        report.stages.push((
+            "assemble".to_string(),
+            match splice {
+                Some((reused, redone)) => StageDisposition::Spliced { reused, redone },
+                None => StageDisposition::Full,
+            },
+        ));
+        expected = expected_ground_energy_of(&netlist, &library, &assembled)?;
+        analysis = if options.analysis.enabled {
+            if assembled == prev.assembled && program == prev.program {
+                // The analyzer reads the whole model — it replays only
+                // when its entire input is unchanged.
+                skip_stage(&mut session, &mut report, prev, "analyze");
+                prev.analysis.clone()
+            } else {
+                let analysis_options = analysis_options_for(options, expected);
+                let analysis_report = run_miss(
+                    &mut session,
+                    &mut report,
+                    &AnalyzeStage {
+                        assembled: &assembled,
+                        program: &program,
+                        options: &analysis_options,
+                    },
+                    (),
+                )?;
+                if analysis_report.diagnostics.has_errors() {
+                    return Err(CompileError::Analysis(analysis_report.diagnostics.clone()));
+                }
+                analysis_report
+            }
+        } else {
+            AnalysisReport::empty()
+        };
+    }
+
+    let stats = build_stats(verilog_lines, &edif, &qmasm, &stdcell, &assembled, &netlist);
+    let compiled = Compiled {
+        netlist,
+        edif,
+        qmasm,
+        stdcell,
+        assembled,
+        expected_ground_energy: expected,
+        analysis,
+        program,
+        stats,
+        trace: session.finish(),
+        options: options.clone(),
+        incr: IncrState {
+            source_key,
+            netlist_key,
+            options_key: prev.incr.options_key,
+            optimized_key,
+            cell_blocks,
+        },
+    };
+    Ok((compiled, report))
+}
+
+/// The spliced flavor of `qmasm-gen`: regenerates only `changed` cells'
+/// blocks, copying the rest from the previous compile.
+struct QmasmSpliceStage<'a> {
+    netlist: &'a Netlist,
+    prev_blocks: &'a [String],
+    changed: &'a [bool],
+    stdcell: &'a str,
+}
+
+impl Stage for QmasmSpliceStage<'_> {
+    type Input = ();
+    type Output = (GenOutput, String);
+    fn name(&self) -> &'static str {
+        "qmasm-gen"
+    }
+    fn run(&self, (): ()) -> Result<(GenOutput, String), CompileError> {
+        Ok((
+            netlist_to_qmasm_spliced(self.netlist, self.prev_blocks, self.changed),
+            self.stdcell.to_string(),
+        ))
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.netlist.cells().len()
+    }
+    fn output_size(&self, (gen, stdcell): &(GenOutput, String)) -> usize {
+        gen.text.len() + stdcell.len()
+    }
+}
+
+/// The spliced flavor of `assemble`: tries
+/// [`qac_qmasm::assemble_incremental`] and falls back to a full assembly
+/// inside the same timed stage. The second tuple element carries the
+/// `(reused, redone)` statement counts when the splice succeeded.
+struct AssembleIncrStage<'a> {
+    prev: &'a Assembled,
+    prev_program: &'a Program,
+    program: &'a Program,
+    options: AssembleOptions,
+}
+
+impl Stage for AssembleIncrStage<'_> {
+    type Input = ();
+    type Output = (Assembled, Option<(usize, usize)>);
+    fn name(&self) -> &'static str {
+        "assemble"
+    }
+    fn run(&self, (): ()) -> Result<(Assembled, Option<(usize, usize)>), CompileError> {
+        match assemble_incremental(self.prev, self.prev_program, self.program, &self.options)? {
+            Some(splice) => Ok((
+                splice.assembled,
+                Some((splice.reused_statements, splice.redone_statements)),
+            )),
+            None => Ok((assemble(self.program, &self.options)?, None)),
+        }
+    }
+    fn input_size(&self, (): &()) -> usize {
+        self.program.statements.len()
+    }
+    fn output_size(&self, (assembled, _): &(Assembled, Option<(usize, usize)>)) -> usize {
+        assembled.ising.num_terms(1e-12)
+    }
+}
+
+/// Variables whose coupling support changed between two assemblies —
+/// the chains a partial re-embed must rip up. Returns `None` when the
+/// variable spaces are not comparable (different counts or symbol
+/// interning), in which case the embedder must start from scratch.
+pub fn dirty_variables(prev: &Assembled, new: &Assembled) -> Option<Vec<bool>> {
+    let n = new.ising.num_vars();
+    // Comparable iff the variable count and the symbol-interning
+    // sequence held still — then "variable i" means the same slot on
+    // both sides. (The symbol→variable *mapping* may still move for
+    // chain members a retarget re-homed; the adjacency diff below marks
+    // exactly those variables dirty.)
+    if prev.ising.num_vars() != n || !prev.symbols.names().eq(new.symbols.names()) {
+        return None;
+    }
+    let adjacency = |assembled: &Assembled| -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for term in assembled.ising.j_iter() {
+            adj[term.i].push(term.j);
+            adj[term.j].push(term.i);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        adj
+    };
+    let old_adj = adjacency(prev);
+    let new_adj = adjacency(new);
+    Some((0..n).map(|i| old_adj[i] != new_adj[i]).collect())
+}
+
+/// Compares every artifact of two compiles, returning a description of
+/// the first mismatch (or `None` when they are identical). The
+/// incremental property tests use this to pinpoint which splice leaked.
+pub fn artifact_mismatch(a: &Compiled, b: &Compiled) -> Option<String> {
+    if a.netlist != b.netlist {
+        return Some("netlist differs".to_string());
+    }
+    if a.edif != b.edif {
+        return Some("edif text differs".to_string());
+    }
+    if a.qmasm != b.qmasm {
+        return Some("qmasm text differs".to_string());
+    }
+    if a.stdcell != b.stdcell {
+        return Some("stdcell text differs".to_string());
+    }
+    if a.program != b.program {
+        return Some("parsed program differs".to_string());
+    }
+    if a.assembled != b.assembled {
+        if a.assembled.ising != b.assembled.ising {
+            return Some("assembled ising differs".to_string());
+        }
+        return Some("assembled metadata differs".to_string());
+    }
+    if a.expected_ground_energy.to_bits() != b.expected_ground_energy.to_bits() {
+        return Some(format!(
+            "expected ground energy differs: {} vs {}",
+            a.expected_ground_energy, b.expected_ground_energy
+        ));
+    }
+    if a.analysis != b.analysis {
+        return Some("analysis report differs".to_string());
+    }
+    if a.stats != b.stats {
+        return Some("pipeline stats differ".to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, compile_netlist};
+    use qac_netlist::Builder;
+
+    const MUX_ADD_SUB: &str = r#"
+        module circuit (s, a, b, c);
+          input s, a, b;
+          output [1:0] c;
+          assign c = s ? a+b : a-b;
+        endmodule
+    "#;
+
+    fn demo_netlist() -> Netlist {
+        let mut b = Builder::new("demo");
+        let a = b.input("a", 1)[0];
+        let c = b.input("b", 1)[0];
+        let d = b.input("d", 1)[0];
+        let x = b.xor(a, c);
+        let y = b.and(x, d);
+        let z = b.or(y, a);
+        b.output("z", &[z]);
+        b.finish()
+    }
+
+    #[test]
+    fn identical_source_skips_every_stage() {
+        let options = CompileOptions::default();
+        let cold = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        let (warm, report) = compile_incremental(&cold, MUX_ADD_SUB, "circuit", &options).unwrap();
+        assert_eq!(report.stages.len(), 9);
+        assert!(report
+            .stages
+            .iter()
+            .all(|(_, d)| *d == StageDisposition::Skipped));
+        assert!(!report.full_rebuild);
+        assert_eq!(artifact_mismatch(&cold, &warm), None);
+        assert!(warm.trace.stages().iter().all(|s| s.skipped));
+    }
+
+    #[test]
+    fn comment_edit_runs_the_front_end_and_replays_the_back_end() {
+        let options = CompileOptions::default();
+        let cold = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        let edited = MUX_ADD_SUB.replace(
+            "assign c",
+            "// the mux, now with a comment\n          assign c",
+        );
+        let (warm, report) = compile_incremental(&cold, &edited, "circuit", &options).unwrap();
+        assert_eq!(
+            report.disposition("verilog-parse"),
+            Some(StageDisposition::Full)
+        );
+        assert_eq!(report.disposition("optimize"), Some(StageDisposition::Full));
+        assert_eq!(
+            report.disposition("edif-write"),
+            Some(StageDisposition::Skipped)
+        );
+        assert_eq!(
+            report.disposition("assemble"),
+            Some(StageDisposition::Skipped)
+        );
+        assert_eq!(
+            report.disposition("analyze"),
+            Some(StageDisposition::Skipped)
+        );
+        let recold = compile(&edited, "circuit", &options).unwrap();
+        assert_eq!(artifact_mismatch(&recold, &warm), None);
+    }
+
+    #[test]
+    fn changed_options_force_a_full_rebuild() {
+        let cold = compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap();
+        let options = CompileOptions {
+            merge_chains: false,
+            ..Default::default()
+        };
+        let (warm, report) = compile_incremental(&cold, MUX_ADD_SUB, "circuit", &options).unwrap();
+        assert!(report.full_rebuild);
+        assert!(report
+            .stages
+            .iter()
+            .all(|(_, d)| *d == StageDisposition::Full));
+        let recold = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        assert_eq!(artifact_mismatch(&recold, &warm), None);
+    }
+
+    #[test]
+    fn embed_options_do_not_perturb_the_compile_key() {
+        let mut options = CompileOptions::default();
+        let cold = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        options.embed.tries += 3;
+        let (warm, report) = compile_incremental(&cold, MUX_ADD_SUB, "circuit", &options).unwrap();
+        assert!(report
+            .stages
+            .iter()
+            .all(|(_, d)| *d == StageDisposition::Skipped));
+        assert_eq!(warm.options.embed.tries, options.embed.tries);
+    }
+
+    #[test]
+    fn gate_edit_splices_generation_and_assembly_byte_identically() {
+        let options = CompileOptions {
+            opt_level: 0,
+            ..Default::default()
+        };
+        let old = demo_netlist();
+        let prev = compile_netlist(old.clone(), &options).unwrap();
+        let mut new = old.clone();
+        new.set_cell_kind(1, qac_netlist::CellKind::Or);
+        let cold = compile_netlist(new.clone(), &options).unwrap();
+        let (warm, report) = compile_netlist_incremental(&prev, new, &options).unwrap();
+        assert_eq!(artifact_mismatch(&cold, &warm), None);
+        assert!(!report.full_rebuild);
+        assert!(matches!(
+            report.disposition("qmasm-gen"),
+            Some(StageDisposition::Spliced { .. })
+        ));
+        assert_eq!(report.changed_cells, vec![1]);
+        assert!(report.dirty_cone.contains(&1));
+    }
+
+    #[test]
+    fn retarget_edit_stays_byte_identical() {
+        let options = CompileOptions {
+            opt_level: 0,
+            ..Default::default()
+        };
+        let old = demo_netlist();
+        let prev = compile_netlist(old.clone(), &options).unwrap();
+        let mut new = old.clone();
+        // Feed the OR's second pin from `d` instead of `a`. (Both `a`
+        // and `d` were interned earlier, so the symbol sequence holds.)
+        let d_net = old.port("d").unwrap().bits[0];
+        new.retarget_input(2, 1, d_net);
+        let cold = compile_netlist(new.clone(), &options).unwrap();
+        let (warm, report) = compile_netlist_incremental(&prev, new, &options).unwrap();
+        assert_eq!(artifact_mismatch(&cold, &warm), None);
+        assert!(!report.full_rebuild);
+        // The retarget changes coupling support, so some chains dirty.
+        let dirty = dirty_variables(&prev.assembled, &warm.assembled).unwrap();
+        assert!(dirty.iter().any(|&d| d));
+    }
+
+    #[test]
+    fn gate_swap_keeps_coupling_support_clean() {
+        // AND→OR changes coefficient values but not the coupling graph:
+        // no chain needs to move on the hardware.
+        let options = CompileOptions {
+            opt_level: 0,
+            ..Default::default()
+        };
+        let old = demo_netlist();
+        let prev = compile_netlist(old.clone(), &options).unwrap();
+        let mut new = old;
+        new.set_cell_kind(1, qac_netlist::CellKind::Or);
+        let (warm, _) = compile_netlist_incremental(&prev, new, &options).unwrap();
+        let dirty = dirty_variables(&prev.assembled, &warm.assembled).unwrap();
+        assert!(dirty.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn incomparable_netlists_fall_back_to_full_stages() {
+        let options = CompileOptions {
+            opt_level: 0,
+            ..Default::default()
+        };
+        let prev = compile_netlist(demo_netlist(), &options).unwrap();
+        // A different circuit entirely (different cell count).
+        let mut b = Builder::new("demo");
+        let a = b.input("a", 1)[0];
+        let c = b.input("b", 1)[0];
+        let x = b.and(a, c);
+        b.output("z", &[x]);
+        let other = b.finish();
+        let cold = compile_netlist(other.clone(), &options).unwrap();
+        let (warm, report) = compile_netlist_incremental(&prev, other, &options).unwrap();
+        assert!(report.full_rebuild);
+        assert_eq!(
+            report.disposition("qmasm-gen"),
+            Some(StageDisposition::Full)
+        );
+        assert_eq!(artifact_mismatch(&cold, &warm), None);
+    }
+
+    #[test]
+    fn warm_compile_chains_warm_again() {
+        // A second identical-source recompile off a warm result must
+        // still skip everything (the IncrState survives replay).
+        let options = CompileOptions::default();
+        let cold = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        let (warm1, _) = compile_incremental(&cold, MUX_ADD_SUB, "circuit", &options).unwrap();
+        let (warm2, report) =
+            compile_incremental(&warm1, MUX_ADD_SUB, "circuit", &options).unwrap();
+        assert!(report
+            .stages
+            .iter()
+            .all(|(_, d)| *d == StageDisposition::Skipped));
+        assert_eq!(artifact_mismatch(&cold, &warm2), None);
+    }
+}

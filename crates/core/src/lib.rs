@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod incr;
 mod pipeline;
 mod qmasm_gen;
 mod run;
@@ -55,6 +56,10 @@ mod stage;
 mod trace;
 
 pub use error::CompileError;
+pub use incr::{
+    artifact_mismatch, compile_incremental, compile_netlist_incremental, dirty_variables,
+    IncrState, IncrementalReport, StageDisposition,
+};
 pub use pipeline::{compile, compile_netlist, CompileOptions, Compiled, PipelineStats};
 pub use qmasm_gen::netlist_to_qmasm;
 pub use run::{

@@ -16,7 +16,8 @@ use qac_netlist::unroll::{unroll, InitialState};
 use qac_netlist::{opt, Netlist, NetlistStats};
 use qac_qmasm::{assemble, parse, stdcell_qmasm, AssembleOptions, Assembled, MapIncludes, Program};
 
-use crate::qmasm_gen::netlist_to_qmasm;
+use crate::incr::IncrState;
+use crate::qmasm_gen::{netlist_to_qmasm_blocks, GenOutput};
 use crate::stage::{Session, Stage};
 use crate::trace::Trace;
 use crate::CompileError;
@@ -97,12 +98,17 @@ pub struct Compiled {
     /// The static analyzer's report over the assembled model (empty when
     /// the analyzer is disabled).
     pub analysis: AnalysisReport,
+    /// The parsed QMASM program the model was assembled from (kept so an
+    /// incremental recompile can splice against it).
+    pub program: Program,
     /// Static measurements.
     pub stats: PipelineStats,
     /// Per-stage wall time and artifact sizes of this compilation.
     pub trace: Trace,
     /// The options used (downstream runs reuse the embed settings).
     pub options: CompileOptions,
+    /// Content keys and reuse units for [`crate::compile_incremental`].
+    pub incr: IncrState,
 }
 
 impl Compiled {
@@ -117,9 +123,9 @@ impl Compiled {
 // ---------------------------------------------------------------------
 
 /// Verilog source → netlist (the Yosys role).
-struct VerilogStage<'a> {
-    source: &'a str,
-    top: &'a str,
+pub(crate) struct VerilogStage<'a> {
+    pub(crate) source: &'a str,
+    pub(crate) top: &'a str,
 }
 
 impl Stage for VerilogStage<'_> {
@@ -141,9 +147,9 @@ impl Stage for VerilogStage<'_> {
 
 /// Time-unrolls sequential logic (§4.3.3); identity when no step count
 /// was requested.
-struct UnrollStage {
-    steps: Option<usize>,
-    initial: InitialState,
+pub(crate) struct UnrollStage {
+    pub(crate) steps: Option<usize>,
+    pub(crate) initial: InitialState,
 }
 
 impl Stage for UnrollStage {
@@ -170,8 +176,8 @@ impl Stage for UnrollStage {
 }
 
 /// Gate-level optimization (the ABC role) plus validation.
-struct OptimizeStage {
-    opt_level: u8,
+pub(crate) struct OptimizeStage {
+    pub(crate) opt_level: u8,
 }
 
 impl Stage for OptimizeStage {
@@ -199,7 +205,7 @@ impl Stage for OptimizeStage {
 }
 
 /// Netlist → EDIF text.
-struct EdifWriteStage;
+pub(crate) struct EdifWriteStage;
 
 impl Stage for EdifWriteStage {
     type Input = Netlist;
@@ -219,8 +225,8 @@ impl Stage for EdifWriteStage {
 }
 
 /// EDIF text → netlist (the round trip the original toolchain takes).
-struct EdifReadStage<'a> {
-    edif: &'a str,
+pub(crate) struct EdifReadStage<'a> {
+    pub(crate) edif: &'a str,
 }
 
 impl Stage for EdifReadStage<'_> {
@@ -242,32 +248,35 @@ impl Stage for EdifReadStage<'_> {
 
 /// Netlist → QMASM program text + standard-cell library text (the
 /// `edif2qmasm` role).
-struct QmasmGenStage<'a> {
-    netlist: &'a Netlist,
-    library: &'a CellLibrary,
+pub(crate) struct QmasmGenStage<'a> {
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) library: &'a CellLibrary,
 }
 
 impl Stage for QmasmGenStage<'_> {
     type Input = ();
-    type Output = (String, String);
+    type Output = (GenOutput, String);
     fn name(&self) -> &'static str {
         "qmasm-gen"
     }
-    fn run(&self, (): ()) -> Result<(String, String), CompileError> {
-        Ok((netlist_to_qmasm(self.netlist), stdcell_qmasm(self.library)))
+    fn run(&self, (): ()) -> Result<(GenOutput, String), CompileError> {
+        Ok((
+            netlist_to_qmasm_blocks(self.netlist),
+            stdcell_qmasm(self.library),
+        ))
     }
     fn input_size(&self, (): &()) -> usize {
         self.netlist.cells().len()
     }
-    fn output_size(&self, (qmasm, stdcell): &(String, String)) -> usize {
-        qmasm.len() + stdcell.len()
+    fn output_size(&self, (gen, stdcell): &(GenOutput, String)) -> usize {
+        gen.text.len() + stdcell.len()
     }
 }
 
 /// QMASM text → parsed program.
-struct QmasmParseStage<'a> {
-    qmasm: &'a str,
-    includes: &'a MapIncludes,
+pub(crate) struct QmasmParseStage<'a> {
+    pub(crate) qmasm: &'a str,
+    pub(crate) includes: &'a MapIncludes,
 }
 
 impl Stage for QmasmParseStage<'_> {
@@ -288,9 +297,9 @@ impl Stage for QmasmParseStage<'_> {
 }
 
 /// Parsed program → assembled logical Ising model.
-struct AssembleStage<'a> {
-    program: &'a Program,
-    options: AssembleOptions,
+pub(crate) struct AssembleStage<'a> {
+    pub(crate) program: &'a Program,
+    pub(crate) options: AssembleOptions,
 }
 
 impl Stage for AssembleStage<'_> {
@@ -312,10 +321,10 @@ impl Stage for AssembleStage<'_> {
 
 /// Assembled model → static-analysis report (lint passes, §6-style
 /// model audits). Error-severity diagnostics abort compilation.
-struct AnalyzeStage<'a> {
-    assembled: &'a Assembled,
-    program: &'a Program,
-    options: &'a AnalysisOptions,
+pub(crate) struct AnalyzeStage<'a> {
+    pub(crate) assembled: &'a Assembled,
+    pub(crate) program: &'a Program,
+    pub(crate) options: &'a AnalysisOptions,
 }
 
 impl Stage for AnalyzeStage<'_> {
@@ -356,7 +365,8 @@ pub fn compile(
     let mut session = Session::new();
     let netlist = session.run(&VerilogStage { source, top }, ())?;
     let verilog_lines = source.lines().filter(|l| !l.trim().is_empty()).count();
-    compile_netlist_in_session(session, netlist, verilog_lines, options)
+    let source_key = Some(crate::incr::source_fingerprint(source, top));
+    compile_netlist_in_session(session, netlist, verilog_lines, options, source_key, None)
 }
 
 /// Compiles an already-built netlist (skipping the Verilog frontend).
@@ -368,14 +378,17 @@ pub fn compile_netlist(
     options: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
     let _span = qac_telemetry::global().span("compile");
-    compile_netlist_in_session(Session::new(), netlist, 0, options)
+    let netlist_key = Some(netlist.structural_hash());
+    compile_netlist_in_session(Session::new(), netlist, 0, options, None, netlist_key)
 }
 
-fn compile_netlist_in_session(
+pub(crate) fn compile_netlist_in_session(
     mut session: Session,
     netlist: Netlist,
     verilog_lines: usize,
     options: &CompileOptions,
+    source_key: Option<u64>,
+    netlist_key: Option<u64>,
 ) -> Result<Compiled, CompileError> {
     // Unroll sequential logic if requested (§4.3.3), then optimize (the
     // ABC role).
@@ -393,19 +406,27 @@ fn compile_netlist_in_session(
         netlist,
     )?;
 
+    // Content key of the optimized netlist: the incremental driver uses
+    // it to detect that the whole back end can be replayed verbatim.
+    let optimized_key = netlist.structural_hash();
+
     // Round-trip through EDIF text, as the original pipeline does.
     let edif = session.run(&EdifWriteStage, netlist)?;
     let netlist = session.run(&EdifReadStage { edif: &edif }, ())?;
 
     // EDIF → QMASM.
     let library = CellLibrary::table5();
-    let (qmasm, stdcell) = session.run(
+    let (gen, stdcell) = session.run(
         &QmasmGenStage {
             netlist: &netlist,
             library: &library,
         },
         (),
     )?;
+    let GenOutput {
+        text: qmasm,
+        cell_blocks,
+    } = gen;
     let mut includes = MapIncludes::new();
     includes.insert("stdcell.qmasm", stdcell.clone());
 
@@ -430,33 +451,14 @@ fn compile_netlist_in_session(
         (),
     )?;
 
-    // Expected ground energy: Σ instantiated-cell ground energies, plus
-    // −1 per ground/power tie (H_GND/H_VCC reach −1 when satisfied).
-    let mut expected = 0.0;
-    for cell in netlist.cells() {
-        let lib_cell = library
-            .get(cell.kind.name())
-            .ok_or_else(|| CompileError::Pipeline(format!("no cell for {}", cell.kind)))?;
-        expected += lib_cell.ground_energy();
-    }
-    expected -= netlist.constants().len() as f64;
-    // With merging disabled, every emitted chain coupling `J = −strength`
-    // reaches −strength when the chain is satisfied, so valid executions
-    // sit that much lower.
-    expected -= assembled.num_chain_couplings as f64 * assembled.chain_strength;
+    let expected = expected_ground_energy_of(&netlist, &library, &assembled)?;
 
     // Static analysis over the assembled model. The expected ground
     // energy just derived feeds the roof-duality and exact-audit passes;
     // the unmerged chain strength feeds the sufficiency bound when the
     // caller did not pick one explicitly.
     let analysis = if options.analysis.enabled {
-        let mut analysis_options = options.analysis.clone();
-        if analysis_options.expected_ground_energy.is_none() {
-            analysis_options.expected_ground_energy = Some(expected);
-        }
-        if analysis_options.chain_strength.is_none() {
-            analysis_options.chain_strength = options.chain_strength;
-        }
+        let analysis_options = analysis_options_for(options, expected);
         let report = session.run(
             &AnalyzeStage {
                 assembled: &assembled,
@@ -473,14 +475,14 @@ fn compile_netlist_in_session(
         AnalysisReport::empty()
     };
 
-    let stats = PipelineStats {
-        verilog_lines,
-        edif_lines: edif.lines().count(),
-        qmasm_lines: qmasm.lines().count(),
-        stdcell_lines: stdcell.lines().count(),
-        logical_variables: assembled.ising.num_vars(),
-        logical_terms: assembled.ising.num_terms(1e-12),
-        netlist: NetlistStats::of(&netlist),
+    let stats = build_stats(verilog_lines, &edif, &qmasm, &stdcell, &assembled, &netlist);
+
+    let incr = IncrState {
+        source_key,
+        netlist_key,
+        options_key: crate::incr::options_key(options),
+        optimized_key,
+        cell_blocks,
     };
 
     Ok(Compiled {
@@ -491,10 +493,69 @@ fn compile_netlist_in_session(
         assembled,
         expected_ground_energy: expected,
         analysis,
+        program,
         stats,
         trace: session.finish(),
         options: options.clone(),
+        incr,
     })
+}
+
+/// Expected ground energy: Σ instantiated-cell ground energies, plus −1
+/// per ground/power tie (H_GND/H_VCC reach −1 when satisfied). With
+/// merging disabled, every emitted chain coupling `J = −strength` reaches
+/// −strength when the chain is satisfied, so valid executions sit that
+/// much lower.
+pub(crate) fn expected_ground_energy_of(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    assembled: &Assembled,
+) -> Result<f64, CompileError> {
+    let mut expected = 0.0;
+    for cell in netlist.cells() {
+        let lib_cell = library
+            .get(cell.kind.name())
+            .ok_or_else(|| CompileError::Pipeline(format!("no cell for {}", cell.kind)))?;
+        expected += lib_cell.ground_energy();
+    }
+    expected -= netlist.constants().len() as f64;
+    expected -= assembled.num_chain_couplings as f64 * assembled.chain_strength;
+    Ok(expected)
+}
+
+/// The analyzer options actually passed to the `analyze` stage: the
+/// derived expected ground energy feeds the roof-duality and exact-audit
+/// passes, and the unmerged chain strength feeds the sufficiency bound
+/// when the caller did not pick one explicitly.
+pub(crate) fn analysis_options_for(options: &CompileOptions, expected: f64) -> AnalysisOptions {
+    let mut analysis_options = options.analysis.clone();
+    if analysis_options.expected_ground_energy.is_none() {
+        analysis_options.expected_ground_energy = Some(expected);
+    }
+    if analysis_options.chain_strength.is_none() {
+        analysis_options.chain_strength = options.chain_strength;
+    }
+    analysis_options
+}
+
+/// The §6.1 static size measurements over the final artifacts.
+pub(crate) fn build_stats(
+    verilog_lines: usize,
+    edif: &str,
+    qmasm: &str,
+    stdcell: &str,
+    assembled: &Assembled,
+    netlist: &Netlist,
+) -> PipelineStats {
+    PipelineStats {
+        verilog_lines,
+        edif_lines: edif.lines().count(),
+        qmasm_lines: qmasm.lines().count(),
+        stdcell_lines: stdcell.lines().count(),
+        logical_variables: assembled.ising.num_vars(),
+        logical_terms: assembled.ising.num_terms(1e-12),
+        netlist: NetlistStats::of(netlist),
+    }
 }
 
 #[cfg(test)]

@@ -554,6 +554,7 @@ impl Compiled {
                 retries: phase.retries,
                 alloc_bytes: 0,
                 alloc_peak_bytes: 0,
+                skipped: false,
             });
         }
 

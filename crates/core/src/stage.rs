@@ -111,8 +111,34 @@ impl Session {
             retries,
             alloc_bytes: alloc.allocated_bytes,
             alloc_peak_bytes: alloc.peak_growth_bytes,
+            skipped: false,
         });
         Ok(output)
+    }
+
+    /// Records a stage the incremental compiler skipped: the input hash
+    /// matched the previous compile, so the cached artifact is replayed
+    /// instead of re-running the stage (DESIGN.md §14). Emits a
+    /// `stage_skip` flight event (tagged with the current trace id, if
+    /// any) and bumps `qac_incr_stage_hit_total`.
+    pub fn skip<S: Stage>(&mut self, stage: &S, output_size: usize) {
+        self.skip_named(stage.name(), output_size);
+    }
+
+    /// [`Session::skip`] for callers that only have the stage name.
+    pub fn skip_named(&mut self, name: &str, output_size: usize) {
+        qac_telemetry::global_flight().record(FlightKind::StageSkip, name, output_size as f64);
+        qac_telemetry::global().counter_add("qac_incr_stage_hit_total", 1);
+        self.trace.record(StageTrace {
+            name: name.to_string(),
+            duration: std::time::Duration::ZERO,
+            input_size: 0,
+            output_size,
+            retries: 0,
+            alloc_bytes: 0,
+            alloc_peak_bytes: 0,
+            skipped: true,
+        });
     }
 
     /// Records an externally-timed entry (sampler sub-phases).

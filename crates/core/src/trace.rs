@@ -37,6 +37,10 @@ pub struct StageTrace {
     /// Growth of the process allocation high-water mark during the
     /// stage (0 when the stage set no new peak, or no allocator).
     pub alloc_peak_bytes: u64,
+    /// Whether the stage was skipped by the incremental compiler and
+    /// its cached artifact replayed (DESIGN.md §14). Skipped stages
+    /// report the replay bookkeeping time, not the original cost.
+    pub skipped: bool,
 }
 
 /// An ordered collection of [`StageTrace`]s — the execution history of
@@ -109,8 +113,11 @@ impl fmt::Display for Trace {
             .unwrap_or(5)
             .max(5);
         // Allocation columns only appear when a counting allocator fed
-        // them — the default build's table is unchanged.
+        // them — the default build's table is unchanged. Likewise the
+        // cached column only appears when the incremental compiler
+        // actually skipped something.
         let show_alloc = self.stages.iter().any(|s| s.alloc_bytes > 0);
+        let show_skip = self.stages.iter().any(|s| s.skipped);
         write!(
             f,
             "{:<name_width$}  {:>10}  {:>9}  {:>9}  {:>7}",
@@ -118,6 +125,9 @@ impl fmt::Display for Trace {
         )?;
         if show_alloc {
             write!(f, "  {:>12}  {:>12}", "alloc", "peak+")?;
+        }
+        if show_skip {
+            write!(f, "  {:>6}", "cached")?;
         }
         writeln!(f)?;
         for s in &self.stages {
@@ -132,6 +142,9 @@ impl fmt::Display for Trace {
             )?;
             if show_alloc {
                 write!(f, "  {:>12}  {:>12}", s.alloc_bytes, s.alloc_peak_bytes)?;
+            }
+            if show_skip {
+                write!(f, "  {:>6}", if s.skipped { "yes" } else { "" })?;
             }
             writeln!(f)?;
         }
@@ -157,6 +170,7 @@ mod tests {
             retries: 0,
             alloc_bytes: 0,
             alloc_peak_bytes: 0,
+            skipped: false,
         }
     }
 
@@ -211,6 +225,23 @@ mod tests {
         assert!(text.contains("assemble"));
         assert!(text.lines().count() >= 4, "header + 2 stages + total");
         assert!(text.lines().last().unwrap().starts_with("total"));
+    }
+
+    #[test]
+    fn cached_column_appears_only_when_a_stage_was_skipped() {
+        let mut plain = Trace::new();
+        plain.record(stage("assemble", 4));
+        assert!(!plain.to_string().contains("cached"));
+        let mut warm = Trace::new();
+        warm.record(StageTrace {
+            skipped: true,
+            ..stage("assemble", 0)
+        });
+        warm.record(stage("analyze", 3));
+        let text = warm.to_string();
+        assert!(text.contains("cached"));
+        let skipped_row = text.lines().find(|l| l.starts_with("assemble")).unwrap();
+        assert!(skipped_row.trim_end().ends_with("yes"));
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn forced_timeout_dumps_a_post_mortem_with_the_jobs_trace() {
             },
         )))
         .num_reads(0);
-    let job = JobSpec::new(program, options, "doomed".to_string());
+    let job = JobSpec::new(program.clone(), options, "doomed".to_string());
     let trace = job.trace;
     assert!(!trace.is_none());
 
@@ -118,4 +118,44 @@ fn forced_timeout_dumps_a_post_mortem_with_the_jobs_trace() {
     // fresh trace id has no events.
     let foreign = qac_telemetry::global_flight().dump_jsonl(qac_telemetry::TraceId::fresh());
     assert!(foreign.is_empty());
+
+    // Incremental recompiles are post-mortem-visible too: a warm
+    // recompile under its own trace scope leaves one `stage_skip` flight
+    // event per replayed stage, tagged with that job's trace id — so a
+    // dump can explain not just what ran, but what was *skipped* and
+    // under which edit session (DESIGN.md §14).
+    let recompile_trace = qac_telemetry::TraceId::fresh();
+    let report = {
+        let _scope = qac_telemetry::TraceScope::enter(recompile_trace);
+        let (_, report) = qac_core::compile_incremental(
+            &program,
+            MUX_ADD_SUB,
+            "circuit",
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        report
+    };
+    assert!(!report.full_rebuild);
+    assert!(report.skipped() > 0, "identical source skips stages");
+    let skip_events: Vec<String> = qac_telemetry::global_flight()
+        .events_for(recompile_trace)
+        .iter()
+        .filter(|e| e.kind == qac_telemetry::FlightKind::StageSkip)
+        .map(|e| e.name.to_string())
+        .collect();
+    assert_eq!(
+        skip_events.len(),
+        report.skipped(),
+        "every skipped stage leaves a stage_skip event under the job's trace"
+    );
+    assert!(
+        skip_events.iter().any(|n| n == "assemble"),
+        "skip events name the skipped stage: {skip_events:?}"
+    );
+    // The skip events stay scoped: the doomed job's dump has none.
+    assert!(
+        !kinds.contains("stage_skip"),
+        "the engine job compiled nothing incrementally"
+    );
 }

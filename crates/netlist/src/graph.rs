@@ -194,7 +194,13 @@ impl Netlist {
         for (net, _) in &mut self.constants {
             *net = map[*net];
         }
-        let names = std::mem::take(&mut self.net_names);
+        // Re-key names in ascending net order: when two named nets merge,
+        // the lowest-numbered one's name survives. (Iterating the HashMap
+        // directly made the winner hash-order-dependent, which leaked all
+        // the way into EDIF text and broke the incremental compiler's
+        // cold-vs-warm byte-identity.)
+        let mut names: Vec<(NetId, String)> = self.net_names.drain().collect();
+        names.sort_unstable_by_key(|&(net, _)| net);
         for (net, name) in names {
             self.net_names.entry(map[net]).or_insert(name);
         }

@@ -41,6 +41,7 @@ mod builder;
 mod cell;
 mod error;
 mod graph;
+pub mod incr;
 pub mod opt;
 pub mod sim;
 mod stats;
@@ -50,5 +51,6 @@ pub use builder::Builder;
 pub use cell::CellKind;
 pub use error::NetlistError;
 pub use graph::{Cell, CellId, NetId, Netlist, Port};
+pub use incr::{fnv_str, Fnv, NetlistDiff};
 pub use sim::{CombSim, SeqSim};
 pub use stats::NetlistStats;

@@ -56,7 +56,10 @@ pub mod pin;
 mod report;
 mod stdgen;
 
-pub use assemble::{assemble, AssembleOptions, Assembled, PinStyle, SymbolTable};
+pub use assemble::{
+    assemble, assemble_incremental, AssembleOptions, Assembled, PinStyle, SplicedAssembly,
+    SymbolTable,
+};
 pub use assert::{AssertExpr, AssertOutcome};
 pub use error::QmasmError;
 pub use parse::{parse, IncludeResolver, MapIncludes, NoIncludes, Program, Statement};

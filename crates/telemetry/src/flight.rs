@@ -84,6 +84,9 @@ pub enum FlightKind {
     StageBegin,
     /// A pipeline stage finished (`value` = duration in µs).
     StageEnd,
+    /// The incremental compiler skipped a stage and replayed its cached
+    /// artifact (`name` = stage name, `value` = artifact size).
+    StageSkip,
     /// The embedding cache answered a lookup (`name` = topology family
     /// or `"embed"`).
     CacheHit,
@@ -117,6 +120,7 @@ impl FlightKind {
         match self {
             FlightKind::StageBegin => "stage_begin",
             FlightKind::StageEnd => "stage_end",
+            FlightKind::StageSkip => "stage_skip",
             FlightKind::CacheHit => "cache_hit",
             FlightKind::CacheMiss => "cache_miss",
             FlightKind::RestartWin => "restart_win",
