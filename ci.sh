@@ -117,19 +117,26 @@ cargo run --release -q -p qac-bench --bin experiments -- \
     edit --trace-json "$tmpdir/edit.jsonl" --metrics "$tmpdir/edit.prom" \
     > /dev/null
 # The stage-miss and re-embed counters are deterministic: the canonical
-# one-gate edit re-runs exactly 8 stages per workload (16 across the
-# two) and repairs both embeddings without falling back to full
+# one-gate edit re-runs exactly 9 stages per workload (18 across the
+# two, certify included) and repairs both embeddings without falling back to full
 # routing, so the budgets are exact — one extra miss means a stage lost
 # its incrementality, and `--gauge-min qac_incr_reembed_partial_total=2`
 # (floors read any Prometheus sample) asserts neither re-embed took the
 # full-routing fallback. The speedup floors are same-machine ratios:
 # warm-vs-cold on the same host, so they hold on slow CI runners too
-# (today: ~260x on australia, ~22x on figure2).
+# (today: ~260x on australia, ~22x on figure2). The certify counters
+# pin the warm re-proof work exactly: the dirty cones across the two
+# edits re-prove 39 obligations while fingerprint reuse splices exactly
+# 9 — a skipped count above 9 means certification is reusing proofs for
+# cones the edit dirtied, and below 9 (the --gauge-min floor) means the
+# splice path stopped reusing clean-cone proofs.
 cargo run --release -q -p qac-bench --bin telemetry_check -- \
     "$tmpdir/edit.jsonl" "$tmpdir/edit.prom" \
-    --counter-max qac_incr_stage_miss_total=16 \
+    --counter-max qac_incr_stage_miss_total=18 \
     --counter-max qac_incr_reembed_partial_total=2 \
     --gauge-min qac_incr_reembed_partial_total=2 \
+    --counter-max qac_cert_obligations_skipped_total=9 \
+    --gauge-min qac_cert_obligations_skipped_total=9 \
     --gauge-min 'qac_bench_incremental_speedup{workload="australia"}=10' \
     --gauge-min 'qac_bench_incremental_speedup{workload="figure2"}=2'
 
@@ -143,6 +150,40 @@ if cargo run --release -q -p qac-bench --bin telemetry_check -- \
 fi
 
 analyze_gate
+
+echo "==> certify gate (translation validation over the workload corpus)"
+# Every workload certificate must verify, and the obligation counters
+# are deterministic (the corpus and its cone widths are fixed): today
+# the corpus proves 48 obligations and skips 0, so the budgets carry
+# headroom for new obligations but trip if certification silently stops
+# proving (proved collapses toward 0 is caught by --gauge-min on the
+# Prometheus sample) or starts skipping wide/undriven cones.
+cargo run --release -q -p qac-bench --bin experiments -- \
+    certify --cert-dir "$tmpdir/certs" \
+    --trace-json "$tmpdir/certify.jsonl" --metrics "$tmpdir/certify.prom" \
+    > /dev/null
+cargo run --release -q -p qac-bench --bin telemetry_check -- \
+    "$tmpdir/certify.jsonl" "$tmpdir/certify.prom" \
+    --counter-max qac_cert_obligations_proved_total=65 \
+    --counter-max qac_cert_obligations_skipped_total=5 \
+    --gauge-min qac_cert_obligations_proved_total=48
+# The written certificates must re-verify offline through the
+# independent checker (the `certify verify` CLI path users run).
+cargo run --release -q -p qac-bench --bin experiments -- \
+    certify verify "$tmpdir"/certs/*.cert.json
+
+echo "==> unsafe-code gate (#![forbid(unsafe_code)] in every crate but qac-alloc)"
+# qac-alloc is the one crate allowed unsafe (the arena's raw-pointer
+# internals); everything else must forbid it at the crate root so a
+# stray unsafe block is a compile error, not a review nit.
+for lib in crates/*/src/lib.rs; do
+    crate_dir="$(basename "$(dirname "$(dirname "$lib")")")"
+    [ "$crate_dir" = "alloc" ] && continue
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$lib"; then
+        echo "ERROR: $lib is missing #![forbid(unsafe_code)]" >&2
+        exit 1
+    fi
+done
 
 echo "==> perf-regression gate (BENCH_pr8.json -> BENCH_pr9.json)"
 # Deterministic work gauges (heap pops, edge relaxations, chain

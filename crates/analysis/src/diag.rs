@@ -49,8 +49,9 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric ranges group by pass family:
 /// `QAC00x` pins, `QAC01x` dead code, `QAC02x` dynamic range, `QAC03x`
-/// chain strength, `QAC04x` roof duality, `QAC05x` exact audit. Codes
-/// are append-only; never renumber.
+/// chain strength, `QAC04x` roof duality, `QAC05x` exact audit,
+/// `QAC06x` certification (translation validation). Codes are
+/// append-only; never renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `QAC001`: two pins demand opposite values of one merged variable.
@@ -83,6 +84,24 @@ pub enum Code {
     ExactAuditSkipped,
     /// `QAC053`: a static verdict disagreed with exact enumeration.
     ExactAuditMismatch,
+    /// `QAC060`: the compile certificate verified (the success report).
+    CertOk,
+    /// `QAC061`: an output's optimized truth table differs from the source.
+    CertFrontendMismatch,
+    /// `QAC062`: a macro's ground states differ from its gate's truth table.
+    CertMacroGroundSpace,
+    /// `QAC063`: a macro's invalid-row energy gap is missing or wrong.
+    CertMacroGap,
+    /// `QAC064`: an embedding chain is not connected by programmed couplers.
+    CertChainDisconnected,
+    /// `QAC065`: the chain-contracted hardware model differs from the logical model.
+    CertContractionMismatch,
+    /// `QAC066`: the chain strength is below the neighborhood-weight bound.
+    CertChainStrengthBound,
+    /// `QAC067`: an obligation was recorded but not proved (e.g. wide cut).
+    CertObligationSkipped,
+    /// `QAC068`: the certificate itself is malformed or inconsistent.
+    CertMalformed,
 }
 
 impl Code {
@@ -104,6 +123,15 @@ impl Code {
             Code::ExactAuditUnsat => "QAC051",
             Code::ExactAuditSkipped => "QAC052",
             Code::ExactAuditMismatch => "QAC053",
+            Code::CertOk => "QAC060",
+            Code::CertFrontendMismatch => "QAC061",
+            Code::CertMacroGroundSpace => "QAC062",
+            Code::CertMacroGap => "QAC063",
+            Code::CertChainDisconnected => "QAC064",
+            Code::CertContractionMismatch => "QAC065",
+            Code::CertChainStrengthBound => "QAC066",
+            Code::CertObligationSkipped => "QAC067",
+            Code::CertMalformed => "QAC068",
         }
     }
 
@@ -115,7 +143,14 @@ impl Code {
             | Code::PinVsConstant
             | Code::RoofUnsat
             | Code::ExactAuditUnsat
-            | Code::ExactAuditMismatch => Severity::Error,
+            | Code::ExactAuditMismatch
+            | Code::CertFrontendMismatch
+            | Code::CertMacroGroundSpace
+            | Code::CertMacroGap
+            | Code::CertChainDisconnected
+            | Code::CertContractionMismatch
+            | Code::CertChainStrengthBound
+            | Code::CertMalformed => Severity::Error,
             Code::DisconnectedVariable
             | Code::CoefficientCollapse
             | Code::ChainStrengthInsufficient => Severity::Warning,
@@ -125,7 +160,9 @@ impl Code {
             | Code::ChainStrengthReport
             | Code::RoofPersistency
             | Code::ExactAuditOk
-            | Code::ExactAuditSkipped => Severity::Info,
+            | Code::ExactAuditSkipped
+            | Code::CertOk
+            | Code::CertObligationSkipped => Severity::Info,
         }
     }
 }
@@ -367,6 +404,15 @@ mod tests {
             Code::ExactAuditUnsat,
             Code::ExactAuditSkipped,
             Code::ExactAuditMismatch,
+            Code::CertOk,
+            Code::CertFrontendMismatch,
+            Code::CertMacroGroundSpace,
+            Code::CertMacroGap,
+            Code::CertChainDisconnected,
+            Code::CertContractionMismatch,
+            Code::CertChainStrengthBound,
+            Code::CertObligationSkipped,
+            Code::CertMalformed,
         ] {
             let s = code.as_str();
             assert!(s.starts_with("QAC") && s.len() == 6, "{s}");

@@ -34,6 +34,7 @@
 //! across runs and thread counts, which the golden-diagnostics tests
 //! pin.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod diag;

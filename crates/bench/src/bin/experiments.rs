@@ -57,6 +57,7 @@ struct Cli {
     diagnostics_json: Option<String>,
     html: Option<String>,
     sampler: Option<String>,
+    cert_dir: Option<String>,
     topology: bool,
 }
 
@@ -70,6 +71,7 @@ fn parse_cli() -> Cli {
         diagnostics_json: None,
         html: None,
         sampler: None,
+        cert_dir: None,
         topology: false,
     };
     let mut args = std::env::args().skip(1);
@@ -89,6 +91,7 @@ fn parse_cli() -> Cli {
             "--diagnostics-json" => flag(&mut cli.diagnostics_json),
             "--html" => flag(&mut cli.html),
             "--sampler" => flag(&mut cli.sampler),
+            "--cert-dir" => flag(&mut cli.cert_dir),
             "--topology" => cli.topology = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown flag `{other}`");
@@ -154,11 +157,43 @@ fn main() {
         run_report(&cli);
         return;
     }
+    // `certify verify CERT.json...` is a subcommand like `report`: it
+    // re-checks previously written certificates with the independent
+    // verifier and exits 1 if any is rejected. Bare `certify` (no
+    // `verify`) falls through to the experiment of the same name.
+    if cli.names.first().map(String::as_str) == Some("certify")
+        && cli.names.get(1).map(String::as_str) == Some("verify")
+    {
+        let files = &cli.names[2..];
+        if files.is_empty() {
+            eprintln!("usage: experiments certify verify <CERT.json>...");
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for path in files {
+            match experiments::verify_certificate_file(path) {
+                Ok(summary) => println!("{summary}"),
+                Err(why) => {
+                    eprintln!("{why}");
+                    failed = true;
+                }
+            }
+        }
+        std::process::exit(i32::from(failed));
+    }
 
     if let Some(path) = &cli.diagnostics_json {
         // The analyze experiment reads this to know where to write its
         // per-workload diagnostics JSON.
         std::env::set_var("QAC_ANALYZE_JSON", path);
+    }
+    if let Some(dir) = &cli.cert_dir {
+        // The certify experiment reads this to know where to write the
+        // per-workload certificate JSON files.
+        std::env::set_var("QAC_CERT_DIR", dir);
+        if cli.names.is_empty() {
+            cli.names.push("certify".to_string());
+        }
     }
     if let Some(filter) = &cli.sampler {
         // The samplers experiment reads this to restrict its table to a

@@ -4,6 +4,7 @@ mod ablations;
 mod analyze;
 mod apps;
 mod batch;
+mod certify;
 mod edit;
 mod figure2;
 mod samplers;
@@ -17,6 +18,7 @@ pub use analyze::{
 };
 pub use apps::{run_circsat, run_counter, run_factor, run_map_color};
 pub use batch::{run_batch, run_sec6_batch, sec6_batch_jobs};
+pub use certify::{certified_corpus, certify_workload, run_certify, verify_certificate_file};
 pub use edit::{canonical_gate_edit, run_edit};
 pub use figure2::run_figure2_3;
 pub use samplers::run_samplers;
@@ -46,4 +48,5 @@ pub const ALL: &[(&str, fn())] = &[
     ("analyze", run_analyze),
     ("topology", run_topology),
     ("edit", run_edit),
+    ("certify", run_certify),
 ];

@@ -1,0 +1,80 @@
+//! Golden-certificate regression harness.
+//!
+//! `tests/golden/certificate_figure2.json` pins the complete rendered
+//! certificate (front end, macro library, and the seed-11 embedded back
+//! end) of the Figure 2 workload. The `qac-cert-v1` rendering is
+//! required to be byte-deterministic — obligations sorted by (stage,
+//! site, variable), canonical float formatting, no map iteration order
+//! anywhere — so any diff here means either an intentional format/
+//! obligation change (regenerate with `QAC_UPDATE_GOLDEN=1 cargo test
+//! -p qac-bench --test cert_golden`) or an accidental loss of
+//! determinism.
+
+use qac_bench::experiments::certify_workload;
+use qac_bench::FIGURE2;
+use qac_core::CompileOptions;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/certificate_figure2.json"
+);
+
+/// Compiles, certifies, embeds, and renders the fixture's certificate.
+fn rendered_certificate() -> String {
+    certify_workload(FIGURE2, "circuit", &CompileOptions::default(), true).render()
+}
+
+#[test]
+fn figure2_certificate_matches_golden() {
+    let actual = rendered_certificate();
+    if std::env::var("QAC_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden fixture");
+        println!("updated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden/certificate_figure2.json exists (QAC_UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        actual, golden,
+        "the rendered figure2 certificate diverged from the golden fixture; \
+         regenerate deliberately with QAC_UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// The golden fixture must round-trip: parse → re-render is the
+/// identity, and the parsed certificate re-verifies cleanly with the
+/// independent checker.
+#[test]
+fn golden_certificate_round_trips_and_verifies() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden/certificate_figure2.json exists (QAC_UPDATE_GOLDEN=1 to create)");
+    let parsed = qac_cert::CompileCertificate::parse(&golden).expect("fixture parses");
+    assert_eq!(
+        parsed.render(),
+        golden,
+        "parse → render is not the identity"
+    );
+    let issues = qac_cert::verify_certificate(&parsed);
+    assert!(
+        issues.iter().all(|i| !i.kind.is_error()),
+        "the golden certificate no longer verifies: {issues:?}"
+    );
+}
+
+/// Certification must not depend on thread count: one serial render and
+/// eight concurrent renders (each a full compile + certify + embed)
+/// must agree byte-for-byte.
+#[test]
+fn certificate_is_byte_identical_across_thread_counts() {
+    let serial = rendered_certificate();
+    let handles: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(rendered_certificate))
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let concurrent = handle.join().expect("render thread panicked");
+        assert_eq!(
+            concurrent, serial,
+            "concurrent render {i} differs from the serial render"
+        );
+    }
+}

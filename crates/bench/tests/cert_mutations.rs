@@ -1,0 +1,330 @@
+//! The certificate checker's rejection property, mutation-tested.
+//!
+//! DESIGN.md §15 promises that [`qac_cert::verify_certificate`] shares
+//! no code with the passes that produce certificates, so a compiler bug
+//! that corrupts any recorded fact must surface as a verification
+//! error. This file checks that promise the adversarial way: two
+//! workloads are certified end to end (front end, macro library, and an
+//! embedded back end), then hit with 200 single-site mutations — one
+//! truth bit, hash word, Ising coefficient, offset, ground row, gap, or
+//! chain strength at a time — drawn round-robin across every obligation
+//! kind. The verifier must reject all 200. On a miss a greedy shrinker
+//! strips the certificate down to the smallest one that still slips
+//! through and panics with its JSON, so the reproduction is as small as
+//! the bug allows.
+//!
+//! Float perturbations use δ = 1/3: every energy the corpus' models
+//! reach is a dyadic rational (sums of ±h, ±J with power-of-two
+//! fractions), so a ±1/3 shift can never land back on a recorded level
+//! within the checker's 1e-6 tolerance — rejection is guaranteed, not
+//! probabilistic.
+
+use qac_bench::experiments::certify_workload;
+use qac_bench::{CIRCSAT, FIGURE2};
+use qac_cert::{verify_certificate, CompileCertificate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The guaranteed-detectable perturbation (see the module comment).
+const DELTA: f64 = 1.0 / 3.0;
+
+/// One single-site mutation of a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mutation {
+    /// Flip bit `bit` of the source truth table of front-end obligation
+    /// `ob` (breaks the integrity hash).
+    SourceTruthBit { ob: usize, bit: usize },
+    /// Flip bit `bit` of the optimized truth table (breaks equivalence).
+    OptimizedTruthBit { ob: usize, bit: usize },
+    /// Corrupt the recorded truth hash itself.
+    TruthHash { ob: usize },
+    /// Perturb the `term`-th linear weight of macro `m` by ±δ.
+    MacroH { m: usize, term: usize },
+    /// Perturb the `term`-th coupling of macro `m` by ±δ.
+    MacroJ { m: usize, term: usize },
+    /// Perturb macro `m`'s constant offset by ±δ.
+    MacroOffset { m: usize },
+    /// Drop the `row`-th recorded ground row of macro `m`.
+    MacroGroundRow { m: usize, row: usize },
+    /// Perturb macro `m`'s recorded ground energy by ±δ.
+    MacroGroundEnergy { m: usize },
+    /// Perturb macro `m`'s recorded gap by ±δ.
+    MacroGap { m: usize },
+    /// Perturb the `term`-th logical linear term by ±δ.
+    LogicalH { term: usize },
+    /// Perturb the `term`-th logical coupling by ±δ.
+    LogicalJ { term: usize },
+    /// Perturb the `term`-th physical linear term by ±δ.
+    PhysicalH { term: usize },
+    /// Perturb the `term`-th physical coupling by ±δ (an intra-chain
+    /// coupler trips the -chain_strength check, an inter-chain one the
+    /// contraction).
+    PhysicalJ { term: usize },
+    /// Perturb the programmed chain strength by ±δ.
+    ChainStrength,
+    /// Perturb the physical offset by ±δ (the logical offset must
+    /// match).
+    PhysicalOffset,
+}
+
+/// Draws one applicable mutation of `kind_index % 15`, cycling so every
+/// obligation kind is exercised; `None` when the certificate has no
+/// site of that kind (e.g. no backend).
+fn draw(cert: &CompileCertificate, kind_index: usize, rng: &mut StdRng) -> Option<Mutation> {
+    let enumerated: Vec<usize> = cert
+        .frontend
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.skipped.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let pick = |rng: &mut StdRng, len: usize| rng.gen_range(0..len);
+    let backend = cert.backend.as_ref();
+    Some(match kind_index % 15 {
+        0..=2 => {
+            if enumerated.is_empty() {
+                return None;
+            }
+            let ob = enumerated[pick(rng, enumerated.len())];
+            let patterns = 1usize << cert.frontend[ob].support.len();
+            let bit = pick(rng, patterns);
+            match kind_index % 15 {
+                0 => Mutation::SourceTruthBit { ob, bit },
+                1 => Mutation::OptimizedTruthBit { ob, bit },
+                _ => Mutation::TruthHash { ob },
+            }
+        }
+        k @ 3..=8 => {
+            if cert.macros.is_empty() {
+                return None;
+            }
+            let m = pick(rng, cert.macros.len());
+            let mac = &cert.macros[m];
+            match k {
+                3 if !mac.h.is_empty() => Mutation::MacroH {
+                    m,
+                    term: pick(rng, mac.h.len()),
+                },
+                4 if !mac.j.is_empty() => Mutation::MacroJ {
+                    m,
+                    term: pick(rng, mac.j.len()),
+                },
+                5 => Mutation::MacroOffset { m },
+                6 if !mac.ground_rows.is_empty() => Mutation::MacroGroundRow {
+                    m,
+                    row: pick(rng, mac.ground_rows.len()),
+                },
+                7 => Mutation::MacroGroundEnergy { m },
+                8 => Mutation::MacroGap { m },
+                _ => return None,
+            }
+        }
+        k => {
+            let b = backend?;
+            match k {
+                9 if !b.logical.h.is_empty() => Mutation::LogicalH {
+                    term: pick(rng, b.logical.h.len()),
+                },
+                10 if !b.logical.j.is_empty() => Mutation::LogicalJ {
+                    term: pick(rng, b.logical.j.len()),
+                },
+                11 if !b.physical.h.is_empty() => Mutation::PhysicalH {
+                    term: pick(rng, b.physical.h.len()),
+                },
+                12 if !b.physical.j.is_empty() => Mutation::PhysicalJ {
+                    term: pick(rng, b.physical.j.len()),
+                },
+                13 => Mutation::ChainStrength,
+                14 => Mutation::PhysicalOffset,
+                _ => return None,
+            }
+        }
+    })
+}
+
+/// Applies `mutation` to a fresh copy of `cert`.
+fn apply(cert: &CompileCertificate, mutation: Mutation) -> CompileCertificate {
+    let mut cert = cert.clone();
+    match mutation {
+        Mutation::SourceTruthBit { ob, bit } => {
+            cert.frontend[ob].source_truth[bit / 64] ^= 1u64 << (bit % 64);
+        }
+        Mutation::OptimizedTruthBit { ob, bit } => {
+            cert.frontend[ob].optimized_truth[bit / 64] ^= 1u64 << (bit % 64);
+        }
+        Mutation::TruthHash { ob } => cert.frontend[ob].truth_hash ^= 1,
+        Mutation::MacroH { m, term } => cert.macros[m].h[term].1 += DELTA,
+        Mutation::MacroJ { m, term } => cert.macros[m].j[term].2 += DELTA,
+        Mutation::MacroOffset { m } => cert.macros[m].offset += DELTA,
+        Mutation::MacroGroundRow { m, row } => {
+            cert.macros[m].ground_rows.remove(row);
+        }
+        Mutation::MacroGroundEnergy { m } => cert.macros[m].ground_energy += DELTA,
+        Mutation::MacroGap { m } => cert.macros[m].gap += DELTA,
+        Mutation::LogicalH { term } => {
+            cert.backend.as_mut().unwrap().logical.h[term].1 += DELTA;
+        }
+        Mutation::LogicalJ { term } => {
+            cert.backend.as_mut().unwrap().logical.j[term].2 += DELTA;
+        }
+        Mutation::PhysicalH { term } => {
+            cert.backend.as_mut().unwrap().physical.h[term].1 += DELTA;
+        }
+        Mutation::PhysicalJ { term } => {
+            cert.backend.as_mut().unwrap().physical.j[term].2 += DELTA;
+        }
+        Mutation::ChainStrength => cert.backend.as_mut().unwrap().chain_strength += DELTA,
+        Mutation::PhysicalOffset => cert.backend.as_mut().unwrap().physical.offset += DELTA,
+    }
+    cert
+}
+
+/// True when the verifier finds no error-severity issue (the mutant
+/// slipped through).
+fn accepted(cert: &CompileCertificate) -> bool {
+    verify_certificate(cert)
+        .iter()
+        .all(|issue| !issue.kind.is_error())
+}
+
+/// Greedily strips obligations the mutation does not touch while the
+/// mutant stays accepted, so the panic message carries the smallest
+/// slipping-through certificate.
+fn shrink(mutant: &CompileCertificate, mutation: Mutation) -> CompileCertificate {
+    let keep_frontend = |i: usize| match mutation {
+        Mutation::SourceTruthBit { ob, .. }
+        | Mutation::OptimizedTruthBit { ob, .. }
+        | Mutation::TruthHash { ob } => i == ob,
+        _ => false,
+    };
+    let keep_macro = |i: usize| match mutation {
+        Mutation::MacroH { m, .. }
+        | Mutation::MacroJ { m, .. }
+        | Mutation::MacroOffset { m }
+        | Mutation::MacroGroundRow { m, .. }
+        | Mutation::MacroGroundEnergy { m }
+        | Mutation::MacroGap { m } => i == m,
+        _ => false,
+    };
+    let keep_backend = matches!(
+        mutation,
+        Mutation::LogicalH { .. }
+            | Mutation::LogicalJ { .. }
+            | Mutation::PhysicalH { .. }
+            | Mutation::PhysicalJ { .. }
+            | Mutation::ChainStrength
+            | Mutation::PhysicalOffset
+    );
+
+    let mut minimal = mutant.clone();
+    loop {
+        let mut shrunk = false;
+        for i in 0..minimal.frontend.len() {
+            if keep_frontend(i) {
+                continue;
+            }
+            let mut candidate = minimal.clone();
+            candidate.frontend.remove(i);
+            if accepted(&candidate) {
+                minimal = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            for i in 0..minimal.macros.len() {
+                if keep_macro(i) {
+                    continue;
+                }
+                let mut candidate = minimal.clone();
+                candidate.macros.remove(i);
+                if accepted(&candidate) {
+                    minimal = candidate;
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+        if !shrunk && !keep_backend && minimal.backend.is_some() {
+            let mut candidate = minimal.clone();
+            candidate.backend = None;
+            if accepted(&candidate) {
+                minimal = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return minimal;
+        }
+    }
+}
+
+/// The shrinker itself must have teeth: on an accepted certificate it
+/// strips everything except the (claimed) mutation site, so a real miss
+/// panics with a one-obligation reproduction.
+#[test]
+fn shrinker_strips_to_the_mutated_site() {
+    let options = qac_core::CompileOptions::default();
+    let cert = certify_workload(FIGURE2, "circuit", &options, true);
+    assert!(accepted(&cert));
+    let minimal = shrink(&cert, Mutation::MacroOffset { m: 0 });
+    assert_eq!(minimal.frontend.len(), 0);
+    assert_eq!(minimal.macros.len(), 1);
+    assert_eq!(minimal.macros[0].kind, cert.macros[0].kind);
+    assert!(minimal.backend.is_none());
+    assert!(accepted(&minimal));
+}
+
+#[test]
+fn every_single_site_mutation_is_rejected() {
+    let options = qac_core::CompileOptions::default();
+    let certified = [
+        (
+            "figure2",
+            certify_workload(FIGURE2, "circuit", &options, true),
+        ),
+        (
+            "circsat",
+            certify_workload(CIRCSAT, "circsat", &options, true),
+        ),
+    ];
+    for (name, cert) in &certified {
+        assert!(
+            accepted(cert),
+            "{name}: the unmutated certificate must verify cleanly"
+        );
+        assert!(
+            cert.backend.is_some(),
+            "{name}: the backend obligation must be attached"
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(0xcea7_beef);
+    let mut tested = 0usize;
+    let mut kind_index = 0usize;
+    while tested < 200 {
+        let (name, cert) = &certified[tested % certified.len()];
+        let Some(mutation) = draw(cert, kind_index, &mut rng) else {
+            kind_index += 1;
+            continue;
+        };
+        kind_index += 1;
+        let mutant = apply(cert, mutation);
+        assert_ne!(
+            &mutant, cert,
+            "{name}: mutation {mutation:?} did not change the certificate"
+        );
+        if accepted(&mutant) {
+            let minimal = shrink(&mutant, mutation);
+            panic!(
+                "{name}: mutation {mutation:?} slipped through the verifier\n\
+                 minimized certificate ({} of {} obligations kept):\n{}",
+                minimal.num_obligations(),
+                mutant.num_obligations(),
+                minimal.render(),
+            );
+        }
+        tested += 1;
+    }
+    assert_eq!(tested, 200, "the suite must test exactly 200 mutants");
+}

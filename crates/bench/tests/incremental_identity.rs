@@ -317,6 +317,42 @@ fn disposition_fixture() -> String {
     for (stage, disposition) in &report.stages {
         out.push_str(&format!("stage {stage} {disposition}\n"));
     }
+
+    // A symmetric input swap at opt level 0 (mirroring the core
+    // `symmetric_input_swap_replays_the_analyzer` unit test): the QMASM
+    // text changes, so parse and assemble re-run, but the assembled
+    // model is content-identical — the analysis content key matches and
+    // the analyzer replays its previous report instead of re-linting.
+    let options = CompileOptions {
+        opt_level: 0,
+        ..CompileOptions::default()
+    };
+    let mut b = qac_netlist::Builder::new("demo");
+    let a = b.input("a", 1)[0];
+    let c = b.input("b", 1)[0];
+    let d = b.input("d", 1)[0];
+    let x = b.xor(a, c);
+    let y = b.and(x, d);
+    let z = b.or(y, a);
+    b.output("z", &[z]);
+    let old = b.finish();
+    let prev = compile_netlist(old.clone(), &options).unwrap();
+    let mut new = old.clone();
+    let a_net = old.port("a").unwrap().bits[0];
+    let y_net = old.cells()[1].output;
+    new.retarget_input(2, 0, a_net);
+    new.retarget_input(2, 1, y_net);
+    let (warm, report) = compile_netlist_incremental(&prev, new.clone(), &options).unwrap();
+    assert_ne!(warm.qmasm, prev.qmasm, "the swap must reach the QMASM text");
+    out.push_str("\nedit demo symmetric-input-swap (opt level 0)\n");
+    out.push_str(&format!("full_rebuild {}\n", report.full_rebuild));
+    for (stage, disposition) in &report.stages {
+        out.push_str(&format!("stage {stage} {disposition}\n"));
+    }
+    assert_eq!(
+        artifact_mismatch(&compile_netlist(new, &options).unwrap(), &warm),
+        None
+    );
     out
 }
 

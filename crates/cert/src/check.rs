@@ -1,0 +1,884 @@
+//! The independent certificate checker.
+//!
+//! Everything here re-verifies a [`CompileCertificate`] from the recorded
+//! data alone: gate semantics, Ising energy evaluation, chain
+//! connectivity, and chain contraction are deliberately re-implemented
+//! rather than imported from the compiler crates, so the checker cannot
+//! inherit a producer bug. The only shared code is the certificate
+//! format itself (`cert.rs`).
+
+use std::collections::BTreeMap;
+
+use crate::cert::{
+    truth_hash, BackendObligation, CompileCertificate, CutObligation, MacroObligation,
+    MAX_CUT_SUPPORT, MAX_MACRO_SPINS,
+};
+
+/// Absolute tolerance for energy comparisons. Unit-model coefficients
+/// are small dyadic rationals and chain shares divide by chain length,
+/// so honest certificates agree far below this.
+const EPS: f64 = 1e-6;
+
+/// What kind of defect (or note) an issue reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueKind {
+    /// The certificate is structurally invalid (bad ordering, missing
+    /// pairing, unknown symbols, arity violations).
+    Malformed,
+    /// A front-end cut function differs between the source and optimized
+    /// netlists, or its integrity hash does not match.
+    FrontendMismatch,
+    /// A macro's energetic ground space does not equal the gate's
+    /// satisfying rows.
+    MacroGroundSpace,
+    /// A macro's energy gap is non-positive or differs from the recorded
+    /// value.
+    MacroGap,
+    /// A chain's intra-chain couplers do not connect its qubits.
+    ChainDisconnected,
+    /// The contracted physical model differs from the logical model.
+    ContractionMismatch,
+    /// The chain strength does not dominate the neighborhood-weight
+    /// bound.
+    ChainStrengthBound,
+    /// An obligation was recorded but not proved (informational).
+    Skipped,
+}
+
+impl IssueKind {
+    /// True for defects that invalidate the certificate; [`Skipped`]
+    /// notes do not.
+    ///
+    /// [`Skipped`]: IssueKind::Skipped
+    pub fn is_error(self) -> bool {
+        !matches!(self, IssueKind::Skipped)
+    }
+}
+
+/// One finding of [`verify_certificate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertIssue {
+    /// What went wrong (or what note applies).
+    pub kind: IssueKind,
+    /// The obligation site: an output bit, a macro kind, or a backend
+    /// location.
+    pub site: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CertIssue {
+    fn new(kind: IssueKind, site: impl Into<String>, message: impl Into<String>) -> CertIssue {
+        CertIssue {
+            kind,
+            site: site.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Verifies every obligation in `cert`, returning all findings.
+/// An empty list — or a list of only [`IssueKind::Skipped`] notes —
+/// means the certificate is valid.
+pub fn verify_certificate(cert: &CompileCertificate) -> Vec<CertIssue> {
+    let mut issues = Vec::new();
+    check_frontend(&cert.frontend, &mut issues);
+    check_macros(&cert.macros, &mut issues);
+    if let Some(backend) = &cert.backend {
+        check_backend(backend, &mut issues);
+    }
+    issues
+}
+
+// ---------------------------------------------------------------------
+// Front end: cut-function equivalence
+// ---------------------------------------------------------------------
+
+fn check_frontend(obligations: &[CutObligation], issues: &mut Vec<CertIssue>) {
+    for pair in obligations.windows(2) {
+        if pair[0].output >= pair[1].output {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                &pair[1].output,
+                "front-end obligations are not strictly sorted by output",
+            ));
+        }
+    }
+    for ob in obligations {
+        check_cut(ob, issues);
+    }
+}
+
+fn check_cut(ob: &CutObligation, issues: &mut Vec<CertIssue>) {
+    let site = ob.output.as_str();
+    if let Some(reason) = &ob.skipped {
+        if !ob.source_truth.is_empty() || !ob.optimized_truth.is_empty() {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                site,
+                "skipped obligation carries truth words",
+            ));
+            return;
+        }
+        issues.push(CertIssue::new(
+            IssueKind::Skipped,
+            site,
+            format!("cut function not enumerated: {reason}"),
+        ));
+        return;
+    }
+    let k = ob.support.len();
+    if k > MAX_CUT_SUPPORT {
+        issues.push(CertIssue::new(
+            IssueKind::Malformed,
+            site,
+            format!("support of {k} exceeds the enumeration limit {MAX_CUT_SUPPORT}"),
+        ));
+        return;
+    }
+    for pair in ob.support.windows(2) {
+        if pair[0] >= pair[1] {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                site,
+                "support names are not strictly sorted",
+            ));
+            return;
+        }
+    }
+    let patterns = 1usize << k;
+    let words = patterns.div_ceil(64);
+    if ob.source_truth.len() != words || ob.optimized_truth.len() != words {
+        issues.push(CertIssue::new(
+            IssueKind::Malformed,
+            site,
+            format!(
+                "expected {words} truth words for a {k}-bit support, got {} and {}",
+                ob.source_truth.len(),
+                ob.optimized_truth.len()
+            ),
+        ));
+        return;
+    }
+    if !patterns.is_multiple_of(64) {
+        let mask = !0u64 << (patterns % 64);
+        for side in [&ob.source_truth, &ob.optimized_truth] {
+            if let Some(&last) = side.last() {
+                if last & mask != 0 {
+                    issues.push(CertIssue::new(
+                        IssueKind::Malformed,
+                        site,
+                        "truth words carry bits beyond the pattern space",
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+    if truth_hash(&ob.output, &ob.support, &ob.source_truth) != ob.truth_hash {
+        issues.push(CertIssue::new(
+            IssueKind::FrontendMismatch,
+            site,
+            "truth hash does not match the recorded truth words",
+        ));
+    }
+    if let Some(word) = (0..words).find(|&w| ob.source_truth[w] != ob.optimized_truth[w]) {
+        let bit = (ob.source_truth[word] ^ ob.optimized_truth[word]).trailing_zeros() as usize;
+        let pattern = word * 64 + bit;
+        let assignment: Vec<String> = ob
+            .support
+            .iter()
+            .enumerate()
+            .map(|(i, name)| format!("{name}={}", (pattern >> i) & 1))
+            .collect();
+        issues.push(CertIssue::new(
+            IssueKind::FrontendMismatch,
+            site,
+            format!(
+                "source and optimized netlists disagree at {{{}}}",
+                assignment.join(", ")
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macro library: ground space = truth table, positive gap
+// ---------------------------------------------------------------------
+
+/// The checker's own gate semantics, keyed by macro name. Pin names are
+/// fixed by the standard-cell library contract (output first).
+fn gate_semantics(kind: &str) -> Option<(&'static str, &'static [&'static str])> {
+    Some(match kind {
+        "BUF" | "NOT" => ("Y", &["A"]),
+        "AND" | "OR" | "NAND" | "NOR" | "XOR" | "XNOR" => ("Y", &["A", "B"]),
+        "MUX" => ("Y", &["S", "A", "B"]),
+        "AOI3" | "OAI3" => ("Y", &["A", "B", "C"]),
+        "AOI4" | "OAI4" => ("Y", &["A", "B", "C", "D"]),
+        "DFF_P" | "DFF_N" => ("Q", &["D"]),
+        _ => return None,
+    })
+}
+
+/// Evaluates the gate `kind` on `inputs` (in the pin order
+/// [`gate_semantics`] declares). Independent of `qac_netlist::CellKind`.
+fn gate_eval(kind: &str, inputs: &[bool]) -> bool {
+    match kind {
+        "BUF" => inputs[0],
+        "NOT" => !inputs[0],
+        "AND" => inputs[0] && inputs[1],
+        "OR" => inputs[0] || inputs[1],
+        "NAND" => !(inputs[0] && inputs[1]),
+        "NOR" => !(inputs[0] || inputs[1]),
+        "XOR" => inputs[0] != inputs[1],
+        "XNOR" => inputs[0] == inputs[1],
+        // MUX inputs are [S, A, B]: Y = (S & B) | (!S & A).
+        "MUX" => {
+            if inputs[0] {
+                inputs[2]
+            } else {
+                inputs[1]
+            }
+        }
+        "AOI3" => !((inputs[0] && inputs[1]) || inputs[2]),
+        "OAI3" => !((inputs[0] || inputs[1]) && inputs[2]),
+        "AOI4" => !((inputs[0] && inputs[1]) || (inputs[2] && inputs[3])),
+        "OAI4" => !((inputs[0] || inputs[1]) && (inputs[2] || inputs[3])),
+        "DFF_P" | "DFF_N" => inputs[0],
+        _ => unreachable!("gate_semantics admitted `{kind}`"),
+    }
+}
+
+fn check_macros(obligations: &[MacroObligation], issues: &mut Vec<CertIssue>) {
+    for pair in obligations.windows(2) {
+        if pair[0].kind >= pair[1].kind {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                &pair[1].kind,
+                "macro obligations are not strictly sorted by kind",
+            ));
+        }
+    }
+    for ob in obligations {
+        check_macro(ob, issues);
+    }
+}
+
+fn check_macro(ob: &MacroObligation, issues: &mut Vec<CertIssue>) {
+    let site = ob.kind.as_str();
+    let Some((output, inputs)) = gate_semantics(&ob.kind) else {
+        issues.push(CertIssue::new(
+            IssueKind::Malformed,
+            site,
+            format!("unknown macro kind `{}`", ob.kind),
+        ));
+        return;
+    };
+    if ob.output != output || ob.inputs != inputs {
+        issues.push(CertIssue::new(
+            IssueKind::Malformed,
+            site,
+            format!(
+                "pin roles {}({}) do not match the {} contract {output}({})",
+                ob.output,
+                ob.inputs.join(","),
+                ob.kind,
+                inputs.join(","),
+            ),
+        ));
+        return;
+    }
+    if ob.sites.is_empty() {
+        issues.push(CertIssue::new(
+            IssueKind::Malformed,
+            site,
+            "macro obligation lists no instantiation sites",
+        ));
+    }
+    for pair in ob.sites.windows(2) {
+        if pair[0] >= pair[1] {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                site,
+                "instantiation sites are not strictly sorted",
+            ));
+            break;
+        }
+    }
+
+    // Intern variables: output, inputs, then ancillas.
+    let mut names: Vec<&str> = Vec::with_capacity(1 + ob.inputs.len() + ob.ancillas.len());
+    names.push(&ob.output);
+    names.extend(ob.inputs.iter().map(String::as_str));
+    names.extend(ob.ancillas.iter().map(String::as_str));
+    let n = names.len();
+    if n > MAX_MACRO_SPINS {
+        issues.push(CertIssue::new(
+            IssueKind::Malformed,
+            site,
+            format!("{n} spins exceed the enumeration limit {MAX_MACRO_SPINS}"),
+        ));
+        return;
+    }
+    let index = |name: &str| names.iter().position(|&x| x == name);
+    let mut h = vec![0.0f64; n];
+    for (name, value) in &ob.h {
+        let Some(i) = index(name) else {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                site,
+                format!("weight on unknown symbol `{name}`"),
+            ));
+            return;
+        };
+        h[i] += value;
+    }
+    let mut j = vec![vec![0.0f64; n]; n];
+    for (a, b, value) in &ob.j {
+        let (Some(ia), Some(ib)) = (index(a), index(b)) else {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                site,
+                format!("coupling on unknown symbols `{a}`/`{b}`"),
+            ));
+            return;
+        };
+        if ia == ib {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                site,
+                format!("self-coupling on `{a}`"),
+            ));
+            return;
+        }
+        j[ia.min(ib)][ia.max(ib)] += value;
+    }
+
+    // Exhaustively enumerate all spin states; fold each onto its
+    // truth-table row (output at bit 0, input i at bit i + 1) keeping
+    // the minimum energy over the ancillas.
+    let num_rows = 1usize << (1 + ob.inputs.len());
+    let mut row_min = vec![f64::INFINITY; num_rows];
+    for state in 0..1usize << n {
+        let spin = |v: usize| if (state >> v) & 1 == 1 { 1.0 } else { -1.0 };
+        let mut energy = ob.offset;
+        for (v, &hv) in h.iter().enumerate() {
+            energy += hv * spin(v);
+        }
+        for (a, row) in j.iter().enumerate() {
+            for (b, &jab) in row.iter().enumerate().skip(a + 1) {
+                if jab != 0.0 {
+                    energy += jab * spin(a) * spin(b);
+                }
+            }
+        }
+        let row = state & (num_rows - 1);
+        if energy < row_min[row] {
+            row_min[row] = energy;
+        }
+    }
+    let ground = row_min.iter().cloned().fold(f64::INFINITY, f64::min);
+    if (ground - ob.ground_energy).abs() > EPS {
+        issues.push(CertIssue::new(
+            IssueKind::MacroGap,
+            site,
+            format!(
+                "recorded ground energy {} but the model reaches {ground}",
+                ob.ground_energy
+            ),
+        ));
+        return;
+    }
+
+    let valid: Vec<u32> = (0..num_rows as u32)
+        .filter(|&row| {
+            let bits: Vec<bool> = (0..ob.inputs.len())
+                .map(|i| (row >> (i + 1)) & 1 == 1)
+                .collect();
+            gate_eval(&ob.kind, &bits) == (row & 1 == 1)
+        })
+        .collect();
+    if ob.ground_rows != valid {
+        issues.push(CertIssue::new(
+            IssueKind::MacroGroundSpace,
+            site,
+            format!(
+                "recorded ground rows {:?} but the {} truth table is {:?}",
+                ob.ground_rows, ob.kind, valid
+            ),
+        ));
+        return;
+    }
+    let mut gap = f64::INFINITY;
+    for row in 0..num_rows as u32 {
+        if valid.binary_search(&row).is_ok() {
+            if (row_min[row as usize] - ground).abs() > EPS {
+                issues.push(CertIssue::new(
+                    IssueKind::MacroGroundSpace,
+                    site,
+                    format!(
+                        "satisfying row {row:#b} rests at {} instead of the ground energy {ground}",
+                        row_min[row as usize]
+                    ),
+                ));
+                return;
+            }
+        } else {
+            gap = gap.min(row_min[row as usize] - ground);
+        }
+    }
+    if gap <= EPS {
+        issues.push(CertIssue::new(
+            IssueKind::MacroGap,
+            site,
+            format!("non-satisfying rows reach within {gap} of the ground energy"),
+        ));
+        return;
+    }
+    if gap.is_finite() && (gap - ob.gap).abs() > EPS {
+        issues.push(CertIssue::new(
+            IssueKind::MacroGap,
+            site,
+            format!("recorded gap {} but the model's gap is {gap}", ob.gap),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Back end: chain contraction
+// ---------------------------------------------------------------------
+
+fn check_backend(backend: &BackendObligation, issues: &mut Vec<CertIssue>) {
+    let before = issues.len();
+    let logical = &backend.logical;
+    let physical = &backend.physical;
+
+    // One chain per logical variable, disjoint, within bounds.
+    if backend.chains.len() != logical.num_vars {
+        issues.push(CertIssue::new(
+            IssueKind::Malformed,
+            "backend",
+            format!(
+                "{} chains for {} logical variables",
+                backend.chains.len(),
+                logical.num_vars
+            ),
+        ));
+        return;
+    }
+    let mut owner = vec![usize::MAX; physical.num_vars];
+    for (v, chain) in backend.chains.iter().enumerate() {
+        let site = format!("chain {v}");
+        if chain.var != v {
+            issues.push(CertIssue::new(
+                IssueKind::Malformed,
+                site,
+                format!("chain list out of order (records var {})", chain.var),
+            ));
+            return;
+        }
+        if chain.qubits.is_empty() {
+            issues.push(CertIssue::new(IssueKind::Malformed, site, "empty chain"));
+            return;
+        }
+        for &q in &chain.qubits {
+            if q >= physical.num_vars || owner[q] != usize::MAX {
+                issues.push(CertIssue::new(
+                    IssueKind::Malformed,
+                    site,
+                    format!("qubit {q} is out of range or already owned"),
+                ));
+                return;
+            }
+            owner[q] = v;
+        }
+        if !chain_connected(chain.qubits.as_slice(), &chain.edges) {
+            issues.push(CertIssue::new(
+                IssueKind::ChainDisconnected,
+                site,
+                format!(
+                    "{} intra-chain couplers do not connect {} qubits",
+                    chain.edges.len(),
+                    chain.qubits.len()
+                ),
+            ));
+        }
+    }
+
+    // Contract the physical model onto the owners, term by term.
+    let mut contracted_h: BTreeMap<usize, f64> = BTreeMap::new();
+    for &(q, value) in &physical.h {
+        if q >= owner.len() || owner[q] == usize::MAX {
+            issues.push(CertIssue::new(
+                IssueKind::ContractionMismatch,
+                "backend",
+                format!("physical weight on unowned qubit {q}"),
+            ));
+            return;
+        }
+        *contracted_h.entry(owner[q]).or_insert(0.0) += value;
+    }
+    let mut contracted_j: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut seen_intra: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for &(a, b, value) in &physical.j {
+        if a.max(b) >= owner.len() || owner[a] == usize::MAX || owner[b] == usize::MAX {
+            issues.push(CertIssue::new(
+                IssueKind::ContractionMismatch,
+                "backend",
+                format!("physical coupling on unowned qubits ({a}, {b})"),
+            ));
+            return;
+        }
+        let (oa, ob) = (owner[a], owner[b]);
+        if oa == ob {
+            *seen_intra.entry((a.min(b), a.max(b))).or_insert(0.0) += value;
+        } else {
+            *contracted_j.entry((oa.min(ob), oa.max(ob))).or_insert(0.0) += value;
+        }
+    }
+
+    // Every intra-chain coupler must be a recorded chain edge carrying
+    // exactly -chain_strength, and vice versa.
+    let mut recorded_edges: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for chain in &backend.chains {
+        for &edge in &chain.edges {
+            recorded_edges.insert(edge, chain.var);
+        }
+    }
+    for (&edge, &value) in &seen_intra {
+        match recorded_edges.remove(&edge) {
+            None => issues.push(CertIssue::new(
+                IssueKind::ContractionMismatch,
+                "backend",
+                format!("intra-chain coupler {edge:?} is not a recorded chain edge"),
+            )),
+            Some(var) if (value + backend.chain_strength).abs() > EPS => {
+                issues.push(CertIssue::new(
+                    IssueKind::ContractionMismatch,
+                    format!("chain {var}"),
+                    format!(
+                        "coupler {edge:?} carries {value} instead of -{}",
+                        backend.chain_strength
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for (edge, var) in recorded_edges {
+        issues.push(CertIssue::new(
+            IssueKind::ContractionMismatch,
+            format!("chain {var}"),
+            format!("recorded chain edge {edge:?} is absent from the physical model"),
+        ));
+    }
+
+    // The contraction must reproduce the logical model term-by-term.
+    let mut logical_h: BTreeMap<usize, f64> = BTreeMap::new();
+    for &(v, value) in &logical.h {
+        *logical_h.entry(v).or_insert(0.0) += value;
+    }
+    compare_terms("h", &contracted_h, &logical_h, issues, |&v| {
+        format!("variable {v}")
+    });
+    let mut logical_j: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for &(i, jv, value) in &logical.j {
+        *logical_j.entry((i.min(jv), i.max(jv))).or_insert(0.0) += value;
+    }
+    compare_terms("J", &contracted_j, &logical_j, issues, |&(i, j)| {
+        format!("coupling ({i}, {j})")
+    });
+    if (physical.offset - logical.offset).abs() > EPS {
+        issues.push(CertIssue::new(
+            IssueKind::ContractionMismatch,
+            "backend",
+            format!(
+                "physical offset {} differs from logical offset {}",
+                physical.offset, logical.offset
+            ),
+        ));
+    }
+
+    // QAC03x sufficiency: the chain strength dominates every coupled
+    // variable's neighborhood weight |h_v| + sum |J_vu|.
+    let mut weight = vec![0.0f64; logical.num_vars];
+    let mut degree = vec![0usize; logical.num_vars];
+    for (&v, &value) in &logical_h {
+        weight[v] += value.abs();
+    }
+    for (&(i, j), &value) in &logical_j {
+        weight[i] += value.abs();
+        weight[j] += value.abs();
+        degree[i] += 1;
+        degree[j] += 1;
+    }
+    let bound = weight
+        .iter()
+        .zip(&degree)
+        .filter(|&(_, &d)| d > 0)
+        .map(|(&w, _)| w)
+        .fold(0.0f64, f64::max);
+    if issues.len() == before && backend.chain_strength + 1e-9 < bound {
+        issues.push(CertIssue::new(
+            IssueKind::ChainStrengthBound,
+            "backend",
+            format!(
+                "chain strength {} is below the neighborhood-weight bound {bound}",
+                backend.chain_strength
+            ),
+        ));
+    }
+}
+
+fn compare_terms<K: Ord + Copy>(
+    what: &str,
+    contracted: &BTreeMap<K, f64>,
+    logical: &BTreeMap<K, f64>,
+    issues: &mut Vec<CertIssue>,
+    describe: impl Fn(&K) -> String,
+) {
+    for (key, &value) in contracted {
+        let expect = logical.get(key).copied().unwrap_or(0.0);
+        if (value - expect).abs() > EPS {
+            issues.push(CertIssue::new(
+                IssueKind::ContractionMismatch,
+                describe(key),
+                format!("contracted {what} term {value} differs from logical {expect}"),
+            ));
+        }
+    }
+    for (key, &value) in logical {
+        if value.abs() > EPS && !contracted.contains_key(key) {
+            issues.push(CertIssue::new(
+                IssueKind::ContractionMismatch,
+                describe(key),
+                format!("logical {what} term {value} has no contracted counterpart"),
+            ));
+        }
+    }
+}
+
+/// Union-find connectivity of a chain over its recorded edges.
+fn chain_connected(qubits: &[usize], edges: &[(usize, usize)]) -> bool {
+    let index = |q: usize| qubits.binary_search(&q);
+    let mut parent: Vec<usize> = (0..qubits.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut components = qubits.len();
+    for &(a, b) in edges {
+        let (Ok(ia), Ok(ib)) = (index(a), index(b)) else {
+            return false; // An edge outside the chain's qubit set.
+        };
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        if ra != rb {
+            parent[ra] = rb;
+            components -= 1;
+        }
+    }
+    components == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{ChainRecord, CompileCertificate, ModelTerms};
+
+    fn not_macro() -> MacroObligation {
+        // NOT as the textbook two-spin model: J_AY = +1 makes the
+        // anti-aligned states (Y = !A) the ground space at -1, gap 2.
+        MacroObligation {
+            kind: "NOT".into(),
+            output: "Y".into(),
+            inputs: vec!["A".into()],
+            ancillas: vec![],
+            h: vec![],
+            j: vec![("A".into(), "Y".into(), 1.0)],
+            offset: 0.0,
+            ground_rows: vec![0b01, 0b10],
+            ground_energy: -1.0,
+            gap: 2.0,
+            sites: vec!["$g0".into()],
+        }
+    }
+
+    fn backend_ob() -> BackendObligation {
+        // Logical: h0 = 0.5, J01 = -1. Variable 0 is a 2-qubit chain
+        // {0, 1} with strength 2; variable 1 is qubit 2.
+        BackendObligation {
+            chain_strength: 2.0,
+            logical: ModelTerms {
+                num_vars: 2,
+                h: vec![(0, 0.5)],
+                j: vec![(0, 1, -1.0)],
+                offset: 0.25,
+            },
+            chains: vec![
+                ChainRecord {
+                    var: 0,
+                    qubits: vec![0, 1],
+                    edges: vec![(0, 1)],
+                },
+                ChainRecord {
+                    var: 1,
+                    qubits: vec![2],
+                    edges: vec![],
+                },
+            ],
+            physical: ModelTerms {
+                num_vars: 3,
+                h: vec![(0, 0.25), (1, 0.25)],
+                j: vec![(0, 1, -2.0), (1, 2, -1.0)],
+                offset: 0.25,
+            },
+        }
+    }
+
+    fn cert_with(
+        macros: Vec<MacroObligation>,
+        backend: Option<BackendObligation>,
+    ) -> CompileCertificate {
+        let mut cert = CompileCertificate::new("t");
+        cert.macros = macros;
+        cert.backend = backend;
+        cert.finalize();
+        cert
+    }
+
+    fn errors(cert: &CompileCertificate) -> Vec<CertIssue> {
+        verify_certificate(cert)
+            .into_iter()
+            .filter(|i| i.kind.is_error())
+            .collect()
+    }
+
+    #[test]
+    fn a_valid_macro_and_backend_verify_cleanly() {
+        let cert = cert_with(vec![not_macro()], Some(backend_ob()));
+        assert_eq!(errors(&cert), vec![]);
+    }
+
+    #[test]
+    fn wrong_ground_rows_are_rejected() {
+        let mut m = not_macro();
+        m.ground_rows = vec![0b00, 0b11]; // Claims Y == A.
+        let cert = cert_with(vec![m], None);
+        let errs = errors(&cert);
+        assert!(errs.iter().any(|i| i.kind == IssueKind::MacroGroundSpace));
+    }
+
+    #[test]
+    fn perturbed_weight_moves_the_ground_energy() {
+        let mut m = not_macro();
+        m.h.push(("A".into(), 0.25));
+        let cert = cert_with(vec![m], None);
+        assert!(!errors(&cert).is_empty());
+    }
+
+    #[test]
+    fn gapless_model_is_rejected() {
+        let mut m = not_macro();
+        m.j[0].2 = 0.0; // No coupling: all rows degenerate.
+        let cert = cert_with(vec![m], None);
+        let errs = errors(&cert);
+        assert!(errs
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::MacroGap | IssueKind::MacroGroundSpace)));
+    }
+
+    #[test]
+    fn frontend_mismatch_pinpoints_the_pattern() {
+        let support: Vec<String> = vec!["a[0]".into(), "b[0]".into()];
+        let source = vec![0b0110u64];
+        let ob = CutObligation {
+            output: "z[0]".into(),
+            support: support.clone(),
+            source_truth: source.clone(),
+            optimized_truth: vec![0b0010u64],
+            truth_hash: truth_hash("z[0]", &support, &source),
+            source_fingerprint: 1,
+            optimized_fingerprint: 2,
+            skipped: None,
+        };
+        let mut cert = CompileCertificate::new("t");
+        cert.frontend.push(ob);
+        let errs = errors(&cert);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].kind, IssueKind::FrontendMismatch);
+        assert!(errs[0].message.contains("a[0]=0"), "{}", errs[0].message);
+    }
+
+    #[test]
+    fn skipped_cut_is_a_note_not_an_error() {
+        let mut cert = CompileCertificate::new("t");
+        cert.frontend.push(CutObligation {
+            output: "wide[0]".into(),
+            support: (0..20).map(|i| format!("i[{i:02}]")).collect(),
+            source_truth: vec![],
+            optimized_truth: vec![],
+            truth_hash: 0,
+            source_fingerprint: 0,
+            optimized_fingerprint: 0,
+            skipped: Some("support 20 exceeds limit 16".into()),
+        });
+        let issues = verify_certificate(&cert);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].kind, IssueKind::Skipped);
+        assert!(!issues[0].kind.is_error());
+    }
+
+    #[test]
+    fn disconnected_chain_is_rejected() {
+        let mut b = backend_ob();
+        b.chains[0].edges.clear();
+        // Remove the intra-chain coupler too, so only connectivity fails.
+        b.physical.j.retain(|&(a, bb, _)| (a, bb) != (0, 1));
+        let cert = cert_with(vec![], Some(b));
+        let errs = errors(&cert);
+        assert!(errs.iter().any(|i| i.kind == IssueKind::ChainDisconnected));
+    }
+
+    #[test]
+    fn contraction_mismatch_is_rejected() {
+        let mut b = backend_ob();
+        b.physical.h[0].1 += 0.125;
+        let cert = cert_with(vec![], Some(b));
+        let errs = errors(&cert);
+        assert!(errs
+            .iter()
+            .any(|i| i.kind == IssueKind::ContractionMismatch));
+    }
+
+    #[test]
+    fn weak_chain_strength_is_rejected() {
+        let mut b = backend_ob();
+        // Weaken the chain: strength 1 < bound |0.5| + |-1| = 1.5.
+        b.chain_strength = 1.0;
+        for term in &mut b.physical.j {
+            if (term.0, term.1) == (0, 1) {
+                term.2 = -1.0;
+            }
+        }
+        let cert = cert_with(vec![], Some(b));
+        let errs = errors(&cert);
+        assert!(errs.iter().any(|i| i.kind == IssueKind::ChainStrengthBound));
+    }
+
+    #[test]
+    fn every_table5_macro_kind_has_semantics() {
+        for kind in [
+            "BUF", "NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR", "MUX", "AOI3", "OAI3", "AOI4",
+            "OAI4", "DFF_P", "DFF_N",
+        ] {
+            let (output, inputs) = gate_semantics(kind).unwrap();
+            assert!(!output.is_empty());
+            let bits = vec![false; inputs.len()];
+            let _ = gate_eval(kind, &bits);
+        }
+        assert!(gate_semantics("FOO").is_none());
+    }
+}

@@ -39,6 +39,7 @@ mod chimera;
 mod embed;
 mod graph;
 mod topology;
+mod witness;
 
 pub use apply::{
     choose_chain_strength, embed_ising, neighborhood_weights, unembed, ChainBreakStats,
@@ -52,6 +53,8 @@ pub use embed::{
     restart_seed, EmbedError, EmbedOptions, EmbedStats, Embedding,
 };
 pub use graph::{CsrNeighbors, HardwareGraph};
+pub use witness::{chain_strength_bound, contraction_witness, ChainWitness};
+
 pub use topology::{
     topology_parameter_hash, KingGraph, Pegasus, Topology, TopologySpec, Zephyr, ADVANTAGE_RANGE,
 };

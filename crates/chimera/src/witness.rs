@@ -1,0 +1,121 @@
+//! Chain-contraction witnesses for translation validation
+//! (DESIGN.md §15).
+//!
+//! After [`embed_ising`](crate::embed_ising) programs a logical model
+//! onto hardware, the back-end proof obligation must show the physical
+//! model chain-contracts back to the logical one. This module produces
+//! the witness data the certificate records: per logical variable, the
+//! chain's qubits and the intra-chain couplers the embedding actually
+//! programmed. The independent checker re-derives connectivity and the
+//! term-by-term contraction from this record alone.
+
+use crate::apply::EmbeddedIsing;
+use qac_pbf::Ising;
+
+/// One logical variable's chain witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainWitness {
+    /// The logical variable.
+    pub var: usize,
+    /// The chain's physical qubits, sorted.
+    pub qubits: Vec<usize>,
+    /// Intra-chain couplers `(a, b)` with `a < b`, sorted — exactly the
+    /// physical couplings whose endpoints both belong to this chain.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Extracts the chain witness of every logical variable from an
+/// embedded model. Intra-chain couplers are read off the *physical*
+/// Hamiltonian, so a coupler the embedding failed to program is absent
+/// from the witness and the checker's connectivity pass will reject the
+/// chain.
+pub fn contraction_witness(embedded: &EmbeddedIsing) -> Vec<ChainWitness> {
+    let mut owner = vec![usize::MAX; embedded.physical.num_vars()];
+    let mut witnesses: Vec<ChainWitness> = (0..embedded.num_logical)
+        .map(|var| {
+            let mut qubits = embedded.embedding.chain(var).to_vec();
+            qubits.sort_unstable();
+            for &q in &qubits {
+                owner[q] = var;
+            }
+            ChainWitness {
+                var,
+                qubits,
+                edges: Vec::new(),
+            }
+        })
+        .collect();
+    for term in embedded.physical.j_iter() {
+        let (a, b) = (term.i.min(term.j), term.i.max(term.j));
+        if owner[a] != usize::MAX && owner[a] == owner[b] {
+            witnesses[owner[a]].edges.push((a, b));
+        }
+    }
+    for witness in &mut witnesses {
+        witness.edges.sort_unstable();
+    }
+    witnesses
+}
+
+/// The QAC03x chain-strength sufficiency bound: the largest neighborhood
+/// weight `W_v = |h_v| + Σ|J_vu|` over the coupled variables of
+/// `logical`. A chain strength at or above this bound guarantees no
+/// broken-chain state undercuts an intact ground state.
+pub fn chain_strength_bound(logical: &Ising) -> f64 {
+    let weights = crate::apply::neighborhood_weights(logical);
+    let mut degree = vec![0usize; logical.num_vars()];
+    for term in logical.j_iter() {
+        degree[term.i] += 1;
+        degree[term.j] += 1;
+    }
+    weights
+        .iter()
+        .zip(&degree)
+        .filter(|&(_, &d)| d > 0)
+        .map(|(&w, _)| w)
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{embed_ising, Chimera, Embedding, HardwareGraph};
+
+    fn two_var_embedding(hardware: &HardwareGraph) -> (Ising, Embedding) {
+        let mut logical = Ising::new(2);
+        logical.add_h(0, 0.5);
+        logical.add_j(0, 1, -1.0);
+        // Chain variable 0 over an edge-connected qubit pair; variable 1
+        // on a single neighboring qubit.
+        let chain0 = vec![0usize, 4];
+        assert!(hardware.has_edge(0, 4), "unit-cell edge expected");
+        let neighbor = (0..hardware.num_nodes())
+            .find(|&q| q != 0 && q != 4 && (hardware.has_edge(q, 0) || hardware.has_edge(q, 4)))
+            .expect("a third qubit touching the chain");
+        (
+            logical,
+            Embedding::from_chains(vec![chain0, vec![neighbor]]),
+        )
+    }
+
+    #[test]
+    fn witness_lists_the_programmed_intra_chain_couplers() {
+        let hardware = Chimera::new(2).graph();
+        let (logical, embedding) = two_var_embedding(&hardware);
+        let embedded = embed_ising(&logical, &embedding, &hardware, 2.0);
+        let witnesses = contraction_witness(&embedded);
+        assert_eq!(witnesses.len(), 2);
+        assert_eq!(witnesses[0].qubits, vec![0, 4]);
+        assert_eq!(witnesses[0].edges, vec![(0, 4)]);
+        assert!(witnesses[1].edges.is_empty());
+    }
+
+    #[test]
+    fn bound_ignores_uncoupled_variables() {
+        let mut m = Ising::new(3);
+        m.add_j(0, 1, -1.0);
+        m.add_h(0, 0.5);
+        m.add_h(2, 100.0); // Uncoupled: never chained across couplers.
+        assert!((chain_strength_bound(&m) - 1.5).abs() < 1e-12);
+    }
+}

@@ -61,9 +61,19 @@ pub struct IncrState {
     /// Key of every compile-relevant option (embed options excluded —
     /// they do not shape compile artifacts).
     pub(crate) options_key: u64,
+    /// Structural key of the post-unroll, pre-optimization netlist — the
+    /// source side of the certifier's front-end obligation. The
+    /// `certify` stage replays only when this matched too: the optimizer
+    /// can erase a source edit (`optimized_key` holds) that still moves
+    /// source-side cut functions.
+    pub(crate) unrolled_key: u64,
     /// Structural key of the optimized netlist, taken just before the
     /// EDIF round trip: a match here proves the whole back end reusable.
     pub(crate) optimized_key: u64,
+    /// Key of everything the `analyze` stage reads (assembled model,
+    /// macro definitions and use-sites, expected ground energy): a match
+    /// lets the analyzer replay even when the program text moved.
+    pub(crate) analysis_key: u64,
     /// The per-cell QMASM net-section blocks, the splice unit for
     /// incremental generation.
     pub(crate) cell_blocks: Vec<String>,
@@ -147,14 +157,60 @@ pub(crate) fn source_fingerprint(source: &str, top: &str) -> u64 {
 pub(crate) fn options_key(options: &CompileOptions) -> u64 {
     let mut h = Fnv::new();
     h.write_str(&format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         options.opt_level,
         options.unroll_steps,
         options.unroll_initial,
         options.merge_chains,
         options.chain_strength,
         options.analysis,
+        options.certify,
     ));
+    h.finish()
+}
+
+/// Content key of everything the `analyze` stage consumes: the
+/// assembled model (terms, symbols, pins, asserts, chain bookkeeping),
+/// the macro definitions and use-sites the unused-macro pass walks, and
+/// the expected ground energy fed to the audit passes. Textual program
+/// changes that leave all of these alone (e.g. net renumbering) replay
+/// the analyzer.
+pub(crate) fn analysis_key(assembled: &Assembled, program: &Program, expected: f64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_usize(assembled.ising.num_vars());
+    for (i, v) in assembled.ising.h_iter() {
+        h.write_usize(i);
+        h.write_u64(v.to_bits());
+    }
+    for term in assembled.ising.j_iter() {
+        h.write_usize(term.i);
+        h.write_usize(term.j);
+        h.write_u64(term.value.to_bits());
+    }
+    h.write_u64(assembled.ising.offset().to_bits());
+    for name in assembled.symbols.names() {
+        h.write_str(name);
+    }
+    for (name, value) in &assembled.pins {
+        h.write_str(name);
+        h.write_u64(u64::from(*value));
+    }
+    h.write_str(&format!("{:?}", assembled.asserts));
+    h.write_u64(assembled.chain_strength.to_bits());
+    h.write_usize(assembled.num_chain_couplings);
+    let mut macros: Vec<(&String, &Vec<qac_qmasm::Statement>)> = program.macros.iter().collect();
+    macros.sort_by_key(|&(name, _)| name);
+    for (name, body) in macros {
+        h.write_str(name);
+        h.write_str(&format!("{body:?}"));
+    }
+    for statement in &program.statements {
+        if let qac_qmasm::Statement::UseMacro { name, instances } = statement {
+            h.write_str(name);
+            h.write_usize(instances.len());
+        }
+    }
+    h.write_u64(expected.to_bits());
     h.finish()
 }
 
@@ -326,6 +382,8 @@ fn backend(
         },
         netlist,
     )?;
+    let unrolled_key = netlist.structural_hash();
+    let source_netlist = options.certify.then(|| netlist.clone());
     let netlist = run_miss(
         &mut session,
         &mut report,
@@ -351,6 +409,32 @@ fn backend(
                 skip_stage(&mut session, &mut report, prev, name);
             }
         }
+        // The certificate's source side is the *pre*-optimization
+        // netlist, so an optimizer-erased edit can still move the
+        // front-end obligations: the proof replays only when the
+        // unrolled netlist held still too, and re-runs otherwise
+        // (against the previous back-end artifacts, which this branch
+        // just proved current).
+        let certificate = match &source_netlist {
+            Some(source) => {
+                if unrolled_key == prev.incr.unrolled_key && prev.trace.get("certify").is_some() {
+                    skip_stage(&mut session, &mut report, prev, "certify");
+                    prev.certificate.clone()
+                } else {
+                    let library = CellLibrary::table5();
+                    Some(run_certify(
+                        &mut session,
+                        &mut report,
+                        source,
+                        &prev.netlist,
+                        &prev.program,
+                        &library,
+                        prev.certificate.as_ref(),
+                    )?)
+                }
+            }
+            None => None,
+        };
         let mut stats = prev.stats.clone();
         stats.verilog_lines = verilog_lines;
         let compiled = Compiled {
@@ -362,6 +446,7 @@ fn backend(
             expected_ground_energy: prev.expected_ground_energy,
             analysis: prev.analysis.clone(),
             program: prev.program.clone(),
+            certificate,
             stats,
             trace: session.finish(),
             options: options.clone(),
@@ -369,7 +454,9 @@ fn backend(
                 source_key,
                 netlist_key,
                 options_key: prev.incr.options_key,
+                unrolled_key,
                 optimized_key,
+                analysis_key: prev.incr.analysis_key,
                 cell_blocks: prev.incr.cell_blocks.clone(),
             },
         };
@@ -436,6 +523,7 @@ fn backend(
     let assembled;
     let analysis;
     let expected;
+    let analysis_key_now;
     if qmasm == prev.qmasm && stdcell == prev.stdcell {
         // The textual artifact landed identical (e.g. an internal net
         // rename dirtied cell hashes without reaching any symbol):
@@ -445,6 +533,7 @@ fn backend(
         program = prev.program.clone();
         assembled = prev.assembled.clone();
         expected = expected_ground_energy_of(&netlist, &library, &assembled)?;
+        analysis_key_now = analysis_key(&assembled, &program, expected);
         analysis = if options.analysis.enabled {
             skip_stage(&mut session, &mut report, prev, "analyze");
             prev.analysis.clone()
@@ -489,10 +578,12 @@ fn backend(
             },
         ));
         expected = expected_ground_energy_of(&netlist, &library, &assembled)?;
+        analysis_key_now = analysis_key(&assembled, &program, expected);
         analysis = if options.analysis.enabled {
-            if assembled == prev.assembled && program == prev.program {
-                // The analyzer reads the whole model — it replays only
-                // when its entire input is unchanged.
+            if analysis_key_now == prev.incr.analysis_key && prev.trace.get("analyze").is_some() {
+                // The analyzer's whole input (model, macro use-sites,
+                // expected energy) is content-identical — it replays
+                // even when the program text moved underneath.
                 skip_stage(&mut session, &mut report, prev, "analyze");
                 prev.analysis.clone()
             } else {
@@ -517,6 +608,24 @@ fn backend(
         };
     }
 
+    // Certification always re-proves against the *current* netlists:
+    // even a byte-identical QMASM artifact can sit over renumbered nets,
+    // which move the cut fingerprints the certificate records. Proofs
+    // whose reuse keys held still are spliced from the previous
+    // certificate; only the dirty cone's obligations re-enumerate.
+    let certificate = match &source_netlist {
+        Some(source) => Some(run_certify(
+            &mut session,
+            &mut report,
+            source,
+            &netlist,
+            &program,
+            &library,
+            prev.certificate.as_ref(),
+        )?),
+        None => None,
+    };
+
     let stats = build_stats(verilog_lines, &edif, &qmasm, &stdcell, &assembled, &netlist);
     let compiled = Compiled {
         netlist,
@@ -527,6 +636,7 @@ fn backend(
         expected_ground_energy: expected,
         analysis,
         program,
+        certificate,
         stats,
         trace: session.finish(),
         options: options.clone(),
@@ -534,11 +644,48 @@ fn backend(
             source_key,
             netlist_key,
             options_key: prev.incr.options_key,
+            unrolled_key,
             optimized_key,
+            analysis_key: analysis_key_now,
             cell_blocks,
         },
     };
     Ok((compiled, report))
+}
+
+/// Runs the `certify` stage for an incremental recompile, splicing
+/// obligations whose reuse keys (cone fingerprints, macro bodies) held
+/// still from the previous certificate and re-enumerating the rest.
+fn run_certify(
+    session: &mut Session,
+    report: &mut IncrementalReport,
+    source: &Netlist,
+    optimized: &Netlist,
+    program: &Program,
+    library: &CellLibrary,
+    prev_certificate: Option<&qac_cert::CompileCertificate>,
+) -> Result<qac_cert::CompileCertificate, CompileError> {
+    count_miss(1);
+    let out = session.run(
+        &crate::certify::CertifyStage {
+            source,
+            optimized,
+            program,
+            library,
+            prev: prev_certificate,
+        },
+        (),
+    )?;
+    let disposition = if out.reused > 0 {
+        StageDisposition::Spliced {
+            reused: out.reused,
+            redone: out.proved,
+        }
+    } else {
+        StageDisposition::Full
+    };
+    report.stages.push(("certify".to_string(), disposition));
+    Ok(out.certificate)
 }
 
 /// The spliced flavor of `qmasm-gen`: regenerates only `changed` cells'
@@ -668,6 +815,9 @@ pub fn artifact_mismatch(a: &Compiled, b: &Compiled) -> Option<String> {
     if a.analysis != b.analysis {
         return Some("analysis report differs".to_string());
     }
+    if a.certificate != b.certificate {
+        return Some("compile certificate differs".to_string());
+    }
     if a.stats != b.stats {
         return Some("pipeline stats differ".to_string());
     }
@@ -705,7 +855,7 @@ mod tests {
         let options = CompileOptions::default();
         let cold = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
         let (warm, report) = compile_incremental(&cold, MUX_ADD_SUB, "circuit", &options).unwrap();
-        assert_eq!(report.stages.len(), 9);
+        assert_eq!(report.stages.len(), 10);
         assert!(report
             .stages
             .iter()
@@ -856,6 +1006,99 @@ mod tests {
         assert_eq!(
             report.disposition("qmasm-gen"),
             Some(StageDisposition::Full)
+        );
+        assert_eq!(artifact_mismatch(&cold, &warm), None);
+    }
+
+    #[test]
+    fn comment_edit_replays_the_certificate() {
+        // Both the unrolled and the optimized netlists hold still, so
+        // the proof obligations are all reusable verbatim.
+        let options = CompileOptions::default();
+        let cold = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        let edited = MUX_ADD_SUB.replace("assign c", "// mux\n          assign c");
+        let (warm, report) = compile_incremental(&cold, &edited, "circuit", &options).unwrap();
+        assert_eq!(
+            report.disposition("certify"),
+            Some(StageDisposition::Skipped)
+        );
+        assert_eq!(warm.certificate, cold.certificate);
+    }
+
+    #[test]
+    fn optimizer_erased_edit_still_reproves_the_frontend() {
+        // Edit a cell inside a *dead* cone the optimizer eliminates:
+        // the optimized netlist (and the whole back end) replays, but
+        // the *source* side of the front-end obligation moved, so the
+        // certificate must be re-proved — skipping it would leave a
+        // stale unrolled-netlist hash a cold compile would not produce.
+        let dead_cone = |kind: qac_netlist::CellKind| {
+            let mut b = Builder::new("demo");
+            let a = b.input("a", 1)[0];
+            let c = b.input("b", 1)[0];
+            let d = b.input("d", 1)[0];
+            let x = b.xor(a, c);
+            let y = b.and(x, d);
+            let z = b.or(y, a);
+            let dead = b.and(a, d); // output never reaches a port
+            b.output("z", &[z]);
+            let mut netlist = b.finish();
+            let dead_cell = netlist
+                .cells()
+                .iter()
+                .position(|cell| cell.output == dead)
+                .unwrap();
+            netlist.set_cell_kind(dead_cell, kind);
+            netlist
+        };
+        let options = CompileOptions::default();
+        let prev = compile_netlist(dead_cone(qac_netlist::CellKind::And), &options).unwrap();
+        let new = dead_cone(qac_netlist::CellKind::Or);
+        let cold = compile_netlist(new.clone(), &options).unwrap();
+        let (warm, report) = compile_netlist_incremental(&prev, new, &options).unwrap();
+        assert_eq!(
+            report.disposition("edif-write"),
+            Some(StageDisposition::Skipped),
+            "back end should replay"
+        );
+        assert!(
+            !matches!(
+                report.disposition("certify"),
+                Some(StageDisposition::Skipped) | None
+            ),
+            "certify must re-run: {:?}",
+            report.disposition("certify")
+        );
+        assert_eq!(artifact_mismatch(&cold, &warm), None);
+    }
+
+    #[test]
+    fn symmetric_input_swap_replays_the_analyzer() {
+        // Swapping the OR cell's inputs changes the QMASM text (so
+        // parse and assemble re-run) but lands on a content-identical
+        // model: the analysis key matches and the analyzer replays.
+        let options = CompileOptions {
+            opt_level: 0,
+            ..Default::default()
+        };
+        let old = demo_netlist();
+        let prev = compile_netlist(old.clone(), &options).unwrap();
+        let mut new = old.clone();
+        let a_net = old.port("a").unwrap().bits[0];
+        let y_net = old.cells()[1].output;
+        new.retarget_input(2, 0, a_net);
+        new.retarget_input(2, 1, y_net);
+        let cold = compile_netlist(new.clone(), &options).unwrap();
+        let (warm, report) = compile_netlist_incremental(&prev, new, &options).unwrap();
+        assert_ne!(warm.qmasm, prev.qmasm, "edit must reach the text");
+        assert_eq!(
+            report.disposition("qmasm-parse"),
+            Some(StageDisposition::Full)
+        );
+        assert_eq!(
+            report.disposition("analyze"),
+            Some(StageDisposition::Skipped),
+            "content-identical analyzer input should replay"
         );
         assert_eq!(artifact_mismatch(&cold, &warm), None);
     }

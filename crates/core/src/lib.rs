@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod certify;
 mod error;
 mod incr;
 mod pipeline;
@@ -55,6 +56,10 @@ mod run;
 mod stage;
 mod trace;
 
+pub use certify::{
+    backend_obligation, certificate_diagnostics, model_terms,
+    PROVED_COUNTER as CERT_PROVED_COUNTER, SKIPPED_COUNTER as CERT_SKIPPED_COUNTER,
+};
 pub use error::CompileError;
 pub use incr::{
     artifact_mismatch, compile_incremental, compile_netlist_incremental, dirty_variables,
@@ -72,3 +77,5 @@ pub use trace::{StageTrace, Trace};
 pub use qac_netlist::unroll::InitialState;
 
 pub use qac_analysis::{AnalysisOptions, AnalysisReport, Code, Diagnostic, Diagnostics, Severity};
+
+pub use qac_cert::{verify_certificate, CertIssue, CompileCertificate, IssueKind};

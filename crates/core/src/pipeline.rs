@@ -9,6 +9,7 @@
 //! [`Compiled`].
 
 use qac_analysis::{analyze_assembled, AnalysisOptions, AnalysisReport, Diagnostics};
+use qac_cert::CompileCertificate;
 use qac_chimera::EmbedOptions;
 use qac_edif::{from_edif, to_edif};
 use qac_gatesynth::CellLibrary;
@@ -41,6 +42,12 @@ pub struct CompileOptions {
     /// Static-analysis options for the `analyze` stage. Error-severity
     /// diagnostics reject the program at compile time.
     pub analysis: AnalysisOptions,
+    /// Run the `certify` translation-validation stage (DESIGN.md §15):
+    /// prove the optimized netlist equivalent to the unrolled source and
+    /// every instantiated macro's ground space correct, and attach the
+    /// machine-checkable certificate to [`Compiled::certificate`]. On by
+    /// default; a failed proof rejects the compile.
+    pub certify: bool,
 }
 
 impl Default for CompileOptions {
@@ -53,6 +60,7 @@ impl Default for CompileOptions {
             chain_strength: None,
             embed: EmbedOptions::default(),
             analysis: AnalysisOptions::default(),
+            certify: true,
         }
     }
 }
@@ -101,6 +109,11 @@ pub struct Compiled {
     /// The parsed QMASM program the model was assembled from (kept so an
     /// incremental recompile can splice against it).
     pub program: Program,
+    /// The translation-validation certificate the `certify` stage built
+    /// and checked (`None` when [`CompileOptions::certify`] is off). The
+    /// back-end obligation is attached at embed time by callers that
+    /// embed (see [`crate::backend_obligation`]).
+    pub certificate: Option<CompileCertificate>,
     /// Static measurements.
     pub stats: PipelineStats,
     /// Per-stage wall time and artifact sizes of this compilation.
@@ -399,6 +412,11 @@ pub(crate) fn compile_netlist_in_session(
         },
         netlist,
     )?;
+    // The certifier proves the optimizer (and the EDIF round trip)
+    // preserved this netlist, so it keeps the pre-optimization form; its
+    // content key lets the incremental driver reuse front-end proofs.
+    let unrolled_key = netlist.structural_hash();
+    let source_netlist = options.certify.then(|| netlist.clone());
     let netlist = session.run(
         &OptimizeStage {
             opt_level: options.opt_level,
@@ -475,13 +493,37 @@ pub(crate) fn compile_netlist_in_session(
         AnalysisReport::empty()
     };
 
+    // Translation validation: prove the front end preserved every
+    // output's Boolean function and the macro library every gate's
+    // ground space; a failed proof rejects the compile like an analyzer
+    // error.
+    let certificate = match &source_netlist {
+        Some(source) => Some(
+            session
+                .run(
+                    &crate::certify::CertifyStage {
+                        source,
+                        optimized: &netlist,
+                        program: &program,
+                        library: &library,
+                        prev: None,
+                    },
+                    (),
+                )?
+                .certificate,
+        ),
+        None => None,
+    };
+
     let stats = build_stats(verilog_lines, &edif, &qmasm, &stdcell, &assembled, &netlist);
 
     let incr = IncrState {
         source_key,
         netlist_key,
         options_key: crate::incr::options_key(options),
+        unrolled_key,
         optimized_key,
+        analysis_key: crate::incr::analysis_key(&assembled, &program, expected),
         cell_blocks,
     };
 
@@ -494,6 +536,7 @@ pub(crate) fn compile_netlist_in_session(
         expected_ground_energy: expected,
         analysis,
         program,
+        certificate,
         stats,
         trace: session.finish(),
         options: options.clone(),
@@ -601,7 +644,8 @@ mod tests {
                 "qmasm-gen",
                 "qmasm-parse",
                 "assemble",
-                "analyze"
+                "analyze",
+                "certify"
             ]
         );
         // Artifact sizes are populated: source bytes in, cells out, etc.
@@ -638,6 +682,31 @@ mod tests {
         assert!(compiled.trace.get("analyze").is_none());
         assert!(compiled.analysis.passes.is_empty());
         assert!(compiled.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn certification_is_on_by_default_and_checkable() {
+        let compiled = compile(MUX_ADD_SUB, "circuit", &CompileOptions::default()).unwrap();
+        let cert = compiled.certificate.as_ref().expect("certificate");
+        assert!(cert.num_obligations() > 0);
+        assert!(!cert.frontend.is_empty());
+        assert!(!cert.macros.is_empty());
+        // The attached certificate re-verifies independently.
+        let issues = qac_cert::verify_certificate(cert);
+        assert!(issues.iter().all(|i| !i.kind.is_error()), "{issues:?}");
+        let stage = compiled.trace.get("certify").unwrap();
+        assert_eq!(stage.output_size, cert.num_obligations());
+    }
+
+    #[test]
+    fn certification_can_be_disabled() {
+        let options = CompileOptions {
+            certify: false,
+            ..Default::default()
+        };
+        let compiled = compile(MUX_ADD_SUB, "circuit", &options).unwrap();
+        assert!(compiled.certificate.is_none());
+        assert!(compiled.trace.get("certify").is_none());
     }
 
     #[test]

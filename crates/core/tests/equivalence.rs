@@ -211,7 +211,7 @@ proptest! {
             );
             // The trace is the one thing the stage graph adds: every
             // compile stage must be present and populated.
-            prop_assert_eq!(staged.trace.len(), 9, "{}: missing stages", top);
+            prop_assert_eq!(staged.trace.len(), 10, "{}: missing stages", top);
             // Every compile stage produces a nonempty artifact — except
             // the analyzer, whose output size is its diagnostic count
             // (zero on a clean program).

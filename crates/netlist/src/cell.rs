@@ -176,6 +176,38 @@ impl CellKind {
             CellKind::DffP | CellKind::DffN => inputs[0],
         }
     }
+
+    /// Evaluates the cell on 64 input assignments at once, one per bit
+    /// lane — bit `p` of the result is `eval` applied to bit `p` of each
+    /// input word. Semantically identical to [`CellKind::eval`] per lane
+    /// (for a DFF, the intra-step identity).
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != num_inputs()`.
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "arity mismatch for {}",
+            self.name()
+        );
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And => inputs[0] & inputs[1],
+            CellKind::Or => inputs[0] | inputs[1],
+            CellKind::Nand => !(inputs[0] & inputs[1]),
+            CellKind::Nor => !(inputs[0] | inputs[1]),
+            CellKind::Xor => inputs[0] ^ inputs[1],
+            CellKind::Xnor => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux => (inputs[0] & inputs[2]) | (!inputs[0] & inputs[1]),
+            CellKind::Aoi3 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellKind::Oai3 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellKind::Aoi4 => !((inputs[0] & inputs[1]) | (inputs[2] & inputs[3])),
+            CellKind::Oai4 => !((inputs[0] | inputs[1]) & (inputs[2] | inputs[3])),
+            CellKind::DffP | CellKind::DffN => inputs[0],
+        }
+    }
 }
 
 impl fmt::Display for CellKind {

@@ -1,0 +1,409 @@
+//! Cut-function extraction for translation validation (DESIGN.md §15).
+//!
+//! A *cut function* is one output bit's Boolean function over its
+//! transitive input support. The certifying compiler enumerates every
+//! output's cut function on the pre-optimization and post-EDIF netlists
+//! and proves the truth tables identical; this module provides the
+//! per-netlist half of that obligation: cone discovery, a structural
+//! cone fingerprint (the reuse key for incremental re-certification),
+//! and the exhaustive truth-table enumeration for supports up to a
+//! caller-chosen width.
+
+use crate::graph::{Driver, NetId, Netlist};
+use crate::incr::Fnv;
+use crate::NetlistError;
+
+/// One output bit's cut function on one netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutFunction {
+    /// Output bit, named `port[bit]`.
+    pub output: String,
+    /// Input-bit support, sorted by name; truth-pattern bit `i` is the
+    /// value of `support[i]`.
+    pub support: Vec<String>,
+    /// Packed truth table: bit `p mod 64` of word `p / 64` is the output
+    /// under input pattern `p`. Empty when the cut was skipped.
+    pub truth: Vec<u64>,
+    /// Structural fingerprint of the cone (cells, support, constants):
+    /// equal fingerprints imply equal truth tables.
+    pub fingerprint: u64,
+    /// `Some(reason)` when the truth table was not enumerated.
+    pub skipped: Option<String>,
+}
+
+/// Skip reason recorded when the caller's selection closure declined a
+/// cut (see [`cut_functions_filtered`]); such entries carry a valid
+/// fingerprint but no truth table.
+pub const CUT_NOT_SELECTED: &str = "not selected for enumeration";
+
+/// Extracts the cut function of every output-port bit, sorted by output
+/// name. Supports wider than `max_support` are returned with an empty
+/// truth table and a `skipped` reason instead of being enumerated.
+///
+/// # Errors
+/// [`NetlistError`] when the netlist has no valid topological order.
+pub fn cut_functions(
+    netlist: &Netlist,
+    max_support: usize,
+) -> Result<Vec<CutFunction>, NetlistError> {
+    cut_functions_filtered(netlist, max_support, |_, _| true)
+}
+
+/// Like [`cut_functions`], but consults `select(output, fingerprint)`
+/// before enumerating each truth table. Deselected cuts come back with
+/// their cone fingerprint, an empty truth table, and
+/// [`CUT_NOT_SELECTED`] as the skip reason — the incremental certifier
+/// uses this to pay for cone discovery only on outputs whose previous
+/// obligation cannot be reused.
+///
+/// # Errors
+/// [`NetlistError`] when the netlist has no valid topological order.
+pub fn cut_functions_filtered(
+    netlist: &Netlist,
+    max_support: usize,
+    mut select: impl FnMut(&str, u64) -> bool,
+) -> Result<Vec<CutFunction>, NetlistError> {
+    let drivers = netlist.drivers();
+    let cell_hashes = netlist.cell_hashes();
+    let topo = netlist.topo_order()?;
+    let mut topo_pos = vec![usize::MAX; netlist.cells().len()];
+    for (pos, &cell) in topo.iter().enumerate() {
+        topo_pos[cell] = pos;
+    }
+    let mut input_names: Vec<Option<String>> = vec![None; netlist.num_nets()];
+    for port in netlist.input_ports() {
+        for (bit, &net) in port.bits.iter().enumerate() {
+            input_names[net] = Some(format!("{}[{bit}]", port.name));
+        }
+    }
+    let mut cuts = Vec::new();
+    for port in netlist.output_ports() {
+        for (bit, &net) in port.bits.iter().enumerate() {
+            cuts.push(cut_of(
+                netlist,
+                &drivers,
+                &cell_hashes,
+                &topo_pos,
+                &input_names,
+                format!("{}[{bit}]", port.name),
+                net,
+                max_support,
+                &mut select,
+            ));
+        }
+    }
+    cuts.sort_by(|a, b| a.output.cmp(&b.output));
+    Ok(cuts)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cut_of(
+    netlist: &Netlist,
+    drivers: &[Driver],
+    cell_hashes: &[u64],
+    topo_pos: &[usize],
+    input_names: &[Option<String>],
+    output: String,
+    output_net: NetId,
+    max_support: usize,
+    select: &mut impl FnMut(&str, u64) -> bool,
+) -> CutFunction {
+    // Reverse reachability from the output net: collect cone cells,
+    // support nets, and cone constants.
+    let mut seen_net = vec![false; netlist.num_nets()];
+    let mut in_cone = vec![false; netlist.cells().len()];
+    let mut cone: Vec<usize> = Vec::new();
+    let mut support: Vec<(String, NetId)> = Vec::new();
+    let mut cone_constants: Vec<(NetId, bool)> = Vec::new();
+    let mut undriven = false;
+    let mut stack = vec![output_net];
+    seen_net[output_net] = true;
+    while let Some(net) = stack.pop() {
+        match drivers[net] {
+            Driver::Cell(cell) => {
+                if !in_cone[cell] {
+                    in_cone[cell] = true;
+                    cone.push(cell);
+                    for &input in &netlist.cells()[cell].inputs {
+                        if !seen_net[input] {
+                            seen_net[input] = true;
+                            stack.push(input);
+                        }
+                    }
+                }
+            }
+            Driver::Input => {
+                let name = input_names[net]
+                    .clone()
+                    .unwrap_or_else(|| format!("$net{net}"));
+                support.push((name, net));
+            }
+            Driver::Constant(value) => cone_constants.push((net, value)),
+            Driver::None | Driver::Conflict => undriven = true,
+        }
+    }
+    support.sort();
+    cone.sort_by_key(|&cell| topo_pos[cell]);
+    cone_constants.sort_unstable();
+
+    // The fingerprint covers everything the truth table is a function
+    // of: equal fingerprints imply an identical enumeration.
+    let mut fnv = Fnv::new();
+    fnv.write_str(&output);
+    fnv.write_usize(output_net);
+    for &(net, value) in &cone_constants {
+        fnv.write_usize(net);
+        fnv.write_u64(u64::from(value));
+    }
+    for (name, net) in &support {
+        fnv.write_str(name);
+        fnv.write_usize(*net);
+    }
+    for &cell in &cone {
+        fnv.write_u64(cell_hashes[cell]);
+    }
+    let fingerprint = fnv.finish();
+
+    let support_names: Vec<String> = support.iter().map(|(name, _)| name.clone()).collect();
+    if undriven {
+        return CutFunction {
+            output,
+            support: support_names,
+            truth: Vec::new(),
+            fingerprint,
+            skipped: Some("cone contains an undriven or conflicting net".to_string()),
+        };
+    }
+    let k = support.len();
+    if k > max_support {
+        return CutFunction {
+            output,
+            support: support_names,
+            truth: Vec::new(),
+            fingerprint,
+            skipped: Some(format!(
+                "support of {k} exceeds the enumeration limit {max_support}"
+            )),
+        };
+    }
+    if !select(&output, fingerprint) {
+        return CutFunction {
+            output,
+            support: support_names,
+            truth: Vec::new(),
+            fingerprint,
+            skipped: Some(CUT_NOT_SELECTED.to_string()),
+        };
+    }
+
+    // Exhaustive bit-parallel enumeration over the support: 64 input
+    // patterns per word, every net carrying one `u64` lane vector and
+    // cone cells evaluated in topological order with `eval_word`.
+    // Pattern bit `i` has period 2^{i+1}, so supports 0..=5 are fixed
+    // lane masks within any word and support `i >= 6` is the broadcast
+    // of block-index bit `i - 6`. Flip-flops evaluate as intra-step
+    // identities, matching the D-flip-flop macro's `Q == D` relation.
+    const LANE: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    let patterns = 1usize << k;
+    let words = patterns.div_ceil(64);
+    let mut truth = vec![0u64; words];
+    let mut values = vec![0u64; netlist.num_nets()];
+    for &(net, value) in &cone_constants {
+        values[net] = if value { !0 } else { 0 };
+    }
+    let mut inputs = [0u64; 4];
+    for (word, slot) in truth.iter_mut().enumerate() {
+        for (i, &(_, net)) in support.iter().enumerate() {
+            values[net] = match i {
+                0..=5 => LANE[i],
+                _ if (word >> (i - 6)) & 1 == 1 => !0,
+                _ => 0,
+            };
+        }
+        for &cell_id in &cone {
+            let cell = &netlist.cells()[cell_id];
+            for (slot, &net) in inputs.iter_mut().zip(&cell.inputs) {
+                *slot = values[net];
+            }
+            values[cell.output] = cell.kind.eval_word(&inputs[..cell.inputs.len()]);
+        }
+        *slot = values[output_net];
+    }
+    if patterns < 64 {
+        // Keep the lanes beyond 2^k zero: the certificate's rendering
+        // and the checker's padding audit both require it.
+        truth[0] &= (1u64 << patterns) - 1;
+    }
+    CutFunction {
+        output,
+        support: support_names,
+        truth,
+        fingerprint,
+        skipped: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Builder, CellKind};
+
+    fn adder() -> Netlist {
+        let mut b = Builder::new("fulladd");
+        let a = b.input("a", 1)[0];
+        let c = b.input("b", 1)[0];
+        let cin = b.input("cin", 1)[0];
+        let s1 = b.xor(a, c);
+        let sum = b.xor(s1, cin);
+        let c1 = b.and(a, c);
+        let c2 = b.and(s1, cin);
+        let cout = b.or(c1, c2);
+        b.output("sum", &[sum]);
+        b.output("cout", &[cout]);
+        b.finish()
+    }
+
+    #[test]
+    fn adder_truth_tables_match_arithmetic() {
+        let cuts = cut_functions(&adder(), 16).unwrap();
+        assert_eq!(cuts.len(), 2);
+        // Sorted by name: cout before sum.
+        assert_eq!(cuts[0].output, "cout[0]");
+        assert_eq!(cuts[1].output, "sum[0]");
+        for cut in &cuts {
+            assert_eq!(cut.support, ["a[0]", "b[0]", "cin[0]"]);
+            assert!(cut.skipped.is_none());
+        }
+        for pattern in 0..8usize {
+            let (a, b, cin) = (pattern & 1, (pattern >> 1) & 1, (pattern >> 2) & 1);
+            let total = a + b + cin;
+            assert_eq!(
+                (cuts[1].truth[0] >> pattern) & 1,
+                (total & 1) as u64,
+                "sum at {pattern:#b}"
+            );
+            assert_eq!(
+                (cuts[0].truth[0] >> pattern) & 1,
+                (total >> 1) as u64,
+                "cout at {pattern:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_moves_with_the_cone_and_not_outside_it() {
+        let base = adder();
+        let cuts = cut_functions(&base, 16).unwrap();
+        // Swap the carry OR for an AND: only cout's cone moves.
+        let mut edited = base.clone();
+        let or_cell = edited
+            .cells()
+            .iter()
+            .position(|c| c.kind == CellKind::Or)
+            .unwrap();
+        edited.set_cell_kind(or_cell, CellKind::And);
+        let edited_cuts = cut_functions(&edited, 16).unwrap();
+        assert_ne!(cuts[0].fingerprint, edited_cuts[0].fingerprint);
+        assert_eq!(cuts[1].fingerprint, edited_cuts[1].fingerprint);
+        assert_eq!(cuts[1].truth, edited_cuts[1].truth);
+    }
+
+    #[test]
+    fn wide_supports_are_skipped_with_a_reason() {
+        let mut b = Builder::new("wide");
+        let bits = b.input("x", 3);
+        let y1 = b.and(bits[0], bits[1]);
+        let y2 = b.and(y1, bits[2]);
+        b.output("y", &[y2]);
+        let netlist = b.finish();
+        let cuts = cut_functions(&netlist, 2).unwrap();
+        assert_eq!(cuts.len(), 1);
+        assert!(cuts[0].truth.is_empty());
+        assert!(cuts[0].skipped.as_deref().unwrap().contains("support of 3"));
+        // The fingerprint is still present for incremental reuse.
+        assert_ne!(cuts[0].fingerprint, 0);
+    }
+
+    #[test]
+    fn deselected_cuts_keep_their_fingerprint_but_skip_enumeration() {
+        let netlist = adder();
+        let all = cut_functions(&netlist, 16).unwrap();
+        let some = cut_functions_filtered(&netlist, 16, |out, _| out == "sum[0]").unwrap();
+        assert_eq!(some[0].output, "cout[0]");
+        assert_eq!(some[0].skipped.as_deref(), Some(CUT_NOT_SELECTED));
+        assert!(some[0].truth.is_empty());
+        assert_eq!(some[0].fingerprint, all[0].fingerprint);
+        assert_eq!(some[1], all[1]);
+    }
+
+    #[test]
+    fn bit_parallel_enumeration_matches_scalar_eval() {
+        // An 8-input cone (256 patterns, four truth words) mixing every
+        // multi-input cell kind, cross-checked lane by lane against the
+        // scalar `CellKind::eval` on a hand-walked cone. This pins the
+        // word-parallel enumerator to the per-pattern semantics,
+        // including the >64-pattern block indexing.
+        let mut b = Builder::new("wide8");
+        let x = b.input("x", 8);
+        let m = b.mux(x[0], x[1], x[2]);
+        let n = b.nand(x[3], m);
+        let o = b.nor(x[4], n);
+        let p = b.xnor(x[5], o);
+        let q = b.xor(x[6], p);
+        let y = b.or(x[7], q);
+        let z = b.and(y, m);
+        b.output("z", &[z]);
+        let netlist = b.finish();
+        let cuts = cut_functions(&netlist, 16).unwrap();
+        assert_eq!(cuts[0].support.len(), 8);
+        assert_eq!(cuts[0].truth.len(), 4);
+        for pattern in 0..256usize {
+            let bit = |i: usize| (pattern >> i) & 1 == 1;
+            let m = if bit(0) { bit(2) } else { bit(1) };
+            let n = !(bit(3) && m);
+            let o = !(bit(4) || n);
+            let p = !(bit(5) ^ o);
+            let q = bit(6) ^ p;
+            let y = bit(7) || q;
+            let expect = y && m;
+            assert_eq!(
+                (cuts[0].truth[pattern / 64] >> (pattern % 64)) & 1 == 1,
+                expect,
+                "pattern {pattern:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_cones_zero_their_padding_lanes() {
+        // A 2-input cone fills only 4 of the 64 lanes; the rest must be
+        // zero or the certificate's padding audit rejects it.
+        let mut b = Builder::new("narrow");
+        let a = b.input("a", 1)[0];
+        let c = b.input("b", 1)[0];
+        let y = b.nand(a, c);
+        b.output("y", &[y]);
+        let cuts = cut_functions(&b.finish(), 16).unwrap();
+        assert_eq!(cuts[0].truth, vec![0b0111]);
+    }
+
+    #[test]
+    fn constants_fold_into_the_cone() {
+        let mut b = Builder::new("konst");
+        let a = b.input("a", 1)[0];
+        let one = b.constant(true);
+        let y = b.and(a, one);
+        b.output("y", &[y]);
+        let netlist = b.finish();
+        let cuts = cut_functions(&netlist, 16).unwrap();
+        assert_eq!(cuts[0].support, ["a[0]"]);
+        assert_eq!(cuts[0].truth, vec![0b10]);
+    }
+}

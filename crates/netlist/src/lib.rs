@@ -39,6 +39,7 @@
 
 mod builder;
 mod cell;
+pub mod cut;
 mod error;
 mod graph;
 pub mod incr;
@@ -49,6 +50,7 @@ pub mod unroll;
 
 pub use builder::Builder;
 pub use cell::CellKind;
+pub use cut::{cut_functions, cut_functions_filtered, CutFunction, CUT_NOT_SELECTED};
 pub use error::NetlistError;
 pub use graph::{Cell, CellId, NetId, Netlist, Port};
 pub use incr::{fnv_str, Fnv, NetlistDiff};

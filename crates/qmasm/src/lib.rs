@@ -54,6 +54,7 @@ mod error;
 mod parse;
 pub mod pin;
 mod report;
+mod sites;
 mod stdgen;
 
 pub use assemble::{
@@ -64,6 +65,7 @@ pub use assert::{AssertExpr, AssertOutcome};
 pub use error::QmasmError;
 pub use parse::{parse, IncludeResolver, MapIncludes, NoIncludes, Program, Statement};
 pub use report::{format_solution, Solution, SymbolValue};
+pub use sites::{macro_sites, MacroSites};
 pub use stdgen::stdcell_qmasm;
 
 pub use qac_pbf::Ising;

@@ -1,0 +1,87 @@
+//! Per-macro-instance obligation sites for translation validation
+//! (DESIGN.md §15).
+//!
+//! The certifying compiler proves each macro *kind* once (the unit model
+//! is shared by every instance) but records every instantiation site in
+//! the certificate, so a reader can audit that the proof covers the
+//! whole program.
+
+use crate::parse::{Program, Statement};
+
+/// One macro kind's obligation site list: the macro name, its body
+/// statements, and every instance prefix that uses it, sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroSites {
+    /// Macro name, e.g. `AND`.
+    pub name: String,
+    /// The macro's body statements as parsed (weights, couplings, and
+    /// any `!assert` niceties).
+    pub body: Vec<Statement>,
+    /// Instance prefixes from every `!use_macro`, sorted and deduplicated.
+    pub instances: Vec<String>,
+}
+
+/// Extracts the obligation sites of every macro the program actually
+/// instantiates, sorted by macro name.
+///
+/// # Errors
+/// The name of the first `!use_macro` that references an undefined macro.
+pub fn macro_sites(program: &Program) -> Result<Vec<MacroSites>, String> {
+    let mut sites: Vec<MacroSites> = Vec::new();
+    for statement in &program.statements {
+        let Statement::UseMacro { name, instances } = statement else {
+            continue;
+        };
+        let entry = match sites.iter_mut().find(|s| &s.name == name) {
+            Some(entry) => entry,
+            None => {
+                let body = program
+                    .macros
+                    .get(name)
+                    .ok_or_else(|| format!("use of undefined macro `{name}`"))?;
+                sites.push(MacroSites {
+                    name: name.clone(),
+                    body: body.clone(),
+                    instances: Vec::new(),
+                });
+                sites.last_mut().expect("just pushed")
+            }
+        };
+        entry.instances.extend(instances.iter().cloned());
+    }
+    for entry in &mut sites {
+        entry.instances.sort();
+        entry.instances.dedup();
+    }
+    sites.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, NoIncludes};
+
+    #[test]
+    fn sites_are_sorted_and_deduplicated() {
+        let src = "!begin_macro M\n  A 1\n!end_macro M\n\
+                   !use_macro M $b\n!use_macro M $a $b\n";
+        let program = parse(src, &NoIncludes).unwrap();
+        let sites = macro_sites(&program).unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].name, "M");
+        assert_eq!(sites[0].instances, ["$a", "$b"]);
+        assert_eq!(sites[0].body.len(), 1);
+    }
+
+    #[test]
+    fn unused_macros_are_not_reported() {
+        let src = "!begin_macro M\n  A 1\n!end_macro M\n\
+                   !begin_macro N\n  B 1\n!end_macro N\n\
+                   !use_macro N $x\n";
+        let program = parse(src, &NoIncludes).unwrap();
+        let sites = macro_sites(&program).unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].name, "N");
+    }
+}
